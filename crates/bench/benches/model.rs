@@ -1,0 +1,46 @@
+//! Criterion benchmarks for the formal-model machinery: global-state
+//! exploration, concurrency sets, committability, and rule derivation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ptp_model::committable::Committability;
+use ptp_model::concurrency::ConcurrencySets;
+use ptp_model::protocols::{four_phase, three_phase, two_phase};
+use ptp_model::resilience::check_conditions;
+use ptp_model::rules::derive_rules_augmentation;
+use ptp_model::GlobalGraph;
+
+fn bench_exploration(c: &mut Criterion) {
+    let mut group = c.benchmark_group("model/global_state_exploration");
+    for n in [2usize, 3, 4, 5] {
+        let spec = three_phase(n);
+        group.bench_with_input(BenchmarkId::new("3pc", n), &spec, |b, spec| {
+            b.iter(|| GlobalGraph::explore(spec))
+        });
+    }
+    let spec4 = four_phase(4);
+    group.bench_function("4pc/4", |b| b.iter(|| GlobalGraph::explore(&spec4)));
+    group.finish();
+}
+
+fn bench_analyses(c: &mut Criterion) {
+    let spec = three_phase(4);
+    let graph = GlobalGraph::explore(&spec);
+
+    c.bench_function("model/concurrency_sets_3pc_n4", |b| {
+        b.iter(|| ConcurrencySets::compute(&spec, &graph))
+    });
+    c.bench_function("model/committability_3pc_n4", |b| {
+        b.iter(|| Committability::compute(&spec, &graph))
+    });
+    c.bench_function("model/lemma12_check_2pc_n4", |b| {
+        let spec = two_phase(4);
+        b.iter(|| check_conditions(&spec))
+    });
+    c.bench_function("model/rule_derivation_3pc_n3", |b| {
+        let spec = three_phase(3);
+        b.iter(|| derive_rules_augmentation(&spec))
+    });
+}
+
+criterion_group!(benches, bench_exploration, bench_analyses);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Criterion benchmarks: cost of one full commit-protocol execution, per
+//! protocol kind, failure-free and through a partition.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ptp_core::{run_scenario, ProtocolKind, Scenario};
+use ptp_simnet::SiteId;
+
+fn bench_failure_free(c: &mut Criterion) {
+    let mut group = c.benchmark_group("protocols/failure_free_n4");
+    for kind in ProtocolKind::ALL {
+        group.bench_with_input(BenchmarkId::from_parameter(kind.name()), &kind, |b, &kind| {
+            let scenario = Scenario::new(4);
+            b.iter(|| {
+                let r = run_scenario(kind, &scenario);
+                assert!(r.verdict.is_atomic());
+                r
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_partitioned(c: &mut Criterion) {
+    let mut group = c.benchmark_group("protocols/partitioned_n4");
+    for kind in [
+        ProtocolKind::Plain2pc,
+        ProtocolKind::Naive3pc,
+        ProtocolKind::HuangLi3pc,
+        ProtocolKind::HuangLi4pc,
+        ProtocolKind::QuorumMajority,
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(kind.name()), &kind, |b, &kind| {
+            let scenario = Scenario::new(4).partition_g2(vec![SiteId(2), SiteId(3)], 2500);
+            b.iter(|| run_scenario(kind, &scenario))
+        });
+    }
+    group.finish();
+}
+
+fn bench_cluster_size(c: &mut Criterion) {
+    let mut group = c.benchmark_group("protocols/huang_li_scaling");
+    for n in [3usize, 5, 9, 17] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let scenario =
+                Scenario::new(n).partition_g2((n as u16 / 2..n as u16).map(SiteId).collect(), 2500);
+            b.iter(|| {
+                let r = run_scenario(ProtocolKind::HuangLi3pc, &scenario);
+                assert!(r.verdict.is_resilient());
+                r
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_failure_free, bench_partitioned, bench_cluster_size);
+criterion_main!(benches);

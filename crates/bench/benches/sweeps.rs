@@ -1,0 +1,55 @@
+//! Criterion benchmarks for the sweep engine — the cost of the resilience
+//! experiments themselves, and how they scale with cluster size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ptp_core::{sweep, ProtocolKind, SweepGrid};
+use ptp_simnet::DelayModel;
+
+fn small_grid(n: usize) -> SweepGrid {
+    let mut grid = SweepGrid::standard(n);
+    grid.partition_times = (0..=8).map(|i| i * 500).collect();
+    grid.delays = vec![DelayModel::Fixed(1000)];
+    grid
+}
+
+fn bench_sweep_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sweeps/huang_li_by_n");
+    for n in [3usize, 4, 5] {
+        let grid = small_grid(n);
+        group.throughput(Throughput::Elements(grid.size() as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &grid, |b, grid| {
+            b.iter(|| {
+                let report = sweep(ProtocolKind::HuangLi3pc, grid);
+                assert!(report.fully_resilient());
+                report
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_sweep_by_protocol(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sweeps/by_protocol_n3");
+    let grid = small_grid(3);
+    for kind in [ProtocolKind::Plain2pc, ProtocolKind::HuangLi3pc, ProtocolKind::QuorumMajority] {
+        group.throughput(Throughput::Elements(grid.size() as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(kind.name()), &kind, |b, &kind| {
+            b.iter(|| sweep(kind, &grid))
+        });
+    }
+    group.finish();
+}
+
+fn bench_transient_sweep(c: &mut Criterion) {
+    let grid = small_grid(3).with_transient_heals(4);
+    c.bench_function("sweeps/transient_n3", |b| {
+        b.iter(|| {
+            let report = sweep(ProtocolKind::HuangLi3pc, &grid);
+            assert!(report.fully_resilient());
+            report
+        })
+    });
+}
+
+criterion_group!(benches, bench_sweep_scaling, bench_sweep_by_protocol, bench_transient_sweep);
+criterion_main!(benches);

@@ -1,0 +1,106 @@
+//! E14 — the paper's motivation, measured: "the locks acquired by the
+//! blocked transaction cannot be relinquished, rendering those data
+//! inaccessible to other transactions" (Sec. 2).
+//!
+//! A three-site bank runs a transfer that is mid-commit when the network
+//! partitions. For each commit protocol we measure, across partition
+//! onsets: transaction outcomes, lock-hold durations, and how many locks
+//! are still held when the simulation ends (data inaccessible until the
+//! partition heals — potentially forever).
+
+use ptp_core::ddb::cluster::{CommitProtocol, DbCluster};
+use ptp_core::ddb::site::TxnSpec;
+use ptp_core::ddb::value::{Key, TxnId, Value, WriteOp};
+use ptp_core::report::Table;
+use ptp_simnet::{PartitionEngine, PartitionSpec, SimTime, SiteId};
+use std::collections::BTreeMap;
+
+fn transfer(id: u32) -> TxnSpec {
+    let mut writes = BTreeMap::new();
+    writes.insert(1u16, vec![WriteOp { key: Key::from("alice"), value: Value::from_u64(60) }]);
+    writes.insert(2u16, vec![WriteOp { key: Key::from("bob"), value: Value::from_u64(90) }]);
+    TxnSpec { id: TxnId(id), writes }
+}
+
+struct Row {
+    committed: usize,
+    aborted: usize,
+    blocked: usize,
+    max_hold_t: f64,
+    never_released: usize,
+    violations: usize,
+}
+
+fn measure(protocol: CommitProtocol, onsets: &[u64]) -> Row {
+    let mut row =
+        Row { committed: 0, aborted: 0, blocked: 0, max_hold_t: 0.0, never_released: 0, violations: 0 };
+    for &at in onsets {
+        let partition = PartitionEngine::new(vec![PartitionSpec::simple(
+            SimTime(at),
+            vec![SiteId(0), SiteId(1)],
+            vec![SiteId(2)],
+        )]);
+        let run = DbCluster::new(3, protocol)
+            .seed(1, Key::from("alice"), Value::from_u64(100))
+            .seed(2, Key::from("bob"), Value::from_u64(50))
+            .submit(0, transfer(1))
+            .partition(partition)
+            .run();
+
+        row.violations += run.metrics.atomicity_violations().len();
+        for per_site in run.metrics.decisions.values() {
+            for (decision, _) in per_site.values() {
+                match decision {
+                    ptp_core::model::Decision::Commit => row.committed += 1,
+                    ptp_core::model::Decision::Abort => row.aborted += 1,
+                }
+            }
+        }
+        row.blocked += run.blocked.iter().map(Vec::len).sum::<usize>();
+        // Horizon = 200T (the NetConfig default).
+        for (_, _, ticks, still) in run.metrics.hold_durations(SimTime(200_000)) {
+            row.max_hold_t = row.max_hold_t.max(ticks as f64 / 1000.0);
+            if still {
+                row.never_released += 1;
+            }
+        }
+    }
+    row
+}
+
+fn main() {
+    println!("== E14: blocking renders data inaccessible (the paper's motivation) ==\n");
+    println!("One in-flight transfer; partition {{0,1}} | {{2}} at each onset in");
+    println!("0.25T steps through the whole commit window; horizon 200T.\n");
+
+    let onsets: Vec<u64> = (0..=24).map(|i| i * 250).collect();
+    let mut table = Table::new(vec![
+        "protocol",
+        "site-decisions commit",
+        "abort",
+        "blocked sites",
+        "max lock hold",
+        "locks never released",
+        "atomicity violations",
+    ]);
+
+    for protocol in
+        [CommitProtocol::TwoPhase, CommitProtocol::HuangLi, CommitProtocol::QuorumMajority]
+    {
+        let row = measure(protocol, &onsets);
+        table.row(vec![
+            protocol.name().to_string(),
+            row.committed.to_string(),
+            row.aborted.to_string(),
+            row.blocked.to_string(),
+            format!("{:.2}T", row.max_hold_t),
+            row.never_released.to_string(),
+            row.violations.to_string(),
+        ]);
+    }
+    println!("{}", table.render());
+    println!("2PC and the quorum protocol leave partitioned sites blocked with locks");
+    println!("held to the horizon (inaccessible data); the Huang–Li termination");
+    println!("protocol terminates every site in bounded time and releases everything —");
+    println!("at zero cost to atomicity.");
+}

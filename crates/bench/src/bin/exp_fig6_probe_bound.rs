@@ -1,0 +1,97 @@
+//! E7 — Fig. 6: "The longest possible time for a master to receive the
+//! probe message after receiving an undeliverable prepare message = 5T."
+//!
+//! This bound justifies the master's 5T collection window. We measure the
+//! gap between the master's *first* UD(prepare) and the *last* probe it
+//! receives, in two ways: (1) an adversarial schedule built from the
+//! paper's own worst case (UD returns almost instantly; the probing slave
+//! is as slow as the delay bound allows), and (2) a randomized sweep.
+
+use ptp_core::report::Table;
+use ptp_core::{run_scenario, ProtocolKind, Scenario};
+use ptp_simnet::{DelayModel, ScheduleBuilder, SiteId, Trace, TraceEvent};
+
+/// Gap (ticks) between the first UD(prepare) at the master and the last
+/// probe delivered to it.
+fn probe_gap(trace: &Trace) -> Option<u64> {
+    let first_ud = trace
+        .events()
+        .iter()
+        .find_map(|e| match e {
+            TraceEvent::Returned { at, src, kind: "prepare", .. } if *src == SiteId(0) => {
+                Some(at.ticks())
+            }
+            _ => None,
+        })?;
+    let last_probe = trace
+        .events()
+        .iter()
+        .filter_map(|e| match e {
+            TraceEvent::Delivered { at, dst, kind: "probe", .. } if *dst == SiteId(0) => {
+                Some(at.ticks())
+            }
+            _ => None,
+        })
+        .max()?;
+    Some(last_probe.saturating_sub(first_ud))
+}
+
+fn main() {
+    println!("== E7 / Fig. 6: master's probe-collection bound (paper: 5T) ==\n");
+
+    // Adversarial schedule, n = 3, G2 = {2}. Message send order:
+    //   0: xact->1   1: xact->2   2: yes 1->0   3: yes 2->0
+    //   4: prepare->1   5: prepare->2   6: ack 1->0   7: probe 1->0
+    // prepare->2 is caught by the partition at 2T+1 and returned in 1 tick
+    // (UD at ~2T); slave 1 receives its prepare at the full 3T, times out at
+    // 6T, and its probe takes the full T: arrival 7T. Gap ≈ 5T − ε.
+    let schedule = ScheduleBuilder::with_default(1000)
+        .outbound(5, 1) // prepare->2 bounces quickly after the partition...
+        .return_leg(5, 1) // ...and returns immediately
+        .build();
+    let scenario = Scenario::new(3)
+        .partition_g2(vec![SiteId(2)], 2001)
+        .delay(schedule);
+    let result = run_scenario(ProtocolKind::HuangLi3pc, &scenario);
+    let gap = probe_gap(&result.trace).expect("adversarial run must produce UD + probe");
+    println!(
+        "adversarial schedule: gap = {:.3}T (paper bound 5T), verdict {:?}",
+        gap as f64 / 1000.0,
+        result.verdict
+    );
+    assert!(gap <= 5000, "gap {gap} exceeds 5T");
+    assert!(result.verdict.is_resilient());
+
+    // Randomized sweep.
+    let mut max_gap = 0u64;
+    let mut runs = 0usize;
+    let mut table = Table::new(vec!["seed", "partition at", "gap (T)"]);
+    for seed in 0..40u64 {
+        for at in (1500..=3500).step_by(250) {
+            let scenario = Scenario::new(3)
+                .partition_g2(vec![SiteId(2)], at)
+                .delay(DelayModel::Uniform { seed, min: 1, max: 1000 });
+            let result = run_scenario(ProtocolKind::HuangLi3pc, &scenario);
+            assert!(result.verdict.is_resilient(), "seed {seed} at {at}");
+            if let Some(gap) = probe_gap(&result.trace) {
+                runs += 1;
+                if gap > max_gap {
+                    max_gap = gap;
+                    table.row(vec![
+                        seed.to_string(),
+                        format!("{:.2}T", at as f64 / 1000.0),
+                        format!("{:.3}", gap as f64 / 1000.0),
+                    ]);
+                }
+            }
+        }
+    }
+    println!("\nrandomized sweep: {runs} runs with a UD(prepare)+probe; new maxima:\n");
+    println!("{}", table.render());
+    println!(
+        "measured max gap = {:.3}T  |  paper bound = 5T  |  bound holds: {}",
+        max_gap as f64 / 1000.0,
+        max_gap <= 5000
+    );
+    assert!(max_gap <= 5000);
+}

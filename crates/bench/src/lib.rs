@@ -1,0 +1,105 @@
+//! Shared plumbing for the experiment binaries (`src/bin/exp_*.rs`) that
+//! regenerate every figure and table of Huang & Li (ICDE 1987), and for the
+//! Criterion benchmarks in `benches/`.
+//!
+//! Experiment ↔ paper map (see DESIGN.md for the full index):
+//!
+//! | binary | paper artifact |
+//! |---|---|
+//! | `exp_fig1_2pc` | Fig. 1 + the 2PC blocking diagnosis |
+//! | `exp_fig2_e2pc` | Fig. 2 + the Sec. 3 multisite counterexample |
+//! | `exp_fig3_3pc` | Fig. 3 + the naive-augmentation counterexample |
+//! | `exp_lemma12_conditions` | Lemmas 1 & 2 |
+//! | `exp_lemma3_augmentations` | Lemma 3 |
+//! | `exp_fig5_timeouts` | Fig. 5 |
+//! | `exp_fig6_probe_bound` | Fig. 6 |
+//! | `exp_fig7_wait_w_bound` | Fig. 7 |
+//! | `exp_fig9_case_table` | Fig. 9 + the Sec. 6 case table |
+//! | `exp_thm9_resilience` | Theorem 9 |
+//! | `exp_thm10_generic` | Theorem 10 |
+//! | `exp_impossibility` | the Sec. 2 impossibility theorems |
+//! | `exp_assumptions` | the Sec. 7 assumption-necessity counterexamples |
+//! | `exp_blocking_availability` | Sec. 1–2 motivation (locks + blocking) |
+//! | `exp_quorum_baseline` | reference \[5\] baseline comparison |
+
+use ptp_core::report::Table;
+use ptp_core::{sweep, ProtocolKind, SweepGrid, SweepReport};
+use ptp_simnet::DelayModel;
+
+/// The delay schedules used by default across experiments: the slowest
+/// admissible network, a half-speed one, a near-instant one, and two seeded
+/// random ones.
+pub fn standard_delays(t: u64) -> Vec<DelayModel> {
+    vec![
+        DelayModel::Fixed(t),
+        DelayModel::Fixed(t / 2),
+        DelayModel::Fixed(1),
+        DelayModel::Uniform { seed: 11, min: 1, max: t },
+        DelayModel::Uniform { seed: 97, min: t / 2, max: t },
+    ]
+}
+
+/// A dense sweep grid used by several experiments: all boundaries, T/8
+/// partition instants up to 8T, standard delays.
+pub fn dense_grid(n: usize) -> SweepGrid {
+    let mut grid = SweepGrid::standard(n);
+    grid.partition_times = (0..=64).map(|i| i * 125).collect();
+    grid.delays = standard_delays(1000);
+    grid
+}
+
+/// Renders a sweep report as one table row.
+pub fn sweep_row(kind: ProtocolKind, report: &SweepReport) -> Vec<String> {
+    vec![
+        kind.name().to_string(),
+        report.total.to_string(),
+        report.all_commit.to_string(),
+        report.all_abort.to_string(),
+        report.blocked_count.to_string(),
+        report.inconsistent_count.to_string(),
+        if report.fully_resilient() { "YES".into() } else { "no".into() },
+    ]
+}
+
+/// Runs a set of protocols over one grid and prints the scorecard.
+pub fn print_scorecard(title: &str, kinds: &[ProtocolKind], grid: &SweepGrid) {
+    println!("== {title} ==");
+    println!("({} scenarios per protocol)\n", grid.size());
+    let mut table = Table::new(vec![
+        "protocol",
+        "scenarios",
+        "all-commit",
+        "all-abort",
+        "blocked",
+        "inconsistent",
+        "resilient?",
+    ]);
+    for &kind in kinds {
+        let report = sweep(kind, grid);
+        table.row(sweep_row(kind, &report));
+    }
+    println!("{}", table.render());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_delays_count() {
+        assert_eq!(standard_delays(1000).len(), 5);
+    }
+
+    #[test]
+    fn dense_grid_has_dense_times() {
+        let g = dense_grid(3);
+        assert_eq!(g.partition_times.len(), 65);
+        assert_eq!(g.partition_times[1] - g.partition_times[0], 125);
+    }
+
+    #[test]
+    fn sweep_row_shape() {
+        let report = SweepReport::default();
+        assert_eq!(sweep_row(ProtocolKind::Plain2pc, &report).len(), 7);
+    }
+}

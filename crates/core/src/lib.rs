@@ -1,0 +1,50 @@
+//! # ptp-core — the public API of the Huang–Li 1987 reproduction
+//!
+//! A termination protocol makes a commit protocol live through network
+//! partitions: when timeouts and returned messages reveal that the network
+//! has split, every site must still terminate its transaction — consistently
+//! with every other site, on both sides of the boundary. Huang & Li (ICDE
+//! 1987) designed such a protocol for the three-phase commit protocol under
+//! *optimistic simple partitioning* (undeliverable messages return to their
+//! senders); this workspace reproduces the whole paper. See DESIGN.md for
+//! the system inventory and EXPERIMENTS.md for paper-vs-measured results.
+//!
+//! This crate is the front door:
+//!
+//! * [`Scenario`] describes a cluster and its network conditions;
+//! * [`run_scenario`] executes any [`ProtocolKind`] through it;
+//! * [`sweep()`] grids over boundaries × partition instants × heal instants ×
+//!   delay schedules and reports every atomicity violation or blocked site;
+//! * [`cases`] classifies transient-partition runs into the paper's Sec. 6
+//!   case tree and measures the per-case worst-case waits.
+//!
+//! ```
+//! use ptp_core::{run_scenario, ProtocolKind, Scenario};
+//! use ptp_simnet::SiteId;
+//!
+//! // Cut slave 2 off right as the master's prepares go out.
+//! let scenario = Scenario::new(3).partition_g2(vec![SiteId(2)], 2500);
+//! let result = run_scenario(ProtocolKind::HuangLi3pc, &scenario);
+//! assert!(result.verdict.is_resilient());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cases;
+pub mod report;
+pub mod run;
+pub mod scenario;
+pub mod sweep;
+
+pub use run::{build_cluster, run_scenario, ScenarioResult};
+pub use scenario::{PartitionShape, ProtocolKind, Scenario};
+pub use sweep::{all_simple_boundaries, sweep, ScenarioDesc, SweepGrid, SweepReport};
+
+// Re-export the lower layers so examples and downstream users need only one
+// dependency.
+pub use ptp_ddb as ddb;
+pub use ptp_livenet as livenet;
+pub use ptp_model as model;
+pub use ptp_protocols as protocols;
+pub use ptp_simnet as simnet;

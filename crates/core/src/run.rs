@@ -1,0 +1,133 @@
+//! One-shot scenario execution.
+
+use crate::scenario::{ProtocolKind, Scenario};
+use ptp_protocols::api::Participant;
+use ptp_protocols::clusters::{
+    extended_2pc_cluster, huang_li_3pc_cluster, huang_li_4pc_cluster, naive_augmented_3pc_cluster,
+    plain_2pc_cluster, plain_3pc_cluster,
+};
+use ptp_protocols::quorum::quorum_cluster;
+use ptp_protocols::runner::{run_protocol, ProtocolRun};
+use ptp_protocols::termination::TerminationVariant;
+use ptp_protocols::{SiteOutcome, Verdict};
+use ptp_simnet::{RunReport, Trace};
+
+/// The result of one scenario run.
+#[derive(Debug)]
+pub struct ScenarioResult {
+    /// Atomicity/blocking verdict.
+    pub verdict: Verdict,
+    /// Per-site outcomes.
+    pub outcomes: Vec<SiteOutcome>,
+    /// Full network trace (for timing measurements and debugging).
+    pub trace: Trace,
+    /// Simulator report.
+    pub report: RunReport,
+}
+
+/// Builds the participant vector for a protocol kind.
+pub fn build_cluster(kind: ProtocolKind, scenario: &Scenario) -> Vec<Box<dyn Participant>> {
+    let n = scenario.n;
+    let votes = &scenario.votes;
+    match kind {
+        ProtocolKind::Plain2pc => plain_2pc_cluster(n, votes),
+        ProtocolKind::Extended2pc => extended_2pc_cluster(n, votes),
+        ProtocolKind::Plain3pc => plain_3pc_cluster(n, votes),
+        ProtocolKind::Naive3pc => naive_augmented_3pc_cluster(n, votes),
+        ProtocolKind::HuangLi3pc => {
+            huang_li_3pc_cluster(n, votes, TerminationVariant::Transient)
+        }
+        ProtocolKind::HuangLi3pcStatic => {
+            huang_li_3pc_cluster(n, votes, TerminationVariant::Static)
+        }
+        ProtocolKind::HuangLi4pc => {
+            huang_li_4pc_cluster(n, votes, TerminationVariant::Transient)
+        }
+        ProtocolKind::QuorumMajority => {
+            quorum_cluster(kind.quorum_config(n).expect("quorum kind"), votes)
+        }
+    }
+}
+
+/// Runs `kind` through `scenario` and judges the outcome.
+pub fn run_scenario(kind: ProtocolKind, scenario: &Scenario) -> ScenarioResult {
+    let parts = build_cluster(kind, scenario);
+    let ProtocolRun { outcomes, trace, report } = run_protocol(
+        parts,
+        scenario.net_config(),
+        scenario.partition_engine(),
+        &scenario.delay,
+        scenario.failures.clone(),
+    );
+    ScenarioResult { verdict: Verdict::judge(&outcomes), outcomes, trace, report }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ptp_model::Decision;
+    use ptp_protocols::api::Vote;
+    use ptp_simnet::SiteId;
+
+    #[test]
+    fn every_protocol_commits_failure_free() {
+        let s = Scenario::new(3);
+        for kind in ProtocolKind::ALL {
+            let r = run_scenario(kind, &s);
+            assert_eq!(r.verdict, Verdict::AllCommit, "{}", kind.name());
+        }
+    }
+
+    #[test]
+    fn every_protocol_aborts_on_no_vote() {
+        let s = Scenario::new(3).votes(vec![Vote::Yes, Vote::No]);
+        for kind in ProtocolKind::ALL {
+            let r = run_scenario(kind, &s);
+            assert_eq!(r.verdict, Verdict::AllAbort, "{}", kind.name());
+        }
+    }
+
+    #[test]
+    fn plain_2pc_blocks_under_partition() {
+        // Partition strikes while the slaves wait for the decision: the cut
+        // slave can never learn it and blocks (the paper's Sec. 1 story).
+        let s = Scenario::new(3).partition_g2(vec![SiteId(2)], 2100);
+        let r = run_scenario(ProtocolKind::Plain2pc, &s);
+        assert!(
+            matches!(r.verdict, Verdict::Blocked { .. }),
+            "expected blocking, got {:?}",
+            r.verdict
+        );
+    }
+
+    #[test]
+    fn huang_li_survives_a_nasty_partition() {
+        // Split right as prepares are in flight.
+        let s = Scenario::new(4).partition_g2(vec![SiteId(2), SiteId(3)], 2500);
+        let r = run_scenario(ProtocolKind::HuangLi3pc, &s);
+        assert!(r.verdict.is_resilient(), "{:?}", r.verdict);
+    }
+
+    #[test]
+    fn huang_li_decides_commit_when_no_partition_interferes() {
+        let s = Scenario::new(5);
+        let r = run_scenario(ProtocolKind::HuangLi3pc, &s);
+        for o in &r.outcomes {
+            assert_eq!(o.decision, Some(Decision::Commit));
+        }
+    }
+
+    #[test]
+    fn quorum_minority_blocks() {
+        // n=3 majority quorums: the lone slave cut off mid-protocol cannot
+        // assemble any quorum and blocks.
+        let s = Scenario::new(3).partition_g2(vec![SiteId(2)], 2100);
+        let r = run_scenario(ProtocolKind::QuorumMajority, &s);
+        match r.verdict {
+            Verdict::Blocked { ref undecided, .. } => {
+                assert_eq!(undecided, &vec![SiteId(2)]);
+            }
+            ref other => panic!("expected minority blocking, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,254 @@
+//! Scenario description: which protocol, which network conditions.
+
+use ptp_protocols::api::Vote;
+use ptp_protocols::quorum::QuorumConfig;
+use ptp_simnet::{
+    DelayModel, FailureSpec, NetConfig, PartitionEngine, PartitionMode, PartitionSpec, SimTime,
+    SiteId,
+};
+
+/// Which commit protocol to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProtocolKind {
+    /// Fig. 1: plain two-phase commit (no timeout/UD transitions).
+    Plain2pc,
+    /// Fig. 2: extended 2PC — ack phase plus the Rule (a)/(b) augmentation
+    /// derived at `n = 2`.
+    Extended2pc,
+    /// Fig. 3: plain three-phase commit.
+    Plain3pc,
+    /// Sec. 3 baseline: 3PC naively augmented by Rule (a)/(b) at the
+    /// actual `n`.
+    Naive3pc,
+    /// The paper's protocol: modified 3PC + termination protocol, Sec. 6
+    /// transient variant (the complete protocol).
+    HuangLi3pc,
+    /// The paper's protocol in the Sec. 5 static variant (assumes the
+    /// partition outlasts all affected transactions).
+    HuangLi3pcStatic,
+    /// Theorem 10: the four-phase protocol with its generated termination
+    /// protocol.
+    HuangLi4pc,
+    /// Skeen 1982 quorum commit with majority quorums.
+    QuorumMajority,
+}
+
+impl ProtocolKind {
+    /// All kinds, for table-driven experiments.
+    pub const ALL: [ProtocolKind; 8] = [
+        ProtocolKind::Plain2pc,
+        ProtocolKind::Extended2pc,
+        ProtocolKind::Plain3pc,
+        ProtocolKind::Naive3pc,
+        ProtocolKind::HuangLi3pc,
+        ProtocolKind::HuangLi3pcStatic,
+        ProtocolKind::HuangLi4pc,
+        ProtocolKind::QuorumMajority,
+    ];
+
+    /// Display name used in experiment tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            ProtocolKind::Plain2pc => "2PC",
+            ProtocolKind::Extended2pc => "E2PC",
+            ProtocolKind::Plain3pc => "3PC",
+            ProtocolKind::Naive3pc => "3PC+rules",
+            ProtocolKind::HuangLi3pc => "HL-3PC",
+            ProtocolKind::HuangLi3pcStatic => "HL-3PC(static)",
+            ProtocolKind::HuangLi4pc => "HL-4PC",
+            ProtocolKind::QuorumMajority => "Quorum",
+        }
+    }
+
+    pub(crate) fn quorum_config(self, n: usize) -> Option<QuorumConfig> {
+        match self {
+            ProtocolKind::QuorumMajority => Some(QuorumConfig::majority(n)),
+            _ => None,
+        }
+    }
+}
+
+/// How (and whether) the network partitions during the run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PartitionShape {
+    /// No partition.
+    None,
+    /// Simple partitioning: `g2` (the non-master group) splits off at `at`;
+    /// heals at `heal_at` if given. Sites not in `g2` stay with the master.
+    Simple {
+        /// The slaves separated from the master (the paper's G2).
+        g2: Vec<SiteId>,
+        /// Partition instant, in ticks.
+        at: u64,
+        /// Heal instant (transient partitioning), in ticks.
+        heal_at: Option<u64>,
+    },
+    /// Multiple partitioning: explicit groups (experiment E12).
+    Multiple {
+        /// The connectivity groups.
+        groups: Vec<Vec<SiteId>>,
+        /// Partition instant, in ticks.
+        at: u64,
+        /// Heal instant, if any.
+        heal_at: Option<u64>,
+    },
+}
+
+/// A complete scenario: cluster size, votes, network behaviour.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Number of sites (site 0 is the master).
+    pub n: usize,
+    /// One vote per slave.
+    pub votes: Vec<Vote>,
+    /// Partition shape.
+    pub partition: PartitionShape,
+    /// Per-message delays (clamped to `(0, T]` by the network).
+    pub delay: DelayModel,
+    /// Ticks per `T`.
+    pub t_unit: u64,
+    /// Optimistic (return undeliverables) or pessimistic (drop) partitions.
+    pub mode: PartitionMode,
+    /// Site failures to inject (experiment E13 only; the paper's protocol
+    /// assumes none).
+    pub failures: Vec<FailureSpec>,
+    /// Simulation horizon in units of `T`.
+    pub horizon_t: u64,
+}
+
+impl Scenario {
+    /// A failure-free scenario: `n` sites, all yes votes, fixed `T`-delays.
+    pub fn new(n: usize) -> Scenario {
+        assert!(n >= 2);
+        Scenario {
+            n,
+            votes: vec![Vote::Yes; n - 1],
+            partition: PartitionShape::None,
+            delay: DelayModel::Fixed(1000),
+            t_unit: 1000,
+            mode: PartitionMode::Optimistic,
+            failures: Vec::new(),
+            horizon_t: 100,
+        }
+    }
+
+    /// Sets every slave's vote.
+    pub fn votes(mut self, votes: Vec<Vote>) -> Scenario {
+        assert_eq!(votes.len(), self.n - 1);
+        self.votes = votes;
+        self
+    }
+
+    /// Splits `g2` away from the master at tick `at`, permanently.
+    pub fn partition_g2(mut self, g2: Vec<SiteId>, at: u64) -> Scenario {
+        self.partition = PartitionShape::Simple { g2, at, heal_at: None };
+        self
+    }
+
+    /// Splits `g2` away at `at` and heals at `heal_at` (transient).
+    pub fn transient_partition(mut self, g2: Vec<SiteId>, at: u64, heal_at: u64) -> Scenario {
+        assert!(heal_at > at);
+        self.partition = PartitionShape::Simple { g2, at, heal_at: Some(heal_at) };
+        self
+    }
+
+    /// Sets an explicit multiple partition.
+    pub fn multiple_partition(mut self, groups: Vec<Vec<SiteId>>, at: u64) -> Scenario {
+        self.partition = PartitionShape::Multiple { groups, at, heal_at: None };
+        self
+    }
+
+    /// Sets the delay model.
+    pub fn delay(mut self, delay: DelayModel) -> Scenario {
+        self.delay = delay;
+        self
+    }
+
+    /// Switches to the pessimistic (message-loss) model.
+    pub fn pessimistic(mut self) -> Scenario {
+        self.mode = PartitionMode::Pessimistic;
+        self
+    }
+
+    /// Injects a site failure.
+    pub fn fail(mut self, spec: FailureSpec) -> Scenario {
+        self.failures.push(spec);
+        self
+    }
+
+    /// The derived network configuration.
+    pub fn net_config(&self) -> NetConfig {
+        NetConfig {
+            t_unit: self.t_unit,
+            mode: self.mode,
+            max_time: SimTime(self.t_unit * self.horizon_t),
+        }
+    }
+
+    /// The derived partition engine.
+    pub fn partition_engine(&self) -> PartitionEngine {
+        match &self.partition {
+            PartitionShape::None => PartitionEngine::always_connected(),
+            PartitionShape::Simple { g2, at, heal_at } => {
+                let g1: Vec<SiteId> = (0..self.n as u16)
+                    .map(SiteId)
+                    .filter(|s| !g2.contains(s))
+                    .collect();
+                let mut spec = PartitionSpec::simple(SimTime(*at), g1, g2.clone());
+                spec.heal_at = heal_at.map(SimTime);
+                PartitionEngine::new(vec![spec])
+            }
+            PartitionShape::Multiple { groups, at, heal_at } => {
+                PartitionEngine::new(vec![PartitionSpec {
+                    at: SimTime(*at),
+                    groups: groups.clone(),
+                    heal_at: heal_at.map(SimTime),
+                }])
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_scenario_shape() {
+        let s = Scenario::new(3);
+        assert_eq!(s.votes.len(), 2);
+        assert_eq!(s.partition, PartitionShape::None);
+        assert_eq!(s.net_config().t_unit, 1000);
+    }
+
+    #[test]
+    fn partition_engine_puts_master_in_g1() {
+        let s = Scenario::new(3).partition_g2(vec![SiteId(2)], 1500);
+        let eng = s.partition_engine();
+        assert!(eng.connected(SiteId(0), SiteId(1), SimTime(2000)));
+        assert!(!eng.connected(SiteId(0), SiteId(2), SimTime(2000)));
+        assert!(eng.connected(SiteId(0), SiteId(2), SimTime(1000)));
+    }
+
+    #[test]
+    fn transient_partition_heals() {
+        let s = Scenario::new(3).transient_partition(vec![SiteId(2)], 1000, 5000);
+        let eng = s.partition_engine();
+        assert!(!eng.connected(SiteId(0), SiteId(2), SimTime(3000)));
+        assert!(eng.connected(SiteId(0), SiteId(2), SimTime(5000)));
+    }
+
+    #[test]
+    fn protocol_names_unique() {
+        let mut names: Vec<&str> = ProtocolKind::ALL.iter().map(|k| k.name()).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), ProtocolKind::ALL.len());
+    }
+
+    #[test]
+    fn quorum_config_only_for_quorum() {
+        assert!(ProtocolKind::QuorumMajority.quorum_config(5).is_some());
+        assert!(ProtocolKind::HuangLi3pc.quorum_config(5).is_none());
+    }
+}

@@ -1,0 +1,279 @@
+//! Resilience sweeps: exhaustive grids over partition boundaries, partition
+//! instants, heal instants, and delay schedules.
+//!
+//! This is the experimental engine behind Theorem 9's claim (E10): the
+//! paper proves the termination protocol resilient; we *test* it against
+//! every simple boundary × a dense grid of partition times × several delay
+//! schedules, and report any scenario whose verdict is not
+//! all-commit/all-abort. The same engine condemns the baselines (E2, E3,
+//! E5) by exhibiting their counterexample scenarios.
+
+use crate::run::run_scenario;
+use crate::scenario::{PartitionShape, ProtocolKind, Scenario};
+use ptp_protocols::api::Vote;
+use ptp_protocols::Verdict;
+use ptp_simnet::{DelayModel, PartitionMode, SiteId};
+
+/// Every simple boundary for `n` sites: the non-master group G2 ranges over
+/// all non-empty proper subsets of the slaves. (The master defines G1,
+/// Sec. 5.2.)
+pub fn all_simple_boundaries(n: usize) -> Vec<Vec<SiteId>> {
+    let slaves: Vec<SiteId> = (1..n as u16).map(SiteId).collect();
+    let mut out = Vec::new();
+    // Non-empty subsets of slaves; G2 = subset. G2 = all slaves is allowed
+    // (master alone in G1).
+    for mask in 1..(1u32 << slaves.len()) {
+        let g2: Vec<SiteId> = slaves
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| mask >> i & 1 == 1)
+            .map(|(_, s)| *s)
+            .collect();
+        out.push(g2);
+    }
+    out
+}
+
+/// The grid of scenarios a sweep explores.
+#[derive(Debug, Clone)]
+pub struct SweepGrid {
+    /// Cluster size.
+    pub n: usize,
+    /// G2 groups to try (default: all simple boundaries).
+    pub boundaries: Vec<Vec<SiteId>>,
+    /// Partition instants in ticks (default: every T/4 from 0 to 8T).
+    pub partition_times: Vec<u64>,
+    /// Heal delays in ticks after the partition instant (`None` entries mean
+    /// a permanent partition).
+    pub heals: Vec<Option<u64>>,
+    /// Delay models to try.
+    pub delays: Vec<DelayModel>,
+    /// Vote vectors to try (default: unanimous yes — the interesting case
+    /// for partition resilience).
+    pub votes: Vec<Vec<Vote>>,
+    /// Optimistic or pessimistic undeliverable handling.
+    pub mode: PartitionMode,
+}
+
+impl SweepGrid {
+    /// The default grid for `n` sites with `t_unit = 1000`: all boundaries,
+    /// partition times every T/4 up to 8T, permanent partitions, three delay
+    /// schedules, unanimous yes.
+    pub fn standard(n: usize) -> SweepGrid {
+        let t = 1000u64;
+        SweepGrid {
+            n,
+            boundaries: all_simple_boundaries(n),
+            partition_times: (0..=32).map(|i| i * t / 4).collect(),
+            heals: vec![None],
+            delays: vec![
+                DelayModel::Fixed(t),
+                DelayModel::Fixed(t / 2),
+                DelayModel::Uniform { seed: 7, min: 1, max: t },
+            ],
+            votes: vec![vec![Vote::Yes; n - 1]],
+            mode: PartitionMode::Optimistic,
+        }
+    }
+
+    /// Adds transient-partition cases: heal after each given multiple of
+    /// T/2 up to `max_heal_t * 2` steps.
+    pub fn with_transient_heals(mut self, max_heal_t: u64) -> SweepGrid {
+        self.heals = std::iter::once(None)
+            .chain((1..=max_heal_t * 2).map(|i| Some(i * 500)))
+            .collect();
+        self
+    }
+
+    /// Replaces the vote grid.
+    pub fn with_votes(mut self, votes: Vec<Vec<Vote>>) -> SweepGrid {
+        self.votes = votes;
+        self
+    }
+
+    /// Switches to the pessimistic (message-loss) model — experiment E12.
+    pub fn pessimistic(mut self) -> SweepGrid {
+        self.mode = PartitionMode::Pessimistic;
+        self
+    }
+
+    /// Number of scenarios the grid will run.
+    pub fn size(&self) -> usize {
+        self.boundaries.len()
+            * self.partition_times.len()
+            * self.heals.len()
+            * self.delays.len()
+            * self.votes.len()
+    }
+}
+
+/// Compact identification of one failing scenario.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScenarioDesc {
+    /// The G2 group.
+    pub g2: Vec<SiteId>,
+    /// Partition instant (ticks).
+    pub at: u64,
+    /// Heal instant (ticks), if transient.
+    pub heal_at: Option<u64>,
+    /// Index into the grid's delay list.
+    pub delay_index: usize,
+    /// Index into the grid's vote list.
+    pub vote_index: usize,
+    /// The verdict observed.
+    pub verdict: Verdict,
+}
+
+/// Aggregated sweep results.
+#[derive(Debug, Clone, Default)]
+pub struct SweepReport {
+    /// Scenarios run.
+    pub total: usize,
+    /// Scenarios where every site committed.
+    pub all_commit: usize,
+    /// Scenarios where every site aborted.
+    pub all_abort: usize,
+    /// Scenarios with undecided sites (first few kept for reporting).
+    pub blocked: Vec<ScenarioDesc>,
+    /// Scenarios violating atomicity (first few kept for reporting).
+    pub inconsistent: Vec<ScenarioDesc>,
+    /// Counts beyond the kept examples.
+    pub blocked_count: usize,
+    /// Counts beyond the kept examples.
+    pub inconsistent_count: usize,
+}
+
+impl SweepReport {
+    /// Resilient on the whole grid: atomic and nonblocking everywhere.
+    pub fn fully_resilient(&self) -> bool {
+        self.blocked_count == 0 && self.inconsistent_count == 0
+    }
+
+    /// Atomicity held everywhere (blocking allowed).
+    pub fn fully_atomic(&self) -> bool {
+        self.inconsistent_count == 0
+    }
+
+    fn record(&mut self, desc: ScenarioDesc) {
+        const KEEP: usize = 8;
+        self.total += 1;
+        match desc.verdict {
+            Verdict::AllCommit => self.all_commit += 1,
+            Verdict::AllAbort => self.all_abort += 1,
+            Verdict::Blocked { .. } => {
+                self.blocked_count += 1;
+                if self.blocked.len() < KEEP {
+                    self.blocked.push(desc);
+                }
+            }
+            Verdict::Inconsistent { .. } => {
+                self.inconsistent_count += 1;
+                if self.inconsistent.len() < KEEP {
+                    self.inconsistent.push(desc);
+                }
+            }
+        }
+    }
+}
+
+/// Runs `kind` over every scenario in the grid.
+pub fn sweep(kind: ProtocolKind, grid: &SweepGrid) -> SweepReport {
+    let mut report = SweepReport::default();
+    for g2 in &grid.boundaries {
+        for &at in &grid.partition_times {
+            for &heal in &grid.heals {
+                for (delay_index, delay) in grid.delays.iter().enumerate() {
+                    for (vote_index, votes) in grid.votes.iter().enumerate() {
+                        let mut scenario = Scenario::new(grid.n)
+                            .votes(votes.clone())
+                            .delay(delay.clone());
+                        scenario.mode = grid.mode;
+                        scenario.partition = PartitionShape::Simple {
+                            g2: g2.clone(),
+                            at,
+                            heal_at: heal.map(|h| at + h),
+                        };
+                        let result = run_scenario(kind, &scenario);
+                        report.record(ScenarioDesc {
+                            g2: g2.clone(),
+                            at,
+                            heal_at: heal.map(|h| at + h),
+                            delay_index,
+                            vote_index,
+                            verdict: result.verdict,
+                        });
+                    }
+                }
+            }
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn boundaries_enumerate_all_slave_subsets() {
+        let b = all_simple_boundaries(4);
+        // 2^3 - 1 non-empty subsets of {1,2,3}.
+        assert_eq!(b.len(), 7);
+        assert!(b.contains(&vec![SiteId(3)]));
+        assert!(b.contains(&vec![SiteId(1), SiteId(2), SiteId(3)]));
+    }
+
+    #[test]
+    fn grid_size_is_product() {
+        let g = SweepGrid::standard(3);
+        let expected = g.boundaries.len()
+            * g.partition_times.len()
+            * g.heals.len()
+            * g.delays.len()
+            * g.votes.len();
+        assert_eq!(g.size(), expected);
+        assert_eq!(g.size(), 297);
+    }
+
+    #[test]
+    fn huang_li_resilient_on_a_small_grid() {
+        // A fast smoke version of E10; the full grid runs in the
+        // integration suite and experiment binary.
+        let mut grid = SweepGrid::standard(3);
+        grid.partition_times = (0..=8).map(|i| i * 500).collect();
+        grid.delays = vec![DelayModel::Fixed(1000)];
+        let report = sweep(ProtocolKind::HuangLi3pc, &grid);
+        assert!(report.fully_resilient(), "{report:?}");
+        assert_eq!(report.total, grid.size());
+    }
+
+    #[test]
+    fn extended_2pc_breaks_somewhere_on_the_grid() {
+        // E2: the Sec. 3 observation — some multisite scenario violates
+        // atomicity.
+        let mut grid = SweepGrid::standard(3);
+        grid.partition_times = (0..=16).map(|i| i * 250).collect();
+        grid.delays = vec![DelayModel::Fixed(1000)];
+        let report = sweep(ProtocolKind::Extended2pc, &grid);
+        assert!(!report.fully_atomic(), "E2PC should violate atomicity at n=3");
+    }
+
+    #[test]
+    fn naive_3pc_breaks_somewhere_on_the_grid() {
+        let mut grid = SweepGrid::standard(3);
+        grid.partition_times = (0..=16).map(|i| i * 250).collect();
+        grid.delays = vec![DelayModel::Fixed(1000)];
+        let report = sweep(ProtocolKind::Naive3pc, &grid);
+        assert!(!report.fully_atomic(), "naive 3PC should violate atomicity at n=3");
+    }
+
+    #[test]
+    fn plain_2pc_blocks_on_the_grid() {
+        let mut grid = SweepGrid::standard(3);
+        grid.partition_times = (0..=8).map(|i| i * 500).collect();
+        grid.delays = vec![DelayModel::Fixed(1000)];
+        let report = sweep(ProtocolKind::Plain2pc, &grid);
+        assert!(report.blocked_count > 0);
+        assert!(report.fully_atomic(), "2PC blocks but never lies");
+    }
+}

@@ -1,0 +1,379 @@
+//! The distributed-database cluster driver.
+//!
+//! Builds a [`SiteNode`] per site, submits a client workload at the master,
+//! runs the simulation, and returns the metrics plus every site's final
+//! storage and WAL — the harness behind experiment E14 and the banking
+//! example.
+
+use crate::site::{DbMsg, Metrics, ParticipantFactory, SiteNode, TxnSpec};
+use crate::storage::Storage;
+use crate::value::{Key, TxnId, Value};
+use ptp_protocols::api::{Participant, Vote};
+use ptp_protocols::interp::FsaParticipant;
+use ptp_protocols::quorum::{QuorumConfig, QuorumSite};
+use ptp_protocols::termination::{PhasePlan, TerminationMaster, TerminationSlave, TerminationVariant};
+use ptp_simnet::{
+    Actor, DelayModel, NetConfig, PartitionEngine, RunReport, SimTime, Simulation, SiteId, Trace,
+};
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::rc::Rc;
+use std::sync::Arc;
+
+/// Which commit protocol the cluster's transactions run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CommitProtocol {
+    /// Plain two-phase commit (Fig. 1): blocks under partitions — the
+    /// baseline whose lock-hold times E14 measures.
+    TwoPhase,
+    /// Modified 3PC + the Huang–Li termination protocol (transient
+    /// variant): terminates on both sides of a simple partition.
+    HuangLi,
+    /// Quorum commit: terminates only where a quorum is reachable.
+    QuorumMajority,
+}
+
+impl CommitProtocol {
+    /// Display name for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            CommitProtocol::TwoPhase => "2PC",
+            CommitProtocol::HuangLi => "HL-3PC",
+            CommitProtocol::QuorumMajority => "Quorum",
+        }
+    }
+
+    fn factory(self, n: usize) -> ParticipantFactory {
+        match self {
+            CommitProtocol::TwoPhase => {
+                let spec = Arc::new(ptp_model::protocols::two_phase(n));
+                Rc::new(move |site: SiteId, _n: usize| {
+                    Box::new(FsaParticipant::new(spec.clone(), site.index(), Vote::Yes, None))
+                        as Box<dyn Participant>
+                })
+            }
+            CommitProtocol::HuangLi => Rc::new(move |site: SiteId, n: usize| {
+                if site == SiteId(0) {
+                    Box::new(TerminationMaster::new(PhasePlan::three_phase(), n))
+                        as Box<dyn Participant>
+                } else {
+                    Box::new(TerminationSlave::new(
+                        PhasePlan::three_phase(),
+                        site,
+                        Vote::Yes,
+                        TerminationVariant::Transient,
+                    ))
+                }
+            }),
+            CommitProtocol::QuorumMajority => Rc::new(move |site: SiteId, n: usize| {
+                Box::new(QuorumSite::new(QuorumConfig::majority(n), site, Vote::Yes))
+                    as Box<dyn Participant>
+            }),
+        }
+    }
+}
+
+/// A cluster specification.
+pub struct DbCluster {
+    /// Number of sites.
+    pub n: usize,
+    /// The commit protocol.
+    pub protocol: CommitProtocol,
+    /// Initial committed data: `(site, key, value)`.
+    pub seed: Vec<(u16, Key, Value)>,
+    /// Client workload: `(submit tick, spec)`, submitted at the master.
+    pub workload: Vec<(u64, TxnSpec)>,
+    /// Network partition schedule.
+    pub partition: PartitionEngine,
+    /// Message delays.
+    pub delay: DelayModel,
+    /// Network configuration.
+    pub config: NetConfig,
+    /// Site failures to inject (crash / crash-recover).
+    pub failures: Vec<ptp_simnet::FailureSpec>,
+}
+
+/// Everything a cluster run produces.
+pub struct DbRun {
+    /// Decisions, submissions, lock-hold intervals.
+    pub metrics: Metrics,
+    /// Full network trace.
+    pub trace: Trace,
+    /// Simulator report.
+    pub report: RunReport,
+    /// Final committed storage per site.
+    pub storages: Vec<Storage>,
+    /// Transactions still undecided per site (blocked) at the end.
+    pub blocked: Vec<Vec<TxnId>>,
+}
+
+impl DbCluster {
+    /// A fresh cluster with no seed data and no workload.
+    pub fn new(n: usize, protocol: CommitProtocol) -> DbCluster {
+        DbCluster {
+            n,
+            protocol,
+            seed: Vec::new(),
+            workload: Vec::new(),
+            partition: PartitionEngine::always_connected(),
+            delay: DelayModel::Fixed(700),
+            config: NetConfig::default(),
+            failures: Vec::new(),
+        }
+    }
+
+    /// Seeds a key at a site.
+    pub fn seed(mut self, site: u16, key: Key, value: Value) -> DbCluster {
+        self.seed.push((site, key, value));
+        self
+    }
+
+    /// Adds a transaction submitted at tick `at`.
+    pub fn submit(mut self, at: u64, spec: TxnSpec) -> DbCluster {
+        self.workload.push((at, spec));
+        self
+    }
+
+    /// Sets the partition schedule.
+    pub fn partition(mut self, partition: PartitionEngine) -> DbCluster {
+        self.partition = partition;
+        self
+    }
+
+    /// Sets the delay model.
+    pub fn delay(mut self, delay: DelayModel) -> DbCluster {
+        self.delay = delay;
+        self
+    }
+
+    /// Injects a site failure (crash or crash-recover). On recovery the
+    /// site replays its durable WAL: committed-unapplied transactions are
+    /// redone, everything else is presumed aborted (Sec. 2).
+    pub fn fail(mut self, spec: ptp_simnet::FailureSpec) -> DbCluster {
+        self.failures.push(spec);
+        self
+    }
+
+    /// Runs the cluster to quiescence (or the horizon).
+    pub fn run(self) -> DbRun {
+        let metrics = Rc::new(RefCell::new(Metrics::default()));
+        let factory = self.protocol.factory(self.n);
+
+        let mut seeds: BTreeMap<u16, Storage> = BTreeMap::new();
+        for (site, key, value) in self.seed {
+            seeds.entry(site).or_default().seed(key, value);
+        }
+
+        let actors: Vec<Box<dyn Actor<DbMsg>>> = (0..self.n as u16)
+            .map(|i| {
+                let workload =
+                    if i == 0 { self.workload.clone() } else { Vec::new() };
+                Box::new(SiteNode::new(
+                    SiteId(i),
+                    self.n,
+                    factory.clone(),
+                    metrics.clone(),
+                    workload,
+                    seeds.remove(&i).unwrap_or_default(),
+                )) as Box<dyn Actor<DbMsg>>
+            })
+            .collect();
+
+        let sim =
+            Simulation::new(self.config, actors, self.partition, &self.delay, self.failures);
+        let (actors, trace, report) = sim.run();
+
+        let mut storages = Vec::with_capacity(self.n);
+        let mut blocked = Vec::with_capacity(self.n);
+        for actor in &actors {
+            let node = actor
+                .as_any()
+                .and_then(|a| a.downcast_ref::<SiteNode>())
+                .expect("cluster actors are SiteNodes");
+            storages.push(node.storage().clone());
+            blocked.push(node.active_txns());
+        }
+        drop(actors);
+        let metrics = Rc::try_unwrap(metrics).expect("metrics uniquely owned").into_inner();
+        DbRun { metrics, trace, report, storages, blocked }
+    }
+}
+
+/// Convenience: the horizon instant of a run's config (for
+/// [`Metrics::hold_durations`]).
+pub fn horizon(config: &NetConfig) -> SimTime {
+    config.max_time
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::WriteOp;
+    use ptp_simnet::{PartitionSpec, SimTime};
+
+    fn transfer_spec(id: u32, amount: u64) -> TxnSpec {
+        let mut writes = BTreeMap::new();
+        writes.insert(
+            1u16,
+            vec![WriteOp { key: Key::from("acct-a"), value: Value::from_u64(100 - amount) }],
+        );
+        writes.insert(
+            2u16,
+            vec![WriteOp { key: Key::from("acct-b"), value: Value::from_u64(amount) }],
+        );
+        TxnSpec { id: TxnId(id), writes }
+    }
+
+    fn seeded(n: usize, protocol: CommitProtocol) -> DbCluster {
+        DbCluster::new(n, protocol)
+            .seed(1, Key::from("acct-a"), Value::from_u64(100))
+            .seed(2, Key::from("acct-b"), Value::from_u64(0))
+    }
+
+    #[test]
+    fn failure_free_transfer_commits_everywhere() {
+        for protocol in
+            [CommitProtocol::TwoPhase, CommitProtocol::HuangLi, CommitProtocol::QuorumMajority]
+        {
+            let run = seeded(3, protocol).submit(0, transfer_spec(1, 30)).run();
+            assert!(run.metrics.atomicity_violations().is_empty());
+            assert_eq!(
+                run.storages[1].get(&Key::from("acct-a")).unwrap().as_u64(),
+                Some(70),
+                "{}",
+                protocol.name()
+            );
+            assert_eq!(
+                run.storages[2].get(&Key::from("acct-b")).unwrap().as_u64(),
+                Some(30)
+            );
+            assert!(run.blocked.iter().all(|b| b.is_empty()));
+        }
+    }
+
+    #[test]
+    fn two_pc_blocks_and_holds_locks_under_partition() {
+        // Cut slave 2 off right after it votes: with 2PC it can never learn
+        // the decision and holds its lock to the horizon.
+        let partition = PartitionEngine::new(vec![PartitionSpec::simple(
+            SimTime(1500),
+            vec![SiteId(0), SiteId(1)],
+            vec![SiteId(2)],
+        )]);
+        let run = seeded(3, CommitProtocol::TwoPhase)
+            .submit(0, transfer_spec(1, 30))
+            .partition(partition)
+            .run();
+        assert!(run.metrics.atomicity_violations().is_empty());
+        assert!(!run.blocked[2].is_empty(), "site 2 must block");
+        let holds = run.metrics.hold_durations(SimTime(200_000));
+        assert!(
+            holds.iter().any(|(_, site, _, still)| *site == SiteId(2) && *still),
+            "site 2 still holds locks: {holds:?}"
+        );
+    }
+
+    #[test]
+    fn huang_li_terminates_and_releases_under_partition() {
+        let partition = PartitionEngine::new(vec![PartitionSpec::simple(
+            SimTime(1500),
+            vec![SiteId(0), SiteId(1)],
+            vec![SiteId(2)],
+        )]);
+        let run = seeded(3, CommitProtocol::HuangLi)
+            .submit(0, transfer_spec(1, 30))
+            .partition(partition)
+            .run();
+        assert!(run.metrics.atomicity_violations().is_empty());
+        assert!(run.blocked.iter().all(|b| b.is_empty()), "nobody blocks: {:?}", run.blocked);
+        let holds = run.metrics.hold_durations(SimTime(200_000));
+        assert!(holds.iter().all(|(_, _, _, still)| !still), "all locks released");
+    }
+
+    #[test]
+    fn conflicting_transactions_serialize_on_a_fast_network() {
+        // Two transfers touching the same keys, submitted 100 ticks apart.
+        // With 200-tick delays the first finishes well inside the second's
+        // 2T master timeout, so the second waits for the locks and then
+        // commits.
+        let run = seeded(3, CommitProtocol::HuangLi)
+            .submit(0, transfer_spec(1, 30))
+            .submit(100, transfer_spec(2, 60))
+            .delay(DelayModel::Fixed(200))
+            .run();
+        assert!(run.metrics.atomicity_violations().is_empty());
+        // The second transfer's values win.
+        assert_eq!(run.storages[1].get(&Key::from("acct-a")).unwrap().as_u64(), Some(40));
+        assert_eq!(run.storages[2].get(&Key::from("acct-b")).unwrap().as_u64(), Some(60));
+        // Its lock wait is visible in the trace.
+        assert!(run
+            .trace
+            .events()
+            .iter()
+            .any(|e| matches!(e, ptp_simnet::TraceEvent::Note { label: "lock-wait", .. })));
+    }
+
+    #[test]
+    fn lock_wait_beyond_master_timeout_aborts_the_waiter() {
+        // With 700-tick delays the first transfer holds its locks past the
+        // second's 2T master timeout: the second aborts (timeout-based
+        // deadlock/overload resolution), the first commits.
+        use ptp_model::Decision;
+        let run = seeded(3, CommitProtocol::HuangLi)
+            .submit(0, transfer_spec(1, 30))
+            .submit(100, transfer_spec(2, 60))
+            .run();
+        assert!(run.metrics.atomicity_violations().is_empty());
+        let d1: Vec<Decision> =
+            run.metrics.decisions[&TxnId(1)].values().map(|(d, _)| *d).collect();
+        let d2: Vec<Decision> =
+            run.metrics.decisions[&TxnId(2)].values().map(|(d, _)| *d).collect();
+        assert!(d1.iter().all(|d| *d == Decision::Commit), "{d1:?}");
+        assert!(d2.iter().all(|d| *d == Decision::Abort), "{d2:?}");
+        // First transfer's values survive.
+        assert_eq!(run.storages[1].get(&Key::from("acct-a")).unwrap().as_u64(), Some(70));
+    }
+
+    #[test]
+    fn crashed_slave_recovers_and_discards_uncommitted() {
+        // Slave 2 crashes right after staging (voted, undecided) and comes
+        // back later: recovery presumes the transaction aborted; the rest
+        // of the cluster aborted on timeout long before — consistent.
+        use ptp_simnet::FailureSpec;
+        let run = seeded(3, CommitProtocol::HuangLi)
+            .submit(0, transfer_spec(1, 30))
+            .fail(FailureSpec::crash_recover(SiteId(2), SimTime(1200), SimTime(20_000)))
+            .run();
+        assert!(
+            run.trace.first_note(SiteId(2), "recovered").is_some(),
+            "recovery hook must run"
+        );
+        assert!(run.blocked[2].is_empty(), "no active transactions after recovery");
+        // Its account was never touched: the transaction was presumed
+        // aborted during recovery.
+        assert_eq!(run.storages[2].get(&Key::from("acct-b")).unwrap().as_u64(), Some(0));
+        assert!(run.metrics.atomicity_violations().is_empty());
+    }
+
+    #[test]
+    fn consistency_check_passes_under_partition_sweep() {
+        // A handful of partition instants; the HL cluster must never
+        // mix decisions.
+        for at in [500u64, 1000, 1500, 2000, 2500, 3000, 4000] {
+            let partition = PartitionEngine::new(vec![PartitionSpec::simple(
+                SimTime(at),
+                vec![SiteId(0), SiteId(1)],
+                vec![SiteId(2)],
+            )]);
+            let run = seeded(3, CommitProtocol::HuangLi)
+                .submit(0, transfer_spec(1, 30))
+                .partition(partition)
+                .run();
+            assert!(
+                run.metrics.atomicity_violations().is_empty(),
+                "violation at partition time {at}"
+            );
+            assert!(run.blocked.iter().all(|b| b.is_empty()), "blocked at {at}");
+        }
+    }
+}

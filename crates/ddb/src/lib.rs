@@ -1,0 +1,53 @@
+//! # ptp-ddb — a distributed database substrate for the commit protocols
+//!
+//! The paper's subject is transaction atomicity in a *distributed database
+//! system*; this crate supplies the database so the protocols are exercised
+//! the way the paper's introduction motivates: transactions acquire locks,
+//! stage writes through a write-ahead log, and a blocked commit protocol
+//! visibly "renders those data inaccessible to other transactions"
+//! (Sec. 2).
+//!
+//! * [`storage`] — per-site versioned key-value store with staged write
+//!   sets and idempotent apply.
+//! * [`wal`] — write-ahead log over simulated stable storage, implementing
+//!   the paper's Sec. 2 commit-log discipline.
+//! * [`recovery`] — crash recovery by log replay (redo committed, discard
+//!   uncommitted).
+//! * [`locks`] — strict two-phase locking with FIFO queues.
+//! * [`site`] — the site actor: storage + WAL + locks + one embedded
+//!   commit-protocol participant per transaction.
+//! * [`cluster`] — the cluster driver: seeds data, submits a workload at
+//!   the master, runs the simulated network, returns metrics and final
+//!   states.
+//!
+//! ```
+//! use ptp_ddb::cluster::{CommitProtocol, DbCluster};
+//! use ptp_ddb::site::TxnSpec;
+//! use ptp_ddb::value::{Key, TxnId, Value, WriteOp};
+//! use std::collections::BTreeMap;
+//!
+//! let mut writes = BTreeMap::new();
+//! writes.insert(1u16, vec![WriteOp { key: Key::from("k"), value: Value::from_u64(7) }]);
+//! let run = DbCluster::new(3, CommitProtocol::HuangLi)
+//!     .submit(0, TxnSpec { id: TxnId(1), writes })
+//!     .run();
+//! assert!(run.metrics.atomicity_violations().is_empty());
+//! assert_eq!(run.storages[1].get(&Key::from("k")).unwrap().as_u64(), Some(7));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cluster;
+pub mod locks;
+pub mod recovery;
+pub mod site;
+pub mod storage;
+pub mod value;
+pub mod wal;
+
+pub use cluster::{CommitProtocol, DbCluster, DbRun};
+pub use site::{DbMsg, LockHold, Metrics, SiteNode, TxnSpec};
+pub use storage::Storage;
+pub use value::{Key, TxnId, Value, WriteOp};
+pub use wal::{Record, RecoveryAction, Wal};

@@ -1,0 +1,120 @@
+//! Crash recovery: replay the WAL's recovery plan against the storage
+//! engine — the paper's Sec. 2 single-site discipline.
+
+use crate::storage::Storage;
+use crate::value::TxnId;
+use crate::wal::{Record, RecoveryAction, Wal};
+
+/// What recovery did.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct RecoverySummary {
+    /// Transactions whose writes were redone (commit record durable).
+    pub redone: Vec<TxnId>,
+    /// Transactions presumed aborted (no durable commit record).
+    pub discarded: Vec<TxnId>,
+}
+
+/// Recovers a crashed site: volatile state is assumed already lost
+/// ([`Storage::crash`] / [`Wal::crash`]); this replays the durable log.
+///
+/// Idempotent: recovering twice leaves identical state, because redo writes
+/// are idempotent and completed transactions are marked `Applied`.
+pub fn recover(storage: &mut Storage, wal: &mut Wal) -> RecoverySummary {
+    let mut summary = RecoverySummary::default();
+    for (txn, action) in wal.recovery_plan() {
+        match action {
+            RecoveryAction::Redo(writes) => {
+                storage.apply_writes(&writes);
+                wal.append_durable(Record::Applied { txn });
+                summary.redone.push(txn);
+            }
+            RecoveryAction::Discard => {
+                storage.discard(txn);
+                wal.append_durable(Record::Abort { txn });
+                summary.discarded.push(txn);
+            }
+            RecoveryAction::Complete => {}
+        }
+    }
+    summary
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::{Key, Value, WriteOp};
+
+    fn w(key: &str, v: u64) -> WriteOp {
+        WriteOp { key: Key::from(key), value: Value::from_u64(v) }
+    }
+
+    #[test]
+    fn committed_unapplied_writes_are_redone() {
+        let mut storage = Storage::new();
+        let mut wal = Wal::new();
+        storage.seed(Key::from("a"), Value::from_u64(1));
+
+        wal.append(Record::Begin { txn: TxnId(1), writes: vec![w("a", 42)] });
+        storage.stage(TxnId(1), vec![w("a", 42)]);
+        wal.append_durable(Record::Commit { txn: TxnId(1) });
+        // Crash before apply.
+        storage.crash();
+        wal.crash();
+
+        let summary = recover(&mut storage, &mut wal);
+        assert_eq!(summary.redone, vec![TxnId(1)]);
+        assert_eq!(storage.get(&Key::from("a")).unwrap().as_u64(), Some(42));
+    }
+
+    #[test]
+    fn uncommitted_transaction_is_discarded() {
+        let mut storage = Storage::new();
+        let mut wal = Wal::new();
+        storage.seed(Key::from("a"), Value::from_u64(1));
+
+        wal.append(Record::Begin { txn: TxnId(2), writes: vec![w("a", 99)] });
+        wal.flush();
+        storage.stage(TxnId(2), vec![w("a", 99)]);
+        storage.crash();
+        wal.crash();
+
+        let summary = recover(&mut storage, &mut wal);
+        assert_eq!(summary.discarded, vec![TxnId(2)]);
+        assert_eq!(storage.get(&Key::from("a")).unwrap().as_u64(), Some(1));
+    }
+
+    #[test]
+    fn recovery_is_idempotent() {
+        let mut storage = Storage::new();
+        let mut wal = Wal::new();
+        wal.append(Record::Begin { txn: TxnId(1), writes: vec![w("x", 7)] });
+        wal.append_durable(Record::Commit { txn: TxnId(1) });
+        storage.crash();
+        wal.crash();
+
+        let first = recover(&mut storage, &mut wal);
+        assert_eq!(first.redone, vec![TxnId(1)]);
+        let second = recover(&mut storage, &mut wal);
+        assert!(second.redone.is_empty());
+        assert!(second.discarded.is_empty());
+        assert_eq!(storage.get(&Key::from("x")).unwrap().as_u64(), Some(7));
+    }
+
+    #[test]
+    fn mixed_plan_handles_each_transaction() {
+        let mut storage = Storage::new();
+        let mut wal = Wal::new();
+        wal.append(Record::Begin { txn: TxnId(1), writes: vec![w("a", 10)] });
+        wal.append(Record::Begin { txn: TxnId(2), writes: vec![w("b", 20)] });
+        wal.append(Record::Commit { txn: TxnId(1) });
+        wal.flush();
+        storage.crash();
+        wal.crash();
+
+        let summary = recover(&mut storage, &mut wal);
+        assert_eq!(summary.redone, vec![TxnId(1)]);
+        assert_eq!(summary.discarded, vec![TxnId(2)]);
+        assert_eq!(storage.get(&Key::from("a")).unwrap().as_u64(), Some(10));
+        assert_eq!(storage.get(&Key::from("b")), None);
+    }
+}

@@ -1,0 +1,509 @@
+//! A database site: storage engine + WAL + lock manager + one embedded
+//! commit-protocol participant per in-flight distributed transaction.
+//!
+//! The site is a `ptp-simnet` actor speaking [`DbMsg`] — the commit
+//! protocol's messages wrapped with a transaction id (and, on `xact`, the
+//! destination site's write set, which is how the paper's "Xact" message
+//! carries "the transaction"). Site 0 is the master for every transaction
+//! (the paper's model); the cluster driver schedules client submissions
+//! there.
+//!
+//! Lifecycle of a transaction at a slave:
+//! 1. `xact` arrives with the local write set → acquire exclusive locks
+//!    (strict 2PL). If a lock is busy, the xact parks in the lock queue —
+//!    the commit protocol for it has not started, so the master's 2T
+//!    timeout will eventually abort the transaction (timeout-based deadlock
+//!    and overload resolution).
+//! 2. Locks granted → `Begin` WAL record, writes staged, the protocol
+//!    participant is created and fed the xact (it votes).
+//! 3. The participant's `Decide(Commit)` → durable `Commit` record → apply
+//!    writes → `Applied` record → release locks. `Decide(Abort)` → durable
+//!    `Abort` record → discard → release locks.
+//!
+//! Every lock-hold interval is reported to the cluster metrics — the data
+//! behind experiment E14's availability comparison.
+
+use crate::locks::{LockGrant, LockMode, LockTable};
+use crate::storage::Storage;
+use crate::value::{TxnId, WriteOp};
+use crate::wal::{Record, Wal};
+use ptp_model::Decision;
+use ptp_protocols::api::{Action, CommitMsg, Participant, TimerTag};
+use ptp_simnet::{Actor, Ctx, Envelope, Payload, SimTime, SiteId, TimerHandle};
+use std::cell::RefCell;
+use std::collections::{BTreeMap, HashMap};
+use std::rc::Rc;
+
+/// The wire format of the distributed database: commit-protocol messages
+/// multiplexed by transaction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DbMsg {
+    /// Which transaction this belongs to.
+    pub txn: TxnId,
+    /// The commit-protocol message.
+    pub inner: CommitMsg,
+    /// On `xact` only: the destination site's write set.
+    pub writes: Option<Vec<WriteOp>>,
+}
+
+impl Payload for DbMsg {
+    fn kind(&self) -> &'static str {
+        self.inner.kind()
+    }
+}
+
+/// Factory building the per-transaction protocol participant for a site.
+/// (`site == SiteId(0)` must yield a master, anything else a slave.)
+pub type ParticipantFactory = Rc<dyn Fn(SiteId, usize) -> Box<dyn Participant>>;
+
+/// A transaction the cluster driver submits at the master.
+#[derive(Debug, Clone)]
+pub struct TxnSpec {
+    /// Globally unique id.
+    pub id: TxnId,
+    /// Write set per site index.
+    pub writes: BTreeMap<u16, Vec<WriteOp>>,
+}
+
+/// One lock-hold interval, reported to metrics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LockHold {
+    /// The holding site.
+    pub site: SiteId,
+    /// The holding transaction.
+    pub txn: TxnId,
+    /// When the locks were acquired.
+    pub from: SimTime,
+    /// When they were released (`None` = still held at simulation end — a
+    /// blocked transaction).
+    pub to: Option<SimTime>,
+}
+
+/// Shared run metrics, written by all sites.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    /// Per transaction, per site: decision and its instant.
+    pub decisions: BTreeMap<TxnId, BTreeMap<u16, (Decision, SimTime)>>,
+    /// Submission instants (master side).
+    pub submitted: BTreeMap<TxnId, SimTime>,
+    /// All lock-hold intervals.
+    pub lock_holds: Vec<LockHold>,
+}
+
+impl Metrics {
+    /// Did any two sites decide a transaction differently?
+    pub fn atomicity_violations(&self) -> Vec<TxnId> {
+        self.decisions
+            .iter()
+            .filter(|(_, per_site)| {
+                let mut kinds = per_site.values().map(|(d, _)| *d);
+                let first = kinds.next();
+                first.is_some_and(|f| kinds.any(|d| d != f))
+            })
+            .map(|(t, _)| *t)
+            .collect()
+    }
+
+    /// Lock-hold duration for each interval, with `horizon` standing in for
+    /// still-held locks. Returns `(txn, site, ticks, still_held)` tuples.
+    pub fn hold_durations(&self, horizon: SimTime) -> Vec<(TxnId, SiteId, u64, bool)> {
+        self.lock_holds
+            .iter()
+            .map(|h| {
+                let end = h.to.unwrap_or(horizon);
+                (h.txn, h.site, end.ticks().saturating_sub(h.from.ticks()), h.to.is_none())
+            })
+            .collect()
+    }
+}
+
+/// Per-transaction state at one site.
+struct TxnSlot {
+    participant: Box<dyn Participant>,
+    timers: HashMap<TimerTag, TimerHandle>,
+    hold_index: Option<usize>,
+}
+
+/// An in-flight xact waiting for locks.
+struct ParkedXact {
+    from: SiteId,
+    writes: Vec<WriteOp>,
+}
+
+/// A database site actor.
+pub struct SiteNode {
+    me: SiteId,
+    n: usize,
+    factory: ParticipantFactory,
+    storage: Storage,
+    wal: Wal,
+    locks: LockTable,
+    metrics: Rc<RefCell<Metrics>>,
+    slots: BTreeMap<TxnId, TxnSlot>,
+    parked: BTreeMap<TxnId, ParkedXact>,
+    finished: BTreeMap<TxnId, Decision>,
+    /// Master only: the workload to submit, as (tick, spec).
+    workload: Vec<(u64, TxnSpec)>,
+}
+
+/// Timer-tag encoding: protocol timers are `(txn + 1) << 8 | tag`; client
+/// submission timers are `index << 8 | 0xfe`.
+const CLIENT_TAG: u64 = 0xfe;
+
+impl SiteNode {
+    /// Creates a site. Only the master (`me == 0`) uses `workload`.
+    pub fn new(
+        me: SiteId,
+        n: usize,
+        factory: ParticipantFactory,
+        metrics: Rc<RefCell<Metrics>>,
+        workload: Vec<(u64, TxnSpec)>,
+        storage: Storage,
+    ) -> SiteNode {
+        assert!(me.index() < n);
+        assert!(me == SiteId(0) || workload.is_empty(), "only the master submits");
+        SiteNode {
+            me,
+            n,
+            factory,
+            storage,
+            wal: Wal::new(),
+            locks: LockTable::new(),
+            metrics,
+            slots: BTreeMap::new(),
+            parked: BTreeMap::new(),
+            finished: BTreeMap::new(),
+            workload,
+        }
+    }
+
+    /// Read access to the committed store (post-run inspection).
+    pub fn storage(&self) -> &Storage {
+        &self.storage
+    }
+
+    /// Read access to the WAL (post-run inspection).
+    pub fn wal(&self) -> &Wal {
+        &self.wal
+    }
+
+    /// Still-active (undecided) transactions at this site.
+    pub fn active_txns(&self) -> Vec<TxnId> {
+        self.slots.keys().copied().collect()
+    }
+
+    fn apply_actions(&mut self, txn: TxnId, actions: Vec<Action>, ctx: &mut Ctx<'_, DbMsg>) {
+        for action in actions {
+            match action {
+                Action::Send { to, msg } => {
+                    let writes = self.xact_writes_for(txn, &msg, to);
+                    ctx.send(to, DbMsg { txn, inner: msg, writes });
+                }
+                Action::Broadcast { msg } => {
+                    for dst in (0..self.n as u16).map(SiteId) {
+                        if dst != self.me {
+                            let writes = self.xact_writes_for(txn, &msg, dst);
+                            ctx.send(dst, DbMsg { txn, inner: msg, writes });
+                        }
+                    }
+                }
+                Action::SetTimer { t_units, tag } => {
+                    let raw = ((txn.0 as u64 + 1) << 8) | tag.encode();
+                    let handle = ctx.set_timer(ctx.t(t_units), raw);
+                    if let Some(slot) = self.slots.get_mut(&txn) {
+                        if let Some(old) = slot.timers.insert(tag, handle) {
+                            ctx.cancel_timer(old);
+                        }
+                    }
+                }
+                Action::CancelTimer { tag } => {
+                    if let Some(slot) = self.slots.get_mut(&txn) {
+                        if let Some(old) = slot.timers.remove(&tag) {
+                            ctx.cancel_timer(old);
+                        }
+                    }
+                }
+                Action::Decide(decision) => self.finish(txn, decision, ctx),
+                Action::Note(label, detail) => ctx.note(label, detail),
+            }
+        }
+    }
+
+    /// The master attaches each destination's write set to its xact.
+    fn xact_writes_for(
+        &self,
+        txn: TxnId,
+        msg: &CommitMsg,
+        dst: SiteId,
+    ) -> Option<Vec<WriteOp>> {
+        if self.me != SiteId(0) || !matches!(msg, CommitMsg::Kind("xact")) {
+            return None;
+        }
+        self.workload
+            .iter()
+            .find(|(_, spec)| spec.id == txn)
+            .and_then(|(_, spec)| spec.writes.get(&dst.0).cloned())
+    }
+
+    /// Terminates a transaction locally: WAL, storage, locks, metrics.
+    fn finish(&mut self, txn: TxnId, decision: Decision, ctx: &mut Ctx<'_, DbMsg>) {
+        let Some(mut slot) = self.slots.remove(&txn) else { return };
+        for (_, handle) in slot.timers.drain() {
+            ctx.cancel_timer(handle);
+        }
+        match decision {
+            Decision::Commit => {
+                // Force the commit record, apply, then mark applied. (The
+                // write set may be empty: a site can participate in a
+                // transaction without local writes.)
+                self.wal.append_durable(Record::Commit { txn });
+                self.storage.apply(txn);
+                self.wal.append_durable(Record::Applied { txn });
+            }
+            Decision::Abort => {
+                self.wal.append_durable(Record::Abort { txn });
+                self.storage.discard(txn);
+            }
+        }
+        let now = ctx.now();
+        {
+            let mut m = self.metrics.borrow_mut();
+            m.decisions.entry(txn).or_default().insert(self.me.0, (decision, now));
+            if let Some(idx) = slot.hold_index {
+                m.lock_holds[idx].to = Some(now);
+            }
+        }
+        self.finished.insert(txn, decision);
+        let promoted = self.locks.release_all(txn);
+        for t in promoted {
+            self.try_unpark(t, ctx);
+        }
+    }
+
+    /// Attempts to start a parked xact whose locks may now be available.
+    fn try_unpark(&mut self, txn: TxnId, ctx: &mut Ctx<'_, DbMsg>) {
+        let Some(parked) = self.parked.remove(&txn) else { return };
+        // Its queued requests were just granted by release_all; verify.
+        let all_held = parked
+            .writes
+            .iter()
+            .all(|w| self.locks.holds(txn, &w.key, LockMode::Exclusive));
+        if all_held {
+            self.begin_local(txn, parked.from, parked.writes, ctx);
+        } else {
+            self.parked.insert(txn, parked);
+        }
+    }
+
+    /// Locks are held: stage the writes, create the participant, feed it the
+    /// xact.
+    fn begin_local(
+        &mut self,
+        txn: TxnId,
+        from: SiteId,
+        writes: Vec<WriteOp>,
+        ctx: &mut Ctx<'_, DbMsg>,
+    ) {
+        self.wal.append(Record::Begin { txn, writes: writes.clone() });
+        self.wal.flush();
+        self.storage.stage(txn, writes);
+
+        let hold_index = {
+            let mut m = self.metrics.borrow_mut();
+            m.lock_holds.push(LockHold { site: self.me, txn, from: ctx.now(), to: None });
+            Some(m.lock_holds.len() - 1)
+        };
+
+        let mut participant = (self.factory)(self.me, self.n);
+        let mut out = Vec::new();
+        participant.start(&mut out);
+        if self.me != SiteId(0) {
+            participant.on_msg(from, &CommitMsg::Kind("xact"), &mut out);
+        }
+        self.slots.insert(txn, TxnSlot { participant, timers: HashMap::new(), hold_index });
+        self.apply_actions(txn, out, ctx);
+    }
+
+    /// A brand-new xact arrived (or the master submits one): acquire locks
+    /// or park.
+    fn admit_xact(
+        &mut self,
+        txn: TxnId,
+        from: SiteId,
+        writes: Vec<WriteOp>,
+        ctx: &mut Ctx<'_, DbMsg>,
+    ) {
+        if self.finished.contains_key(&txn) || self.slots.contains_key(&txn) {
+            return; // duplicate delivery
+        }
+        let mut all = true;
+        for w in &writes {
+            if self.locks.acquire(txn, w.key.clone(), LockMode::Exclusive)
+                == LockGrant::Waiting
+            {
+                all = false;
+            }
+        }
+        if all {
+            self.begin_local(txn, from, writes, ctx);
+        } else {
+            ctx.note("lock-wait", txn.0 as u64);
+            self.parked.insert(txn, ParkedXact { from, writes });
+        }
+    }
+}
+
+impl Actor<DbMsg> for SiteNode {
+    fn on_start(&mut self, ctx: &mut Ctx<'_, DbMsg>) {
+        let submissions: Vec<(u64, TxnId)> =
+            self.workload.iter().map(|(at, spec)| (*at, spec.id)).collect();
+        for (at, txn) in submissions {
+            let raw = ((txn.0 as u64 + 1) << 8) | CLIENT_TAG;
+            ctx.set_timer(ptp_simnet::SimDuration(at), raw);
+        }
+    }
+
+    fn on_message(&mut self, env: Envelope<DbMsg>, ctx: &mut Ctx<'_, DbMsg>) {
+        let DbMsg { txn, inner, writes } = env.payload;
+        if matches!(inner, CommitMsg::Kind("xact")) {
+            let writes = writes.unwrap_or_default();
+            self.admit_xact(txn, env.src, writes, ctx);
+            return;
+        }
+        if let Some(slot) = self.slots.get_mut(&txn) {
+            let mut out = Vec::new();
+            slot.participant.on_msg(env.src, &inner, &mut out);
+            self.apply_actions(txn, out, ctx);
+        } else if self.parked.contains_key(&txn) {
+            // Decision for a transaction still waiting on locks: honor it —
+            // it can only be an abort (the master gave up on us) or a peer
+            // commit (impossible while we never voted; note it).
+            if matches!(inner, CommitMsg::Kind("abort")) {
+                self.parked.remove(&txn);
+                self.locks.release_all(txn);
+                self.finished.insert(txn, Decision::Abort);
+                let now = ctx.now();
+                self.metrics
+                    .borrow_mut()
+                    .decisions
+                    .entry(txn)
+                    .or_default()
+                    .insert(self.me.0, (Decision::Abort, now));
+                ctx.note("parked-abort", txn.0 as u64);
+            }
+        }
+    }
+
+    fn on_undeliverable(&mut self, env: Envelope<DbMsg>, ctx: &mut Ctx<'_, DbMsg>) {
+        let DbMsg { txn, inner, .. } = env.payload;
+        if let Some(slot) = self.slots.get_mut(&txn) {
+            let mut out = Vec::new();
+            slot.participant.on_ud(env.dst, &inner, &mut out);
+            self.apply_actions(txn, out, ctx);
+        }
+    }
+
+    fn on_timer(&mut self, raw: u64, ctx: &mut Ctx<'_, DbMsg>) {
+        let txn = TxnId((raw >> 8).saturating_sub(1) as u32);
+        let low = raw & 0xff;
+        if low == CLIENT_TAG {
+            // Client submission at the master.
+            let Some((_, spec)) = self.workload.iter().find(|(_, s)| s.id == txn).cloned()
+            else {
+                return;
+            };
+            self.metrics.borrow_mut().submitted.insert(spec.id, ctx.now());
+            ctx.note("txn-submitted", spec.id.0 as u64);
+            let local = spec.writes.get(&0).cloned().unwrap_or_default();
+            self.admit_xact(spec.id, self.me, local, ctx);
+            return;
+        }
+        let Some(tag) = TimerTag::decode(low) else { return };
+        if let Some(slot) = self.slots.get_mut(&txn) {
+            slot.timers.remove(&tag);
+            let mut out = Vec::new();
+            slot.participant.on_timer(tag, &mut out);
+            self.apply_actions(txn, out, ctx);
+        }
+    }
+
+    /// Crash recovery (Sec. 2's single-site discipline): volatile state —
+    /// staged writes, unflushed log records, in-flight protocol
+    /// participants, lock table — is gone; the durable log decides what to
+    /// redo and what to presume aborted.
+    fn on_recover(&mut self, ctx: &mut Ctx<'_, DbMsg>) {
+        self.slots.clear();
+        self.parked.clear();
+        self.locks = LockTable::new();
+        self.storage.crash();
+        self.wal.crash();
+        let summary = crate::recovery::recover(&mut self.storage, &mut self.wal);
+        for txn in &summary.redone {
+            let now = ctx.now();
+            self.metrics
+                .borrow_mut()
+                .decisions
+                .entry(*txn)
+                .or_default()
+                .insert(self.me.0, (Decision::Commit, now));
+            self.finished.insert(*txn, Decision::Commit);
+        }
+        for txn in &summary.discarded {
+            self.finished.insert(*txn, Decision::Abort);
+        }
+        ctx.note("recovered", (summary.redone.len() + summary.discarded.len()) as u64);
+    }
+
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::{Key, Value};
+
+    #[test]
+    fn db_msg_kind_delegates() {
+        let m = DbMsg { txn: TxnId(1), inner: CommitMsg::Kind("prepare"), writes: None };
+        assert_eq!(m.kind(), "prepare");
+    }
+
+    #[test]
+    fn metrics_detect_violations() {
+        let mut m = Metrics::default();
+        m.decisions
+            .entry(TxnId(1))
+            .or_default()
+            .insert(0, (Decision::Commit, SimTime(5)));
+        m.decisions
+            .entry(TxnId(1))
+            .or_default()
+            .insert(1, (Decision::Abort, SimTime(6)));
+        assert_eq!(m.atomicity_violations(), vec![TxnId(1)]);
+    }
+
+    #[test]
+    fn metrics_hold_durations_account_for_blocked() {
+        let mut m = Metrics::default();
+        m.lock_holds.push(LockHold {
+            site: SiteId(1),
+            txn: TxnId(1),
+            from: SimTime(100),
+            to: Some(SimTime(600)),
+        });
+        m.lock_holds.push(LockHold { site: SiteId(2), txn: TxnId(1), from: SimTime(100), to: None });
+        let d = m.hold_durations(SimTime(10_000));
+        assert_eq!(d[0], (TxnId(1), SiteId(1), 500, false));
+        assert_eq!(d[1], (TxnId(1), SiteId(2), 9_900, true));
+    }
+
+    #[test]
+    fn txn_spec_carries_per_site_writes() {
+        let mut writes = BTreeMap::new();
+        writes.insert(1u16, vec![WriteOp { key: Key::from("a"), value: Value::from_u64(1) }]);
+        let spec = TxnSpec { id: TxnId(9), writes };
+        assert_eq!(spec.writes[&1].len(), 1);
+    }
+}

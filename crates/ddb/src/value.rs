@@ -1,0 +1,103 @@
+//! Keys, values, and transaction identifiers.
+
+use bytes::Bytes;
+use core::fmt;
+
+/// A database key. Cheap to clone (refcounted bytes).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Key(pub Bytes);
+
+impl Key {
+    /// Key from anything byte-like.
+    pub fn from_static(s: &'static str) -> Key {
+        Key(Bytes::from_static(s.as_bytes()))
+    }
+}
+
+impl From<&str> for Key {
+    fn from(s: &str) -> Key {
+        Key(Bytes::copy_from_slice(s.as_bytes()))
+    }
+}
+
+impl From<String> for Key {
+    fn from(s: String) -> Key {
+        Key(Bytes::from(s.into_bytes()))
+    }
+}
+
+impl fmt::Display for Key {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match std::str::from_utf8(&self.0) {
+            Ok(s) => write!(f, "{s}"),
+            Err(_) => write!(f, "{:02x?}", &self.0[..]),
+        }
+    }
+}
+
+/// A database value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Value(pub Bytes);
+
+impl Value {
+    /// Value from a 64-bit integer (the banking example stores balances).
+    pub fn from_u64(v: u64) -> Value {
+        Value(Bytes::copy_from_slice(&v.to_be_bytes()))
+    }
+
+    /// Interprets the value as a 64-bit integer, if it is one.
+    pub fn as_u64(&self) -> Option<u64> {
+        self.0.as_ref().try_into().ok().map(u64::from_be_bytes)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Value {
+        Value(Bytes::copy_from_slice(s.as_bytes()))
+    }
+}
+
+/// A globally unique transaction identifier (assigned by the cluster
+/// driver).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TxnId(pub u32);
+
+impl fmt::Display for TxnId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "txn{}", self.0)
+    }
+}
+
+/// One write of a distributed transaction, targeted at a specific site.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WriteOp {
+    /// The key to write.
+    pub key: Key,
+    /// The new value.
+    pub value: Value,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn u64_roundtrip() {
+        assert_eq!(Value::from_u64(123_456).as_u64(), Some(123_456));
+    }
+
+    #[test]
+    fn non_u64_value() {
+        assert_eq!(Value::from("hello").as_u64(), None);
+    }
+
+    #[test]
+    fn key_display() {
+        assert_eq!(Key::from("account-1").to_string(), "account-1");
+    }
+
+    #[test]
+    fn keys_order() {
+        assert!(Key::from("a") < Key::from("b"));
+    }
+}

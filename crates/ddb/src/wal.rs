@@ -1,0 +1,238 @@
+//! Write-ahead logging with simulated stable storage.
+//!
+//! The paper's Sec. 2 describes the single-site recovery discipline this
+//! module implements: "If a commit decision is made, a commit log which
+//! contains the current state of the transaction (e.g. the update
+//! information) will be stored in stable storage ... If failures occur at
+//! any time before the commit log is stored, then immediately upon recovery
+//! the site will abort the transaction. If failures occur after the commit
+//! log is stored but before the updates are finished, all the updates will
+//! be applied again when the site recovers. Because update operations are
+//! idempotent ... the above scheme ensures the atomicity of the
+//! transaction."
+//!
+//! Stable storage is simulated: records become durable only after
+//! [`Wal::flush`]; a crash ([`Wal::crash`]) discards everything beyond the
+//! flushed watermark, exactly like losing the OS page cache.
+
+use crate::value::{TxnId, WriteOp};
+use std::collections::BTreeMap;
+
+/// A log record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Record {
+    /// Transaction began at this site with the given write set (the "update
+    /// information" the paper's commit log carries).
+    Begin {
+        /// The transaction.
+        txn: TxnId,
+        /// Its local write set.
+        writes: Vec<WriteOp>,
+    },
+    /// The commit decision is durable. Redo must apply the writes.
+    Commit {
+        /// The transaction.
+        txn: TxnId,
+    },
+    /// All writes are applied to the database; redo is no longer needed.
+    Applied {
+        /// The transaction.
+        txn: TxnId,
+    },
+    /// The transaction aborted; its staged writes are void.
+    Abort {
+        /// The transaction.
+        txn: TxnId,
+    },
+}
+
+impl Record {
+    fn txn(&self) -> TxnId {
+        match self {
+            Record::Begin { txn, .. }
+            | Record::Commit { txn }
+            | Record::Applied { txn }
+            | Record::Abort { txn } => *txn,
+        }
+    }
+}
+
+/// What recovery decides for one transaction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RecoveryAction {
+    /// Commit record durable, apply missing: redo these writes (idempotent).
+    Redo(Vec<WriteOp>),
+    /// No durable commit record: the transaction is presumed aborted.
+    Discard,
+    /// Fully applied or aborted before the crash; nothing to do.
+    Complete,
+}
+
+/// The write-ahead log of one site.
+#[derive(Debug, Default, Clone)]
+pub struct Wal {
+    records: Vec<Record>,
+    /// Records `< flushed` are on stable storage.
+    flushed: usize,
+}
+
+impl Wal {
+    /// An empty log.
+    pub fn new() -> Wal {
+        Wal::default()
+    }
+
+    /// Appends a record (volatile until [`Wal::flush`]).
+    pub fn append(&mut self, rec: Record) {
+        self.records.push(rec);
+    }
+
+    /// Forces everything appended so far to stable storage. Returns the
+    /// number of newly durable records.
+    pub fn flush(&mut self) -> usize {
+        let newly = self.records.len() - self.flushed;
+        self.flushed = self.records.len();
+        newly
+    }
+
+    /// Appends and immediately flushes — the "force write" used for commit
+    /// decisions.
+    pub fn append_durable(&mut self, rec: Record) {
+        self.append(rec);
+        self.flush();
+    }
+
+    /// Simulates a crash: all volatile records vanish.
+    pub fn crash(&mut self) {
+        self.records.truncate(self.flushed);
+    }
+
+    /// All durable records (what recovery sees).
+    pub fn durable(&self) -> &[Record] {
+        &self.records[..self.flushed]
+    }
+
+    /// Total records including volatile ones (for tests).
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True if nothing was ever logged.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Scans the durable log and decides, per transaction, what recovery
+    /// must do (the paper's Sec. 2 discipline).
+    pub fn recovery_plan(&self) -> BTreeMap<TxnId, RecoveryAction> {
+        #[derive(Default)]
+        struct St {
+            writes: Vec<WriteOp>,
+            committed: bool,
+            applied: bool,
+            aborted: bool,
+        }
+        let mut per: BTreeMap<TxnId, St> = BTreeMap::new();
+        for rec in self.durable() {
+            let st = per.entry(rec.txn()).or_default();
+            match rec {
+                Record::Begin { writes, .. } => st.writes = writes.clone(),
+                Record::Commit { .. } => st.committed = true,
+                Record::Applied { .. } => st.applied = true,
+                Record::Abort { .. } => st.aborted = true,
+            }
+        }
+        per.into_iter()
+            .map(|(txn, st)| {
+                let action = if st.applied || st.aborted {
+                    RecoveryAction::Complete
+                } else if st.committed {
+                    RecoveryAction::Redo(st.writes)
+                } else {
+                    RecoveryAction::Discard
+                };
+                (txn, action)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::{Key, Value};
+
+    fn w(key: &str, v: u64) -> WriteOp {
+        WriteOp { key: Key::from(key), value: Value::from_u64(v) }
+    }
+
+    #[test]
+    fn unflushed_records_lost_on_crash() {
+        let mut wal = Wal::new();
+        wal.append(Record::Begin { txn: TxnId(1), writes: vec![w("a", 1)] });
+        wal.crash();
+        assert!(wal.is_empty());
+        assert!(wal.recovery_plan().is_empty());
+    }
+
+    #[test]
+    fn flushed_records_survive_crash() {
+        let mut wal = Wal::new();
+        wal.append(Record::Begin { txn: TxnId(1), writes: vec![w("a", 1)] });
+        wal.flush();
+        wal.append(Record::Commit { txn: TxnId(1) });
+        wal.crash(); // commit record was volatile
+        assert_eq!(wal.durable().len(), 1);
+        assert_eq!(wal.recovery_plan()[&TxnId(1)], RecoveryAction::Discard);
+    }
+
+    #[test]
+    fn committed_unapplied_is_redone() {
+        let mut wal = Wal::new();
+        wal.append(Record::Begin { txn: TxnId(7), writes: vec![w("a", 1), w("b", 2)] });
+        wal.append_durable(Record::Commit { txn: TxnId(7) });
+        wal.crash();
+        match &wal.recovery_plan()[&TxnId(7)] {
+            RecoveryAction::Redo(ws) => assert_eq!(ws.len(), 2),
+            other => panic!("expected redo, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn applied_transaction_is_complete() {
+        let mut wal = Wal::new();
+        wal.append(Record::Begin { txn: TxnId(7), writes: vec![w("a", 1)] });
+        wal.append(Record::Commit { txn: TxnId(7) });
+        wal.append_durable(Record::Applied { txn: TxnId(7) });
+        assert_eq!(wal.recovery_plan()[&TxnId(7)], RecoveryAction::Complete);
+    }
+
+    #[test]
+    fn aborted_transaction_is_complete() {
+        let mut wal = Wal::new();
+        wal.append(Record::Begin { txn: TxnId(3), writes: vec![w("a", 1)] });
+        wal.append_durable(Record::Abort { txn: TxnId(3) });
+        assert_eq!(wal.recovery_plan()[&TxnId(3)], RecoveryAction::Complete);
+    }
+
+    #[test]
+    fn flush_counts_new_records() {
+        let mut wal = Wal::new();
+        wal.append(Record::Begin { txn: TxnId(1), writes: vec![] });
+        wal.append(Record::Commit { txn: TxnId(1) });
+        assert_eq!(wal.flush(), 2);
+        assert_eq!(wal.flush(), 0);
+    }
+
+    #[test]
+    fn multiple_transactions_plan_independently() {
+        let mut wal = Wal::new();
+        wal.append(Record::Begin { txn: TxnId(1), writes: vec![w("a", 1)] });
+        wal.append(Record::Begin { txn: TxnId(2), writes: vec![w("b", 2)] });
+        wal.append(Record::Commit { txn: TxnId(1) });
+        wal.flush();
+        let plan = wal.recovery_plan();
+        assert!(matches!(plan[&TxnId(1)], RecoveryAction::Redo(_)));
+        assert_eq!(plan[&TxnId(2)], RecoveryAction::Discard);
+    }
+}

@@ -1,0 +1,209 @@
+//! The router thread: wall-clock message delays, partitions, and the
+//! optimistic undeliverable-message return.
+
+use crossbeam::channel::{Receiver, Sender};
+use ptp_protocols::api::CommitMsg;
+use ptp_simnet::SiteId;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::time::{Duration, Instant};
+
+/// Global parameters of a live run.
+#[derive(Debug, Clone, Copy)]
+pub struct LiveConfig {
+    /// The longest end-to-end delay `T`, in wall-clock time. Each message
+    /// leg is delayed uniformly in `(T/10, T]`.
+    pub t: Duration,
+    /// Give up after this much wall time (blocked baselines never decide).
+    pub run_timeout: Duration,
+    /// RNG seed for delay sampling (scheduling jitter keeps runs
+    /// nondeterministic regardless).
+    pub seed: u64,
+}
+
+impl LiveConfig {
+    /// Configuration with the given `T` and a 60T run timeout.
+    pub fn with_t(t: Duration) -> LiveConfig {
+        LiveConfig { t, run_timeout: t * 60, seed: 7 }
+    }
+}
+
+/// A simple partition applied during the run: `g2` splits from the rest
+/// `after` the start, healing after `heal_after` (from the start) if given.
+#[derive(Debug, Clone)]
+pub struct LivePartition {
+    /// When the partition begins, relative to run start.
+    pub after: Duration,
+    /// The non-master group.
+    pub g2: Vec<SiteId>,
+    /// When connectivity returns, relative to run start.
+    pub heal_after: Option<Duration>,
+}
+
+impl LivePartition {
+    fn severed(&self, a: SiteId, b: SiteId, at: Duration) -> bool {
+        if at < self.after {
+            return false;
+        }
+        if let Some(heal) = self.heal_after {
+            if at >= heal {
+                return false;
+            }
+        }
+        self.g2.contains(&a) != self.g2.contains(&b)
+    }
+}
+
+/// A message handed to the router by a site.
+#[derive(Debug)]
+pub(crate) struct Outbound {
+    pub src: SiteId,
+    pub dst: SiteId,
+    pub msg: CommitMsg,
+}
+
+/// What sites receive from the router (or the coordinator).
+#[derive(Debug)]
+pub(crate) enum Inbound {
+    /// A delivered message.
+    Deliver { src: SiteId, msg: CommitMsg },
+    /// One of the site's own messages came back undeliverable.
+    Undeliverable { original_dst: SiteId, msg: CommitMsg },
+    /// The run is over: exit the site thread.
+    Shutdown,
+}
+
+#[derive(Debug)]
+struct Scheduled {
+    due: Instant,
+    seq: u64,
+    out: Outbound,
+    /// True if this entry is the bounced return leg.
+    returning: bool,
+}
+
+impl PartialEq for Scheduled {
+    fn eq(&self, other: &Self) -> bool {
+        self.due == other.due && self.seq == other.seq
+    }
+}
+impl Eq for Scheduled {}
+impl Ord for Scheduled {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.due.cmp(&other.due).then(self.seq.cmp(&other.seq))
+    }
+}
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// The router: owns the delay queue and the partition schedule.
+pub(crate) struct Router {
+    config: LiveConfig,
+    partition: Option<LivePartition>,
+    site_txs: Vec<Sender<Inbound>>,
+    started: Instant,
+}
+
+impl Router {
+    pub(crate) fn new(
+        config: LiveConfig,
+        partition: Option<LivePartition>,
+        site_txs: Vec<Sender<Inbound>>,
+        started: Instant,
+    ) -> Router {
+        Router { config, partition, site_txs, started }
+    }
+
+    fn severed(&self, a: SiteId, b: SiteId, now: Instant) -> bool {
+        self.partition
+            .as_ref()
+            .is_some_and(|p| p.severed(a, b, now.duration_since(self.started)))
+    }
+
+    fn sample_delay(&self, rng: &mut SmallRng) -> Duration {
+        let t = self.config.t.as_micros() as u64;
+        Duration::from_micros(rng.gen_range(t / 10..=t).max(1))
+    }
+
+    /// Runs until every sender hangs up and the queue drains.
+    pub(crate) fn run(self, inbox: Receiver<Outbound>) {
+        let mut rng = SmallRng::seed_from_u64(self.config.seed);
+        let mut queue: BinaryHeap<Reverse<Scheduled>> = BinaryHeap::new();
+        let mut seq = 0u64;
+        let mut open = true;
+
+        loop {
+            // Drain whatever is due.
+            let now = Instant::now();
+            while queue.peek().is_some_and(|Reverse(s)| s.due <= now) {
+                let Reverse(s) = queue.pop().expect("peeked");
+                if s.returning {
+                    // The bounced leg: hand the message back to its sender.
+                    let _ = self.site_txs[s.out.src.index()].send(Inbound::Undeliverable {
+                        original_dst: s.out.dst,
+                        msg: s.out.msg,
+                    });
+                } else if self.severed(s.out.src, s.out.dst, s.due) {
+                    // Hit the boundary: schedule the return leg.
+                    let due = s.due + self.sample_delay(&mut rng);
+                    seq += 1;
+                    queue.push(Reverse(Scheduled { due, seq, out: s.out, returning: true }));
+                } else {
+                    let _ = self.site_txs[s.out.dst.index()]
+                        .send(Inbound::Deliver { src: s.out.src, msg: s.out.msg });
+                }
+            }
+
+            if !open && queue.is_empty() {
+                return;
+            }
+
+            // Wait for new traffic or the next due message.
+            let timeout = queue
+                .peek()
+                .map(|Reverse(s)| s.due.saturating_duration_since(Instant::now()))
+                .unwrap_or(Duration::from_millis(50));
+            match inbox.recv_timeout(timeout) {
+                Ok(out) => {
+                    let due = Instant::now() + self.sample_delay(&mut rng);
+                    seq += 1;
+                    queue.push(Reverse(Scheduled { due, seq, out, returning: false }));
+                }
+                Err(crossbeam::channel::RecvTimeoutError::Timeout) => {}
+                Err(crossbeam::channel::RecvTimeoutError::Disconnected) => open = false,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partition_windows() {
+        let p = LivePartition {
+            after: Duration::from_millis(10),
+            g2: vec![SiteId(2)],
+            heal_after: Some(Duration::from_millis(30)),
+        };
+        let a = SiteId(0);
+        let b = SiteId(2);
+        assert!(!p.severed(a, b, Duration::from_millis(5)));
+        assert!(p.severed(a, b, Duration::from_millis(15)));
+        assert!(!p.severed(a, b, Duration::from_millis(35)));
+        // Same side: never severed.
+        assert!(!p.severed(SiteId(0), SiteId(1), Duration::from_millis(15)));
+    }
+
+    #[test]
+    fn config_defaults() {
+        let c = LiveConfig::with_t(Duration::from_millis(10));
+        assert_eq!(c.run_timeout, Duration::from_millis(600));
+    }
+}

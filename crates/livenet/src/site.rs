@@ -1,0 +1,140 @@
+//! The per-site thread: drives one [`Participant`] with real messages and
+//! real timers.
+
+use crate::router::{Inbound, LiveConfig, Outbound};
+use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
+use ptp_model::Decision;
+use ptp_protocols::api::{Action, Participant, TimerTag};
+use ptp_simnet::SiteId;
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+pub(crate) struct SiteRunner {
+    me: SiteId,
+    n: usize,
+    participant: Box<dyn Participant + Send>,
+    inbox: Receiver<Inbound>,
+    router: Sender<Outbound>,
+    done: Sender<(SiteId, Decision)>,
+    config: LiveConfig,
+    /// Armed timers: tag -> (deadline, generation). Re-arming bumps the
+    /// generation so a stale deadline that already slipped past `recv`'s
+    /// timeout cannot fire.
+    timers: HashMap<TimerTag, (Instant, u64)>,
+    generation: u64,
+    decided: Option<Decision>,
+}
+
+impl SiteRunner {
+    pub(crate) fn new(
+        me: SiteId,
+        n: usize,
+        participant: Box<dyn Participant + Send>,
+        inbox: Receiver<Inbound>,
+        router: Sender<Outbound>,
+        done: Sender<(SiteId, Decision)>,
+        config: LiveConfig,
+    ) -> SiteRunner {
+        SiteRunner {
+            me,
+            n,
+            participant,
+            inbox,
+            router,
+            done,
+            config,
+            timers: HashMap::new(),
+            generation: 0,
+            decided: None,
+        }
+    }
+
+    fn apply(&mut self, actions: Vec<Action>) {
+        for action in actions {
+            match action {
+                Action::Send { to, msg } => {
+                    let _ = self.router.send(Outbound { src: self.me, dst: to, msg });
+                }
+                Action::Broadcast { msg } => {
+                    for dst in (0..self.n as u16).map(SiteId) {
+                        if dst != self.me {
+                            let _ =
+                                self.router.send(Outbound { src: self.me, dst, msg });
+                        }
+                    }
+                }
+                Action::SetTimer { t_units, tag } => {
+                    self.generation += 1;
+                    let deadline = Instant::now() + self.config.t * t_units as u32;
+                    self.timers.insert(tag, (deadline, self.generation));
+                }
+                Action::CancelTimer { tag } => {
+                    self.timers.remove(&tag);
+                }
+                Action::Decide(decision) => {
+                    if self.decided.is_none() {
+                        self.decided = Some(decision);
+                        let _ = self.done.send((self.me, decision));
+                    }
+                }
+                Action::Note(..) => {}
+            }
+        }
+    }
+
+    /// The earliest armed timer, if any.
+    fn next_timer(&self) -> Option<(TimerTag, Instant, u64)> {
+        self.timers
+            .iter()
+            .min_by_key(|(_, (deadline, _))| *deadline)
+            .map(|(tag, (deadline, generation))| (*tag, *deadline, *generation))
+    }
+
+    /// Runs until the inbox closes. Continues after deciding so peers can
+    /// still be answered (e.g. quorum state requests).
+    pub(crate) fn run(mut self) {
+        let mut out = Vec::new();
+        self.participant.start(&mut out);
+        self.apply(std::mem::take(&mut out));
+
+        loop {
+            let wait = match self.next_timer() {
+                Some((_, deadline, _)) => deadline.saturating_duration_since(Instant::now()),
+                None => Duration::from_millis(50),
+            };
+            match self.inbox.recv_timeout(wait) {
+                Ok(Inbound::Deliver { src, msg }) => {
+                    let mut actions = Vec::new();
+                    self.participant.on_msg(src, &msg, &mut actions);
+                    self.apply(actions);
+                }
+                Ok(Inbound::Undeliverable { original_dst, msg }) => {
+                    let mut actions = Vec::new();
+                    self.participant.on_ud(original_dst, &msg, &mut actions);
+                    self.apply(actions);
+                }
+                Ok(Inbound::Shutdown) => return,
+                Err(RecvTimeoutError::Timeout) => {
+                    // Fire every timer whose deadline has passed (check the
+                    // generation so a re-armed tag does not double-fire).
+                    let now = Instant::now();
+                    let due: Vec<(TimerTag, u64)> = self
+                        .timers
+                        .iter()
+                        .filter(|(_, (deadline, _))| *deadline <= now)
+                        .map(|(tag, (_, generation))| (*tag, *generation))
+                        .collect();
+                    for (tag, generation) in due {
+                        if self.timers.get(&tag).is_some_and(|(_, g)| *g == generation) {
+                            self.timers.remove(&tag);
+                            let mut actions = Vec::new();
+                            self.participant.on_timer(tag, &mut actions);
+                            self.apply(actions);
+                        }
+                    }
+                }
+                Err(RecvTimeoutError::Disconnected) => return,
+            }
+        }
+    }
+}

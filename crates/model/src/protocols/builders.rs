@@ -1,0 +1,516 @@
+//! Concrete FSA constructions, parameterized by the number of sites.
+
+use crate::fsa::{Msg, ProtocolSpec, SiteSpec, StateDef, StateKind, Transition};
+
+/// Shorthand for building state tables.
+fn states(defs: &[(&str, StateKind)]) -> Vec<StateDef> {
+    defs.iter()
+        .map(|(name, kind)| StateDef { name: (*name).to_owned(), kind: *kind })
+        .collect()
+}
+
+struct Kinds {
+    table: Vec<&'static str>,
+}
+
+impl Kinds {
+    fn new(table: &[&'static str]) -> Self {
+        Kinds { table: table.to_vec() }
+    }
+    fn k(&self, name: &str) -> u8 {
+        self.table
+            .iter()
+            .position(|k| *k == name)
+            .unwrap_or_else(|| panic!("kind {name} not declared")) as u8
+    }
+    /// Message from `src` to `dst`.
+    fn m(&self, kind: &str, src: usize, dst: usize) -> Msg {
+        Msg { kind: self.k(kind), src: src as u8, dst: dst as u8 }
+    }
+    /// One message of `kind` from the master to every slave.
+    fn to_all_slaves(&self, kind: &str, n: usize) -> Vec<Msg> {
+        (1..n).map(|j| self.m(kind, 0, j)).collect()
+    }
+    /// One message of `kind` from the master to every slave except `skip`.
+    fn to_slaves_except(&self, kind: &str, n: usize, skip: usize) -> Vec<Msg> {
+        (1..n).filter(|j| *j != skip).map(|j| self.m(kind, 0, j)).collect()
+    }
+    /// One message of `kind` from every slave to the master.
+    #[allow(clippy::wrong_self_convention)] // "from" refers to message direction
+    fn from_all_slaves(&self, kind: &str, n: usize) -> Vec<Msg> {
+        (1..n).map(|j| self.m(kind, j, 0)).collect()
+    }
+}
+
+/// Standard slave vote transitions: `q --xact/yes--> w` and `q --xact/no--> a`.
+fn slave_votes(k: &Kinds, i: usize, q: usize, w: usize, a: usize) -> Vec<Transition> {
+    vec![
+        Transition {
+            from: q,
+            to: w,
+            reads: vec![k.m("xact", 0, i)],
+            writes: vec![k.m("yes", i, 0)],
+            votes_yes: true,
+        },
+        Transition {
+            from: q,
+            to: a,
+            reads: vec![k.m("xact", 0, i)],
+            writes: vec![k.m("no", i, 0)],
+            votes_yes: false,
+        },
+    ]
+}
+
+/// Master abort transitions: one per slave `j`, `w1 --no_j/abort_{others}--> a1`.
+fn master_aborts(k: &Kinds, n: usize, w1: usize, a1: usize) -> Vec<Transition> {
+    (1..n)
+        .map(|j| Transition {
+            from: w1,
+            to: a1,
+            reads: vec![k.m("no", j, 0)],
+            writes: k.to_slaves_except("abort", n, j),
+            votes_yes: false,
+        })
+        .collect()
+}
+
+/// Fig. 1: the two-phase commit protocol.
+pub fn two_phase(n: usize) -> ProtocolSpec {
+    assert!(n >= 2, "need a master and at least one slave");
+    let k = Kinds::new(&["xact", "yes", "no", "commit", "abort"]);
+
+    // Master: q1 w1 c1 a1.
+    let mut master = SiteSpec {
+        states: states(&[
+            ("q1", StateKind::Initial),
+            ("w1", StateKind::Intermediate),
+            ("c1", StateKind::Commit),
+            ("a1", StateKind::Abort),
+        ]),
+        transitions: vec![
+            // Receive the user's request, forward the transaction.
+            Transition {
+                from: 0,
+                to: 1,
+                reads: vec![],
+                writes: k.to_all_slaves("xact", n),
+                votes_yes: false,
+            },
+            // All yes -> commit everyone. This is also the master's own
+            // yes-vote for the committable classification.
+            Transition {
+                from: 1,
+                to: 2,
+                reads: k.from_all_slaves("yes", n),
+                writes: k.to_all_slaves("commit", n),
+                votes_yes: true,
+            },
+        ],
+    };
+    master.transitions.extend(master_aborts(&k, n, 1, 3));
+
+    let mut sites = vec![master];
+    for i in 1..n {
+        let mut t = slave_votes(&k, i, 0, 1, 3);
+        t.push(Transition {
+            from: 1,
+            to: 2,
+            reads: vec![k.m("commit", 0, i)],
+            writes: vec![],
+            votes_yes: false,
+        });
+        t.push(Transition {
+            from: 1,
+            to: 3,
+            reads: vec![k.m("abort", 0, i)],
+            writes: vec![],
+            votes_yes: false,
+        });
+        sites.push(SiteSpec {
+            states: states(&[
+                ("q", StateKind::Initial),
+                ("w", StateKind::Intermediate),
+                ("c", StateKind::Commit),
+                ("a", StateKind::Abort),
+            ]),
+            transitions: t,
+        });
+    }
+
+    ProtocolSpec { name: "2PC".into(), sites, kinds: k.table }
+}
+
+/// The base protocol of Fig. 2: two-phase commit with a decision-ack phase.
+///
+/// The master commits the slaves from `w1`, then waits in `p1` (the "prepare
+/// state" of the Sec. 3 observation) for their acks. Timeout/UD transitions
+/// are *not* part of this spec — derive them with
+/// [`crate::rules::derive_rules_augmentation`] on the two-site instance.
+pub fn extended_two_phase(n: usize) -> ProtocolSpec {
+    assert!(n >= 2);
+    let k = Kinds::new(&["xact", "yes", "no", "commit", "abort", "ack"]);
+
+    let mut master = SiteSpec {
+        states: states(&[
+            ("q1", StateKind::Initial),
+            ("w1", StateKind::Intermediate),
+            ("p1", StateKind::Intermediate),
+            ("c1", StateKind::Commit),
+            ("a1", StateKind::Abort),
+        ]),
+        transitions: vec![
+            Transition {
+                from: 0,
+                to: 1,
+                reads: vec![],
+                writes: k.to_all_slaves("xact", n),
+                votes_yes: false,
+            },
+            Transition {
+                from: 1,
+                to: 2,
+                reads: k.from_all_slaves("yes", n),
+                writes: k.to_all_slaves("commit", n),
+                votes_yes: true,
+            },
+            Transition {
+                from: 2,
+                to: 3,
+                reads: k.from_all_slaves("ack", n),
+                writes: vec![],
+                votes_yes: false,
+            },
+        ],
+    };
+    master.transitions.extend(master_aborts(&k, n, 1, 4));
+
+    let mut sites = vec![master];
+    for i in 1..n {
+        let mut t = slave_votes(&k, i, 0, 1, 3);
+        t.push(Transition {
+            from: 1,
+            to: 2,
+            reads: vec![k.m("commit", 0, i)],
+            writes: vec![k.m("ack", i, 0)],
+            votes_yes: false,
+        });
+        t.push(Transition {
+            from: 1,
+            to: 3,
+            reads: vec![k.m("abort", 0, i)],
+            writes: vec![],
+            votes_yes: false,
+        });
+        sites.push(SiteSpec {
+            states: states(&[
+                ("q", StateKind::Initial),
+                ("w", StateKind::Intermediate),
+                ("c", StateKind::Commit),
+                ("a", StateKind::Abort),
+            ]),
+            transitions: t,
+        });
+    }
+
+    ProtocolSpec { name: "E2PC".into(), sites, kinds: k.table }
+}
+
+fn three_phase_master(k: &Kinds, n: usize) -> SiteSpec {
+    let mut master = SiteSpec {
+        states: states(&[
+            ("q1", StateKind::Initial),
+            ("w1", StateKind::Intermediate),
+            ("p1", StateKind::Intermediate),
+            ("c1", StateKind::Commit),
+            ("a1", StateKind::Abort),
+        ]),
+        transitions: vec![
+            Transition {
+                from: 0,
+                to: 1,
+                reads: vec![],
+                writes: k.to_all_slaves("xact", n),
+                votes_yes: false,
+            },
+            Transition {
+                from: 1,
+                to: 2,
+                reads: k.from_all_slaves("yes", n),
+                writes: k.to_all_slaves("prepare", n),
+                votes_yes: true,
+            },
+            Transition {
+                from: 2,
+                to: 3,
+                reads: k.from_all_slaves("ack", n),
+                writes: k.to_all_slaves("commit", n),
+                votes_yes: false,
+            },
+        ],
+    };
+    master.transitions.extend(master_aborts(k, n, 1, 4));
+    master
+}
+
+fn three_phase_slave(k: &Kinds, i: usize, direct_commit_in_w: bool) -> SiteSpec {
+    let mut t = slave_votes(k, i, 0, 1, 4);
+    t.push(Transition {
+        from: 1,
+        to: 2,
+        reads: vec![k.m("prepare", 0, i)],
+        writes: vec![k.m("ack", i, 0)],
+        votes_yes: false,
+    });
+    t.push(Transition {
+        from: 1,
+        to: 4,
+        reads: vec![k.m("abort", 0, i)],
+        writes: vec![],
+        votes_yes: false,
+    });
+    t.push(Transition {
+        from: 2,
+        to: 3,
+        reads: vec![k.m("commit", 0, i)],
+        writes: vec![],
+        votes_yes: false,
+    });
+    if direct_commit_in_w {
+        // Fig. 8: accept a commit while still in w (it can only come from a
+        // committed peer during termination; harmless in failure-free runs).
+        t.push(Transition {
+            from: 1,
+            to: 3,
+            reads: vec![k.m("commit", 0, i)],
+            writes: vec![],
+            votes_yes: false,
+        });
+    }
+    SiteSpec {
+        states: states(&[
+            ("q", StateKind::Initial),
+            ("w", StateKind::Intermediate),
+            ("p", StateKind::Intermediate),
+            ("c", StateKind::Commit),
+            ("a", StateKind::Abort),
+        ]),
+        transitions: t,
+    }
+}
+
+/// Fig. 3: the three-phase commit protocol.
+pub fn three_phase(n: usize) -> ProtocolSpec {
+    assert!(n >= 2);
+    let k = Kinds::new(&["xact", "yes", "no", "prepare", "ack", "commit", "abort"]);
+    let mut sites = vec![three_phase_master(&k, n)];
+    for i in 1..n {
+        sites.push(three_phase_slave(&k, i, false));
+    }
+    ProtocolSpec { name: "3PC".into(), sites, kinds: k.table }
+}
+
+/// Fig. 8: the modified three-phase commit protocol (3PC plus the slave
+/// `w --commit--> c` transition).
+pub fn modified_three_phase(n: usize) -> ProtocolSpec {
+    assert!(n >= 2);
+    let k = Kinds::new(&["xact", "yes", "no", "prepare", "ack", "commit", "abort"]);
+    let mut sites = vec![three_phase_master(&k, n)];
+    for i in 1..n {
+        sites.push(three_phase_slave(&k, i, true));
+    }
+    ProtocolSpec { name: "M3PC".into(), sites, kinds: k.table }
+}
+
+/// A four-phase master–slave commit protocol: 3PC with an extra `ready`
+/// round between `prepare` and `commit`.
+///
+/// It satisfies the Theorem 10 conditions (no state with both a commit and
+/// an abort concurrent; no noncommittable state with a commit concurrent),
+/// with `prepare` as the decisive message `m` that moves slaves from
+/// noncommittable to committable states. Used by experiment E11 to show the
+/// generic termination-protocol recipe is not 3PC-specific.
+pub fn four_phase(n: usize) -> ProtocolSpec {
+    assert!(n >= 2);
+    let k = Kinds::new(&[
+        "xact", "yes", "no", "prepare", "ack", "ready", "ack2", "commit", "abort",
+    ]);
+
+    let mut master = SiteSpec {
+        states: states(&[
+            ("q1", StateKind::Initial),
+            ("w1", StateKind::Intermediate),
+            ("p1", StateKind::Intermediate),
+            ("r1", StateKind::Intermediate),
+            ("c1", StateKind::Commit),
+            ("a1", StateKind::Abort),
+        ]),
+        transitions: vec![
+            Transition {
+                from: 0,
+                to: 1,
+                reads: vec![],
+                writes: k.to_all_slaves("xact", n),
+                votes_yes: false,
+            },
+            Transition {
+                from: 1,
+                to: 2,
+                reads: k.from_all_slaves("yes", n),
+                writes: k.to_all_slaves("prepare", n),
+                votes_yes: true,
+            },
+            Transition {
+                from: 2,
+                to: 3,
+                reads: k.from_all_slaves("ack", n),
+                writes: k.to_all_slaves("ready", n),
+                votes_yes: false,
+            },
+            Transition {
+                from: 3,
+                to: 4,
+                reads: k.from_all_slaves("ack2", n),
+                writes: k.to_all_slaves("commit", n),
+                votes_yes: false,
+            },
+        ],
+    };
+    master.transitions.extend(master_aborts(&k, n, 1, 5));
+
+    let mut sites = vec![master];
+    for i in 1..n {
+        let mut t = slave_votes(&k, i, 0, 1, 5);
+        t.push(Transition {
+            from: 1,
+            to: 2,
+            reads: vec![k.m("prepare", 0, i)],
+            writes: vec![k.m("ack", i, 0)],
+            votes_yes: false,
+        });
+        t.push(Transition {
+            from: 1,
+            to: 5,
+            reads: vec![k.m("abort", 0, i)],
+            writes: vec![],
+            votes_yes: false,
+        });
+        t.push(Transition {
+            from: 2,
+            to: 3,
+            reads: vec![k.m("ready", 0, i)],
+            writes: vec![k.m("ack2", i, 0)],
+            votes_yes: false,
+        });
+        t.push(Transition {
+            from: 3,
+            to: 4,
+            reads: vec![k.m("commit", 0, i)],
+            writes: vec![],
+            votes_yes: false,
+        });
+        // Termination-protocol support: accept a peer's commit early
+        // (the four-phase analogue of the Fig. 8 modification).
+        for from in [1usize, 2] {
+            t.push(Transition {
+                from,
+                to: 4,
+                reads: vec![k.m("commit", 0, i)],
+                writes: vec![],
+                votes_yes: false,
+            });
+        }
+        sites.push(SiteSpec {
+            states: states(&[
+                ("q", StateKind::Initial),
+                ("w", StateKind::Intermediate),
+                ("p", StateKind::Intermediate),
+                ("r", StateKind::Intermediate),
+                ("c", StateKind::Commit),
+                ("a", StateKind::Abort),
+            ]),
+            transitions: t,
+        });
+    }
+
+    ProtocolSpec { name: "4PC".into(), sites, kinds: k.table }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_specs_validate() {
+        for n in 2..=5 {
+            two_phase(n).validate().unwrap();
+            extended_two_phase(n).validate().unwrap();
+            three_phase(n).validate().unwrap();
+            modified_three_phase(n).validate().unwrap();
+            four_phase(n).validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn two_phase_shape() {
+        let p = two_phase(3);
+        assert_eq!(p.sites[0].states.len(), 4);
+        assert_eq!(p.sites[1].states.len(), 4);
+        // master: start, commit, 2 abort transitions.
+        assert_eq!(p.sites[0].transitions.len(), 4);
+        // slave: yes, no, commit, abort.
+        assert_eq!(p.sites[1].transitions.len(), 4);
+    }
+
+    #[test]
+    fn three_phase_has_prepare_round() {
+        let p = three_phase(3);
+        assert!(p.kinds.contains(&"prepare"));
+        assert!(p.kinds.contains(&"ack"));
+        let master = &p.sites[0];
+        assert_eq!(master.states.len(), 5);
+    }
+
+    #[test]
+    fn modified_three_phase_adds_w_commit() {
+        let p3 = three_phase(3);
+        let m3 = modified_three_phase(3);
+        assert_eq!(m3.sites[1].transitions.len(), p3.sites[1].transitions.len() + 1);
+        // The extra transition goes from w (1) to c (3) reading a commit.
+        let extra = m3.sites[1].transitions.last().unwrap();
+        assert_eq!((extra.from, extra.to), (1, 3));
+    }
+
+    #[test]
+    fn four_phase_has_ready_round() {
+        let p = four_phase(3);
+        assert!(p.kinds.contains(&"ready"));
+        assert!(p.kinds.contains(&"ack2"));
+        assert_eq!(p.sites[0].states.len(), 6);
+        assert_eq!(p.sites[1].states.len(), 6);
+    }
+
+    #[test]
+    fn slaves_are_symmetric() {
+        let p = three_phase(4);
+        for i in 2..4 {
+            assert_eq!(p.sites[1].states.len(), p.sites[i].states.len());
+            assert_eq!(p.sites[1].transitions.len(), p.sites[i].transitions.len());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one slave")]
+    fn single_site_rejected() {
+        two_phase(1);
+    }
+
+    #[test]
+    fn vote_marking() {
+        let p = three_phase(3);
+        // Exactly one voting transition per site.
+        for site in &p.sites {
+            assert_eq!(site.transitions.iter().filter(|t| t.votes_yes).count(), 1);
+        }
+    }
+}

@@ -1,0 +1,32 @@
+//! FSA specifications of every commit protocol the paper discusses.
+//!
+//! * [`two_phase`] — Fig. 1, the plain two-phase commit protocol.
+//! * [`extended_two_phase`] — the base of Fig. 2: 2PC with a decision-ack
+//!   phase (the master's `p1` "prepare" state the Sec. 3 observation refers
+//!   to). Its timeout/UD augmentation is *derived*, not hard-coded: apply
+//!   [`crate::rules::derive_rules_augmentation`] to the two-site instance,
+//!   as Skeen & Stonebraker's rules prescribe.
+//! * [`three_phase`] — Fig. 3, Skeen's three-phase commit.
+//! * [`modified_three_phase`] — Fig. 8: 3PC plus the slave `w --commit--> c`
+//!   transition the termination protocol needs (Sec. 5.3, "a fly in the
+//!   ointment").
+//! * [`four_phase`] — a four-phase master–slave protocol satisfying the
+//!   Lemma 1/2 conditions, used to exercise Theorem 10's generic
+//!   termination-protocol recipe on something that is not 3PC.
+//!
+//! Site 0 is the master throughout (the paper's site 1); sites `1..n-1` are
+//! slaves (the paper's sites 2..n).
+
+mod builders;
+
+pub use builders::{
+    extended_two_phase, four_phase, modified_three_phase, two_phase,
+};
+
+/// Fig. 3: Skeen's three-phase commit protocol.
+///
+/// Master: `q1 → w1 → p1 → c1` (with `w1 → a1` on any no-vote); slaves:
+/// `q → w → p → c` / `q → a` / `w → a`.
+pub fn three_phase(n: usize) -> crate::fsa::ProtocolSpec {
+    builders::three_phase(n)
+}

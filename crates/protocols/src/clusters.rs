@@ -1,0 +1,162 @@
+//! Convenience constructors: full clusters (master + slaves) for every
+//! protocol in the suite, ready for [`crate::runner::run_protocol`].
+
+use crate::api::{Participant, Vote};
+use crate::interp::FsaParticipant;
+use crate::termination::{
+    termination_cluster, PhasePlan, ProtocolTiming, TerminationMaster, TerminationSlave,
+    TerminationVariant,
+};
+use ptp_simnet::SiteId;
+use ptp_model::protocols::{extended_two_phase, three_phase, two_phase};
+use ptp_model::rules::derive_rules_augmentation;
+use ptp_model::{Augmentation, ProtocolSpec};
+use std::sync::Arc;
+
+/// A cluster interpreting `spec` with an optional augmentation.
+pub fn fsa_cluster(
+    spec: ProtocolSpec,
+    votes: &[Vote],
+    augmentation: Option<Augmentation>,
+) -> Vec<Box<dyn Participant>> {
+    let n = spec.n();
+    assert_eq!(votes.len(), n - 1, "one vote per slave");
+    let spec = Arc::new(spec);
+    (0..n)
+        .map(|site| {
+            let vote = if site == 0 { Vote::Yes } else { votes[site - 1] };
+            Box::new(FsaParticipant::new(spec.clone(), site, vote, augmentation.clone()))
+                as Box<dyn Participant>
+        })
+        .collect()
+}
+
+/// Fig. 1: plain 2PC with no timeout/UD transitions — blocks under
+/// partition and even under a silent master stop.
+pub fn plain_2pc_cluster(n: usize, votes: &[Vote]) -> Vec<Box<dyn Participant>> {
+    fsa_cluster(two_phase(n), votes, None)
+}
+
+/// Fig. 2: extended 2PC. The base protocol is 2PC with a decision-ack
+/// phase; the timeout/UD augmentation is derived by Rule (a)/(b) **at
+/// `n = 2`** (where Skeen & Stonebraker proved the rules sufficient) and
+/// applied per state name at any `n` — exactly the protocol the paper's
+/// Sec. 3 observation breaks at `n = 3`.
+pub fn extended_2pc_cluster(n: usize, votes: &[Vote]) -> Vec<Box<dyn Participant>> {
+    let augmentation = derive_rules_augmentation(&extended_two_phase(2)).augmentation;
+    fsa_cluster(extended_two_phase(n), votes, Some(augmentation))
+}
+
+/// The Sec. 3 "naive" baseline: 3PC augmented with Rule (a)/(b) timeout and
+/// UD transitions derived at the *actual* `n` — still not resilient
+/// (Lemma 3), as experiments E3/E5 demonstrate.
+pub fn naive_augmented_3pc_cluster(n: usize, votes: &[Vote]) -> Vec<Box<dyn Participant>> {
+    let spec = three_phase(n);
+    let augmentation = derive_rules_augmentation(&spec).augmentation;
+    fsa_cluster(spec, votes, Some(augmentation))
+}
+
+/// Fig. 3: plain 3PC (no termination protocol) — nonblocking for site
+/// failures but not partition-resilient.
+pub fn plain_3pc_cluster(n: usize, votes: &[Vote]) -> Vec<Box<dyn Participant>> {
+    fsa_cluster(three_phase(n), votes, None)
+}
+
+/// The paper's protocol: modified 3PC (Fig. 8) with the Huang–Li
+/// termination protocol (Sec. 5.3), in the chosen variant.
+pub fn huang_li_3pc_cluster(
+    n: usize,
+    votes: &[Vote],
+    variant: TerminationVariant,
+) -> Vec<Box<dyn Participant>> {
+    termination_cluster(&PhasePlan::three_phase(), n, votes, variant)
+}
+
+/// Theorem 10 exercise: the four-phase protocol with its generated
+/// termination protocol.
+pub fn huang_li_4pc_cluster(
+    n: usize,
+    votes: &[Vote],
+    variant: TerminationVariant,
+) -> Vec<Box<dyn Participant>> {
+    termination_cluster(&PhasePlan::four_phase(), n, votes, variant)
+}
+
+/// The paper's protocol with non-default timer constants — used by the
+/// timing/ablation experiments (E6 and the `ablations` bench) to show the
+/// paper's 2T/3T/5T/6T values are necessary.
+pub fn huang_li_3pc_cluster_with_timing(
+    n: usize,
+    votes: &[Vote],
+    variant: TerminationVariant,
+    timing: ProtocolTiming,
+) -> Vec<Box<dyn Participant>> {
+    assert_eq!(votes.len(), n - 1);
+    let plan = PhasePlan::three_phase();
+    let mut parts: Vec<Box<dyn Participant>> =
+        vec![Box::new(TerminationMaster::with_timing(plan.clone(), n, timing))];
+    for (i, &vote) in votes.iter().enumerate() {
+        parts.push(Box::new(TerminationSlave::with_timing(
+            plan.clone(),
+            SiteId(i as u16 + 1),
+            vote,
+            variant,
+            timing,
+        )));
+    }
+    parts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::outcome::Verdict;
+    use crate::runner::run_protocol;
+    use ptp_simnet::{DelayModel, NetConfig, PartitionEngine};
+
+    fn run_failure_free(parts: Vec<Box<dyn Participant>>) -> Verdict {
+        let run = run_protocol(
+            parts,
+            NetConfig::default(),
+            PartitionEngine::always_connected(),
+            &DelayModel::Fixed(400),
+            vec![],
+        );
+        Verdict::judge(&run.outcomes)
+    }
+
+    #[test]
+    fn every_cluster_commits_failure_free() {
+        let n = 4;
+        let votes = [Vote::Yes; 3];
+        assert_eq!(run_failure_free(plain_2pc_cluster(n, &votes)), Verdict::AllCommit);
+        assert_eq!(run_failure_free(extended_2pc_cluster(n, &votes)), Verdict::AllCommit);
+        assert_eq!(run_failure_free(naive_augmented_3pc_cluster(n, &votes)), Verdict::AllCommit);
+        assert_eq!(run_failure_free(plain_3pc_cluster(n, &votes)), Verdict::AllCommit);
+        assert_eq!(
+            run_failure_free(huang_li_3pc_cluster(n, &votes, TerminationVariant::Transient)),
+            Verdict::AllCommit
+        );
+        assert_eq!(
+            run_failure_free(huang_li_4pc_cluster(n, &votes, TerminationVariant::Transient)),
+            Verdict::AllCommit
+        );
+    }
+
+    #[test]
+    fn every_cluster_aborts_on_a_no_vote() {
+        let n = 3;
+        let votes = [Vote::Yes, Vote::No];
+        assert_eq!(run_failure_free(plain_2pc_cluster(n, &votes)), Verdict::AllAbort);
+        assert_eq!(run_failure_free(extended_2pc_cluster(n, &votes)), Verdict::AllAbort);
+        assert_eq!(run_failure_free(plain_3pc_cluster(n, &votes)), Verdict::AllAbort);
+        assert_eq!(
+            run_failure_free(huang_li_3pc_cluster(n, &votes, TerminationVariant::Transient)),
+            Verdict::AllAbort
+        );
+        assert_eq!(
+            run_failure_free(huang_li_4pc_cluster(n, &votes, TerminationVariant::Transient)),
+            Verdict::AllAbort
+        );
+    }
+}

@@ -1,0 +1,64 @@
+//! # ptp-protocols — runnable commit protocols and the Huang–Li termination
+//! protocol
+//!
+//! Every protocol the paper discusses, as sans-IO state machines driven by
+//! the `ptp-simnet` discrete-event network:
+//!
+//! * **Interpreted protocols** ([`interp::FsaParticipant`]): execute any
+//!   `ptp-model` FSA spec literally — plain 2PC (Fig. 1), extended 2PC
+//!   (Fig. 2, with the Rule (a)/(b) augmentation derived mechanically),
+//!   3PC (Fig. 3), and each of the 4096 Lemma 3 augmentations.
+//! * **The termination protocol** ([`termination`]): the paper's Sec. 5.3
+//!   master/slave pseudocode, implemented as Theorem 10's generic
+//!   master–slave engine and instantiated for the modified 3PC (Fig. 8) and
+//!   a four-phase protocol. Both the Sec. 5 (static) and Sec. 6 (transient)
+//!   variants.
+//! * **Quorum commit** ([`quorum`]): the Skeen 1982 baseline that blocks in
+//!   minority partitions.
+//!
+//! [`clusters`] builds ready-to-run site vectors; [`runner::run_protocol`]
+//! executes them through a scenario; [`outcome::Verdict`] judges atomicity
+//! and blocking.
+//!
+//! ```
+//! use ptp_protocols::clusters::huang_li_3pc_cluster;
+//! use ptp_protocols::termination::TerminationVariant;
+//! use ptp_protocols::api::Vote;
+//! use ptp_protocols::outcome::Verdict;
+//! use ptp_protocols::runner::run_protocol;
+//! use ptp_simnet::{DelayModel, NetConfig, PartitionEngine, PartitionSpec, SimTime, SiteId};
+//!
+//! // Three sites; the network splits {master, site1} | {site2} mid-commit.
+//! let parts = huang_li_3pc_cluster(3, &[Vote::Yes; 2], TerminationVariant::Transient);
+//! let partition = PartitionEngine::new(vec![PartitionSpec::simple(
+//!     SimTime(2500),
+//!     vec![SiteId(0), SiteId(1)],
+//!     vec![SiteId(2)],
+//! )]);
+//! let run = run_protocol(
+//!     parts,
+//!     NetConfig::default(),
+//!     partition,
+//!     &DelayModel::Fixed(900),
+//!     vec![],
+//! );
+//! let verdict = Verdict::judge(&run.outcomes);
+//! assert!(verdict.is_resilient(), "{verdict:?}");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod api;
+pub mod clusters;
+pub mod interp;
+pub mod outcome;
+pub mod quorum;
+pub mod runner;
+pub mod termination;
+pub mod timing;
+
+pub use api::{Action, CommitMsg, Participant, TimerTag, Vote};
+pub use outcome::{SiteOutcome, Verdict};
+pub use runner::{run_protocol, ProtocolRun};
+pub use termination::{PhasePlan, TerminationMaster, TerminationSlave, TerminationVariant};

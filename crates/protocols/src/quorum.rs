@@ -1,0 +1,425 @@
+//! A quorum-based commit protocol (after Skeen, "A Quorum-Based Commit
+//! Protocol", Berkeley Workshop 1982 — the paper’s reference \[5\]).
+//!
+//! This is the natural competitor to the Huang–Li termination protocol and
+//! experiment E15's baseline. Normal operation is three-phase commit; when a
+//! site suspects a partition (timeout or undeliverable message) it runs a
+//! quorum termination protocol *within its reachable group*: it collects
+//! state reports and
+//!
+//! * commits if it can see a commit, or at least `Vc` prepared sites;
+//! * aborts if it can see an abort, or at least `Va` sites in total;
+//! * otherwise **blocks** and retries.
+//!
+//! With `Vc + Va > n`, at most one of the two partition groups can reach
+//! either quorum, so atomicity is preserved — but the minority group blocks
+//! until the partition heals. The contrast with the paper's protocol (both
+//! groups terminate, Theorem 9) is exactly what E15 measures.
+//!
+//! This is a deliberately simplified rendition: Skeen's full protocol has
+//! explicit prepare-to-commit/prepare-to-abort buffer states and weighted
+//! votes; equal weights and state-report collection preserve the behaviour
+//! that matters for the comparison (safety via intersecting quorums,
+//! blocking minorities). See DESIGN.md.
+
+use crate::api::{Action, CommitMsg, Participant, TimerTag, Vote};
+use crate::timing::{MASTER_PROTO_T, SLAVE_PROTO_T};
+use ptp_model::Decision;
+use ptp_simnet::SiteId;
+use std::collections::BTreeMap;
+
+/// Quorum sizes. Safety requires `vc + va > n`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QuorumConfig {
+    /// Total number of sites (master included).
+    pub n: usize,
+    /// Commit quorum: prepared sites needed to commit during termination.
+    pub vc: usize,
+    /// Abort quorum: reachable sites needed to abort during termination.
+    pub va: usize,
+}
+
+impl QuorumConfig {
+    /// Majority quorums: `vc = va = ⌊n/2⌋ + 1`.
+    pub fn majority(n: usize) -> QuorumConfig {
+        QuorumConfig { n, vc: n / 2 + 1, va: n / 2 + 1 }
+    }
+
+    fn validate(&self) {
+        assert!(self.n >= 2);
+        assert!(self.vc >= 1 && self.va >= 1);
+        assert!(self.vc + self.va > self.n, "quorums must intersect: vc + va > n");
+    }
+}
+
+/// State classes exchanged in quorum termination reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum StateClass {
+    NotPrepared = 0,
+    Prepared = 1,
+    Committed = 2,
+    Aborted = 3,
+}
+
+impl StateClass {
+    fn encode(self) -> u8 {
+        self as u8
+    }
+    fn decode(raw: u8) -> StateClass {
+        match raw {
+            1 => StateClass::Prepared,
+            2 => StateClass::Committed,
+            3 => StateClass::Aborted,
+            _ => StateClass::NotPrepared,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum QPhase {
+    /// Slave: awaiting xact. Master: never.
+    Initial,
+    /// Master: collecting yes votes. Slave: voted yes, awaiting prepare.
+    Wait,
+    /// Prepared: master sent prepares / slave acked one.
+    Prepared,
+    Done(Decision),
+}
+
+/// One site of the quorum-commit protocol (master if `me == 0`).
+pub struct QuorumSite {
+    cfg: QuorumConfig,
+    me: u16,
+    vote: Vote,
+    phase: QPhase,
+    /// Master only: replies collected in the current round.
+    replies: usize,
+    /// Termination: collected state reports (self included), when active.
+    reports: Option<BTreeMap<u16, StateClass>>,
+    decided: Option<Decision>,
+    blocked_noted: bool,
+}
+
+impl QuorumSite {
+    /// Creates site `me` of a quorum-commit cluster.
+    pub fn new(cfg: QuorumConfig, me: SiteId, vote: Vote) -> Self {
+        cfg.validate();
+        QuorumSite {
+            cfg,
+            me: me.0,
+            vote,
+            phase: if me.0 == 0 { QPhase::Wait } else { QPhase::Initial },
+            replies: 0,
+            reports: None,
+            decided: None,
+            blocked_noted: false,
+        }
+    }
+
+    fn is_master(&self) -> bool {
+        self.me == 0
+    }
+
+    fn class(&self) -> StateClass {
+        match self.phase {
+            QPhase::Initial | QPhase::Wait => StateClass::NotPrepared,
+            QPhase::Prepared => StateClass::Prepared,
+            QPhase::Done(Decision::Commit) => StateClass::Committed,
+            QPhase::Done(Decision::Abort) => StateClass::Aborted,
+        }
+    }
+
+    fn decide(&mut self, d: Decision, broadcast: bool, out: &mut Vec<Action>) {
+        if self.decided.is_some() {
+            return;
+        }
+        self.phase = QPhase::Done(d);
+        self.decided = Some(d);
+        self.reports = None;
+        out.push(Action::CancelTimer { tag: TimerTag::Proto });
+        out.push(Action::CancelTimer { tag: TimerTag::QuorumCollect });
+        if broadcast {
+            out.push(Action::Broadcast {
+                msg: CommitMsg::Kind(match d {
+                    Decision::Commit => "commit",
+                    Decision::Abort => "abort",
+                }),
+            });
+        }
+        out.push(Action::Decide(d));
+    }
+
+    /// Enters (or re-enters) the quorum termination protocol.
+    fn start_collection(&mut self, out: &mut Vec<Action>) {
+        if self.decided.is_some() {
+            return;
+        }
+        let mut reports = BTreeMap::new();
+        reports.insert(self.me, self.class());
+        self.reports = Some(reports);
+        out.push(Action::Note("quorum-collect", self.me as u64));
+        out.push(Action::Broadcast { msg: CommitMsg::StateReq });
+        out.push(Action::CancelTimer { tag: TimerTag::Proto });
+        out.push(Action::SetTimer { t_units: 2, tag: TimerTag::QuorumCollect });
+    }
+
+    /// Applies the quorum rule over the collected reports.
+    fn resolve(&mut self, out: &mut Vec<Action>) {
+        let Some(reports) = &self.reports else { return };
+        let committed = reports.values().any(|c| *c == StateClass::Committed);
+        let aborted = reports.values().any(|c| *c == StateClass::Aborted);
+        let prepared = reports
+            .values()
+            .filter(|c| matches!(c, StateClass::Prepared | StateClass::Committed))
+            .count();
+        let reachable = reports.len();
+
+        if committed {
+            self.decide(Decision::Commit, true, out);
+        } else if aborted {
+            self.decide(Decision::Abort, true, out);
+        } else if prepared >= self.cfg.vc {
+            out.push(Action::Note("quorum-commit", prepared as u64));
+            self.decide(Decision::Commit, true, out);
+        } else if reachable >= self.cfg.va {
+            out.push(Action::Note("quorum-abort", reachable as u64));
+            self.decide(Decision::Abort, true, out);
+        } else {
+            // Neither quorum reachable: block and retry (the defining
+            // behaviour of quorum termination in the minority group).
+            if !self.blocked_noted {
+                self.blocked_noted = true;
+                out.push(Action::Note("quorum-blocked", reachable as u64));
+            }
+            self.start_collection(out);
+        }
+    }
+}
+
+impl Participant for QuorumSite {
+    fn start(&mut self, out: &mut Vec<Action>) {
+        if self.is_master() {
+            out.push(Action::Broadcast { msg: CommitMsg::Kind("xact") });
+            out.push(Action::SetTimer { t_units: MASTER_PROTO_T, tag: TimerTag::Proto });
+        } else {
+            out.push(Action::SetTimer { t_units: SLAVE_PROTO_T, tag: TimerTag::Proto });
+        }
+    }
+
+    fn on_msg(&mut self, from: SiteId, msg: &CommitMsg, out: &mut Vec<Action>) {
+        match msg {
+            CommitMsg::StateReq => {
+                // Always answer state requests, even after deciding — that
+                // is how decisions propagate back after a heal.
+                out.push(Action::Send {
+                    to: from,
+                    msg: CommitMsg::StateRep { state: self.class().encode() },
+                });
+                return;
+            }
+            CommitMsg::StateRep { state } => {
+                if let Some(reports) = &mut self.reports {
+                    reports.insert(from.0, StateClass::decode(*state));
+                }
+                return;
+            }
+            _ => {}
+        }
+        if self.decided.is_some() {
+            return;
+        }
+        let CommitMsg::Kind(kind) = msg else { return };
+        match (*kind, self.phase, self.is_master()) {
+            ("commit", _, _) => self.decide(Decision::Commit, false, out),
+            ("abort", _, _) => self.decide(Decision::Abort, false, out),
+            ("no", QPhase::Wait, true) => self.decide(Decision::Abort, true, out),
+            ("yes", QPhase::Wait, true) => {
+                self.replies += 1;
+                if self.replies == self.cfg.n - 1 {
+                    self.replies = 0;
+                    self.phase = QPhase::Prepared;
+                    out.push(Action::Broadcast { msg: CommitMsg::Kind("prepare") });
+                    out.push(Action::SetTimer { t_units: MASTER_PROTO_T, tag: TimerTag::Proto });
+                }
+            }
+            ("ack", QPhase::Prepared, true) => {
+                self.replies += 1;
+                if self.replies == self.cfg.n - 1 {
+                    self.decide(Decision::Commit, true, out);
+                }
+            }
+            ("xact", QPhase::Initial, false) => match self.vote {
+                Vote::Yes => {
+                    self.phase = QPhase::Wait;
+                    out.push(Action::Send { to: SiteId(0), msg: CommitMsg::Kind("yes") });
+                    out.push(Action::SetTimer { t_units: SLAVE_PROTO_T, tag: TimerTag::Proto });
+                }
+                Vote::No => {
+                    out.push(Action::Send { to: SiteId(0), msg: CommitMsg::Kind("no") });
+                    self.decide(Decision::Abort, false, out);
+                }
+            },
+            ("prepare", QPhase::Wait, false) => {
+                self.phase = QPhase::Prepared;
+                out.push(Action::Send { to: SiteId(0), msg: CommitMsg::Kind("ack") });
+                out.push(Action::SetTimer { t_units: SLAVE_PROTO_T, tag: TimerTag::Proto });
+            }
+            _ => {}
+        }
+    }
+
+    fn on_ud(&mut self, _original_dst: SiteId, msg: &CommitMsg, out: &mut Vec<Action>) {
+        // Any bounced protocol message means a partition: run quorum
+        // termination. Bounced termination traffic is handled by the
+        // collection timer.
+        if matches!(msg, CommitMsg::Kind(_)) && self.reports.is_none() {
+            self.start_collection(out);
+        }
+    }
+
+    fn on_timer(&mut self, tag: TimerTag, out: &mut Vec<Action>) {
+        match tag {
+            TimerTag::Proto if self.decided.is_none() && self.reports.is_none() => {
+                self.start_collection(out);
+            }
+            TimerTag::QuorumCollect => self.resolve(out),
+            _ => {}
+        }
+    }
+
+    fn decision(&self) -> Option<Decision> {
+        self.decided
+    }
+
+    fn state_name(&self) -> &'static str {
+        match self.phase {
+            QPhase::Initial => "q",
+            QPhase::Wait => "w",
+            QPhase::Prepared => "p",
+            QPhase::Done(Decision::Commit) => "c",
+            QPhase::Done(Decision::Abort) => "a",
+        }
+    }
+}
+
+/// Builds a quorum-commit cluster of `n` sites.
+pub fn quorum_cluster(cfg: QuorumConfig, votes: &[Vote]) -> Vec<Box<dyn Participant>> {
+    assert_eq!(votes.len(), cfg.n - 1);
+    let mut parts: Vec<Box<dyn Participant>> =
+        vec![Box::new(QuorumSite::new(cfg, SiteId(0), Vote::Yes))];
+    for (i, &v) in votes.iter().enumerate() {
+        parts.push(Box::new(QuorumSite::new(cfg, SiteId(i as u16 + 1), v)));
+    }
+    parts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn majority_config() {
+        let c = QuorumConfig::majority(5);
+        assert_eq!((c.vc, c.va), (3, 3));
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "quorums must intersect")]
+    fn non_intersecting_quorums_rejected() {
+        QuorumConfig { n: 5, vc: 2, va: 2 }.validate();
+    }
+
+    #[test]
+    fn happy_path_commits() {
+        let cfg = QuorumConfig::majority(3);
+        let mut m = QuorumSite::new(cfg, SiteId(0), Vote::Yes);
+        let mut out = Vec::new();
+        m.start(&mut out);
+        m.on_msg(SiteId(1), &CommitMsg::Kind("yes"), &mut out);
+        m.on_msg(SiteId(2), &CommitMsg::Kind("yes"), &mut out);
+        assert_eq!(m.state_name(), "p");
+        m.on_msg(SiteId(1), &CommitMsg::Kind("ack"), &mut out);
+        m.on_msg(SiteId(2), &CommitMsg::Kind("ack"), &mut out);
+        assert_eq!(m.decision(), Some(Decision::Commit));
+    }
+
+    #[test]
+    fn state_reports_always_answered() {
+        let cfg = QuorumConfig::majority(3);
+        let mut s = QuorumSite::new(cfg, SiteId(1), Vote::Yes);
+        let mut out = Vec::new();
+        s.start(&mut out);
+        out.clear();
+        s.on_msg(SiteId(2), &CommitMsg::StateReq, &mut out);
+        assert!(matches!(
+            out[0],
+            Action::Send { to: SiteId(2), msg: CommitMsg::StateRep { state: 0 } }
+        ));
+    }
+
+    #[test]
+    fn collection_commits_with_commit_quorum() {
+        let cfg = QuorumConfig::majority(3);
+        let mut s = QuorumSite::new(cfg, SiteId(1), Vote::Yes);
+        let mut out = Vec::new();
+        s.start(&mut out);
+        s.on_msg(SiteId(0), &CommitMsg::Kind("xact"), &mut out);
+        s.on_msg(SiteId(0), &CommitMsg::Kind("prepare"), &mut out);
+        out.clear();
+        s.on_timer(TimerTag::Proto, &mut out); // suspect partition
+        assert!(out.iter().any(|a| matches!(a, Action::Broadcast { msg: CommitMsg::StateReq })));
+        // One more prepared site (the master) makes Vc = 2.
+        s.on_msg(SiteId(0), &CommitMsg::StateRep { state: 1 }, &mut out);
+        out.clear();
+        s.on_timer(TimerTag::QuorumCollect, &mut out);
+        assert_eq!(s.decision(), Some(Decision::Commit));
+    }
+
+    #[test]
+    fn minority_blocks_and_retries() {
+        let cfg = QuorumConfig::majority(5);
+        let mut s = QuorumSite::new(cfg, SiteId(4), Vote::Yes);
+        let mut out = Vec::new();
+        s.start(&mut out);
+        s.on_msg(SiteId(0), &CommitMsg::Kind("xact"), &mut out);
+        out.clear();
+        s.on_timer(TimerTag::Proto, &mut out);
+        out.clear();
+        // Nobody answered: 1 < va=3 and 0 prepared < vc=3 -> blocked, retry.
+        s.on_timer(TimerTag::QuorumCollect, &mut out);
+        assert_eq!(s.decision(), None);
+        assert!(out.iter().any(|a| matches!(a, Action::Note("quorum-blocked", _))));
+        assert!(out.iter().any(|a| matches!(a, Action::Broadcast { msg: CommitMsg::StateReq })));
+    }
+
+    #[test]
+    fn abort_quorum_aborts_unprepared_group() {
+        let cfg = QuorumConfig::majority(3);
+        let mut s = QuorumSite::new(cfg, SiteId(1), Vote::Yes);
+        let mut out = Vec::new();
+        s.start(&mut out);
+        s.on_msg(SiteId(0), &CommitMsg::Kind("xact"), &mut out);
+        out.clear();
+        s.on_timer(TimerTag::Proto, &mut out);
+        s.on_msg(SiteId(2), &CommitMsg::StateRep { state: 0 }, &mut out);
+        out.clear();
+        s.on_timer(TimerTag::QuorumCollect, &mut out);
+        // Two reachable unprepared sites >= va=2 -> abort.
+        assert_eq!(s.decision(), Some(Decision::Abort));
+    }
+
+    #[test]
+    fn adopts_observed_decision() {
+        let cfg = QuorumConfig::majority(3);
+        let mut s = QuorumSite::new(cfg, SiteId(1), Vote::Yes);
+        let mut out = Vec::new();
+        s.start(&mut out);
+        s.on_msg(SiteId(0), &CommitMsg::Kind("xact"), &mut out);
+        s.on_timer(TimerTag::Proto, &mut out);
+        s.on_msg(SiteId(2), &CommitMsg::StateRep { state: 2 }, &mut out);
+        out.clear();
+        s.on_timer(TimerTag::QuorumCollect, &mut out);
+        assert_eq!(s.decision(), Some(Decision::Commit));
+    }
+}

@@ -1,0 +1,197 @@
+//! Wiring participants to the simulated network.
+
+use crate::api::{Action, CommitMsg, Participant, TimerTag};
+use crate::outcome::SiteOutcome;
+use ptp_model::Decision;
+use ptp_simnet::{
+    Actor, Ctx, DelayModel, Envelope, FailureSpec, NetConfig, PartitionEngine, RunReport,
+    Simulation, SiteId, TimerHandle, Trace,
+};
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+/// Shared outcome board written by the actor adapters during a run.
+type Board = Rc<RefCell<Vec<SiteOutcome>>>;
+
+/// Adapter: drives a [`Participant`] as a `ptp-simnet` [`Actor`].
+struct ProtocolActor {
+    inner: Box<dyn Participant>,
+    all_sites: Vec<SiteId>,
+    board: Board,
+    timers: HashMap<TimerTag, TimerHandle>,
+}
+
+impl ProtocolActor {
+    fn apply(&mut self, actions: Vec<Action>, ctx: &mut Ctx<'_, CommitMsg>) {
+        for action in actions {
+            match action {
+                Action::Send { to, msg } => ctx.send(to, msg),
+                Action::Broadcast { msg } => {
+                    let sites = self.all_sites.clone();
+                    ctx.send_to_all(&sites, msg);
+                }
+                Action::SetTimer { t_units, tag } => {
+                    if let Some(old) = self.timers.remove(&tag) {
+                        ctx.cancel_timer(old);
+                    }
+                    let handle = ctx.set_timer(ctx.t(t_units), tag.encode());
+                    self.timers.insert(tag, handle);
+                }
+                Action::CancelTimer { tag } => {
+                    if let Some(old) = self.timers.remove(&tag) {
+                        ctx.cancel_timer(old);
+                    }
+                }
+                Action::Decide(decision) => {
+                    let me = ctx.me().index();
+                    let mut board = self.board.borrow_mut();
+                    let slot = &mut board[me];
+                    // First decision wins; a second one would be a protocol
+                    // bug, surfaced by the debug assertion.
+                    debug_assert!(
+                        slot.decision.is_none() || slot.decision == Some(decision),
+                        "site {me} changed its decision"
+                    );
+                    if slot.decision.is_none() {
+                        slot.decision = Some(decision);
+                        slot.decided_at = Some(ctx.now());
+                        ctx.note(
+                            "decided",
+                            match decision {
+                                Decision::Commit => 1,
+                                Decision::Abort => 0,
+                            },
+                        );
+                    }
+                }
+                Action::Note(label, detail) => {
+                    let me = ctx.me().index();
+                    self.board.borrow_mut()[me].history.push((ctx.now(), label));
+                    ctx.note(label, detail);
+                }
+            }
+        }
+    }
+}
+
+impl Actor<CommitMsg> for ProtocolActor {
+    fn on_start(&mut self, ctx: &mut Ctx<'_, CommitMsg>) {
+        let mut out = Vec::new();
+        self.inner.start(&mut out);
+        self.apply(out, ctx);
+    }
+
+    fn on_message(&mut self, env: Envelope<CommitMsg>, ctx: &mut Ctx<'_, CommitMsg>) {
+        let mut out = Vec::new();
+        self.inner.on_msg(env.src, &env.payload, &mut out);
+        self.apply(out, ctx);
+    }
+
+    fn on_undeliverable(&mut self, env: Envelope<CommitMsg>, ctx: &mut Ctx<'_, CommitMsg>) {
+        let mut out = Vec::new();
+        self.inner.on_ud(env.dst, &env.payload, &mut out);
+        self.apply(out, ctx);
+    }
+
+    fn on_timer(&mut self, tag: u64, ctx: &mut Ctx<'_, CommitMsg>) {
+        let Some(tag) = TimerTag::decode(tag) else { return };
+        self.timers.remove(&tag);
+        let mut out = Vec::new();
+        self.inner.on_timer(tag, &mut out);
+        self.apply(out, ctx);
+    }
+}
+
+/// Result of running a commit protocol through one scenario.
+#[derive(Debug)]
+pub struct ProtocolRun {
+    /// Per-site outcomes (index = site id).
+    pub outcomes: Vec<SiteOutcome>,
+    /// Full network trace.
+    pub trace: Trace,
+    /// Simulator report.
+    pub report: RunReport,
+}
+
+/// Runs `participants` (site `i` = `participants[i]`, site 0 the master)
+/// under the given network conditions.
+pub fn run_protocol(
+    participants: Vec<Box<dyn Participant>>,
+    config: NetConfig,
+    partition: PartitionEngine,
+    delay: &DelayModel,
+    failures: Vec<FailureSpec>,
+) -> ProtocolRun {
+    let n = participants.len();
+    let board: Board = Rc::new(RefCell::new(vec![SiteOutcome::default(); n]));
+    let all_sites: Vec<SiteId> = (0..n as u16).map(SiteId).collect();
+
+    let actors: Vec<Box<dyn Actor<CommitMsg>>> = participants
+        .into_iter()
+        .map(|p| {
+            Box::new(ProtocolActor {
+                inner: p,
+                all_sites: all_sites.clone(),
+                board: board.clone(),
+                timers: HashMap::new(),
+            }) as Box<dyn Actor<CommitMsg>>
+        })
+        .collect();
+
+    let sim = Simulation::new(config, actors, partition, delay, failures);
+    let (actors, trace, report) = sim.run();
+    drop(actors); // release the adapters' board references
+    let outcomes = Rc::try_unwrap(board)
+        .expect("board uniquely owned after run")
+        .into_inner();
+    ProtocolRun { outcomes, trace, report }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::api::Vote;
+    use crate::interp::FsaParticipant;
+    use crate::outcome::Verdict;
+    use ptp_model::protocols::two_phase;
+    use std::sync::Arc;
+
+    fn run_2pc(votes: &[Vote]) -> ProtocolRun {
+        let spec = Arc::new(two_phase(votes.len() + 1));
+        let mut parts: Vec<Box<dyn Participant>> = Vec::new();
+        for site in 0..spec.n() {
+            let vote = if site == 0 { Vote::Yes } else { votes[site - 1] };
+            parts.push(Box::new(FsaParticipant::new(spec.clone(), site, vote, None)));
+        }
+        run_protocol(
+            parts,
+            NetConfig::default(),
+            PartitionEngine::always_connected(),
+            &DelayModel::Fixed(300),
+            vec![],
+        )
+    }
+
+    #[test]
+    fn failure_free_2pc_commits_on_unanimous_yes() {
+        let run = run_2pc(&[Vote::Yes, Vote::Yes]);
+        assert_eq!(Verdict::judge(&run.outcomes), Verdict::AllCommit);
+    }
+
+    #[test]
+    fn failure_free_2pc_aborts_on_any_no() {
+        let run = run_2pc(&[Vote::Yes, Vote::No]);
+        assert_eq!(Verdict::judge(&run.outcomes), Verdict::AllAbort);
+    }
+
+    #[test]
+    fn decision_timestamps_recorded() {
+        let run = run_2pc(&[Vote::Yes, Vote::Yes]);
+        for o in &run.outcomes {
+            assert!(o.decided_at.is_some());
+        }
+        // Master decides before the slaves receive the commit message.
+        assert!(run.outcomes[0].decided_at <= run.outcomes[1].decided_at);
+    }
+}

@@ -1,0 +1,64 @@
+//! Site-failure injection.
+//!
+//! The paper *assumes* site failures never occur concurrently with a
+//! partition (Sec. 5.1, assumptions 3–4) and spends Sec. 7 explaining why:
+//! a failed site inside a partition has the same effect as message loss,
+//! which is provably fatal. The simulator supports failure injection so
+//! experiment E13 can reproduce the paper's two counterexamples; the shipped
+//! protocols are entitled to the assumptions and make no attempt to survive
+//! crashes during a partition.
+
+use crate::message::SiteId;
+use crate::time::SimTime;
+
+/// Crash (and optionally recover) one site at fixed instants.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(serde::Serialize, serde::Deserialize)]
+pub struct FailureSpec {
+    /// The site to crash.
+    pub site: SiteId,
+    /// When it halts. A crashed site receives no messages (they are dropped,
+    /// exactly the message-loss effect Sec. 7 describes) and its timers are
+    /// suppressed.
+    pub at: SimTime,
+    /// When it comes back, if ever. On recovery the actor's
+    /// [`crate::Actor::on_recover`] hook runs.
+    pub recover_at: Option<SimTime>,
+}
+
+impl FailureSpec {
+    /// A permanent crash.
+    pub fn crash(site: SiteId, at: SimTime) -> Self {
+        FailureSpec { site, at, recover_at: None }
+    }
+
+    /// A crash followed by recovery.
+    pub fn crash_recover(site: SiteId, at: SimTime, recover_at: SimTime) -> Self {
+        assert!(recover_at > at, "recovery must come after the crash");
+        FailureSpec { site, at, recover_at: Some(recover_at) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crash_constructor() {
+        let f = FailureSpec::crash(SiteId(2), SimTime(100));
+        assert_eq!(f.recover_at, None);
+        assert_eq!(f.site, SiteId(2));
+    }
+
+    #[test]
+    fn crash_recover_constructor() {
+        let f = FailureSpec::crash_recover(SiteId(2), SimTime(100), SimTime(200));
+        assert_eq!(f.recover_at, Some(SimTime(200)));
+    }
+
+    #[test]
+    #[should_panic(expected = "recovery must come after")]
+    fn recovery_before_crash_rejected() {
+        FailureSpec::crash_recover(SiteId(2), SimTime(100), SimTime(50));
+    }
+}

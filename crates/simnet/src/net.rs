@@ -1,0 +1,719 @@
+//! The simulation engine: actors, contexts, and the event loop.
+
+use crate::delay::{DelayModel, DelaySampler, Leg};
+use crate::event::{EventKind, EventQueue};
+use crate::failure::FailureSpec;
+use crate::message::{Envelope, MsgId, SiteId};
+use crate::partition::{PartitionEngine, PartitionMode};
+use crate::time::{SimDuration, SimTime};
+use crate::trace::{Trace, TraceEvent};
+use std::collections::HashSet;
+
+/// A message payload the network can carry.
+///
+/// The only thing the network itself needs from a payload is a static tag
+/// for the trace (`"prepare"`, `"probe"`, ...); routing never inspects
+/// contents.
+pub trait Payload: Clone + std::fmt::Debug + 'static {
+    /// Message-kind tag recorded in traces.
+    fn kind(&self) -> &'static str;
+}
+
+impl Payload for &'static str {
+    fn kind(&self) -> &'static str {
+        self
+    }
+}
+
+impl Payload for () {
+    fn kind(&self) -> &'static str {
+        "unit"
+    }
+}
+
+/// Global simulation parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct NetConfig {
+    /// Ticks per `T` (the longest end-to-end delay, the paper's time unit).
+    pub t_unit: u64,
+    /// Optimistic (return undeliverables) or pessimistic (drop) partitions.
+    pub mode: PartitionMode,
+    /// Hard horizon; events past it are not dispatched. Guards against
+    /// protocols that never quiesce.
+    pub max_time: SimTime,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        NetConfig {
+            t_unit: 1000,
+            mode: PartitionMode::Optimistic,
+            max_time: SimTime(1000 * 200), // 200 T is far beyond any protocol bound
+        }
+    }
+}
+
+impl NetConfig {
+    /// `n` times the `T` unit as a duration — `cfg.t(3)` is the paper's `3T`.
+    #[inline]
+    pub fn t(&self, n: u64) -> SimDuration {
+        SimDuration(self.t_unit * n)
+    }
+}
+
+/// A deterministic, single-threaded simulated process.
+///
+/// Handlers run to completion; all effects go through the [`Ctx`].
+pub trait Actor<P: Payload> {
+    /// Called once at `t=0`, before any message flows.
+    fn on_start(&mut self, _ctx: &mut Ctx<'_, P>) {}
+
+    /// A message arrived.
+    fn on_message(&mut self, env: Envelope<P>, ctx: &mut Ctx<'_, P>);
+
+    /// One of this site's own messages bounced off a partition boundary and
+    /// came back (optimistic model only). `env.dst` is the site that never
+    /// received it.
+    fn on_undeliverable(&mut self, _env: Envelope<P>, _ctx: &mut Ctx<'_, P>) {}
+
+    /// A previously armed timer fired (and was not cancelled).
+    fn on_timer(&mut self, _tag: u64, _ctx: &mut Ctx<'_, P>) {}
+
+    /// The site recovered from a crash.
+    fn on_recover(&mut self, _ctx: &mut Ctx<'_, P>) {}
+
+    /// Optional downcasting hook so callers can inspect concrete actor
+    /// state after [`Simulation::run`] returns the actors. Implementations
+    /// that want to be inspected return `Some(self)`.
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        None
+    }
+}
+
+/// Handle to an armed timer, used for cancellation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TimerHandle(pub u64);
+
+/// Everything an actor may do during a handler: inspect time, send messages,
+/// and manage timers.
+pub struct Ctx<'a, P: Payload> {
+    core: &'a mut Core<P>,
+    me: SiteId,
+}
+
+impl<P: Payload> Ctx<'_, P> {
+    /// Current simulated time.
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.core.now
+    }
+
+    /// This actor's site id.
+    #[inline]
+    pub fn me(&self) -> SiteId {
+        self.me
+    }
+
+    /// Simulation configuration (for `T`-based timer arithmetic).
+    #[inline]
+    pub fn config(&self) -> &NetConfig {
+        &self.core.config
+    }
+
+    /// `n * T` as a duration.
+    #[inline]
+    pub fn t(&self, n: u64) -> SimDuration {
+        self.core.config.t(n)
+    }
+
+    /// Sends `payload` to `dst`. Self-sends are delivered (after the sampled
+    /// delay) without partition interference.
+    pub fn send(&mut self, dst: SiteId, payload: P) {
+        self.core.send(self.me, dst, payload);
+    }
+
+    /// Sends a clone of `payload` to every site in `dsts` except self.
+    pub fn send_to_all(&mut self, dsts: &[SiteId], payload: P) {
+        for &d in dsts {
+            if d != self.me {
+                self.core.send(self.me, d, payload.clone());
+            }
+        }
+    }
+
+    /// Arms a timer that fires `after` from now, delivering `tag` to
+    /// [`Actor::on_timer`].
+    pub fn set_timer(&mut self, after: SimDuration, tag: u64) -> TimerHandle {
+        self.core.set_timer(self.me, after, tag)
+    }
+
+    /// Cancels a timer if it has not fired yet.
+    pub fn cancel_timer(&mut self, handle: TimerHandle) {
+        self.core.cancel_timer(self.me, handle);
+    }
+
+    /// Records a free-form annotation in the trace. Protocol code uses this
+    /// for state transitions and decisions; the timing experiments measure
+    /// gaps between notes.
+    pub fn note(&mut self, label: &'static str, detail: u64) {
+        let at = self.core.now;
+        let site = self.me;
+        self.core.trace.push(TraceEvent::Note { at, site, label, detail });
+    }
+}
+
+/// Shared simulator internals (everything except the actors themselves, so
+/// handler dispatch can borrow an actor and the core disjointly).
+struct Core<P: Payload> {
+    config: NetConfig,
+    now: SimTime,
+    queue: EventQueue<P>,
+    next_msg: u64,
+    next_timer: u64,
+    cancelled: HashSet<u64>,
+    crashed: Vec<bool>,
+    partition: PartitionEngine,
+    sampler: DelaySampler,
+    trace: Trace,
+}
+
+impl<P: Payload> Core<P> {
+    fn send(&mut self, src: SiteId, dst: SiteId, payload: P) {
+        let id = MsgId(self.next_msg);
+        self.next_msg += 1;
+        let kind = payload.kind();
+        let env = Envelope { id, src, dst, sent_at: self.now, payload };
+        self.trace.push(TraceEvent::Sent { at: self.now, id, src, dst, kind });
+
+        let out = self
+            .sampler
+            .sample(id, src, dst, Leg::Outbound)
+            .clamp(1, self.config.t_unit);
+        let delivery_at = self.now + SimDuration(out);
+
+        let fate = self.classify(src, dst, self.now, delivery_at);
+        match fate {
+            Fate::Deliver => {
+                self.queue.push(delivery_at, EventKind::Deliver(env));
+            }
+            Fate::Bounce(bounce_at) => match self.config.mode {
+                PartitionMode::Optimistic => {
+                    let ret = self
+                        .sampler
+                        .sample(id, src, dst, Leg::Return)
+                        .clamp(1, self.config.t_unit);
+                    self.queue.push(bounce_at + SimDuration(ret), EventKind::ReturnUd(env));
+                }
+                PartitionMode::Pessimistic => {
+                    self.trace.push(TraceEvent::Dropped {
+                        at: self.now,
+                        id,
+                        src,
+                        dst,
+                        kind,
+                    });
+                }
+            },
+        }
+    }
+
+    /// Decides whether a message sent at `sent_at` with scheduled delivery at
+    /// `delivery_at` crosses a partition boundary, and if so when it bounces.
+    ///
+    /// * Disconnected already at send time: the message travels out and
+    ///   bounces at the boundary — bounce instant is the scheduled delivery
+    ///   instant (it spent its outbound delay reaching the wall).
+    /// * Partition starts mid-flight: it was "outstanding ... at the time
+    ///   partitioning occurs" (Lemma 3's setup) and bounces at the partition
+    ///   instant.
+    ///
+    /// Either way the return leg adds at most `T`, so an undeliverable
+    /// message is back at its sender within `2T` of sending — the bound the
+    /// Fig. 6 timing analysis uses.
+    fn classify(&self, src: SiteId, dst: SiteId, sent_at: SimTime, delivery_at: SimTime) -> Fate {
+        if src == dst {
+            return Fate::Deliver;
+        }
+        if !self.partition.connected(src, dst, sent_at) {
+            return Fate::Bounce(delivery_at);
+        }
+        match self.partition.disconnect_time(src, dst, sent_at, delivery_at) {
+            Some(tp) => Fate::Bounce(tp),
+            None => Fate::Deliver,
+        }
+    }
+
+    fn set_timer(&mut self, site: SiteId, after: SimDuration, tag: u64) -> TimerHandle {
+        let timer = self.next_timer;
+        self.next_timer += 1;
+        let fire_at = self.now + after;
+        self.trace.push(TraceEvent::TimerSet { at: self.now, site, timer, tag, fire_at });
+        self.queue.push(fire_at, EventKind::Timer { site, timer, tag });
+        TimerHandle(timer)
+    }
+
+    fn cancel_timer(&mut self, site: SiteId, handle: TimerHandle) {
+        if self.cancelled.insert(handle.0) {
+            self.trace.push(TraceEvent::TimerCancelled {
+                at: self.now,
+                site,
+                timer: handle.0,
+            });
+        }
+    }
+}
+
+enum Fate {
+    Deliver,
+    Bounce(SimTime),
+}
+
+/// Why the event loop stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopReason {
+    /// No events left: the system quiesced.
+    Quiescent,
+    /// The configured horizon was reached with events still pending.
+    Horizon,
+}
+
+/// Summary of a completed run.
+#[derive(Debug, Clone, Copy)]
+pub struct RunReport {
+    /// Why the loop stopped.
+    pub stop: StopReason,
+    /// Simulated instant of the last dispatched event.
+    pub ended_at: SimTime,
+    /// Number of dispatched events.
+    pub events: u64,
+}
+
+/// A configured simulation: actors plus network behaviour.
+///
+/// Build with [`Simulation::new`], then [`Simulation::run`]. The actors are
+/// returned to the caller afterwards so protocol outcomes can be read off
+/// their final state.
+pub struct Simulation<P: Payload> {
+    core: Core<P>,
+    actors: Vec<Option<Box<dyn Actor<P>>>>,
+}
+
+impl<P: Payload> Simulation<P> {
+    /// Creates a simulation over `actors` (site `i` is `actors[i]`).
+    pub fn new(
+        config: NetConfig,
+        actors: Vec<Box<dyn Actor<P>>>,
+        partition: PartitionEngine,
+        delay: &DelayModel,
+        failures: Vec<FailureSpec>,
+    ) -> Self {
+        let n = actors.len();
+        let mut queue = EventQueue::new();
+        for f in &failures {
+            assert!(f.site.index() < n, "failure spec names unknown site {}", f.site);
+            queue.push(f.at, EventKind::Crash(f.site));
+            if let Some(r) = f.recover_at {
+                queue.push(r, EventKind::Recover(f.site));
+            }
+        }
+        Simulation {
+            core: Core {
+                config,
+                now: SimTime::ZERO,
+                queue,
+                next_msg: 0,
+                next_timer: 0,
+                cancelled: HashSet::new(),
+                crashed: vec![false; n],
+                partition,
+                sampler: delay.sampler(),
+                trace: Trace::default(),
+            },
+            actors: actors.into_iter().map(Some).collect(),
+        }
+    }
+
+    /// Number of sites.
+    pub fn site_count(&self) -> usize {
+        self.actors.len()
+    }
+
+    /// Runs every actor's `on_start`, then dispatches events until quiescence
+    /// or the horizon. Returns the actors, the trace, and a report.
+    pub fn run(mut self) -> (Vec<Box<dyn Actor<P>>>, Trace, RunReport) {
+        // Start hooks, in site order at t=0.
+        for i in 0..self.actors.len() {
+            self.with_actor(i, |actor, ctx| actor.on_start(ctx));
+        }
+
+        let mut events: u64 = 0;
+        let mut ended_at = SimTime::ZERO;
+        let stop = loop {
+            let Some(ev) = self.core.queue.pop() else {
+                break StopReason::Quiescent;
+            };
+            if ev.at > self.core.config.max_time {
+                break StopReason::Horizon;
+            }
+            debug_assert!(ev.at >= self.core.now, "time must be monotone");
+            self.core.now = ev.at;
+            ended_at = ev.at;
+            events += 1;
+            match ev.kind {
+                EventKind::Deliver(env) => {
+                    let dst = env.dst;
+                    if self.core.crashed[dst.index()] {
+                        self.core.trace.push(TraceEvent::Dropped {
+                            at: ev.at,
+                            id: env.id,
+                            src: env.src,
+                            dst,
+                            kind: env.payload.kind(),
+                        });
+                        continue;
+                    }
+                    self.core.trace.push(TraceEvent::Delivered {
+                        at: ev.at,
+                        id: env.id,
+                        src: env.src,
+                        dst,
+                        kind: env.payload.kind(),
+                    });
+                    self.with_actor(dst.index(), |actor, ctx| actor.on_message(env, ctx));
+                }
+                EventKind::ReturnUd(env) => {
+                    let src = env.src;
+                    if self.core.crashed[src.index()] {
+                        self.core.trace.push(TraceEvent::Dropped {
+                            at: ev.at,
+                            id: env.id,
+                            src,
+                            dst: env.dst,
+                            kind: env.payload.kind(),
+                        });
+                        continue;
+                    }
+                    self.core.trace.push(TraceEvent::Returned {
+                        at: ev.at,
+                        id: env.id,
+                        src,
+                        dst: env.dst,
+                        kind: env.payload.kind(),
+                    });
+                    self.with_actor(src.index(), |actor, ctx| {
+                        actor.on_undeliverable(env, ctx)
+                    });
+                }
+                EventKind::Timer { site, timer, tag } => {
+                    if self.core.cancelled.remove(&timer) || self.core.crashed[site.index()] {
+                        self.core.trace.push(TraceEvent::TimerSuppressed {
+                            at: ev.at,
+                            site,
+                            timer,
+                            tag,
+                        });
+                        continue;
+                    }
+                    self.core.trace.push(TraceEvent::TimerFired { at: ev.at, site, timer, tag });
+                    self.with_actor(site.index(), |actor, ctx| actor.on_timer(tag, ctx));
+                }
+                EventKind::Crash(site) => {
+                    self.core.crashed[site.index()] = true;
+                    self.core.trace.push(TraceEvent::Crashed { at: ev.at, site });
+                }
+                EventKind::Recover(site) => {
+                    self.core.crashed[site.index()] = false;
+                    self.core.trace.push(TraceEvent::Recovered { at: ev.at, site });
+                    self.with_actor(site.index(), |actor, ctx| actor.on_recover(ctx));
+                }
+            }
+        };
+
+        let report = RunReport { stop, ended_at, events };
+        let actors = self.actors.into_iter().map(|a| a.expect("actor present")).collect();
+        (actors, self.core.trace, report)
+    }
+
+    /// Take-and-put-back dispatch so the handler can borrow the core mutably
+    /// while owning the actor.
+    fn with_actor(
+        &mut self,
+        idx: usize,
+        f: impl FnOnce(&mut Box<dyn Actor<P>>, &mut Ctx<'_, P>),
+    ) {
+        let mut actor = self.actors[idx].take().expect("actor re-entrancy");
+        let mut ctx = Ctx { core: &mut self.core, me: SiteId(idx as u16) };
+        f(&mut actor, &mut ctx);
+        self.actors[idx] = Some(actor);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partition::PartitionSpec;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    /// Test actor: replies "pong" to "ping", records everything it sees on a
+    /// shared board.
+    #[derive(Debug, Default, Clone)]
+    struct Board {
+        delivered: Vec<(u16, &'static str, u64)>, // (to, kind, at)
+        ud: Vec<(u16, &'static str, u64)>,        // (sender, kind, at)
+        timers: Vec<(u16, u64, u64)>,             // (site, tag, at)
+    }
+
+    struct Echo {
+        board: Rc<RefCell<Board>>,
+        peer: Option<SiteId>,
+        starts_ping: bool,
+    }
+
+    impl Actor<&'static str> for Echo {
+        fn on_start(&mut self, ctx: &mut Ctx<'_, &'static str>) {
+            if self.starts_ping {
+                ctx.send(self.peer.unwrap(), "ping");
+            }
+        }
+        fn on_message(&mut self, env: Envelope<&'static str>, ctx: &mut Ctx<'_, &'static str>) {
+            self.board.borrow_mut().delivered.push((
+                ctx.me().0,
+                env.payload,
+                ctx.now().ticks(),
+            ));
+            if env.payload == "ping" {
+                ctx.send(env.src, "pong");
+            }
+        }
+        fn on_undeliverable(
+            &mut self,
+            env: Envelope<&'static str>,
+            ctx: &mut Ctx<'_, &'static str>,
+        ) {
+            self.board.borrow_mut().ud.push((ctx.me().0, env.payload, ctx.now().ticks()));
+        }
+        fn on_timer(&mut self, tag: u64, ctx: &mut Ctx<'_, &'static str>) {
+            self.board.borrow_mut().timers.push((ctx.me().0, tag, ctx.now().ticks()));
+        }
+    }
+
+    fn two_site(
+        partition: PartitionEngine,
+        mode: PartitionMode,
+    ) -> (Rc<RefCell<Board>>, Trace, RunReport) {
+        let board = Rc::new(RefCell::new(Board::default()));
+        let a = Echo { board: board.clone(), peer: Some(SiteId(1)), starts_ping: true };
+        let b = Echo { board: board.clone(), peer: None, starts_ping: false };
+        let config = NetConfig { mode, ..NetConfig::default() };
+        let sim = Simulation::new(
+            config,
+            vec![Box::new(a), Box::new(b)],
+            partition,
+            &DelayModel::Fixed(100),
+            vec![],
+        );
+        let (_, trace, report) = sim.run();
+        (board, trace, report)
+    }
+
+    #[test]
+    fn ping_pong_round_trip() {
+        let (board, _, report) = two_site(PartitionEngine::always_connected(), PartitionMode::Optimistic);
+        let b = board.borrow();
+        assert_eq!(b.delivered, vec![(1, "ping", 100), (0, "pong", 200)]);
+        assert_eq!(report.stop, StopReason::Quiescent);
+        assert_eq!(report.events, 2);
+    }
+
+    #[test]
+    fn partition_at_zero_returns_message_optimistic() {
+        let part = PartitionEngine::new(vec![PartitionSpec::simple(
+            SimTime(0),
+            vec![SiteId(0)],
+            vec![SiteId(1)],
+        )]);
+        let (board, trace, _) = two_site(part, PartitionMode::Optimistic);
+        let b = board.borrow();
+        assert!(b.delivered.is_empty());
+        // Bounce at scheduled delivery (100) + return leg (100).
+        assert_eq!(b.ud, vec![(0, "ping", 200)]);
+        assert_eq!(trace.returns_to(SiteId(0), "ping").count(), 1);
+    }
+
+    #[test]
+    fn partition_at_zero_drops_message_pessimistic() {
+        let part = PartitionEngine::new(vec![PartitionSpec::simple(
+            SimTime(0),
+            vec![SiteId(0)],
+            vec![SiteId(1)],
+        )]);
+        let (board, trace, _) = two_site(part, PartitionMode::Pessimistic);
+        let b = board.borrow();
+        assert!(b.delivered.is_empty());
+        assert!(b.ud.is_empty());
+        assert!(trace
+            .events()
+            .iter()
+            .any(|e| matches!(e, TraceEvent::Dropped { .. })));
+    }
+
+    #[test]
+    fn mid_flight_partition_bounces_at_partition_instant() {
+        // ping sent at t=0 with delay 100; partition at t=50 → bounce at 50,
+        // return leg 100 → UD at 150.
+        let part = PartitionEngine::new(vec![PartitionSpec::simple(
+            SimTime(50),
+            vec![SiteId(0)],
+            vec![SiteId(1)],
+        )]);
+        let (board, _, _) = two_site(part, PartitionMode::Optimistic);
+        assert_eq!(board.borrow().ud, vec![(0, "ping", 150)]);
+    }
+
+    #[test]
+    fn heal_before_send_means_delivery() {
+        let part = PartitionEngine::new(vec![PartitionSpec::transient(
+            SimTime(0),
+            vec![SiteId(0)],
+            vec![SiteId(1)],
+            SimTime(1),
+        )]);
+        // Send happens at t=0 while partitioned → bounced even though the
+        // network heals at t=1 (the message already hit the wall).
+        let (board, _, _) = two_site(part, PartitionMode::Optimistic);
+        assert_eq!(board.borrow().ud.len(), 1);
+    }
+
+    struct TimerActor {
+        board: Rc<RefCell<Board>>,
+        cancel_second: bool,
+    }
+    impl Actor<&'static str> for TimerActor {
+        fn on_start(&mut self, ctx: &mut Ctx<'_, &'static str>) {
+            ctx.set_timer(SimDuration(10), 1);
+            let h = ctx.set_timer(SimDuration(20), 2);
+            if self.cancel_second {
+                ctx.cancel_timer(h);
+            }
+        }
+        fn on_message(&mut self, _: Envelope<&'static str>, _: &mut Ctx<'_, &'static str>) {}
+        fn on_timer(&mut self, tag: u64, ctx: &mut Ctx<'_, &'static str>) {
+            self.board.borrow_mut().timers.push((ctx.me().0, tag, ctx.now().ticks()));
+        }
+    }
+
+    #[test]
+    fn timers_fire_in_order() {
+        let board = Rc::new(RefCell::new(Board::default()));
+        let sim = Simulation::new(
+            NetConfig::default(),
+            vec![Box::new(TimerActor { board: board.clone(), cancel_second: false })],
+            PartitionEngine::always_connected(),
+            &DelayModel::Fixed(1),
+            vec![],
+        );
+        sim.run();
+        assert_eq!(board.borrow().timers, vec![(0, 1, 10), (0, 2, 20)]);
+    }
+
+    #[test]
+    fn cancelled_timer_does_not_fire() {
+        let board = Rc::new(RefCell::new(Board::default()));
+        let sim = Simulation::new(
+            NetConfig::default(),
+            vec![Box::new(TimerActor { board: board.clone(), cancel_second: true })],
+            PartitionEngine::always_connected(),
+            &DelayModel::Fixed(1),
+            vec![],
+        );
+        let (_, trace, _) = sim.run();
+        assert_eq!(board.borrow().timers, vec![(0, 1, 10)]);
+        assert!(trace
+            .events()
+            .iter()
+            .any(|e| matches!(e, TraceEvent::TimerSuppressed { .. })));
+    }
+
+    #[test]
+    fn crashed_site_drops_messages_and_timers() {
+        let board = Rc::new(RefCell::new(Board::default()));
+        let a = Echo { board: board.clone(), peer: Some(SiteId(1)), starts_ping: true };
+        let b = Echo { board: board.clone(), peer: None, starts_ping: false };
+        let sim = Simulation::new(
+            NetConfig::default(),
+            vec![Box::new(a), Box::new(b)],
+            PartitionEngine::always_connected(),
+            &DelayModel::Fixed(100),
+            vec![FailureSpec::crash(SiteId(1), SimTime(50))],
+        );
+        let (_, trace, _) = sim.run();
+        assert!(board.borrow().delivered.is_empty());
+        assert!(trace
+            .events()
+            .iter()
+            .any(|e| matches!(e, TraceEvent::Crashed { site, .. } if *site == SiteId(1))));
+    }
+
+    #[test]
+    fn horizon_stops_runaway() {
+        struct Looper;
+        impl Actor<&'static str> for Looper {
+            fn on_start(&mut self, ctx: &mut Ctx<'_, &'static str>) {
+                ctx.set_timer(SimDuration(10), 0);
+            }
+            fn on_message(&mut self, _: Envelope<&'static str>, _: &mut Ctx<'_, &'static str>) {}
+            fn on_timer(&mut self, _: u64, ctx: &mut Ctx<'_, &'static str>) {
+                ctx.set_timer(SimDuration(10), 0); // re-arm forever
+            }
+        }
+        let config = NetConfig { max_time: SimTime(1000), ..NetConfig::default() };
+        let sim = Simulation::new(
+            config,
+            vec![Box::new(Looper)],
+            PartitionEngine::always_connected(),
+            &DelayModel::Fixed(1),
+            vec![],
+        );
+        let (_, _, report) = sim.run();
+        assert_eq!(report.stop, StopReason::Horizon);
+        assert!(report.ended_at <= SimTime(1000));
+    }
+
+    #[test]
+    fn delay_clamped_to_t() {
+        // A 10_000-tick "delay" with t_unit=1000 must be clamped to 1000.
+        let board = Rc::new(RefCell::new(Board::default()));
+        let a = Echo { board: board.clone(), peer: Some(SiteId(1)), starts_ping: true };
+        let b = Echo { board: board.clone(), peer: None, starts_ping: false };
+        let sim = Simulation::new(
+            NetConfig::default(),
+            vec![Box::new(a), Box::new(b)],
+            PartitionEngine::always_connected(),
+            &DelayModel::Fixed(10_000),
+            vec![],
+        );
+        sim.run();
+        assert_eq!(board.borrow().delivered[0], (1, "ping", 1000));
+    }
+
+    #[test]
+    fn note_lands_in_trace() {
+        struct Noter;
+        impl Actor<&'static str> for Noter {
+            fn on_start(&mut self, ctx: &mut Ctx<'_, &'static str>) {
+                ctx.note("hello", 42);
+            }
+            fn on_message(&mut self, _: Envelope<&'static str>, _: &mut Ctx<'_, &'static str>) {}
+        }
+        let sim = Simulation::new(
+            NetConfig::default(),
+            vec![Box::new(Noter)],
+            PartitionEngine::always_connected(),
+            &DelayModel::Fixed(1),
+            vec![],
+        );
+        let (_, trace, _) = sim.run();
+        assert_eq!(trace.first_note(SiteId(0), "hello"), Some((SimTime(0), 42)));
+    }
+}

@@ -1,0 +1,266 @@
+//! Network partitioning: the failure class the paper is about.
+//!
+//! Terminology (Sec. 2):
+//! * **simple partitioning** — sites split into exactly two groups with no
+//!   communication between them;
+//! * **multiple partitioning** — more than two groups (provably hopeless,
+//!   reproduced by experiment E12);
+//! * **transient partitioning** — the network heals before all affected
+//!   transactions have terminated (Sec. 6);
+//! * **optimistic model** — undeliverable messages are returned to their
+//!   senders; **pessimistic model** — they are lost.
+
+use crate::message::SiteId;
+use crate::time::SimTime;
+
+/// Whether undeliverable messages are returned or lost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(serde::Serialize, serde::Deserialize)]
+pub enum PartitionMode {
+    /// The paper's assumption 1: undeliverable messages come back to the
+    /// sender (within `2T` of the original send in this simulator).
+    #[default]
+    Optimistic,
+    /// Undeliverable messages vanish. The Skeen–Stonebraker impossibility
+    /// theorem says no protocol is resilient in this model.
+    Pessimistic,
+}
+
+/// A partition episode: at `at`, the sites split into `groups`; if `heal_at`
+/// is set, full connectivity returns at that instant (transient partitioning).
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(serde::Serialize, serde::Deserialize)]
+pub struct PartitionSpec {
+    /// When the partition occurs.
+    pub at: SimTime,
+    /// The connectivity groups. Two groups = simple partitioning; more =
+    /// multiple partitioning. Sites not listed anywhere are unreachable from
+    /// everyone (treated as a singleton group).
+    pub groups: Vec<Vec<SiteId>>,
+    /// When the partition heals, if it does.
+    pub heal_at: Option<SimTime>,
+}
+
+impl PartitionSpec {
+    /// A simple (two-group) partition that never heals.
+    pub fn simple(at: SimTime, group_a: Vec<SiteId>, group_b: Vec<SiteId>) -> Self {
+        PartitionSpec { at, groups: vec![group_a, group_b], heal_at: None }
+    }
+
+    /// A simple partition that heals at `heal_at` (Sec. 6's transient case).
+    pub fn transient(
+        at: SimTime,
+        group_a: Vec<SiteId>,
+        group_b: Vec<SiteId>,
+        heal_at: SimTime,
+    ) -> Self {
+        PartitionSpec { at, groups: vec![group_a, group_b], heal_at: Some(heal_at) }
+    }
+
+    /// True if this is a simple (exactly two group) partition.
+    pub fn is_simple(&self) -> bool {
+        self.groups.len() == 2
+    }
+
+    /// Index of the group containing `site`, if any.
+    fn group_of(&self, site: SiteId) -> Option<usize> {
+        self.groups.iter().position(|g| g.contains(&site))
+    }
+}
+
+/// Evaluates connectivity questions against a list of partition episodes.
+///
+/// Episodes may not overlap in time; [`PartitionEngine::new`] checks this.
+/// (The paper's assumption 2 rules out a second partition before the first
+/// one's transactions terminate; the engine still supports sequential
+/// episodes so experiments can model repeated transient partitions.)
+#[derive(Debug, Clone)]
+pub struct PartitionEngine {
+    episodes: Vec<PartitionSpec>,
+}
+
+impl PartitionEngine {
+    /// Creates an engine from episodes, validating that they are disjoint in
+    /// time and sorted by start.
+    ///
+    /// # Panics
+    /// Panics if two episodes overlap in time.
+    pub fn new(mut episodes: Vec<PartitionSpec>) -> Self {
+        episodes.sort_by_key(|e| e.at);
+        for pair in episodes.windows(2) {
+            let end = pair[0]
+                .heal_at
+                .expect("an unhealed partition must be the last episode");
+            assert!(end <= pair[1].at, "partition episodes overlap in time");
+        }
+        PartitionEngine { episodes }
+    }
+
+    /// No partitions at all.
+    pub fn always_connected() -> Self {
+        PartitionEngine { episodes: Vec::new() }
+    }
+
+    /// The episode active at `now`, if any.
+    pub fn active_at(&self, now: SimTime) -> Option<&PartitionSpec> {
+        self.episodes.iter().find(|e| {
+            e.at <= now && e.heal_at.map_or(true, |h| now < h)
+        })
+    }
+
+    /// Can a message travel from `a` to `b` at instant `now`?
+    pub fn connected(&self, a: SiteId, b: SiteId, now: SimTime) -> bool {
+        if a == b {
+            return true;
+        }
+        match self.active_at(now) {
+            None => true,
+            Some(ep) => match (ep.group_of(a), ep.group_of(b)) {
+                (Some(ga), Some(gb)) => ga == gb,
+                // A site missing from every group is isolated.
+                _ => false,
+            },
+        }
+    }
+
+    /// The first instant in `(from, to]` at which `a` and `b` become
+    /// disconnected, if any. Used to schedule undeliverable-message bounces
+    /// for messages that were in flight when the partition started.
+    pub fn disconnect_time(
+        &self,
+        a: SiteId,
+        b: SiteId,
+        from: SimTime,
+        to: SimTime,
+    ) -> Option<SimTime> {
+        if a == b {
+            return None;
+        }
+        self.episodes
+            .iter()
+            .filter(|e| e.at > from && e.at <= to)
+            .find(|e| match (e.group_of(a), e.group_of(b)) {
+                (Some(ga), Some(gb)) => ga != gb,
+                _ => true,
+            })
+            .map(|e| e.at)
+    }
+
+    /// All episode boundaries (start and heal instants), for trace annotation.
+    pub fn boundaries(&self) -> Vec<(SimTime, bool)> {
+        let mut out = Vec::new();
+        for e in &self.episodes {
+            out.push((e.at, true));
+            if let Some(h) = e.heal_at {
+                out.push((h, false));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(i: u16) -> SiteId {
+        SiteId(i)
+    }
+
+    fn simple_at(at: u64) -> PartitionSpec {
+        PartitionSpec::simple(SimTime(at), vec![s(1), s(2)], vec![s(3)])
+    }
+
+    #[test]
+    fn connected_before_partition() {
+        let eng = PartitionEngine::new(vec![simple_at(100)]);
+        assert!(eng.connected(s(1), s(3), SimTime(99)));
+        assert!(!eng.connected(s(1), s(3), SimTime(100)));
+        assert!(eng.connected(s(1), s(2), SimTime(100)));
+    }
+
+    #[test]
+    fn self_loop_always_connected() {
+        let eng = PartitionEngine::new(vec![simple_at(0)]);
+        assert!(eng.connected(s(3), s(3), SimTime(50)));
+    }
+
+    #[test]
+    fn heal_restores_connectivity() {
+        let eng = PartitionEngine::new(vec![PartitionSpec::transient(
+            SimTime(10),
+            vec![s(1)],
+            vec![s(2)],
+            SimTime(20),
+        )]);
+        assert!(!eng.connected(s(1), s(2), SimTime(15)));
+        assert!(eng.connected(s(1), s(2), SimTime(20)));
+    }
+
+    #[test]
+    fn unlisted_site_is_isolated() {
+        let eng = PartitionEngine::new(vec![PartitionSpec::simple(
+            SimTime(0),
+            vec![s(1)],
+            vec![s(2)],
+        )]);
+        assert!(!eng.connected(s(1), s(9), SimTime(5)));
+        assert!(!eng.connected(s(9), s(2), SimTime(5)));
+    }
+
+    #[test]
+    fn disconnect_time_finds_partition_start() {
+        let eng = PartitionEngine::new(vec![simple_at(100)]);
+        assert_eq!(
+            eng.disconnect_time(s(1), s(3), SimTime(50), SimTime(150)),
+            Some(SimTime(100))
+        );
+        // Same-group pairs never disconnect.
+        assert_eq!(eng.disconnect_time(s(1), s(2), SimTime(50), SimTime(150)), None);
+        // Window entirely before the partition.
+        assert_eq!(eng.disconnect_time(s(1), s(3), SimTime(0), SimTime(99)), None);
+    }
+
+    #[test]
+    fn multiple_partitioning_three_groups() {
+        let eng = PartitionEngine::new(vec![PartitionSpec {
+            at: SimTime(0),
+            groups: vec![vec![s(1)], vec![s(2)], vec![s(3)]],
+            heal_at: None,
+        }]);
+        assert!(!eng.connected(s(1), s(2), SimTime(1)));
+        assert!(!eng.connected(s(2), s(3), SimTime(1)));
+        assert!(!eng.connected(s(1), s(3), SimTime(1)));
+    }
+
+    #[test]
+    fn sequential_episodes_allowed() {
+        let eng = PartitionEngine::new(vec![
+            PartitionSpec::transient(SimTime(0), vec![s(1)], vec![s(2)], SimTime(10)),
+            PartitionSpec::transient(SimTime(20), vec![s(1), s(2)], vec![], SimTime(30)),
+        ]);
+        assert!(!eng.connected(s(1), s(2), SimTime(5)));
+        assert!(eng.connected(s(1), s(2), SimTime(15)));
+        assert!(eng.connected(s(1), s(2), SimTime(25)));
+    }
+
+    #[test]
+    #[should_panic(expected = "overlap")]
+    fn overlapping_episodes_rejected() {
+        PartitionEngine::new(vec![
+            PartitionSpec::transient(SimTime(0), vec![s(1)], vec![s(2)], SimTime(50)),
+            PartitionSpec::simple(SimTime(25), vec![s(1)], vec![s(2)]),
+        ]);
+    }
+
+    #[test]
+    fn is_simple_classification() {
+        assert!(simple_at(0).is_simple());
+        let multi = PartitionSpec {
+            at: SimTime(0),
+            groups: vec![vec![s(1)], vec![s(2)], vec![s(3)]],
+            heal_at: None,
+        };
+        assert!(!multi.is_simple());
+    }
+}

@@ -1,0 +1,148 @@
+//! Virtual time for the discrete-event simulator.
+//!
+//! The paper reasons about time exclusively in units of `T`, the longest
+//! end-to-end network propagation delay (Sec. 5.3, Fig. 5). The simulator
+//! uses integer *ticks*; a [`crate::NetConfig`] fixes how many ticks one `T`
+//! is, so experiments can report waits as exact multiples of `T`.
+
+use core::fmt;
+use core::ops::{Add, AddAssign, Sub};
+
+/// An absolute instant in simulated time, in ticks since simulation start.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+#[derive(serde::Serialize, serde::Deserialize)]
+pub struct SimTime(pub u64);
+
+/// A span of simulated time, in ticks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+#[derive(serde::Serialize, serde::Deserialize)]
+pub struct SimDuration(pub u64);
+
+impl SimTime {
+    /// The instant at which every simulation starts.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Raw tick count.
+    #[inline]
+    pub fn ticks(self) -> u64 {
+        self.0
+    }
+
+    /// The duration elapsed since `earlier`, saturating at zero if `earlier`
+    /// is in the future.
+    #[inline]
+    pub fn since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+
+    /// Expresses this instant as a (possibly fractional) multiple of `t_unit`.
+    #[inline]
+    pub fn in_t_units(self, t_unit: u64) -> f64 {
+        self.0 as f64 / t_unit as f64
+    }
+}
+
+impl SimDuration {
+    /// The empty duration.
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    /// Raw tick count.
+    #[inline]
+    pub fn ticks(self) -> u64 {
+        self.0
+    }
+
+    /// Expresses this span as a (possibly fractional) multiple of `t_unit`.
+    #[inline]
+    pub fn in_t_units(self, t_unit: u64) -> f64 {
+        self.0 as f64 / t_unit as f64
+    }
+
+    /// Multiplies the span by an integer factor (used for `2T`, `3T`, ... timer
+    /// constants).
+    #[inline]
+    pub fn times(self, factor: u64) -> SimDuration {
+        SimDuration(self.0 * factor)
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    #[inline]
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+    #[inline]
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl Add<SimDuration> for SimDuration {
+    type Output = SimDuration;
+    #[inline]
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 + rhs.0)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t={}", self.0)
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ticks", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_duration_to_time() {
+        assert_eq!(SimTime(5) + SimDuration(7), SimTime(12));
+    }
+
+    #[test]
+    fn since_saturates() {
+        assert_eq!(SimTime(3).since(SimTime(10)), SimDuration::ZERO);
+        assert_eq!(SimTime(10).since(SimTime(3)), SimDuration(7));
+    }
+
+    #[test]
+    fn subtraction_yields_duration() {
+        assert_eq!(SimTime(10) - SimTime(4), SimDuration(6));
+    }
+
+    #[test]
+    fn t_unit_conversion() {
+        assert!((SimTime(1500).in_t_units(1000) - 1.5).abs() < 1e-12);
+        assert!((SimDuration(2500).in_t_units(1000) - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn times_scales() {
+        assert_eq!(SimDuration(1000).times(3), SimDuration(3000));
+    }
+
+    #[test]
+    fn ordering_is_numeric() {
+        assert!(SimTime(1) < SimTime(2));
+        assert!(SimDuration(1) < SimDuration(2));
+    }
+}

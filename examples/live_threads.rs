@@ -1,0 +1,69 @@
+//! The termination protocol on real threads and wall-clock timers.
+//!
+//! Same state machines as every other example — but here each site is an OS
+//! thread, messages travel through crossbeam channels with real delays
+//! bounded by `T = 10ms`, and the partition is enforced against the system
+//! clock. Runs a batch of live executions with partitions landing at
+//! different moments and reports the outcomes.
+//!
+//! ```sh
+//! cargo run --release --example live_threads
+//! ```
+
+use ptp_core::livenet::{run_live, LiveConfig, LivePartition};
+use ptp_core::protocols::api::Vote;
+use ptp_core::protocols::clusters::huang_li_3pc_cluster;
+use ptp_core::protocols::termination::TerminationVariant;
+use ptp_simnet::SiteId;
+use std::time::Duration;
+
+fn main() {
+    let t = Duration::from_millis(10);
+    println!("Huang–Li 3PC on OS threads, T = {t:?}, 4 sites\n");
+
+    let mut all_consistent = true;
+    for (label, partition) in [
+        ("no partition", None),
+        (
+            "partition {0,1} | {2,3} during phase 1 (t = 1.5T)",
+            Some(LivePartition {
+                after: t * 3 / 2,
+                g2: vec![SiteId(2), SiteId(3)],
+                heal_after: None,
+            }),
+        ),
+        (
+            "partition {0,1,2} | {3} during prepare (t = 2.5T)",
+            Some(LivePartition { after: t * 5 / 2, g2: vec![SiteId(3)], heal_after: None }),
+        ),
+        (
+            "transient partition healing at 5T",
+            Some(LivePartition {
+                after: t * 2,
+                g2: vec![SiteId(2), SiteId(3)],
+                heal_after: Some(t * 5),
+            }),
+        ),
+    ] {
+        let parts = huang_li_3pc_cluster(4, &[Vote::Yes; 3], TerminationVariant::Transient);
+        let outcome = run_live(parts, LiveConfig::with_t(t), partition);
+        println!("{label}:");
+        for (i, d) in outcome.decisions.iter().enumerate() {
+            match d {
+                Some(d) => println!("  site {i}: {d}"),
+                None => println!("  site {i}: UNDECIDED"),
+            }
+        }
+        println!(
+            "  consistent: {}, all decided: {}, elapsed: {:?}\n",
+            outcome.consistent(),
+            outcome.all_decided(),
+            outcome.elapsed
+        );
+        all_consistent &= outcome.consistent() && outcome.all_decided();
+    }
+
+    assert!(all_consistent, "every live run must terminate consistently");
+    println!("All live executions terminated consistently — the same guarantee the");
+    println!("simulator proves exhaustively, holding up under real thread scheduling.");
+}

@@ -1,0 +1,60 @@
+//! Resilience audit: sweep every protocol in the suite over the same grid
+//! of partition scenarios and print the scorecard — the executable summary
+//! of the paper's Secs. 3–5.
+//!
+//! ```sh
+//! cargo run --release --example resilience_audit
+//! ```
+
+use ptp_core::report::Table;
+use ptp_core::{sweep, ProtocolKind, SweepGrid};
+use ptp_simnet::DelayModel;
+
+fn main() {
+    let n = 3;
+    let mut grid = SweepGrid::standard(n);
+    grid.partition_times = (0..=32).map(|i| i * 250).collect();
+    grid.delays = vec![
+        DelayModel::Fixed(1000),
+        DelayModel::Fixed(500),
+        DelayModel::Uniform { seed: 42, min: 1, max: 1000 },
+    ];
+
+    println!(
+        "Sweeping {} scenarios per protocol ({} boundaries x {} instants x {} delay models), n = {n}\n",
+        grid.size(),
+        grid.boundaries.len(),
+        grid.partition_times.len(),
+        grid.delays.len(),
+    );
+
+    let mut table = Table::new(vec![
+        "protocol",
+        "scenarios",
+        "all-commit",
+        "all-abort",
+        "blocked",
+        "inconsistent",
+        "resilient?",
+    ]);
+
+    for kind in ProtocolKind::ALL {
+        let report = sweep(kind, &grid);
+        table.row(vec![
+            kind.name().to_string(),
+            report.total.to_string(),
+            report.all_commit.to_string(),
+            report.all_abort.to_string(),
+            report.blocked_count.to_string(),
+            report.inconsistent_count.to_string(),
+            if report.fully_resilient() { "YES".into() } else { "no".to_string() },
+        ]);
+    }
+
+    println!("{}", table.render());
+    println!("The paper's claims, mechanically checked:");
+    println!(" * 2PC and quorum commit block; they never violate atomicity.");
+    println!(" * Extended 2PC (Fig. 2) and rule-augmented 3PC violate atomicity at n >= 3 (Sec. 3).");
+    println!(" * Modified 3PC + termination protocol is resilient everywhere (Theorem 9),");
+    println!("   and the generic construction extends to a 4-phase protocol (Theorem 10).");
+}

@@ -1,0 +1,193 @@
+//! End-to-end distributed-database tests: multi-transaction workloads,
+//! partitions mid-commit, WAL-based crash recovery, and the E14
+//! availability story.
+
+use ptp_core::ddb::cluster::{CommitProtocol, DbCluster};
+use ptp_core::ddb::recovery::recover;
+use ptp_core::ddb::site::TxnSpec;
+use ptp_core::ddb::storage::Storage;
+use ptp_core::ddb::value::{Key, TxnId, Value, WriteOp};
+use ptp_core::ddb::wal::{Record, Wal};
+use ptp_model::Decision;
+use ptp_simnet::{PartitionEngine, PartitionSpec, SimTime, SiteId};
+use std::collections::BTreeMap;
+
+fn write(key: &str, v: u64) -> WriteOp {
+    WriteOp { key: Key::from(key), value: Value::from_u64(v) }
+}
+
+fn two_site_txn(id: u32, a: u64, b: u64) -> TxnSpec {
+    let mut writes = BTreeMap::new();
+    writes.insert(1u16, vec![write("a", a)]);
+    writes.insert(2u16, vec![write("b", b)]);
+    TxnSpec { id: TxnId(id), writes }
+}
+
+#[test]
+fn sequential_workload_commits_in_order() {
+    let mut cluster = DbCluster::new(3, CommitProtocol::HuangLi)
+        .seed(1, Key::from("a"), Value::from_u64(0))
+        .seed(2, Key::from("b"), Value::from_u64(0));
+    // Ten transfers, far enough apart to never conflict.
+    for i in 0..10u32 {
+        cluster = cluster.submit(i as u64 * 8000, two_site_txn(i + 1, (i + 1) as u64, (i + 1) as u64));
+    }
+    let run = cluster.run();
+    assert!(run.metrics.atomicity_violations().is_empty());
+    assert_eq!(run.metrics.decisions.len(), 10);
+    for per_site in run.metrics.decisions.values() {
+        assert!(per_site.values().all(|(d, _)| *d == Decision::Commit));
+    }
+    assert_eq!(run.storages[1].get(&Key::from("a")).unwrap().as_u64(), Some(10));
+    assert_eq!(run.storages[2].get(&Key::from("b")).unwrap().as_u64(), Some(10));
+}
+
+#[test]
+fn partition_mid_workload_never_mixes_decisions() {
+    for at in (500..=9000).step_by(500) {
+        let partition = PartitionEngine::new(vec![PartitionSpec::simple(
+            SimTime(at),
+            vec![SiteId(0), SiteId(1)],
+            vec![SiteId(2)],
+        )]);
+        let run = DbCluster::new(3, CommitProtocol::HuangLi)
+            .submit(0, two_site_txn(1, 1, 1))
+            .submit(6000, two_site_txn(2, 2, 2))
+            .partition(partition)
+            .run();
+        assert!(
+            run.metrics.atomicity_violations().is_empty(),
+            "partition at {at}: {:?}",
+            run.metrics.decisions
+        );
+        assert!(
+            run.blocked.iter().all(Vec::is_empty),
+            "partition at {at}: blocked {:?}",
+            run.blocked
+        );
+    }
+}
+
+#[test]
+fn atomic_visibility_both_writes_or_neither() {
+    // Whatever the partition does, the two writes of one transaction are
+    // either both visible or both absent.
+    for at in (500..=6000).step_by(250) {
+        let partition = PartitionEngine::new(vec![PartitionSpec::simple(
+            SimTime(at),
+            vec![SiteId(0), SiteId(1)],
+            vec![SiteId(2)],
+        )]);
+        let run = DbCluster::new(3, CommitProtocol::HuangLi)
+            .submit(0, two_site_txn(1, 7, 7))
+            .partition(partition)
+            .run();
+        let a = run.storages[1].get(&Key::from("a")).map(|v| v.as_u64());
+        let b = run.storages[2].get(&Key::from("b")).map(|v| v.as_u64());
+        assert_eq!(a.is_some(), b.is_some(), "partition at {at}: a={a:?} b={b:?}");
+    }
+}
+
+#[test]
+fn two_pc_blocked_locks_vs_huang_li_released() {
+    let partition = || {
+        PartitionEngine::new(vec![PartitionSpec::simple(
+            SimTime(1500),
+            vec![SiteId(0), SiteId(1)],
+            vec![SiteId(2)],
+        )])
+    };
+    let blocked_2pc = DbCluster::new(3, CommitProtocol::TwoPhase)
+        .submit(0, two_site_txn(1, 1, 1))
+        .partition(partition())
+        .run();
+    let held: Vec<_> = blocked_2pc
+        .metrics
+        .hold_durations(SimTime(200_000))
+        .into_iter()
+        .filter(|(_, _, _, still)| *still)
+        .collect();
+    assert!(!held.is_empty(), "2PC must strand locks");
+
+    let hl = DbCluster::new(3, CommitProtocol::HuangLi)
+        .submit(0, two_site_txn(1, 1, 1))
+        .partition(partition())
+        .run();
+    assert!(hl
+        .metrics
+        .hold_durations(SimTime(200_000))
+        .iter()
+        .all(|(_, _, _, still)| !still));
+    // And the termination is timely: every lock released within ~12T.
+    for (txn, site, ticks, _) in hl.metrics.hold_durations(SimTime(200_000)) {
+        assert!(ticks <= 12_000, "{txn} at {site} held {ticks} ticks");
+    }
+}
+
+#[test]
+fn wal_recovery_survives_crash_between_commit_and_apply() {
+    // The single-site Sec. 2 discipline, end to end: stage + durable commit
+    // record, crash before apply, recover, writes present.
+    let mut storage = Storage::new();
+    let mut wal = Wal::new();
+    storage.seed(Key::from("x"), Value::from_u64(1));
+
+    let writes = vec![write("x", 42), write("y", 7)];
+    wal.append(Record::Begin { txn: TxnId(9), writes: writes.clone() });
+    storage.stage(TxnId(9), writes);
+    wal.append_durable(Record::Commit { txn: TxnId(9) });
+
+    storage.crash();
+    wal.crash();
+    let summary = recover(&mut storage, &mut wal);
+    assert_eq!(summary.redone, vec![TxnId(9)]);
+    assert_eq!(storage.get(&Key::from("x")).unwrap().as_u64(), Some(42));
+    assert_eq!(storage.get(&Key::from("y")).unwrap().as_u64(), Some(7));
+
+    // Recovering again changes nothing (idempotence).
+    let again = recover(&mut storage, &mut wal);
+    assert!(again.redone.is_empty() && again.discarded.is_empty());
+}
+
+#[test]
+fn quorum_cluster_strands_minority_but_stays_atomic() {
+    let partition = PartitionEngine::new(vec![PartitionSpec::simple(
+        SimTime(1500),
+        vec![SiteId(0), SiteId(1)],
+        vec![SiteId(2)],
+    )]);
+    let run = DbCluster::new(3, CommitProtocol::QuorumMajority)
+        .submit(0, two_site_txn(1, 3, 3))
+        .partition(partition)
+        .run();
+    assert!(run.metrics.atomicity_violations().is_empty());
+    assert!(!run.blocked[2].is_empty(), "minority site must block");
+}
+
+#[test]
+fn contended_keys_serialize_or_abort_never_corrupt() {
+    // Five transactions all writing the same keys, 300 ticks apart, on a
+    // fast network: whatever mix of commits/aborts results, the final value
+    // must equal the payload of the *last committed* transaction.
+    let mut cluster = DbCluster::new(3, CommitProtocol::HuangLi)
+        .delay(ptp_simnet::DelayModel::Fixed(150));
+    for i in 0..5u32 {
+        cluster = cluster.submit(i as u64 * 300, two_site_txn(i + 1, (i + 1) as u64 * 10, (i + 1) as u64 * 10));
+    }
+    let run = cluster.run();
+    assert!(run.metrics.atomicity_violations().is_empty());
+    let committed: Vec<u32> = run
+        .metrics
+        .decisions
+        .iter()
+        .filter(|(_, per_site)| per_site.values().any(|(d, _)| *d == Decision::Commit))
+        .map(|(t, _)| t.0)
+        .collect();
+    assert!(!committed.is_empty());
+    let last = *committed.iter().max().unwrap() as u64;
+    assert_eq!(
+        run.storages[1].get(&Key::from("a")).unwrap().as_u64(),
+        Some(last * 10),
+        "committed set: {committed:?}"
+    );
+}

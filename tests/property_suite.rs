@@ -1,0 +1,341 @@
+//! Property-based tests (proptest) over the core invariants:
+//!
+//! * **Theorem 9 as a property**: any simple partition of any small
+//!   cluster, at any instant, healing or not, under any seeded delay
+//!   schedule, leaves the termination protocol atomic and nonblocking.
+//! * **WAL recovery**: arbitrary interleavings of log records and crash
+//!   points never resurrect uncommitted writes nor lose committed ones.
+//! * **Lock table**: arbitrary acquire/release sequences never leave two
+//!   exclusive holders on one key, and waiters are promoted FIFO-compatibly.
+//! * **Model determinism**: exploration, concurrency sets and rule
+//!   derivation are pure functions of the spec.
+
+use proptest::prelude::*;
+use ptp_core::{run_scenario, PartitionShape, ProtocolKind, Scenario};
+use ptp_simnet::{DelayModel, SiteId};
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    #[test]
+    fn theorem9_resilience_property(
+        n in 3usize..6,
+        g2_mask in 1u8..31,
+        at in 0u64..9000,
+        heal in prop::option::of(500u64..8000),
+        seed in 0u64..1000,
+        fixed in prop::bool::ANY,
+    ) {
+        let slaves = n - 1;
+        let g2: Vec<SiteId> = (0..slaves)
+            .filter(|i| g2_mask >> i & 1 == 1)
+            .map(|i| SiteId(i as u16 + 1))
+            .collect();
+        prop_assume!(!g2.is_empty() && g2.len() < n);
+
+        let delay = if fixed {
+            DelayModel::Fixed(1 + seed % 1000)
+        } else {
+            DelayModel::Uniform { seed, min: 1, max: 1000 }
+        };
+        let mut scenario = Scenario::new(n).delay(delay);
+        scenario.partition = PartitionShape::Simple {
+            g2,
+            at,
+            heal_at: heal.map(|h| at + h),
+        };
+        let result = run_scenario(ProtocolKind::HuangLi3pc, &scenario);
+        prop_assert!(
+            result.verdict.is_resilient(),
+            "scenario {:?} -> {:?}",
+            scenario.partition,
+            result.verdict
+        );
+    }
+
+    #[test]
+    fn four_phase_resilience_property(
+        at in 0u64..9000,
+        seed in 0u64..500,
+        g2_single in 1u16..3,
+    ) {
+        let scenario = Scenario::new(3)
+            .partition_g2(vec![SiteId(g2_single)], at)
+            .delay(DelayModel::Uniform { seed, min: 1, max: 1000 });
+        let result = run_scenario(ProtocolKind::HuangLi4pc, &scenario);
+        prop_assert!(result.verdict.is_resilient());
+    }
+
+    #[test]
+    fn baselines_never_lie_silently_2pc(
+        at in 0u64..9000,
+        seed in 0u64..300,
+    ) {
+        // 2PC may block but must stay atomic.
+        let scenario = Scenario::new(3)
+            .partition_g2(vec![SiteId(2)], at)
+            .delay(DelayModel::Uniform { seed, min: 1, max: 1000 });
+        let result = run_scenario(ProtocolKind::Plain2pc, &scenario);
+        prop_assert!(result.verdict.is_atomic());
+    }
+
+    #[test]
+    fn quorum_always_atomic(
+        at in 0u64..9000,
+        seed in 0u64..300,
+        g2_mask in 1u8..15,
+    ) {
+        let g2: Vec<SiteId> = (0..4)
+            .filter(|i| g2_mask >> i & 1 == 1)
+            .map(|i| SiteId(i as u16 + 1))
+            .collect();
+        prop_assume!(!g2.is_empty() && g2.len() < 5);
+        let scenario = Scenario::new(5)
+            .partition_g2(g2, at)
+            .delay(DelayModel::Uniform { seed, min: 1, max: 1000 });
+        let result = run_scenario(ProtocolKind::QuorumMajority, &scenario);
+        prop_assert!(result.verdict.is_atomic());
+    }
+}
+
+// ---------------------------------------------------------------------------
+// WAL recovery properties
+// ---------------------------------------------------------------------------
+
+mod wal_props {
+    use proptest::prelude::*;
+    use ptp_core::ddb::recovery::recover;
+    use ptp_core::ddb::storage::Storage;
+    use ptp_core::ddb::value::{Key, TxnId, Value, WriteOp};
+    use ptp_core::ddb::wal::{Record, Wal};
+
+    #[derive(Debug, Clone)]
+    enum Op {
+        Begin(u8, u8),  // txn, value
+        Commit(u8),
+        Abort(u8),
+        Flush,
+    }
+
+    fn op_strategy() -> impl Strategy<Value = Op> {
+        prop_oneof![
+            (0u8..6, any::<u8>()).prop_map(|(t, v)| Op::Begin(t, v)),
+            (0u8..6).prop_map(Op::Commit),
+            (0u8..6).prop_map(Op::Abort),
+            Just(Op::Flush),
+        ]
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 256, ..ProptestConfig::default() })]
+
+        #[test]
+        fn recovery_never_resurrects_uncommitted_nor_loses_committed(
+            ops in prop::collection::vec(op_strategy(), 1..40),
+        ) {
+            let mut wal = Wal::new();
+            let mut storage = Storage::new();
+            // Track, per txn, whether a commit record became durable before
+            // the crash, and its staged value.
+            let mut begun: std::collections::BTreeMap<u8, u8> = Default::default();
+            let mut committed_pending_flush: Vec<u8> = vec![];
+            let mut begun_pending_flush: Vec<u8> = vec![];
+            let mut durable_begin: std::collections::BTreeSet<u8> = Default::default();
+            let mut durable_commit: std::collections::BTreeSet<u8> = Default::default();
+            // A site never logs a commit after an abort (or vice versa);
+            // the generator's raw sequences are filtered to legal ones.
+            let mut aborted: std::collections::BTreeSet<u8> = Default::default();
+
+            for op in &ops {
+                match *op {
+                    Op::Begin(t, v) => {
+                        if begun.contains_key(&t) { continue; }
+                        begun.insert(t, v);
+                        let writes = vec![WriteOp {
+                            key: Key::from(format!("k{t}")),
+                            value: Value::from_u64(v as u64),
+                        }];
+                        wal.append(Record::Begin { txn: TxnId(t as u32), writes: writes.clone() });
+                        storage.stage(TxnId(t as u32), writes);
+                        begun_pending_flush.push(t);
+                    }
+                    Op::Commit(t) => {
+                        if !begun.contains_key(&t)
+                            || durable_commit.contains(&t)
+                            || committed_pending_flush.contains(&t)
+                            || aborted.contains(&t) { continue; }
+                        wal.append(Record::Commit { txn: TxnId(t as u32) });
+                        committed_pending_flush.push(t);
+                    }
+                    Op::Abort(t) => {
+                        if !begun.contains_key(&t)
+                            || durable_commit.contains(&t)
+                            || committed_pending_flush.contains(&t)
+                            || aborted.contains(&t) { continue; }
+                        aborted.insert(t);
+                        wal.append(Record::Abort { txn: TxnId(t as u32) });
+                        storage.discard(TxnId(t as u32));
+                    }
+                    Op::Flush => {
+                        wal.flush();
+                        durable_commit.extend(committed_pending_flush.drain(..));
+                        durable_begin.extend(begun_pending_flush.drain(..));
+                    }
+                }
+            }
+
+            // Crash and recover.
+            storage.crash();
+            wal.crash();
+            recover(&mut storage, &mut wal);
+
+            for (t, v) in &begun {
+                let key = Key::from(format!("k{t}"));
+                let value = storage.get(&key).map(|x| x.as_u64().unwrap());
+                if durable_commit.contains(t) && durable_begin.contains(t) {
+                    prop_assert_eq!(
+                        value, Some(*v as u64),
+                        "txn {} committed durably but value lost", t
+                    );
+                } else {
+                    prop_assert_eq!(
+                        value, None,
+                        "txn {} was never durably committed but its write survived", t
+                    );
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Lock-table properties
+// ---------------------------------------------------------------------------
+
+mod lock_props {
+    use proptest::prelude::*;
+    use ptp_core::ddb::locks::{LockGrant, LockMode, LockTable};
+    use ptp_core::ddb::value::{Key, TxnId};
+
+    #[derive(Debug, Clone)]
+    enum Op {
+        Acquire(u8, u8, bool), // txn, key, exclusive
+        Release(u8),
+    }
+
+    fn op_strategy() -> impl Strategy<Value = Op> {
+        prop_oneof![
+            (0u8..5, 0u8..4, any::<bool>()).prop_map(|(t, k, x)| Op::Acquire(t, k, x)),
+            (0u8..5).prop_map(Op::Release),
+        ]
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 256, ..ProptestConfig::default() })]
+
+        #[test]
+        fn no_conflicting_holders_ever(ops in prop::collection::vec(op_strategy(), 1..60)) {
+            let mut table = LockTable::new();
+            // Shadow state: which (txn, key, mode) grants are live.
+            let mut granted: Vec<(u8, u8, bool)> = vec![];
+
+            for op in &ops {
+                match *op {
+                    Op::Acquire(t, k, exclusive) => {
+                        let mode = if exclusive { LockMode::Exclusive } else { LockMode::Shared };
+                        let result = table.acquire(
+                            TxnId(t as u32),
+                            Key::from(format!("k{k}")),
+                            mode,
+                        );
+                        if result == LockGrant::Granted {
+                            granted.retain(|(gt, gk, _)| !(*gt == t && *gk == k));
+                            granted.push((t, k, table.holds(
+                                TxnId(t as u32),
+                                &Key::from(format!("k{k}")),
+                                LockMode::Exclusive,
+                            )));
+                        }
+                    }
+                    Op::Release(t) => {
+                        let promoted = table.release_all(TxnId(t as u32));
+                        granted.retain(|(gt, _, _)| *gt != t);
+                        // Promoted transactions now hold something; record
+                        // their holds from the table's view.
+                        for p in promoted {
+                            for k in 0u8..4 {
+                                let key = Key::from(format!("k{k}"));
+                                if table.holds(p, &key, LockMode::Shared) {
+                                    let ex = table.holds(p, &key, LockMode::Exclusive);
+                                    granted.retain(|(gt, gk, _)| !(*gt == p.0 as u8 && *gk == k));
+                                    granted.push((p.0 as u8, k, ex));
+                                }
+                            }
+                        }
+                    }
+                }
+
+                // Invariant: per key, either one exclusive holder or any
+                // number of shared holders.
+                for k in 0u8..4 {
+                    let holders: Vec<&(u8, u8, bool)> =
+                        granted.iter().filter(|(_, gk, _)| *gk == k).collect();
+                    let exclusives = holders.iter().filter(|(_, _, x)| *x).count();
+                    if exclusives > 0 {
+                        prop_assert_eq!(
+                            holders.len(), 1,
+                            "key {} has an exclusive holder plus others: {:?}", k, holders
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Model determinism properties
+// ---------------------------------------------------------------------------
+
+mod model_props {
+    use proptest::prelude::*;
+    use ptp_core::model::concurrency::ConcurrencySets;
+    use ptp_core::model::protocols::{three_phase, two_phase};
+    use ptp_core::model::rules::derive_rules_augmentation;
+    use ptp_core::model::GlobalGraph;
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 8, ..ProptestConfig::default() })]
+
+        #[test]
+        fn exploration_is_deterministic(n in 2usize..5) {
+            let a = GlobalGraph::explore(&three_phase(n));
+            let b = GlobalGraph::explore(&three_phase(n));
+            prop_assert_eq!(a.states, b.states);
+        }
+
+        #[test]
+        fn concurrency_sets_are_symmetric(n in 2usize..5) {
+            // If t ∈ C(s) then s ∈ C(t): both come from the same global
+            // state, so the relation must be symmetric.
+            let spec = two_phase(n);
+            let graph = GlobalGraph::explore(&spec);
+            let csets = ConcurrencySets::compute(&spec, &graph);
+            for s in spec.all_states() {
+                for t in csets.of(s).iter() {
+                    prop_assert!(
+                        csets.of(*t).contains(&s),
+                        "asymmetry: {:?} in C({:?}) but not vice versa", t, s
+                    );
+                }
+            }
+        }
+
+        #[test]
+        fn rule_derivation_is_deterministic(n in 2usize..5) {
+            let a = derive_rules_augmentation(&three_phase(n)).augmentation;
+            let b = derive_rules_augmentation(&three_phase(n)).augmentation;
+            prop_assert_eq!(a, b);
+        }
+    }
+}
