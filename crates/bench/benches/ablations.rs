@@ -17,12 +17,8 @@ use ptp_simnet::{DelayModel, NetConfig, PartitionEngine, PartitionSpec, SimTime,
 use std::collections::BTreeMap;
 
 fn partitioned_run(timing: ProtocolTiming, delay: &DelayModel) {
-    let parts = huang_li_3pc_cluster_with_timing(
-        4,
-        &[Vote::Yes; 3],
-        TerminationVariant::Transient,
-        timing,
-    );
+    let parts =
+        huang_li_3pc_cluster_with_timing(4, &[Vote::Yes; 3], TerminationVariant::Transient, timing);
     let partition = PartitionEngine::new(vec![PartitionSpec::simple(
         SimTime(2500),
         vec![SiteId(0), SiteId(1)],
@@ -43,7 +39,8 @@ fn bench_timer_constants(c: &mut Criterion) {
             ProtocolTiming { master_proto: 4, slave_proto: 6, collect: 10, w_wait: 12, p_wait: 10 },
         ),
     ] {
-        group.bench_function(name, |b| b.iter(|| partitioned_run(timing, &DelayModel::Fixed(1000))));
+        group
+            .bench_function(name, |b| b.iter(|| partitioned_run(timing, &DelayModel::Fixed(1000))));
     }
     group.finish();
 }
@@ -76,9 +73,8 @@ fn bench_ddb_transfer(c: &mut Criterion) {
                     .insert(1u16, vec![WriteOp { key: Key::from("a"), value: Value::from_u64(1) }]);
                 writes
                     .insert(2u16, vec![WriteOp { key: Key::from("b"), value: Value::from_u64(2) }]);
-                let run = DbCluster::new(3, protocol)
-                    .submit(0, TxnSpec { id: TxnId(1), writes })
-                    .run();
+                let run =
+                    DbCluster::new(3, protocol).submit(0, TxnSpec { id: TxnId(1), writes }).run();
                 assert!(run.metrics.atomicity_violations().is_empty());
                 run
             })

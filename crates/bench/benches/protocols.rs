@@ -2,7 +2,7 @@
 //! protocol kind, failure-free and through a partition.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use ptp_core::{run_scenario, ProtocolKind, Scenario};
+use ptp_core::{run_scenario, run_scenario_with, ProtocolKind, Scenario};
 use ptp_simnet::SiteId;
 
 fn bench_failure_free(c: &mut Criterion) {
@@ -37,6 +37,20 @@ fn bench_partitioned(c: &mut Criterion) {
     group.finish();
 }
 
+/// Full-trace vs. null-sink execution of the same scenario: the per-run
+/// cost of trace recording, which the sweep engine now skips entirely.
+fn bench_trace_modes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("protocols/trace_modes_n4");
+    let scenario = Scenario::new(4).partition_g2(vec![SiteId(2), SiteId(3)], 2500);
+    group.bench_function("recording", |b| {
+        b.iter(|| run_scenario_with(ProtocolKind::HuangLi3pc, &scenario, true))
+    });
+    group.bench_function("null_sink", |b| {
+        b.iter(|| run_scenario_with(ProtocolKind::HuangLi3pc, &scenario, false))
+    });
+    group.finish();
+}
+
 fn bench_cluster_size(c: &mut Criterion) {
     let mut group = c.benchmark_group("protocols/huang_li_scaling");
     for n in [3usize, 5, 9, 17] {
@@ -53,5 +67,11 @@ fn bench_cluster_size(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_failure_free, bench_partitioned, bench_cluster_size);
+criterion_group!(
+    benches,
+    bench_failure_free,
+    bench_partitioned,
+    bench_trace_modes,
+    bench_cluster_size,
+);
 criterion_main!(benches);

@@ -2,7 +2,7 @@
 //! experiments themselves, and how they scale with cluster size.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use ptp_core::{sweep, ProtocolKind, SweepGrid};
+use ptp_core::{sweep, sweep_serial, sweep_with_threads, ProtocolKind, SweepGrid};
 use ptp_simnet::DelayModel;
 
 fn small_grid(n: usize) -> SweepGrid {
@@ -51,5 +51,26 @@ fn bench_transient_sweep(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_sweep_scaling, bench_sweep_by_protocol, bench_transient_sweep);
+/// Serial vs. explicit worker counts on one mid-size grid: quantifies the
+/// fan-out win (and the overhead floor on single-core machines).
+fn bench_serial_vs_parallel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sweeps/huang_li_n4_threads");
+    let grid = small_grid(4);
+    group.throughput(Throughput::Elements(grid.size() as u64));
+    group.bench_function("serial", |b| b.iter(|| sweep_serial(ProtocolKind::HuangLi3pc, &grid)));
+    for threads in [2usize, 4] {
+        group.bench_with_input(BenchmarkId::new("threads", threads), &threads, |b, &threads| {
+            b.iter(|| sweep_with_threads(ProtocolKind::HuangLi3pc, &grid, threads))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_sweep_scaling,
+    bench_sweep_by_protocol,
+    bench_transient_sweep,
+    bench_serial_vs_parallel,
+);
 criterion_main!(benches);

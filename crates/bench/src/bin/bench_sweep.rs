@@ -1,0 +1,182 @@
+//! Sweep-engine throughput baseline.
+//!
+//! Unlike the `exp_*` binaries this measures the reproduction's own
+//! machinery, not a paper artifact: how fast the scenario-execution
+//! pipeline chews through `dense_grid(3..=6)` with the Huang–Li protocol.
+//! It prints a table and writes `BENCH_sweep.json` next to the working
+//! directory so future performance work has a recorded trajectory to beat.
+//!
+//! Modes:
+//!
+//! * default — the production path: parallel across [`sweep_threads`]
+//!   workers, trace-free.
+//! * `--compare` — additionally times the serial trace-free path and a
+//!   serial full-trace sweep equivalent to the pre-refactor engine (one
+//!   recorded trace per cell), yielding the speedup columns.
+
+use ptp_bench::{dense_grid, json_escape};
+use ptp_core::report::Table;
+use ptp_core::{
+    run_scenario_with, sweep_serial, sweep_threads, sweep_with_threads, ProtocolKind, SweepGrid,
+    SweepReport,
+};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+const PROTOCOL: ProtocolKind = ProtocolKind::HuangLi3pc;
+
+/// One measured configuration of one grid.
+struct Measurement {
+    n: usize,
+    scenarios: usize,
+    parallel_ms: f64,
+    serial_ms: Option<f64>,
+    full_trace_ms: Option<f64>,
+}
+
+impl Measurement {
+    fn scenarios_per_sec(&self) -> f64 {
+        self.scenarios as f64 * 1000.0 / self.parallel_ms
+    }
+}
+
+fn time_ms(f: impl FnOnce() -> SweepReport) -> (SweepReport, f64) {
+    let started = Instant::now();
+    let report = f();
+    (report, started.elapsed().as_secs_f64() * 1000.0)
+}
+
+/// The pre-refactor-equivalent engine: serial, a full `Trace` recorded per
+/// cell, buffers cloned per cell. Kept here (not in `ptp-core`) because its
+/// only remaining job is to be the yardstick.
+fn sweep_serial_full_trace(kind: ProtocolKind, grid: &SweepGrid) -> SweepReport {
+    let mut total_events = 0u64;
+    let mut report = SweepReport::default();
+    for index in 0..grid.size() {
+        let spec = grid.scenario(index);
+        let mut scenario = ptp_core::Scenario::new(grid.n)
+            .votes(grid.votes[spec.vote_index].clone())
+            .delay(grid.delays[spec.delay_index].clone());
+        scenario.mode = grid.mode;
+        scenario.partition = ptp_core::PartitionShape::Simple {
+            g2: spec.g2.to_vec(),
+            at: spec.at,
+            heal_at: spec.heal_at(),
+        };
+        let result = run_scenario_with(kind, &scenario, true);
+        total_events += result.trace.len() as u64;
+        if matches!(result.verdict, ptp_protocols::Verdict::AllCommit) {
+            report.all_commit += 1;
+        }
+        report.total += 1;
+    }
+    // Defeat dead-code elimination of the traces.
+    assert!(total_events > 0);
+    report
+}
+
+fn measure(n: usize, compare: bool) -> Measurement {
+    let grid = dense_grid(n);
+    let scenarios = grid.size();
+    let threads = sweep_threads();
+
+    let (parallel_report, parallel_ms) = time_ms(|| sweep_with_threads(PROTOCOL, &grid, threads));
+    assert!(
+        parallel_report.fully_resilient(),
+        "Theorem 9 must hold while we benchmark (n = {n}): {parallel_report:?}"
+    );
+    assert_eq!(parallel_report.total, scenarios);
+
+    let (serial_ms, full_trace_ms) = if compare {
+        let (serial_report, serial_ms) = time_ms(|| sweep_serial(PROTOCOL, &grid));
+        assert_eq!(serial_report, parallel_report, "determinism violated at n = {n}");
+        let (_, full_ms) = time_ms(|| sweep_serial_full_trace(PROTOCOL, &grid));
+        (Some(serial_ms), Some(full_ms))
+    } else {
+        (None, None)
+    };
+
+    Measurement { n, scenarios, parallel_ms, serial_ms, full_trace_ms }
+}
+
+fn render_json(measurements: &[Measurement]) -> String {
+    let threads = sweep_threads();
+    let peak = measurements.iter().map(|m| m.scenarios).max().unwrap_or(0);
+    let total: usize = measurements.iter().map(|m| m.scenarios).sum();
+    let total_ms: f64 = measurements.iter().map(|m| m.parallel_ms).sum();
+
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"benchmark\": \"{}\",", json_escape("sweep"));
+    let _ = writeln!(out, "  \"protocol\": \"{}\",", json_escape(PROTOCOL.name()));
+    let _ = writeln!(out, "  \"threads\": {threads},");
+    let _ = writeln!(out, "  \"peak_grid_scenarios\": {peak},");
+    let _ = writeln!(out, "  \"total_scenarios\": {total},");
+    let _ = writeln!(out, "  \"total_wall_ms\": {total_ms:.3},");
+    let _ = writeln!(
+        out,
+        "  \"scenarios_per_sec\": {:.1},",
+        total as f64 * 1000.0 / total_ms.max(f64::MIN_POSITIVE)
+    );
+    out.push_str("  \"grids\": [\n");
+    for (i, m) in measurements.iter().enumerate() {
+        out.push_str("    {");
+        let _ = write!(
+            out,
+            "\"n\": {}, \"scenarios\": {}, \"wall_ms\": {:.3}, \"scenarios_per_sec\": {:.1}",
+            m.n,
+            m.scenarios,
+            m.parallel_ms,
+            m.scenarios_per_sec()
+        );
+        if let Some(serial) = m.serial_ms {
+            let _ = write!(out, ", \"serial_wall_ms\": {serial:.3}");
+        }
+        if let Some(full) = m.full_trace_ms {
+            let _ = write!(out, ", \"serial_full_trace_wall_ms\": {full:.3}");
+        }
+        out.push_str(if i + 1 == measurements.len() { "}\n" } else { "},\n" });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn main() {
+    let compare = std::env::args().any(|a| a == "--compare");
+    println!("== bench_sweep: scenario-pipeline throughput, dense_grid(3..=6) ==");
+    println!(
+        "protocol {}, {} worker thread(s){}\n",
+        PROTOCOL.name(),
+        sweep_threads(),
+        if compare { ", with serial/full-trace baselines" } else { "" }
+    );
+
+    let measurements: Vec<Measurement> = (3..=6).map(|n| measure(n, compare)).collect();
+
+    let mut headers = vec!["n", "scenarios", "wall ms", "scenarios/s"];
+    if compare {
+        headers.extend(["serial ms", "full-trace ms", "vs serial", "vs full-trace"]);
+    }
+    let mut table = Table::new(headers);
+    for m in &measurements {
+        let mut row = vec![
+            m.n.to_string(),
+            m.scenarios.to_string(),
+            format!("{:.1}", m.parallel_ms),
+            format!("{:.0}", m.scenarios_per_sec()),
+        ];
+        if let (Some(serial), Some(full)) = (m.serial_ms, m.full_trace_ms) {
+            row.push(format!("{serial:.1}"));
+            row.push(format!("{full:.1}"));
+            row.push(format!("{:.2}x", serial / m.parallel_ms));
+            row.push(format!("{:.2}x", full / m.parallel_ms));
+        }
+        table.row(row);
+    }
+    println!("{}", table.render());
+
+    let json = render_json(&measurements);
+    let path = "BENCH_sweep.json";
+    std::fs::write(path, &json).expect("write BENCH_sweep.json");
+    println!("wrote {path}");
+}

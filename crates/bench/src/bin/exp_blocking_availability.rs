@@ -32,8 +32,14 @@ struct Row {
 }
 
 fn measure(protocol: CommitProtocol, onsets: &[u64]) -> Row {
-    let mut row =
-        Row { committed: 0, aborted: 0, blocked: 0, max_hold_t: 0.0, never_released: 0, violations: 0 };
+    let mut row = Row {
+        committed: 0,
+        aborted: 0,
+        blocked: 0,
+        max_hold_t: 0.0,
+        never_released: 0,
+        violations: 0,
+    };
     for &at in onsets {
         let partition = PartitionEngine::new(vec![PartitionSpec::simple(
             SimTime(at),

@@ -13,7 +13,7 @@ use ptp_bench::{dense_grid, print_scorecard, standard_delays};
 use ptp_core::model::dot::to_dot;
 use ptp_core::model::protocols::extended_two_phase;
 use ptp_core::model::rules::derive_rules_augmentation;
-use ptp_core::{run_scenario, sweep, PartitionShape, ProtocolKind, Scenario, SweepGrid};
+use ptp_core::{run_scenario_with, sweep, PartitionShape, ProtocolKind, Scenario, SweepGrid};
 use ptp_protocols::api::Vote;
 use ptp_protocols::Verdict;
 
@@ -43,8 +43,10 @@ fn main() {
     // Part 2: three sites — the Sec. 3 counterexample.
     let grid3 = dense_grid(3);
     let report = sweep(ProtocolKind::Extended2pc, &grid3);
-    println!("n = 3: {} scenarios, {} atomicity violations, {} blocked",
-        report.total, report.inconsistent_count, report.blocked_count);
+    println!(
+        "n = 3: {} scenarios, {} atomicity violations, {} blocked",
+        report.total, report.inconsistent_count, report.blocked_count
+    );
     assert!(report.inconsistent_count > 0, "Sec. 3 counterexample must appear");
 
     let witness = &report.inconsistent[0];
@@ -54,12 +56,11 @@ fn main() {
         witness.at as f64 / 1000.0,
         witness.delay_index
     );
-    let mut scenario = Scenario::new(3)
-        .votes(vec![Vote::Yes; 2])
-        .delay(grid3.delays[witness.delay_index].clone());
+    let mut scenario =
+        Scenario::new(3).votes(vec![Vote::Yes; 2]).delay(grid3.delays[witness.delay_index].clone());
     scenario.partition =
         PartitionShape::Simple { g2: witness.g2.clone(), at: witness.at, heal_at: None };
-    let result = run_scenario(ProtocolKind::Extended2pc, &scenario);
+    let result = run_scenario_with(ProtocolKind::Extended2pc, &scenario, false);
     match &result.verdict {
         Verdict::Inconsistent { committed, aborted } => {
             println!("replayed: committed = {committed:?}, aborted = {aborted:?}");
@@ -70,6 +71,8 @@ fn main() {
         other => println!("unexpected verdict on replay: {other:?}"),
     }
 
-    println!("\n--- DOT (Fig. 2, augmented) ---\n{}",
-        to_dot(&extended_two_phase(3), Some(&derivation.augmentation)));
+    println!(
+        "\n--- DOT (Fig. 2, augmented) ---\n{}",
+        to_dot(&extended_two_phase(3), Some(&derivation.augmentation))
+    );
 }

@@ -33,8 +33,14 @@ fn main() {
     let derivation = derive_rules_augmentation(&spec);
     let aug = &derivation.augmentation;
     println!("naive Rule (a)/(b) augmentation at n = 3:");
-    println!("  timeout slave:w -> {:?} (paper: abort)", aug.timeout_for(Role::Slave, "w").unwrap());
-    println!("  timeout slave:p -> {:?} (paper: commit)", aug.timeout_for(Role::Slave, "p").unwrap());
+    println!(
+        "  timeout slave:w -> {:?} (paper: abort)",
+        aug.timeout_for(Role::Slave, "w").unwrap()
+    );
+    println!(
+        "  timeout slave:p -> {:?} (paper: commit)",
+        aug.timeout_for(Role::Slave, "p").unwrap()
+    );
     println!("  timeout master:p1 -> {:?}", aug.timeout_for(Role::Master, "p1").unwrap());
     println!();
 

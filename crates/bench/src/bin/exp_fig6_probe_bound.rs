@@ -14,15 +14,12 @@ use ptp_simnet::{DelayModel, ScheduleBuilder, SiteId, Trace, TraceEvent};
 /// Gap (ticks) between the first UD(prepare) at the master and the last
 /// probe delivered to it.
 fn probe_gap(trace: &Trace) -> Option<u64> {
-    let first_ud = trace
-        .events()
-        .iter()
-        .find_map(|e| match e {
-            TraceEvent::Returned { at, src, kind: "prepare", .. } if *src == SiteId(0) => {
-                Some(at.ticks())
-            }
-            _ => None,
-        })?;
+    let first_ud = trace.events().iter().find_map(|e| match e {
+        TraceEvent::Returned { at, src, kind: "prepare", .. } if *src == SiteId(0) => {
+            Some(at.ticks())
+        }
+        _ => None,
+    })?;
     let last_probe = trace
         .events()
         .iter()
@@ -49,9 +46,7 @@ fn main() {
         .outbound(5, 1) // prepare->2 bounces quickly after the partition...
         .return_leg(5, 1) // ...and returns immediately
         .build();
-    let scenario = Scenario::new(3)
-        .partition_g2(vec![SiteId(2)], 2001)
-        .delay(schedule);
+    let scenario = Scenario::new(3).partition_g2(vec![SiteId(2)], 2001).delay(schedule);
     let result = run_scenario(ProtocolKind::HuangLi3pc, &scenario);
     let gap = probe_gap(&result.trace).expect("adversarial run must produce UD + probe");
     println!(

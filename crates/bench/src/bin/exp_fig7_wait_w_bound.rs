@@ -59,9 +59,7 @@ fn main() {
         .outbound(4, 998) // prepare->1 arrives at 2998, just inside
         .outbound(6, 1) // ack 1->0 delivered at 2999, before the cut
         .build();
-    let scenario = Scenario::new(3)
-        .partition_g2(vec![SiteId(1), SiteId(2)], 3000)
-        .delay(schedule);
+    let scenario = Scenario::new(3).partition_g2(vec![SiteId(1), SiteId(2)], 3000).delay(schedule);
     let result = run_scenario(ProtocolKind::HuangLi3pc, &scenario);
     let gap = max_w_wait(&result.trace, 3).expect("worst case must produce the wait");
     println!(

@@ -25,11 +25,8 @@ fn main() {
     let mut per_case: BTreeMap<TransientCase, (usize, u64)> = BTreeMap::new();
     let mut total = 0usize;
 
-    let boundaries: Vec<Vec<SiteId>> = vec![
-        vec![SiteId(2)],
-        vec![SiteId(1)],
-        vec![SiteId(1), SiteId(2)],
-    ];
+    let boundaries: Vec<Vec<SiteId>> =
+        vec![vec![SiteId(2)], vec![SiteId(1)], vec![SiteId(1), SiteId(2)]];
     for g2 in &boundaries {
         for at in (1500..=4750).step_by(250) {
             for heal_after in [500u64, 1000, 2000, 3000, 5000, 8000] {
@@ -60,12 +57,7 @@ fn main() {
     }
 
     println!("{total} transient-partition scenarios, all resilient.\n");
-    let mut table = Table::new(vec![
-        "case",
-        "runs",
-        "max wait after p-timeout",
-        "paper bound",
-    ]);
+    let mut table = Table::new(vec!["case", "runs", "max wait after p-timeout", "paper bound"]);
     for (case, (count, max_wait)) in &per_case {
         let bound = match case.paper_bound_t() {
             Some(0) => "—".to_string(),
@@ -84,11 +76,7 @@ fn main() {
     // Every measured wait must respect the Sec. 6 analysis: nothing beyond
     // 5T (the p-wait rule guarantees it).
     for (case, (_, max_wait)) in &per_case {
-        assert!(
-            *max_wait <= 5000,
-            "case {case:?} waited {:.3}T > 5T",
-            *max_wait as f64 / 1000.0
-        );
+        assert!(*max_wait <= 5000, "case {case:?} waited {:.3}T > 5T", *max_wait as f64 / 1000.0);
     }
     println!("All waits ≤ 5T: the Sec. 6 transient rule (commit 5T after the p timeout)");
     println!("bounds case 3.2.2.2, and every other case terminates within its stated bound.");

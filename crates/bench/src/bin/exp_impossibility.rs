@@ -10,7 +10,9 @@
 //!   broadcast cannot reach a third group.
 
 use ptp_bench::standard_delays;
-use ptp_core::{run_scenario, sweep, PartitionShape, ProtocolKind, Scenario, SweepGrid, SweepReport};
+use ptp_core::{
+    run_scenario_with, sweep, PartitionShape, ProtocolKind, Scenario, SweepGrid, SweepReport,
+};
 use ptp_protocols::Verdict;
 use ptp_simnet::SiteId;
 
@@ -53,11 +55,7 @@ fn main() {
     // schedules plus the paper-style crafted one: prepare->2 arrives just
     // before the cut, prepare->3 is still in flight.
     println!("multiple (3-way) partitioning, HL-3PC, n = 4:");
-    let groups = vec![
-        vec![SiteId(0), SiteId(1)],
-        vec![SiteId(2)],
-        vec![SiteId(3)],
-    ];
+    let groups = vec![vec![SiteId(0), SiteId(1)], vec![SiteId(2)], vec![SiteId(3)]];
     let mut violations = 0usize;
     let mut blocked = 0usize;
     let mut total = 0usize;
@@ -69,7 +67,7 @@ fn main() {
     let mut scenario = Scenario::new(4).delay(crafted);
     scenario.partition =
         PartitionShape::Multiple { groups: groups.clone(), at: 2500, heal_at: None };
-    let result = run_scenario(ProtocolKind::HuangLi3pc, &scenario);
+    let result = run_scenario_with(ProtocolKind::HuangLi3pc, &scenario, false);
     total += 1;
     if let Verdict::Inconsistent { .. } = result.verdict {
         violations += 1;
@@ -78,11 +76,11 @@ fn main() {
 
     for seed in 0..30u64 {
         for at in (1500..=4500).step_by(500) {
-            let mut scenario = Scenario::new(4)
-                .delay(ptp_simnet::DelayModel::Uniform { seed, min: 1, max: 1000 });
+            let mut scenario =
+                Scenario::new(4).delay(ptp_simnet::DelayModel::Uniform { seed, min: 1, max: 1000 });
             scenario.partition =
                 PartitionShape::Multiple { groups: groups.clone(), at, heal_at: None };
-            let result = run_scenario(ProtocolKind::HuangLi3pc, &scenario);
+            let result = run_scenario_with(ProtocolKind::HuangLi3pc, &scenario, false);
             total += 1;
             match result.verdict {
                 Verdict::Inconsistent { .. } => {

@@ -16,11 +16,9 @@ use ptp_core::model::Augmentation;
 use ptp_core::report::Table;
 use ptp_protocols::api::Vote;
 use ptp_protocols::clusters::fsa_cluster;
-use ptp_protocols::runner::run_protocol;
+use ptp_protocols::runner::run_protocol_with;
 use ptp_protocols::Verdict;
-use ptp_simnet::{
-    DelayModel, NetConfig, PartitionEngine, PartitionSpec, SimTime, SiteId,
-};
+use ptp_simnet::{DelayModel, NetConfig, PartitionEngine, PartitionSpec, SimTime, SiteId};
 
 /// The scenario grid each augmentation must survive: every boundary, T/2
 /// partition instants to 8T, two delay schedules, and both unanimous-yes
@@ -37,11 +35,7 @@ struct Grid {
 impl Grid {
     fn new() -> Grid {
         Grid {
-            boundaries: vec![
-                vec![SiteId(1)],
-                vec![SiteId(2)],
-                vec![SiteId(1), SiteId(2)],
-            ],
+            boundaries: vec![vec![SiteId(1)], vec![SiteId(2)], vec![SiteId(1), SiteId(2)]],
             times: (0..=16).map(|i| i * 500).collect(),
             delays: vec![DelayModel::Fixed(1000), DelayModel::Fixed(500)],
             votes: vec![[Vote::Yes, Vote::Yes], [Vote::No, Vote::Yes]],
@@ -60,22 +54,21 @@ fn find_violation(aug: &Augmentation, grid: &Grid) -> Option<(Vec<SiteId>, u64, 
         for &at in &grid.times {
             for (di, delay) in grid.delays.iter().enumerate() {
                 for votes in &grid.votes {
-                    let g1: Vec<SiteId> = (0..3u16)
-                        .map(SiteId)
-                        .filter(|s| !g2.contains(s))
-                        .collect();
+                    let g1: Vec<SiteId> =
+                        (0..3u16).map(SiteId).filter(|s| !g2.contains(s)).collect();
                     let partition = PartitionEngine::new(vec![PartitionSpec::simple(
                         SimTime(at),
                         g1,
                         g2.clone(),
                     )]);
                     let parts = fsa_cluster(spec.clone(), votes, Some(aug.clone()));
-                    let run = run_protocol(
+                    let run = run_protocol_with(
                         parts,
                         NetConfig::default(),
                         partition,
                         delay,
                         vec![],
+                        false,
                     );
                     if matches!(Verdict::judge(&run.outcomes), Verdict::Inconsistent { .. }) {
                         return Some((g2.clone(), at, di));

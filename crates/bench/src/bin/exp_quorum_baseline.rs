@@ -9,7 +9,7 @@
 //! per side, who terminates.
 
 use ptp_core::report::Table;
-use ptp_core::{all_simple_boundaries, run_scenario, ProtocolKind, Scenario};
+use ptp_core::{all_simple_boundaries, run_scenario_with, ProtocolKind, Scenario};
 use ptp_simnet::SiteId;
 
 fn main() {
@@ -27,16 +27,14 @@ fn main() {
     for g2 in all_simple_boundaries(5) {
         for kind in [ProtocolKind::QuorumMajority, ProtocolKind::HuangLi3pc] {
             let scenario = Scenario::new(5).partition_g2(g2.clone(), 2500);
-            let result = run_scenario(kind, &scenario);
+            let result = run_scenario_with(kind, &scenario, false);
             let g1_terminated = result
                 .outcomes
                 .iter()
                 .enumerate()
                 .filter(|(i, _)| !g2.contains(&SiteId(*i as u16)))
                 .all(|(_, o)| o.decision.is_some());
-            let g2_terminated = g2
-                .iter()
-                .all(|s| result.outcomes[s.index()].decision.is_some());
+            let g2_terminated = g2.iter().all(|s| result.outcomes[s.index()].decision.is_some());
             table.row(vec![
                 format!("{:?}", g2.iter().map(|s| s.0).collect::<Vec<_>>()),
                 kind.name().to_string(),

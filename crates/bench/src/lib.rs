@@ -21,6 +21,25 @@
 //! | `exp_assumptions` | the Sec. 7 assumption-necessity counterexamples |
 //! | `exp_blocking_availability` | Sec. 1–2 motivation (locks + blocking) |
 //! | `exp_quorum_baseline` | reference \[5\] baseline comparison |
+//! | `bench_sweep` | sweep-engine throughput baseline (`BENCH_sweep.json`) |
+//!
+//! ## Sweep-engine performance baseline
+//!
+//! `bench_sweep` measures the scenario-execution pipeline itself rather
+//! than any paper artifact: it sweeps `dense_grid(3..=6)` with the
+//! Huang–Li protocol and writes `BENCH_sweep.json` (per-grid wall time,
+//! scenarios/sec, peak grid size, thread count) so later PRs have a
+//! trajectory to beat. Regenerate with:
+//!
+//! ```text
+//! cargo run --release -p ptp-bench --bin bench_sweep          # parallel, trace-free
+//! cargo run --release -p ptp-bench --bin bench_sweep -- --compare
+//! ```
+//!
+//! `--compare` additionally times the serial trace-free and serial
+//! full-trace (pre-refactor-equivalent) paths for the speedup table.
+//! `PTP_SWEEP_THREADS` caps the worker count; sweeps are parallel by
+//! default and deterministic at any thread count.
 
 use ptp_core::report::Table;
 use ptp_core::{sweep, ProtocolKind, SweepGrid, SweepReport};
@@ -46,6 +65,24 @@ pub fn dense_grid(n: usize) -> SweepGrid {
     grid.partition_times = (0..=64).map(|i| i * 125).collect();
     grid.delays = standard_delays(1000);
     grid
+}
+
+/// Minimal JSON string escaping for the hand-rolled benchmark reports
+/// (no serde in this offline workspace).
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
 }
 
 /// Renders a sweep report as one table row.

@@ -57,9 +57,7 @@ impl TransientCase {
             TransientCase::Case2_2_1 | TransientCase::Case3_2_2_1 => Some(4),
             TransientCase::Case2_2_2 => Some(5),
             TransientCase::Case3_2_2_2 => None,
-            TransientCase::Case1 | TransientCase::Case3_2_1 | TransientCase::OutsideTree => {
-                Some(0)
-            }
+            TransientCase::Case1 | TransientCase::Case3_2_1 | TransientCase::OutsideTree => Some(0),
         }
     }
 
@@ -122,9 +120,7 @@ pub fn classify(trace: &Trace, g2: &[SiteId]) -> TransientCase {
                     x.commits_master_to_g2_delivered += 1;
                     x.g2_with_commit.push(dst);
                 }
-                "ack" if is_g2(src) && dst == SiteId(0) => {
-                    x.acks_from_prepared_g2_delivered += 1
-                }
+                "ack" if is_g2(src) && dst == SiteId(0) => x.acks_from_prepared_g2_delivered += 1,
                 _ => {}
             },
             _ => {}
@@ -267,10 +263,7 @@ mod tests {
         let r = run_scenario(ProtocolKind::HuangLi3pc, &s);
         let case = classify(&r.trace, &[ptp_simnet::SiteId(2)]);
         assert!(
-            matches!(
-                case,
-                TransientCase::Case3_2_2_1 | TransientCase::Case3_2_2_2
-            ),
+            matches!(case, TransientCase::Case3_2_2_1 | TransientCase::Case3_2_2_2),
             "got {case:?}"
         );
         assert!(r.verdict.is_resilient());

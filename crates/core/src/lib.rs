@@ -37,9 +37,12 @@ pub mod run;
 pub mod scenario;
 pub mod sweep;
 
-pub use run::{build_cluster, run_scenario, ScenarioResult};
+pub use run::{build_cluster, run_scenario, run_scenario_with, ScenarioResult};
 pub use scenario::{PartitionShape, ProtocolKind, Scenario};
-pub use sweep::{all_simple_boundaries, sweep, ScenarioDesc, SweepGrid, SweepReport};
+pub use sweep::{
+    all_simple_boundaries, sweep, sweep_parallel, sweep_serial, sweep_threads, sweep_with_threads,
+    ScenarioDesc, ScenarioSpec, SweepGrid, SweepReport,
+};
 
 // Re-export the lower layers so examples and downstream users need only one
 // dependency.

@@ -40,7 +40,7 @@ impl Table {
                     line.push_str("  ");
                 }
                 line.push_str(cell);
-                line.extend(std::iter::repeat(' ').take(widths[c] - cell.len()));
+                line.extend(std::iter::repeat_n(' ', widths[c] - cell.len()));
             }
             line.trim_end().to_string()
         };

@@ -7,7 +7,7 @@ use ptp_protocols::clusters::{
     plain_2pc_cluster, plain_3pc_cluster,
 };
 use ptp_protocols::quorum::quorum_cluster;
-use ptp_protocols::runner::{run_protocol, ProtocolRun};
+use ptp_protocols::runner::{run_protocol_with, ProtocolRun};
 use ptp_protocols::termination::TerminationVariant;
 use ptp_protocols::{SiteOutcome, Verdict};
 use ptp_simnet::{RunReport, Trace};
@@ -34,30 +34,43 @@ pub fn build_cluster(kind: ProtocolKind, scenario: &Scenario) -> Vec<Box<dyn Par
         ProtocolKind::Extended2pc => extended_2pc_cluster(n, votes),
         ProtocolKind::Plain3pc => plain_3pc_cluster(n, votes),
         ProtocolKind::Naive3pc => naive_augmented_3pc_cluster(n, votes),
-        ProtocolKind::HuangLi3pc => {
-            huang_li_3pc_cluster(n, votes, TerminationVariant::Transient)
-        }
+        ProtocolKind::HuangLi3pc => huang_li_3pc_cluster(n, votes, TerminationVariant::Transient),
         ProtocolKind::HuangLi3pcStatic => {
             huang_li_3pc_cluster(n, votes, TerminationVariant::Static)
         }
-        ProtocolKind::HuangLi4pc => {
-            huang_li_4pc_cluster(n, votes, TerminationVariant::Transient)
-        }
+        ProtocolKind::HuangLi4pc => huang_li_4pc_cluster(n, votes, TerminationVariant::Transient),
         ProtocolKind::QuorumMajority => {
             quorum_cluster(kind.quorum_config(n).expect("quorum kind"), votes)
         }
     }
 }
 
-/// Runs `kind` through `scenario` and judges the outcome.
+/// Runs `kind` through `scenario` and judges the outcome, recording a full
+/// trace (equivalent to [`run_scenario_with`] with `record_trace = true`).
 pub fn run_scenario(kind: ProtocolKind, scenario: &Scenario) -> ScenarioResult {
+    run_scenario_with(kind, scenario, true)
+}
+
+/// Runs `kind` through `scenario` with an explicit tracing choice.
+///
+/// With `record_trace = false` the simulation uses the null
+/// [`ptp_simnet::TraceSink`]: [`ScenarioResult::trace`] comes back empty
+/// and no per-event allocation happens, but the verdict, outcomes and
+/// report (with event counters) are byte-identical to a recorded run. The
+/// sweep engine runs every grid cell this way.
+pub fn run_scenario_with(
+    kind: ProtocolKind,
+    scenario: &Scenario,
+    record_trace: bool,
+) -> ScenarioResult {
     let parts = build_cluster(kind, scenario);
-    let ProtocolRun { outcomes, trace, report } = run_protocol(
+    let ProtocolRun { outcomes, trace, report } = run_protocol_with(
         parts,
         scenario.net_config(),
         scenario.partition_engine(),
         &scenario.delay,
         scenario.failures.clone(),
+        record_trace,
     );
     ScenarioResult { verdict: Verdict::judge(&outcomes), outcomes, trace, report }
 }
@@ -114,6 +127,26 @@ mod tests {
         let r = run_scenario(ProtocolKind::HuangLi3pc, &s);
         for o in &r.outcomes {
             assert_eq!(o.decision, Some(Decision::Commit));
+        }
+    }
+
+    #[test]
+    fn null_sink_matches_recording_sink_on_transient_partition() {
+        // The TraceSink choice must never feed back into protocol
+        // behaviour: verdict, per-site outcomes and event counters all
+        // match; only the trace itself is withheld.
+        let s = Scenario::new(4)
+            .transient_partition(vec![SiteId(2), SiteId(3)], 2500, 7500)
+            .delay(ptp_simnet::DelayModel::Uniform { seed: 42, min: 1, max: 1000 });
+        for kind in ProtocolKind::ALL {
+            let recorded = run_scenario_with(kind, &s, true);
+            let quiet = run_scenario_with(kind, &s, false);
+            assert_eq!(recorded.verdict, quiet.verdict, "{}", kind.name());
+            assert_eq!(recorded.outcomes, quiet.outcomes, "{}", kind.name());
+            assert_eq!(recorded.report.counters, quiet.report.counters, "{}", kind.name());
+            assert_eq!(recorded.report.events, quiet.report.events, "{}", kind.name());
+            assert!(!recorded.trace.is_empty(), "{}", kind.name());
+            assert!(quiet.trace.is_empty(), "{}", kind.name());
         }
     }
 

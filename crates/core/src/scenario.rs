@@ -190,10 +190,8 @@ impl Scenario {
         match &self.partition {
             PartitionShape::None => PartitionEngine::always_connected(),
             PartitionShape::Simple { g2, at, heal_at } => {
-                let g1: Vec<SiteId> = (0..self.n as u16)
-                    .map(SiteId)
-                    .filter(|s| !g2.contains(s))
-                    .collect();
+                let g1: Vec<SiteId> =
+                    (0..self.n as u16).map(SiteId).filter(|s| !g2.contains(s)).collect();
                 let mut spec = PartitionSpec::simple(SimTime(*at), g1, g2.clone());
                 spec.heal_at = heal_at.map(SimTime);
                 PartitionEngine::new(vec![spec])

@@ -7,12 +7,28 @@
 //! schedules, and report any scenario whose verdict is not
 //! all-commit/all-abort. The same engine condemns the baselines (E2, E3,
 //! E5) by exhibiting their counterexample scenarios.
+//!
+//! ## Execution model
+//!
+//! Every grid cell is independent (each simulation is seeded from its own
+//! `DelayModel`), so the engine enumerates cells by flat index
+//! ([`SweepGrid::scenario`]) and fans contiguous index blocks out across a
+//! scoped thread pool. Workers fold their blocks into partial
+//! [`SweepReport`]s which are reduced **in block order**, so
+//! [`sweep_parallel`] returns bit-identical reports — kept counterexamples
+//! included — to [`sweep_serial`] at any thread count. Each worker reuses
+//! one [`Scenario`] as a scratch buffer (votes / G2 / delay are only
+//! rewritten when the decoded indices change) and runs cells with tracing
+//! off, so the steady-state hot path allocates only what one simulation
+//! inherently needs.
 
-use crate::run::run_scenario;
+use crate::run::run_scenario_with;
 use crate::scenario::{PartitionShape, ProtocolKind, Scenario};
 use ptp_protocols::api::Vote;
 use ptp_protocols::Verdict;
 use ptp_simnet::{DelayModel, PartitionMode, SiteId};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
 
 /// Every simple boundary for `n` sites: the non-master group G2 ranges over
 /// all non-empty proper subsets of the slaves. (The master defines G1,
@@ -79,9 +95,8 @@ impl SweepGrid {
     /// Adds transient-partition cases: heal after each given multiple of
     /// T/2 up to `max_heal_t * 2` steps.
     pub fn with_transient_heals(mut self, max_heal_t: u64) -> SweepGrid {
-        self.heals = std::iter::once(None)
-            .chain((1..=max_heal_t * 2).map(|i| Some(i * 500)))
-            .collect();
+        self.heals =
+            std::iter::once(None).chain((1..=max_heal_t * 2).map(|i| Some(i * 500))).collect();
         self
     }
 
@@ -97,13 +112,84 @@ impl SweepGrid {
         self
     }
 
-    /// Number of scenarios the grid will run.
+    /// Number of scenarios the grid will run, if it fits in `usize`.
+    ///
+    /// Five-way products overflow easily (a few hundred entries per axis
+    /// already exceed `u64` territory on 32-bit hosts), so the arithmetic
+    /// is checked.
+    pub fn checked_size(&self) -> Option<usize> {
+        self.boundaries
+            .len()
+            .checked_mul(self.partition_times.len())?
+            .checked_mul(self.heals.len())?
+            .checked_mul(self.delays.len())?
+            .checked_mul(self.votes.len())
+    }
+
+    /// Number of scenarios the grid will run, saturating at `usize::MAX`
+    /// instead of silently wrapping on overflow. Callers sizing real sweeps
+    /// should prefer [`SweepGrid::checked_size`]; a saturated grid cannot
+    /// actually be executed.
     pub fn size(&self) -> usize {
-        self.boundaries.len()
-            * self.partition_times.len()
-            * self.heals.len()
-            * self.delays.len()
-            * self.votes.len()
+        self.checked_size().unwrap_or(usize::MAX)
+    }
+
+    /// Decodes flat cell index `index` (row-major over boundaries ×
+    /// partition times × heals × delays × votes — the exact order the old
+    /// nested loops used) into a borrowed scenario description.
+    ///
+    /// # Panics
+    ///
+    /// If `index >= self.size()`.
+    pub fn scenario(&self, index: usize) -> ScenarioSpec<'_> {
+        assert!(index < self.size(), "scenario index {index} out of range");
+        let mut rest = index;
+        let vote_index = rest % self.votes.len();
+        rest /= self.votes.len();
+        let delay_index = rest % self.delays.len();
+        rest /= self.delays.len();
+        let heal = self.heals[rest % self.heals.len()];
+        rest /= self.heals.len();
+        let at = self.partition_times[rest % self.partition_times.len()];
+        rest /= self.partition_times.len();
+        let g2 = &self.boundaries[rest];
+        ScenarioSpec { g2, at, heal, delay_index, vote_index }
+    }
+}
+
+/// One grid cell, decoded by [`SweepGrid::scenario`]: everything needed to
+/// run the scenario, borrowed from the grid (no per-cell allocation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScenarioSpec<'g> {
+    /// The G2 group.
+    pub g2: &'g [SiteId],
+    /// Partition instant (ticks).
+    pub at: u64,
+    /// Heal delay after the partition instant (`None` = permanent).
+    pub heal: Option<u64>,
+    /// Index into the grid's delay list.
+    pub delay_index: usize,
+    /// Index into the grid's vote list.
+    pub vote_index: usize,
+}
+
+impl ScenarioSpec<'_> {
+    /// Absolute heal instant, as the old nested loops computed it.
+    pub fn heal_at(&self) -> Option<u64> {
+        self.heal.map(|h| self.at + h)
+    }
+
+    /// Materialises the owned per-scenario record for reporting, attaching
+    /// the observed verdict.
+    pub fn describe(&self, verdict: Verdict) -> ScenarioDesc {
+        ScenarioDesc {
+            g2: self.g2.to_vec(),
+            at: self.at,
+            heal_at: self.heal_at(),
+            delay_index: self.delay_index,
+            vote_index: self.vote_index,
+            verdict,
+        }
     }
 }
 
@@ -125,7 +211,7 @@ pub struct ScenarioDesc {
 }
 
 /// Aggregated sweep results.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct SweepReport {
     /// Scenarios run.
     pub total: usize,
@@ -154,59 +240,214 @@ impl SweepReport {
         self.inconsistent_count == 0
     }
 
-    fn record(&mut self, desc: ScenarioDesc) {
-        const KEEP: usize = 8;
+    /// Folds one cell's verdict in, materialising a [`ScenarioDesc`] (and
+    /// its G2 clone) only for kept counterexamples — the all-commit /
+    /// all-abort bulk of a healthy sweep stays allocation-free.
+    fn record_cell(&mut self, spec: &ScenarioSpec<'_>, verdict: Verdict) {
         self.total += 1;
-        match desc.verdict {
+        match verdict {
             Verdict::AllCommit => self.all_commit += 1,
             Verdict::AllAbort => self.all_abort += 1,
             Verdict::Blocked { .. } => {
                 self.blocked_count += 1;
                 if self.blocked.len() < KEEP {
-                    self.blocked.push(desc);
+                    self.blocked.push(spec.describe(verdict));
                 }
             }
             Verdict::Inconsistent { .. } => {
                 self.inconsistent_count += 1;
                 if self.inconsistent.len() < KEEP {
-                    self.inconsistent.push(desc);
+                    self.inconsistent.push(spec.describe(verdict));
                 }
+            }
+        }
+    }
+
+    /// Merges `other` (covering strictly later cell indices) into `self`,
+    /// preserving the first-`KEEP` kept-example semantics of a serial scan.
+    fn absorb(&mut self, other: SweepReport) {
+        self.total += other.total;
+        self.all_commit += other.all_commit;
+        self.all_abort += other.all_abort;
+        self.blocked_count += other.blocked_count;
+        self.inconsistent_count += other.inconsistent_count;
+        for desc in other.blocked {
+            if self.blocked.len() < KEEP {
+                self.blocked.push(desc);
+            }
+        }
+        for desc in other.inconsistent {
+            if self.inconsistent.len() < KEEP {
+                self.inconsistent.push(desc);
             }
         }
     }
 }
 
-/// Runs `kind` over every scenario in the grid.
-pub fn sweep(kind: ProtocolKind, grid: &SweepGrid) -> SweepReport {
-    let mut report = SweepReport::default();
-    for g2 in &grid.boundaries {
-        for &at in &grid.partition_times {
-            for &heal in &grid.heals {
-                for (delay_index, delay) in grid.delays.iter().enumerate() {
-                    for (vote_index, votes) in grid.votes.iter().enumerate() {
-                        let mut scenario = Scenario::new(grid.n)
-                            .votes(votes.clone())
-                            .delay(delay.clone());
-                        scenario.mode = grid.mode;
-                        scenario.partition = PartitionShape::Simple {
-                            g2: g2.clone(),
-                            at,
-                            heal_at: heal.map(|h| at + h),
-                        };
-                        let result = run_scenario(kind, &scenario);
-                        report.record(ScenarioDesc {
-                            g2: g2.clone(),
-                            at,
-                            heal_at: heal.map(|h| at + h),
-                            delay_index,
-                            vote_index,
-                            verdict: result.verdict,
-                        });
-                    }
-                }
+/// Kept counterexamples per category (the rest are only counted).
+const KEEP: usize = 8;
+
+/// Cells per work unit handed to a sweep worker. Large enough that the
+/// shared counter is touched rarely, small enough to load-balance the
+/// uneven cost of blocked-vs-clean scenarios.
+const BLOCK: usize = 64;
+
+/// Grids below this size run serially even when threads are available —
+/// thread spawn/teardown would dominate.
+const PARALLEL_THRESHOLD: usize = 2 * BLOCK;
+
+/// Worker-local scratch: one [`Scenario`] reused across every cell the
+/// worker runs, so votes/G2/delay buffers are recycled instead of
+/// reallocated ~`grid.size()` times.
+struct CellRunner {
+    scenario: Scenario,
+    delay_index: Option<usize>,
+}
+
+impl CellRunner {
+    fn new(grid: &SweepGrid) -> CellRunner {
+        let mut scenario = Scenario::new(grid.n);
+        scenario.mode = grid.mode;
+        CellRunner { scenario, delay_index: None }
+    }
+
+    fn run(&mut self, kind: ProtocolKind, grid: &SweepGrid, spec: &ScenarioSpec<'_>) -> Verdict {
+        let scenario = &mut self.scenario;
+        if self.delay_index != Some(spec.delay_index) {
+            // DelayModel clones can be heavy (scheduled/per-link maps);
+            // vote-index varies fastest in the decode order, so this
+            // triggers once per delay change, not once per cell.
+            scenario.delay = grid.delays[spec.delay_index].clone();
+            self.delay_index = Some(spec.delay_index);
+        }
+        scenario.votes.clear();
+        scenario.votes.extend_from_slice(&grid.votes[spec.vote_index]);
+        match &mut scenario.partition {
+            PartitionShape::Simple { g2, at, heal_at } => {
+                g2.clear();
+                g2.extend_from_slice(spec.g2);
+                *at = spec.at;
+                *heal_at = spec.heal_at();
+            }
+            other => {
+                *other = PartitionShape::Simple {
+                    g2: spec.g2.to_vec(),
+                    at: spec.at,
+                    heal_at: spec.heal_at(),
+                };
             }
         }
+        run_scenario_with(kind, scenario, false).verdict
     }
+}
+
+/// Number of worker threads a parallel sweep will use: the
+/// `PTP_SWEEP_THREADS` environment variable if set, else the machine's
+/// available parallelism.
+pub fn sweep_threads() -> usize {
+    std::env::var("PTP_SWEEP_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&t| t > 0)
+        .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |p| p.get()))
+}
+
+/// Runs `kind` over every scenario in the grid.
+///
+/// Dispatches to [`sweep_parallel`] when the grid is large enough to
+/// amortise thread startup and more than one thread is available (see
+/// [`sweep_threads`]), else to [`sweep_serial`]. The two produce identical
+/// reports, so callers never need to care which ran.
+pub fn sweep(kind: ProtocolKind, grid: &SweepGrid) -> SweepReport {
+    let threads = sweep_threads();
+    if threads > 1 && grid.size() >= PARALLEL_THRESHOLD {
+        sweep_with_threads(kind, grid, threads)
+    } else {
+        sweep_serial(kind, grid)
+    }
+}
+
+/// Runs the grid on the calling thread, in flat-index order.
+pub fn sweep_serial(kind: ProtocolKind, grid: &SweepGrid) -> SweepReport {
+    let mut report = SweepReport::default();
+    let mut runner = CellRunner::new(grid);
+    for index in 0..grid.size() {
+        let spec = grid.scenario(index);
+        let verdict = runner.run(kind, grid, &spec);
+        report.record_cell(&spec, verdict);
+    }
+    report
+}
+
+/// Runs the grid across [`sweep_threads`] workers.
+pub fn sweep_parallel(kind: ProtocolKind, grid: &SweepGrid) -> SweepReport {
+    sweep_with_threads(kind, grid, sweep_threads())
+}
+
+/// Runs the grid across exactly `threads` workers (1 = serial).
+///
+/// Workers claim contiguous [`BLOCK`]-sized index ranges from a shared
+/// counter and fold each into a partial [`SweepReport`]; the partials are
+/// then reduced in ascending block order, which makes the result — totals
+/// *and* the first-[`KEEP`] kept counterexamples — bit-identical to
+/// [`sweep_serial`] regardless of scheduling.
+pub fn sweep_with_threads(kind: ProtocolKind, grid: &SweepGrid, threads: usize) -> SweepReport {
+    let total = grid.size();
+    assert!(total < usize::MAX, "sweep grid size overflows usize");
+    let blocks = total.div_ceil(BLOCK.max(1));
+    let threads = threads.clamp(1, blocks.max(1));
+    if threads <= 1 || total == 0 {
+        return sweep_serial(kind, grid);
+    }
+
+    let next_block = AtomicUsize::new(0);
+    let (tx, rx) = mpsc::channel::<(usize, SweepReport)>();
+    let mut report = SweepReport::default();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            let tx = tx.clone();
+            let next_block = &next_block;
+            scope.spawn(move || {
+                let mut runner = CellRunner::new(grid);
+                loop {
+                    let block = next_block.fetch_add(1, Ordering::Relaxed);
+                    if block >= blocks {
+                        break;
+                    }
+                    let start = block * BLOCK;
+                    let end = (start + BLOCK).min(total);
+                    let mut partial = SweepReport::default();
+                    for index in start..end {
+                        let spec = grid.scenario(index);
+                        let verdict = runner.run(kind, grid, &spec);
+                        partial.record_cell(&spec, verdict);
+                    }
+                    if tx.send((block, partial)).is_err() {
+                        break;
+                    }
+                }
+            });
+        }
+        drop(tx);
+
+        // Eager in-order reduction on the caller's thread, overlapped with
+        // the workers: absorb each block the moment every earlier block has
+        // been absorbed, parking out-of-order arrivals in a small reorder
+        // buffer. Memory stays bounded by scheduling skew (versus buffering
+        // all O(blocks) partials and sorting at the end) and the result is
+        // still byte-identical to a serial scan.
+        let mut pending: std::collections::BTreeMap<usize, SweepReport> =
+            std::collections::BTreeMap::new();
+        let mut next_merge = 0usize;
+        for (block, partial) in rx.iter() {
+            pending.insert(block, partial);
+            while let Some(ready) = pending.remove(&next_merge) {
+                report.absorb(ready);
+                next_merge += 1;
+            }
+        }
+        debug_assert!(pending.is_empty(), "all blocks must merge once senders hang up");
+    });
     report
 }
 
@@ -275,5 +516,105 @@ mod tests {
         let report = sweep(ProtocolKind::Plain2pc, &grid);
         assert!(report.blocked_count > 0);
         assert!(report.fully_atomic(), "2PC blocks but never lies");
+    }
+
+    #[test]
+    fn scenario_decode_matches_nested_loop_order() {
+        // The flat index must enumerate exactly what the old 5-deep nested
+        // loops enumerated, in the same order.
+        let grid = SweepGrid::standard(3)
+            .with_transient_heals(2)
+            .with_votes(vec![vec![Vote::Yes, Vote::Yes], vec![Vote::No, Vote::Yes]]);
+        let mut index = 0usize;
+        for g2 in &grid.boundaries {
+            for &at in &grid.partition_times {
+                for &heal in &grid.heals {
+                    for delay_index in 0..grid.delays.len() {
+                        for vote_index in 0..grid.votes.len() {
+                            let spec = grid.scenario(index);
+                            assert_eq!(spec.g2, g2.as_slice());
+                            assert_eq!(spec.at, at);
+                            assert_eq!(spec.heal, heal);
+                            assert_eq!(spec.delay_index, delay_index);
+                            assert_eq!(spec.vote_index, vote_index);
+                            index += 1;
+                        }
+                    }
+                }
+            }
+        }
+        assert_eq!(index, grid.size());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn scenario_index_out_of_range_panics() {
+        let grid = SweepGrid::standard(3);
+        let _ = grid.scenario(grid.size());
+    }
+
+    #[test]
+    fn size_is_overflow_safe() {
+        let mut grid = SweepGrid::standard(3);
+        // Five axes of 2^16 entries each: the true product (2^80) cannot
+        // fit in a u64/usize; the old unchecked multiply silently wrapped.
+        let n = 1usize << 16;
+        grid.boundaries = vec![vec![SiteId(1)]; n];
+        grid.partition_times = vec![0; n];
+        grid.heals = vec![None; n];
+        grid.delays = vec![DelayModel::Fixed(1); n];
+        grid.votes = vec![vec![Vote::Yes, Vote::Yes]; n];
+        assert_eq!(grid.checked_size(), None);
+        assert_eq!(grid.size(), usize::MAX);
+    }
+
+    /// Field-for-field equality of two sweep reports, with panic messages
+    /// that name the diverging field.
+    fn assert_reports_identical(serial: &SweepReport, parallel: &SweepReport) {
+        assert_eq!(serial.total, parallel.total, "total");
+        assert_eq!(serial.all_commit, parallel.all_commit, "all_commit");
+        assert_eq!(serial.all_abort, parallel.all_abort, "all_abort");
+        assert_eq!(serial.blocked_count, parallel.blocked_count, "blocked_count");
+        assert_eq!(serial.inconsistent_count, parallel.inconsistent_count, "inconsistent_count");
+        assert_eq!(serial.blocked, parallel.blocked, "kept blocked examples");
+        assert_eq!(serial.inconsistent, parallel.inconsistent, "kept inconsistent examples");
+        assert_eq!(serial, parallel, "whole report");
+    }
+
+    #[test]
+    fn parallel_sweep_identical_to_serial_on_standard_grid() {
+        // The tentpole determinism guarantee: any thread count, same bytes.
+        let grid = SweepGrid::standard(4);
+        let serial = sweep_serial(ProtocolKind::HuangLi3pc, &grid);
+        for threads in [2, 4, 7] {
+            let parallel = sweep_with_threads(ProtocolKind::HuangLi3pc, &grid, threads);
+            assert_reports_identical(&serial, &parallel);
+        }
+        assert_eq!(serial.total, grid.size());
+        assert!(serial.fully_resilient(), "{serial:?}");
+    }
+
+    #[test]
+    fn parallel_sweep_preserves_kept_examples_of_blocking_protocol() {
+        // 2PC blocks all over this grid, so the first-8 kept examples are
+        // actually exercised (not just empty-vs-empty).
+        let mut grid = SweepGrid::standard(4);
+        grid.partition_times = (0..=16).map(|i| i * 250).collect();
+        grid.delays = vec![DelayModel::Fixed(1000), DelayModel::Fixed(500)];
+        let serial = sweep_serial(ProtocolKind::Plain2pc, &grid);
+        assert!(serial.blocked_count > KEEP, "grid too clean to test kept lists");
+        assert_eq!(serial.blocked.len(), KEEP);
+        let parallel = sweep_with_threads(ProtocolKind::Plain2pc, &grid, 4);
+        assert_reports_identical(&serial, &parallel);
+    }
+
+    #[test]
+    fn single_thread_parallel_is_serial() {
+        let mut grid = SweepGrid::standard(3);
+        grid.partition_times = vec![0, 2500];
+        grid.delays = vec![DelayModel::Fixed(1000)];
+        let a = sweep_with_threads(ProtocolKind::HuangLi3pc, &grid, 1);
+        let b = sweep_serial(ProtocolKind::HuangLi3pc, &grid);
+        assert_reports_identical(&b, &a);
     }
 }

@@ -1,0 +1,296 @@
+//! A minimal, dependency-free stand-in for the [Criterion] statistical
+//! benchmark harness, exposing exactly the API subset this workspace's
+//! benches use (`criterion_group!`/`criterion_main!`, benchmark groups,
+//! `bench_function`/`bench_with_input`, throughput annotations).
+//!
+//! The build environment for this repository has no network access, so the
+//! real `criterion` crate cannot be fetched; this shim keeps the bench
+//! sources identical to what they would be against upstream Criterion while
+//! still producing useful wall-clock numbers:
+//!
+//! * every benchmark runs a short warm-up, then timed batches until a
+//!   sampling budget is spent;
+//! * the median per-iteration time is reported, plus elements/sec when a
+//!   [`Throughput`] was declared;
+//! * `cargo bench -- <filter>` runs only benchmarks whose id contains the
+//!   filter substring (same CLI shape as Criterion).
+//!
+//! [Criterion]: https://docs.rs/criterion
+
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`], Criterion-style.
+pub use std::hint::black_box;
+
+/// Declared throughput of one benchmark, used to derive rate reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// The benchmark processes this many logical elements per iteration.
+    Elements(u64),
+    /// The benchmark processes this many bytes per iteration.
+    Bytes(u64),
+}
+
+/// Identifier of one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id with a function name and a parameter, rendered `name/param`.
+    pub fn new(name: impl std::fmt::Display, parameter: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId { id: format!("{name}/{parameter}") }
+    }
+
+    /// An id from a bare parameter.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+/// Trait unifying the `&str` / `String` / [`BenchmarkId`] inputs accepted by
+/// the `bench_function`-family methods.
+pub trait IntoBenchmarkId {
+    /// The rendered id.
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    /// Measured per-iteration samples, in nanoseconds.
+    samples: Vec<f64>,
+    /// Total wall-clock budget for sampling one benchmark.
+    budget: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`, running it repeatedly until the sampling budget is
+    /// spent, and records per-iteration samples.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: one untimed call (also primes allocator/caches) and a
+        // calibration call to size batches.
+        black_box(routine());
+        let calibrate = Instant::now();
+        black_box(routine());
+        let once = calibrate.elapsed().max(Duration::from_nanos(1));
+
+        // Aim for ~40 samples inside the budget; batch iterations so that
+        // very fast routines still get meaningful per-sample durations.
+        let per_sample = self.budget / 40;
+        let batch = (per_sample.as_nanos() / once.as_nanos()).clamp(1, 10_000) as u64;
+
+        let started = Instant::now();
+        while started.elapsed() < self.budget || self.samples.len() < 5 {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let elapsed = t0.elapsed();
+            self.samples.push(elapsed.as_nanos() as f64 / batch as f64);
+            if self.samples.len() >= 200 {
+                break;
+            }
+        }
+    }
+}
+
+fn median(samples: &mut [f64]) -> f64 {
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("no NaN samples"));
+    let mid = samples.len() / 2;
+    if samples.is_empty() {
+        0.0
+    } else if samples.len() % 2 == 1 {
+        samples[mid]
+    } else {
+        (samples[mid - 1] + samples[mid]) / 2.0
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// The harness: owns the CLI filter and the per-benchmark time budget.
+pub struct Criterion {
+    filter: Option<String>,
+    budget: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        // `cargo bench -- <filter>` forwards everything after `--`; cargo
+        // itself appends `--bench`. Ignore flags, keep the first free arg.
+        let filter =
+            std::env::args().skip(1).find(|a| !a.starts_with('-')).filter(|a| !a.is_empty());
+        let budget = std::env::var("CRITERION_BUDGET_MS")
+            .ok()
+            .and_then(|v| v.parse::<u64>().ok())
+            .map(Duration::from_millis)
+            .unwrap_or(Duration::from_millis(300));
+        Criterion { filter, budget }
+    }
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl std::fmt::Display) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { parent: self, name: name.to_string(), throughput: None }
+    }
+
+    /// Runs a single stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        f: F,
+    ) -> &mut Criterion {
+        self.run_one(id.into_id(), None, f);
+        self
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: String,
+        throughput: Option<Throughput>,
+        mut f: F,
+    ) {
+        if let Some(filter) = &self.filter {
+            if !id.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut bencher = Bencher { samples: Vec::new(), budget: self.budget };
+        f(&mut bencher);
+        let med = median(&mut bencher.samples);
+        let rate = match throughput {
+            Some(Throughput::Elements(n)) if med > 0.0 => {
+                format!("  thrpt: {:.0} elem/s", n as f64 * 1e9 / med)
+            }
+            Some(Throughput::Bytes(n)) if med > 0.0 => {
+                format!("  thrpt: {:.1} MiB/s", n as f64 * 1e9 / med / (1024.0 * 1024.0))
+            }
+            _ => String::new(),
+        };
+        println!("{id:<48} time: {:<12} ({} samples){rate}", format_ns(med), bencher.samples.len());
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and throughput.
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declares the throughput of subsequent benchmarks in this group.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.into_id());
+        let throughput = self.throughput;
+        self.parent.run_one(full, throughput, f);
+        self
+    }
+
+    /// Runs one benchmark with an explicit input value.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group (no-op; exists for API parity).
+    pub fn finish(self) {}
+}
+
+/// Declares a benchmark group function, Criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut criterion = $crate::Criterion::default();
+            $($group(&mut criterion);)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_of_odd_and_even() {
+        assert_eq!(median(&mut [3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(&mut [4.0, 1.0, 2.0, 3.0]), 2.5);
+        assert_eq!(median(&mut []), 0.0);
+    }
+
+    #[test]
+    fn benchmark_ids_render() {
+        assert_eq!(BenchmarkId::new("f", 3).into_id(), "f/3");
+        assert_eq!(BenchmarkId::from_parameter("x").into_id(), "x");
+    }
+
+    #[test]
+    fn ns_formatting_scales() {
+        assert!(format_ns(12.0).ends_with("ns"));
+        assert!(format_ns(12_000.0).ends_with("µs"));
+        assert!(format_ns(12_000_000.0).ends_with("ms"));
+        assert!(format_ns(2e9).ends_with('s'));
+    }
+
+    #[test]
+    fn bencher_collects_samples() {
+        let mut b = Bencher { samples: Vec::new(), budget: Duration::from_millis(5) };
+        b.iter(|| 1 + 1);
+        assert!(b.samples.len() >= 5);
+    }
+}

@@ -1,0 +1,99 @@
+//! A tiny refcounted byte buffer.
+//!
+//! Offline stand-in for the `bytes` crate's `Bytes`: an `Arc<[u8]>` with the
+//! constructors [`value`](crate::value) needs. Cloning bumps a refcount;
+//! no slicing views are needed here, so none are provided.
+
+use std::fmt;
+use std::ops::Deref;
+use std::sync::Arc;
+
+/// Cheaply clonable immutable byte string.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Bytes(Arc<[u8]>);
+
+impl Bytes {
+    /// Bytes backed by static data (copied once; the `bytes` crate avoids
+    /// the copy, but the API shape is what matters here).
+    pub fn from_static(data: &'static [u8]) -> Bytes {
+        Bytes(Arc::from(data))
+    }
+
+    /// Bytes copied out of a slice.
+    pub fn copy_from_slice(data: &[u8]) -> Bytes {
+        Bytes(Arc::from(data))
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Bytes {
+        Bytes(Arc::from(v))
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "b\"")?;
+        for &b in self.0.iter() {
+            for esc in std::ascii::escape_default(b) {
+                write!(f, "{}", esc as char)?;
+            }
+        }
+        write!(f, "\"")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_round_trips() {
+        assert_eq!(&*Bytes::from_static(b"abc"), b"abc");
+        assert_eq!(&*Bytes::copy_from_slice(b"xy"), b"xy");
+        assert_eq!(&*Bytes::from(vec![1u8, 2]), &[1, 2][..]);
+    }
+
+    #[test]
+    fn clone_is_shallow_and_equal() {
+        let a = Bytes::copy_from_slice(b"shared");
+        let b = a.clone();
+        assert_eq!(a, b);
+        assert_eq!(b.len(), 6);
+        assert!(!b.is_empty());
+    }
+
+    #[test]
+    fn ordering_is_lexicographic() {
+        assert!(Bytes::copy_from_slice(b"a") < Bytes::copy_from_slice(b"b"));
+    }
+
+    #[test]
+    fn debug_escapes() {
+        assert_eq!(format!("{:?}", Bytes::copy_from_slice(b"a\n")), "b\"a\\n\"");
+    }
+}

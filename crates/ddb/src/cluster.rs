@@ -11,7 +11,9 @@ use crate::value::{Key, TxnId, Value};
 use ptp_protocols::api::{Participant, Vote};
 use ptp_protocols::interp::FsaParticipant;
 use ptp_protocols::quorum::{QuorumConfig, QuorumSite};
-use ptp_protocols::termination::{PhasePlan, TerminationMaster, TerminationSlave, TerminationVariant};
+use ptp_protocols::termination::{
+    PhasePlan, TerminationMaster, TerminationSlave, TerminationVariant,
+};
 use ptp_simnet::{
     Actor, DelayModel, NetConfig, PartitionEngine, RunReport, SimTime, Simulation, SiteId, Trace,
 };
@@ -166,8 +168,7 @@ impl DbCluster {
 
         let actors: Vec<Box<dyn Actor<DbMsg>>> = (0..self.n as u16)
             .map(|i| {
-                let workload =
-                    if i == 0 { self.workload.clone() } else { Vec::new() };
+                let workload = if i == 0 { self.workload.clone() } else { Vec::new() };
                 Box::new(SiteNode::new(
                     SiteId(i),
                     self.n,
@@ -179,8 +180,7 @@ impl DbCluster {
             })
             .collect();
 
-        let sim =
-            Simulation::new(self.config, actors, self.partition, &self.delay, self.failures);
+        let sim = Simulation::new(self.config, actors, self.partition, &self.delay, self.failures);
         let (actors, trace, report) = sim.run();
 
         let mut storages = Vec::with_capacity(self.n);
@@ -225,9 +225,11 @@ mod tests {
     }
 
     fn seeded(n: usize, protocol: CommitProtocol) -> DbCluster {
-        DbCluster::new(n, protocol)
-            .seed(1, Key::from("acct-a"), Value::from_u64(100))
-            .seed(2, Key::from("acct-b"), Value::from_u64(0))
+        DbCluster::new(n, protocol).seed(1, Key::from("acct-a"), Value::from_u64(100)).seed(
+            2,
+            Key::from("acct-b"),
+            Value::from_u64(0),
+        )
     }
 
     #[test]
@@ -243,10 +245,7 @@ mod tests {
                 "{}",
                 protocol.name()
             );
-            assert_eq!(
-                run.storages[2].get(&Key::from("acct-b")).unwrap().as_u64(),
-                Some(30)
-            );
+            assert_eq!(run.storages[2].get(&Key::from("acct-b")).unwrap().as_u64(), Some(30));
             assert!(run.blocked.iter().all(|b| b.is_empty()));
         }
     }
@@ -344,10 +343,7 @@ mod tests {
             .submit(0, transfer_spec(1, 30))
             .fail(FailureSpec::crash_recover(SiteId(2), SimTime(1200), SimTime(20_000)))
             .run();
-        assert!(
-            run.trace.first_note(SiteId(2), "recovered").is_some(),
-            "recovery hook must run"
-        );
+        assert!(run.trace.first_note(SiteId(2), "recovered").is_some(), "recovery hook must run");
         assert!(run.blocked[2].is_empty(), "no active transactions after recovery");
         // Its account was never touched: the transaction was presumed
         // aborted during recovery.

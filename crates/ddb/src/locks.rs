@@ -77,9 +77,7 @@ impl LockTable {
 
         let compatible = entry.queue.is_empty()
             && match mode {
-                LockMode::Shared => {
-                    entry.holders.iter().all(|(_, m)| *m == LockMode::Shared)
-                }
+                LockMode::Shared => entry.holders.iter().all(|(_, m)| *m == LockMode::Shared),
                 LockMode::Exclusive => entry.holders.is_empty(),
             };
         if compatible {
@@ -103,9 +101,7 @@ impl LockTable {
             // Promote from the queue head while compatible.
             while let Some(&(next, mode)) = entry.queue.front() {
                 let ok = match mode {
-                    LockMode::Shared => {
-                        entry.holders.iter().all(|(_, m)| *m == LockMode::Shared)
-                    }
+                    LockMode::Shared => entry.holders.iter().all(|(_, m)| *m == LockMode::Shared),
                     LockMode::Exclusive => entry.holders.is_empty(),
                 };
                 if !ok {
@@ -130,9 +126,9 @@ impl LockTable {
     /// Does `txn` hold a lock on `key` (in at least the given mode)?
     pub fn holds(&self, txn: TxnId, key: &Key, mode: LockMode) -> bool {
         self.locks.get(key).is_some_and(|e| {
-            e.holders.iter().any(|(t, m)| {
-                *t == txn && (*m == LockMode::Exclusive || mode == LockMode::Shared)
-            })
+            e.holders
+                .iter()
+                .any(|(t, m)| *t == txn && (*m == LockMode::Exclusive || mode == LockMode::Shared))
         })
     }
 

@@ -230,12 +230,7 @@ impl SiteNode {
     }
 
     /// The master attaches each destination's write set to its xact.
-    fn xact_writes_for(
-        &self,
-        txn: TxnId,
-        msg: &CommitMsg,
-        dst: SiteId,
-    ) -> Option<Vec<WriteOp>> {
+    fn xact_writes_for(&self, txn: TxnId, msg: &CommitMsg, dst: SiteId) -> Option<Vec<WriteOp>> {
         if self.me != SiteId(0) || !matches!(msg, CommitMsg::Kind("xact")) {
             return None;
         }
@@ -284,10 +279,8 @@ impl SiteNode {
     fn try_unpark(&mut self, txn: TxnId, ctx: &mut Ctx<'_, DbMsg>) {
         let Some(parked) = self.parked.remove(&txn) else { return };
         // Its queued requests were just granted by release_all; verify.
-        let all_held = parked
-            .writes
-            .iter()
-            .all(|w| self.locks.holds(txn, &w.key, LockMode::Exclusive));
+        let all_held =
+            parked.writes.iter().all(|w| self.locks.holds(txn, &w.key, LockMode::Exclusive));
         if all_held {
             self.begin_local(txn, parked.from, parked.writes, ctx);
         } else {
@@ -338,9 +331,7 @@ impl SiteNode {
         }
         let mut all = true;
         for w in &writes {
-            if self.locks.acquire(txn, w.key.clone(), LockMode::Exclusive)
-                == LockGrant::Waiting
-            {
+            if self.locks.acquire(txn, w.key.clone(), LockMode::Exclusive) == LockGrant::Waiting {
                 all = false;
             }
         }
@@ -408,8 +399,7 @@ impl Actor<DbMsg> for SiteNode {
         let low = raw & 0xff;
         if low == CLIENT_TAG {
             // Client submission at the master.
-            let Some((_, spec)) = self.workload.iter().find(|(_, s)| s.id == txn).cloned()
-            else {
+            let Some((_, spec)) = self.workload.iter().find(|(_, s)| s.id == txn).cloned() else {
                 return;
             };
             self.metrics.borrow_mut().submitted.insert(spec.id, ctx.now());
@@ -473,14 +463,8 @@ mod tests {
     #[test]
     fn metrics_detect_violations() {
         let mut m = Metrics::default();
-        m.decisions
-            .entry(TxnId(1))
-            .or_default()
-            .insert(0, (Decision::Commit, SimTime(5)));
-        m.decisions
-            .entry(TxnId(1))
-            .or_default()
-            .insert(1, (Decision::Abort, SimTime(6)));
+        m.decisions.entry(TxnId(1)).or_default().insert(0, (Decision::Commit, SimTime(5)));
+        m.decisions.entry(TxnId(1)).or_default().insert(1, (Decision::Abort, SimTime(6)));
         assert_eq!(m.atomicity_violations(), vec![TxnId(1)]);
     }
 
@@ -493,7 +477,12 @@ mod tests {
             from: SimTime(100),
             to: Some(SimTime(600)),
         });
-        m.lock_holds.push(LockHold { site: SiteId(2), txn: TxnId(1), from: SimTime(100), to: None });
+        m.lock_holds.push(LockHold {
+            site: SiteId(2),
+            txn: TxnId(1),
+            from: SimTime(100),
+            to: None,
+        });
         let d = m.hold_durations(SimTime(10_000));
         assert_eq!(d[0], (TxnId(1), SiteId(1), 500, false));
         assert_eq!(d[1], (TxnId(1), SiteId(2), 9_900, true));

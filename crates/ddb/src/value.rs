@@ -1,6 +1,6 @@
 //! Keys, values, and transaction identifiers.
 
-use bytes::Bytes;
+use crate::bytes::Bytes;
 use core::fmt;
 
 /// A database key. Cheap to clone (refcounted bytes).

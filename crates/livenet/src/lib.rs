@@ -3,7 +3,7 @@
 //! The protocol implementations in `ptp-protocols` are sans-IO state
 //! machines; the discrete-event simulator is only one possible harness.
 //! This crate is the other: every site runs on its **own OS thread**,
-//! messages travel through **crossbeam channels** via a router thread that
+//! messages travel through **mpsc channels** via a router thread that
 //! imposes wall-clock delays bounded by a configurable `T`, and the paper's
 //! optimistic partition semantics (undeliverable messages bounce back to
 //! their senders) are enforced against the actual system clock.
@@ -45,11 +45,11 @@ mod site;
 
 pub use router::{LiveConfig, LivePartition};
 
-use crossbeam::channel;
 use ptp_model::Decision;
 use ptp_protocols::api::Participant;
 use ptp_simnet::SiteId;
 use router::Router;
+use std::sync::mpsc;
 use std::time::{Duration, Instant};
 
 /// What a live run produced.
@@ -89,15 +89,15 @@ pub fn run_live(
     let started = Instant::now();
 
     // Per-site inboxes and the router's shared inbox.
-    let (router_tx, router_rx) = channel::unbounded();
+    let (router_tx, router_rx) = mpsc::channel();
     let mut site_txs = Vec::with_capacity(n);
     let mut site_rxs = Vec::with_capacity(n);
     for _ in 0..n {
-        let (tx, rx) = channel::unbounded();
+        let (tx, rx) = mpsc::channel();
         site_txs.push(tx);
         site_rxs.push(rx);
     }
-    let (done_tx, done_rx) = channel::unbounded();
+    let (done_tx, done_rx) = mpsc::channel();
 
     let router = Router::new(config, partition, site_txs.clone(), started);
     let router_handle = std::thread::spawn(move || router.run(router_rx));
@@ -205,5 +205,4 @@ mod tests {
         assert!(outcome.all_decided(), "{outcome:?}");
         assert!(outcome.consistent(), "{outcome:?}");
     }
-
 }

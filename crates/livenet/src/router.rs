@@ -1,13 +1,12 @@
 //! The router thread: wall-clock message delays, partitions, and the
 //! optimistic undeliverable-message return.
 
-use crossbeam::channel::{Receiver, Sender};
 use ptp_protocols::api::CommitMsg;
+use ptp_simnet::rng::SmallRng;
 use ptp_simnet::SiteId;
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender};
 use std::time::{Duration, Instant};
 
 /// Global parameters of a live run.
@@ -120,9 +119,7 @@ impl Router {
     }
 
     fn severed(&self, a: SiteId, b: SiteId, now: Instant) -> bool {
-        self.partition
-            .as_ref()
-            .is_some_and(|p| p.severed(a, b, now.duration_since(self.started)))
+        self.partition.as_ref().is_some_and(|p| p.severed(a, b, now.duration_since(self.started)))
     }
 
     fn sample_delay(&self, rng: &mut SmallRng) -> Duration {
@@ -144,10 +141,8 @@ impl Router {
                 let Reverse(s) = queue.pop().expect("peeked");
                 if s.returning {
                     // The bounced leg: hand the message back to its sender.
-                    let _ = self.site_txs[s.out.src.index()].send(Inbound::Undeliverable {
-                        original_dst: s.out.dst,
-                        msg: s.out.msg,
-                    });
+                    let _ = self.site_txs[s.out.src.index()]
+                        .send(Inbound::Undeliverable { original_dst: s.out.dst, msg: s.out.msg });
                 } else if self.severed(s.out.src, s.out.dst, s.due) {
                     // Hit the boundary: schedule the return leg.
                     let due = s.due + self.sample_delay(&mut rng);
@@ -174,8 +169,8 @@ impl Router {
                     seq += 1;
                     queue.push(Reverse(Scheduled { due, seq, out, returning: false }));
                 }
-                Err(crossbeam::channel::RecvTimeoutError::Timeout) => {}
-                Err(crossbeam::channel::RecvTimeoutError::Disconnected) => open = false,
+                Err(RecvTimeoutError::Timeout) => {}
+                Err(RecvTimeoutError::Disconnected) => open = false,
             }
         }
     }

@@ -2,11 +2,11 @@
 //! real timers.
 
 use crate::router::{Inbound, LiveConfig, Outbound};
-use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
 use ptp_model::Decision;
 use ptp_protocols::api::{Action, Participant, TimerTag};
 use ptp_simnet::SiteId;
 use std::collections::HashMap;
+use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender};
 use std::time::{Duration, Instant};
 
 pub(crate) struct SiteRunner {
@@ -58,8 +58,7 @@ impl SiteRunner {
                 Action::Broadcast { msg } => {
                     for dst in (0..self.n as u16).map(SiteId) {
                         if dst != self.me {
-                            let _ =
-                                self.router.send(Outbound { src: self.me, dst, msg });
+                            let _ = self.router.send(Outbound { src: self.me, dst, msg });
                         }
                     }
                 }

@@ -35,11 +35,8 @@ pub fn augmentable_states(spec: &ProtocolSpec) -> Vec<(Role, String)> {
             .filter(|s| !s.kind.is_final())
             .map(|s| s.name.as_str())
             .collect();
-        let expected: Vec<&str> = out
-            .iter()
-            .filter(|(r, _)| *r == Role::Slave)
-            .map(|(_, n)| n.as_str())
-            .collect();
+        let expected: Vec<&str> =
+            out.iter().filter(|(r, _)| *r == Role::Slave).map(|(_, n)| n.as_str()).collect();
         assert_eq!(names, expected, "slave automata are not symmetric");
     }
     out
@@ -53,9 +50,7 @@ pub fn augmentable_states(spec: &ProtocolSpec) -> Vec<(Role, String)> {
 pub fn enumerate_augmentations(spec: &ProtocolSpec) -> Vec<Augmentation> {
     let states = augmentable_states(spec);
     let k = states.len();
-    let total = 1usize
-        .checked_shl(2 * k as u32)
-        .expect("too many states to enumerate");
+    let total = 1usize.checked_shl(2 * k as u32).expect("too many states to enumerate");
     let mut out = Vec::with_capacity(total);
     for bits in 0..total {
         let mut aug = Augmentation::default();

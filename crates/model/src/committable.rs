@@ -46,11 +46,7 @@ impl Committability {
             table.insert(s, true);
         }
         for g in &graph.states {
-            let all_voted = g
-                .locals
-                .iter()
-                .enumerate()
-                .all(|(site, &l)| yes[site][l as usize]);
+            let all_voted = g.locals.iter().enumerate().all(|(site, &l)| yes[site][l as usize]);
             if !all_voted {
                 for (site, &l) in g.locals.iter().enumerate() {
                     table.insert(StateRef { site, state: l as usize }, false);

@@ -212,9 +212,6 @@ mod tests {
         }
         // Commit states' concurrency sets include other commit states.
         let c = spec.state_ref(1, "c");
-        assert!(cs
-            .of(c)
-            .iter()
-            .any(|t| spec.state_kind(*t) == StateKind::Commit));
+        assert!(cs.of(c).iter().any(|t| spec.state_kind(*t) == StateKind::Commit));
     }
 }

@@ -27,13 +27,17 @@ pub fn to_dot(spec: &ProtocolSpec, augmentation: Option<&Augmentation>) -> Strin
                 StateKind::Commit | StateKind::Abort => "doublecircle",
                 _ => "circle",
             };
-            let _ = writeln!(out, "    \"{}_{}\" [label=\"{}\", shape={shape}];", role_tag(role), st.name, st.name);
+            let _ = writeln!(
+                out,
+                "    \"{}_{}\" [label=\"{}\", shape={shape}];",
+                role_tag(role),
+                st.name,
+                st.name
+            );
         }
         for t in &ss.transitions {
-            let reads: Vec<&str> =
-                t.reads.iter().map(|m| spec.kinds[m.kind as usize]).collect();
-            let writes: Vec<&str> =
-                t.writes.iter().map(|m| spec.kinds[m.kind as usize]).collect();
+            let reads: Vec<&str> = t.reads.iter().map(|m| spec.kinds[m.kind as usize]).collect();
+            let writes: Vec<&str> = t.writes.iter().map(|m| spec.kinds[m.kind as usize]).collect();
             let mut label = String::new();
             if reads.is_empty() {
                 label.push_str("(request)");

@@ -16,7 +16,6 @@ use std::fmt;
 
 /// Classification of a local state.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-#[derive(serde::Serialize, serde::Deserialize)]
 pub enum StateKind {
     /// The initial state `q`.
     Initial,
@@ -98,7 +97,6 @@ impl SiteSpec {
 
 /// Which role a site plays. Site 0 is always the master in this crate.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-#[derive(serde::Serialize, serde::Deserialize)]
 pub enum Role {
     /// The coordinator (the paper's site 1; our site 0).
     Master,
@@ -164,9 +162,10 @@ impl ProtocolSpec {
 
     /// Iterates over every `(site, state index)` pair.
     pub fn all_states(&self) -> impl Iterator<Item = StateRef> + '_ {
-        self.sites.iter().enumerate().flat_map(|(site, ss)| {
-            (0..ss.states.len()).map(move |state| StateRef { site, state })
-        })
+        self.sites
+            .iter()
+            .enumerate()
+            .flat_map(|(site, ss)| (0..ss.states.len()).map(move |state| StateRef { site, state }))
     }
 
     /// Looks up a state by `(site, name)`.
@@ -181,7 +180,10 @@ impl ProtocolSpec {
         for (site, ss) in self.sites.iter().enumerate() {
             for (ti, t) in ss.transitions.iter().enumerate() {
                 if t.from >= ss.states.len() || t.to >= ss.states.len() {
-                    return Err(format!("{}: site {site} transition {ti} state out of range", self.name));
+                    return Err(format!(
+                        "{}: site {site} transition {ti} state out of range",
+                        self.name
+                    ));
                 }
                 if ss.states[t.from].kind.is_final() {
                     return Err(format!(
@@ -249,7 +251,6 @@ impl fmt::Display for ProtocolSpec {
 
 /// The two possible terminal decisions.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-#[derive(serde::Serialize, serde::Deserialize)]
 pub enum Decision {
     /// Transaction committed.
     Commit,

@@ -148,14 +148,8 @@ mod tests {
         let c = spec.state_ref(1, "c").state as u8;
         let a1 = spec.state_ref(0, "a1").state as u8;
         let a = spec.state_ref(1, "a").state as u8;
-        assert!(graph
-            .states
-            .iter()
-            .any(|g| g.locals == vec![c1, c] && g.msgs.is_empty()));
-        assert!(graph
-            .states
-            .iter()
-            .any(|g| g.locals == vec![a1, a] && g.msgs.is_empty()));
+        assert!(graph.states.iter().any(|g| g.locals == vec![c1, c] && g.msgs.is_empty()));
+        assert!(graph.states.iter().any(|g| g.locals == vec![a1, a] && g.msgs.is_empty()));
     }
 
     #[test]

@@ -139,12 +139,7 @@ fn violates(spec: &ProtocolSpec, locals: &[u8]) -> bool {
 }
 
 /// All configurations reachable in one step.
-fn successors(
-    spec: &ProtocolSpec,
-    aug: &Augmentation,
-    g2: &[usize],
-    cfg: &Config,
-) -> Vec<Config> {
+fn successors(spec: &ProtocolSpec, aug: &Augmentation, g2: &[usize], cfg: &Config) -> Vec<Config> {
     let mut out = Vec::new();
 
     for site in 0..spec.n() {
@@ -212,11 +207,7 @@ fn decision_state(spec: &ProtocolSpec, site: usize, d: Decision) -> u8 {
         Decision::Commit => StateKind::Commit,
         Decision::Abort => StateKind::Abort,
     };
-    spec.sites[site]
-        .states
-        .iter()
-        .position(|s| s.kind == want)
-        .expect("final states exist") as u8
+    spec.sites[site].states.iter().position(|s| s.kind == want).expect("final states exist") as u8
 }
 
 #[cfg(test)]

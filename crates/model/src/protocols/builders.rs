@@ -4,9 +4,7 @@ use crate::fsa::{Msg, ProtocolSpec, SiteSpec, StateDef, StateKind, Transition};
 
 /// Shorthand for building state tables.
 fn states(defs: &[(&str, StateKind)]) -> Vec<StateDef> {
-    defs.iter()
-        .map(|(name, kind)| StateDef { name: (*name).to_owned(), kind: *kind })
-        .collect()
+    defs.iter().map(|(name, kind)| StateDef { name: (*name).to_owned(), kind: *kind }).collect()
 }
 
 struct Kinds {
@@ -332,9 +330,8 @@ pub fn modified_three_phase(n: usize) -> ProtocolSpec {
 /// generic termination-protocol recipe is not 3PC-specific.
 pub fn four_phase(n: usize) -> ProtocolSpec {
     assert!(n >= 2);
-    let k = Kinds::new(&[
-        "xact", "yes", "no", "prepare", "ack", "ready", "ack2", "commit", "abort",
-    ]);
+    let k =
+        Kinds::new(&["xact", "yes", "no", "prepare", "ack", "ready", "ack2", "commit", "abort"]);
 
     let mut master = SiteSpec {
         states: states(&[

@@ -19,9 +19,7 @@
 
 mod builders;
 
-pub use builders::{
-    extended_two_phase, four_phase, modified_three_phase, two_phase,
-};
+pub use builders::{extended_two_phase, four_phase, modified_three_phase, two_phase};
 
 /// Fig. 3: Skeen's three-phase commit protocol.
 ///

@@ -67,14 +67,9 @@ pub fn check_conditions_with(spec: &ProtocolSpec, graph: &GlobalGraph) -> Resili
 
     for s in spec.all_states() {
         let cset = csets.of(s);
-        let commit_witness = cset
-            .iter()
-            .copied()
-            .find(|t| spec.state_kind(*t) == StateKind::Commit);
-        let abort_witness = cset
-            .iter()
-            .copied()
-            .find(|t| spec.state_kind(*t) == StateKind::Abort);
+        let commit_witness =
+            cset.iter().copied().find(|t| spec.state_kind(*t) == StateKind::Commit);
+        let abort_witness = cset.iter().copied().find(|t| spec.state_kind(*t) == StateKind::Abort);
 
         if let (Some(cw), Some(aw)) = (commit_witness, abort_witness) {
             report.lemma1.push(Lemma1Violation { state: s, commit_witness: cw, abort_witness: aw });

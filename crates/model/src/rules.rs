@@ -57,17 +57,11 @@ pub fn derive_rules_augmentation(spec: &ProtocolSpec) -> RuleDerivation {
         if spec.state_kind(s).is_final() {
             continue;
         }
-        let decision = if csets.contains_commit(spec, s) {
-            Decision::Commit
-        } else {
-            Decision::Abort
-        };
+        let decision =
+            if csets.contains_commit(spec, s) { Decision::Commit } else { Decision::Abort };
         let key = (spec.role_of(s.site), spec.state_name(s).to_owned());
         if let Some(prev) = aug.timeout.insert(key.clone(), decision) {
-            assert_eq!(
-                prev, decision,
-                "slave automata are not symmetric at state {key:?}"
-            );
+            assert_eq!(prev, decision, "slave automata are not symmetric at state {key:?}");
         }
     }
 

@@ -1,0 +1,274 @@
+//! A minimal, dependency-free stand-in for the [proptest] property-testing
+//! crate, exposing the API subset this workspace's `tests/property_suite.rs`
+//! uses: the `proptest!` macro, range/tuple/option/vec/oneof strategies,
+//! `prop_assert!`/`prop_assert_eq!`/`prop_assume!`, and `ProptestConfig`.
+//!
+//! The build environment has no network access, so the real crate cannot be
+//! fetched. Differences from upstream, by design:
+//!
+//! * **No shrinking.** A failing case panics with the sampled inputs
+//!   rendered in the message; rerunning reproduces it exactly because the
+//!   RNG seed is derived deterministically from the test name.
+//! * **Rejection handling** (`prop_assume!`) retries with fresh samples, up
+//!   to 16× the configured case count, mirroring upstream's global reject
+//!   budget in spirit.
+//!
+//! [proptest]: https://docs.rs/proptest
+
+pub mod strategy;
+pub mod test_runner;
+
+pub use strategy::{any, Arbitrary, BoxedStrategy, Just, Strategy};
+pub use test_runner::TestRng;
+
+/// Knobs honoured by [`proptest!`], shaped so upstream-style
+/// `ProptestConfig { cases: N, ..ProptestConfig::default() }` works
+/// verbatim.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of accepted (non-rejected) cases to run per property.
+    pub cases: u32,
+    /// The attempt budget is `cases * max_reject_factor`; exceeding it
+    /// (overly narrow `prop_assume!` filters) fails the test.
+    pub max_reject_factor: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: 256, max_reject_factor: 16 }
+    }
+}
+
+/// Why one sampled case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` failed: resample, don't count the case.
+    Reject,
+    /// `prop_assert!`-family failure: the property is falsified.
+    Fail(String),
+}
+
+/// Strategy namespace mirroring `proptest::prelude::prop`.
+pub mod prop {
+    /// Boolean strategies.
+    pub mod bool {
+        /// Uniformly random booleans.
+        pub const ANY: crate::strategy::AnyBool = crate::strategy::AnyBool;
+    }
+
+    /// `Option` strategies.
+    pub mod option {
+        use crate::strategy::{OptionStrategy, Strategy};
+
+        /// Strategy producing `None` ~25% of the time, else `Some(inner)`
+        /// (the upstream default weighting).
+        pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+            OptionStrategy { inner }
+        }
+    }
+
+    /// Collection strategies.
+    pub mod collection {
+        use crate::strategy::{Strategy, VecStrategy};
+        use std::ops::Range;
+
+        /// Strategy producing vectors with lengths drawn from `len`.
+        pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+            VecStrategy { element, len }
+        }
+    }
+}
+
+/// Everything a property test file needs, `use proptest::prelude::*;`-style.
+pub mod prelude {
+    pub use crate::strategy::{any, Arbitrary, BoxedStrategy, Just, Strategy};
+    pub use crate::{
+        prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+        ProptestConfig, TestCaseError,
+    };
+}
+
+/// Asserts a condition inside a property; on failure the current case fails
+/// with the rendered message (no panic unwinding through user state).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Asserts two values are equal inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l == r, "assertion failed: {:?} == {:?}", l, r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            l == r,
+            "assertion failed: {:?} == {:?}: {}", l, r, format!($($fmt)*)
+        );
+    }};
+}
+
+/// Asserts two values differ inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l != r, "assertion failed: {:?} != {:?}", l, r);
+    }};
+}
+
+/// Discards the current case (resampling instead of failing) when the
+/// sampled inputs don't satisfy a precondition.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::Reject);
+        }
+    };
+}
+
+/// Weighted-choice strategy over alternatives of one value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strategy)),+
+        ])
+    };
+}
+
+/// Declares property tests. Supports the upstream shape:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+///     #[test]
+///     fn my_property(x in 0u64..100, flag in prop::bool::ANY) { ... }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($config); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($config:expr); $(
+        $(#[$meta:meta])*
+        fn $name:ident ( $($arg:ident in $strategy:expr),* $(,)? ) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $config;
+                let mut rng = $crate::TestRng::from_name(stringify!($name));
+                let mut accepted: u32 = 0;
+                let mut attempts: u32 = 0;
+                let max_attempts =
+                    config.cases.saturating_mul(config.max_reject_factor).max(16);
+                while accepted < config.cases {
+                    attempts += 1;
+                    assert!(
+                        attempts <= max_attempts,
+                        "too many prop_assume! rejections ({} attempts, {} accepted)",
+                        attempts,
+                        accepted
+                    );
+                    $(let $arg = $crate::Strategy::sample(&($strategy), &mut rng);)*
+                    let outcome: ::std::result::Result<(), $crate::TestCaseError> =
+                        (|| { $body ::std::result::Result::Ok(()) })();
+                    match outcome {
+                        Ok(()) => accepted += 1,
+                        Err($crate::TestCaseError::Reject) => continue,
+                        Err($crate::TestCaseError::Fail(message)) => {
+                            panic!(
+                                "property `{}` falsified after {} cases\n  inputs: {:?}\n  {}",
+                                stringify!($name),
+                                accepted,
+                                ($(&$arg,)*),
+                                message
+                            );
+                        }
+                    }
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3u64..17, y in 0usize..5) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!(y < 5);
+        }
+
+        #[test]
+        fn assume_filters(x in 0u8..10) {
+            prop_assume!(x % 2 == 0);
+            prop_assert_eq!(x % 2, 0);
+        }
+
+        #[test]
+        fn vec_lengths_respected(v in prop::collection::vec(0u8..4, 1..9)) {
+            prop_assert!(!v.is_empty() && v.len() < 9);
+            for x in &v { prop_assert!(*x < 4); }
+        }
+
+        #[test]
+        fn oneof_and_map(v in prop_oneof![
+            (0u8..3).prop_map(|x| x as u64),
+            Just(99u64),
+        ]) {
+            prop_assert!(v < 3 || v == 99);
+        }
+
+        #[test]
+        fn options_mix(o in prop::option::of(1u64..4)) {
+            if let Some(x) = o { prop_assert!((1..4).contains(&x)); }
+        }
+    }
+
+    #[test]
+    fn deterministic_per_name() {
+        let mut a = crate::TestRng::from_name("same");
+        let mut b = crate::TestRng::from_name("same");
+        for _ in 0..16 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "falsified")]
+    fn failures_panic_with_inputs() {
+        proptest! {
+            fn always_fails(x in 0u8..4) {
+                prop_assert!(x > 100, "x was {}", x);
+            }
+        }
+        always_fails();
+    }
+}

@@ -7,10 +7,10 @@ use crate::termination::{
     termination_cluster, PhasePlan, ProtocolTiming, TerminationMaster, TerminationSlave,
     TerminationVariant,
 };
-use ptp_simnet::SiteId;
 use ptp_model::protocols::{extended_two_phase, three_phase, two_phase};
 use ptp_model::rules::derive_rules_augmentation;
 use ptp_model::{Augmentation, ProtocolSpec};
+use ptp_simnet::SiteId;
 use std::sync::Arc;
 
 /// A cluster interpreting `spec` with an optional augmentation.

@@ -92,9 +92,7 @@ impl FsaParticipant {
 
     /// Writes a "no"-kind message?
     fn writes_no(&self, t: &ptp_model::Transition) -> bool {
-        t.writes
-            .iter()
-            .any(|w| self.spec.kinds[w.kind as usize] == "no")
+        t.writes.iter().any(|w| self.spec.kinds[w.kind as usize] == "no")
     }
 
     /// Fires enabled transitions until quiescent.
@@ -208,10 +206,8 @@ impl Participant for FsaParticipant {
             return;
         }
         out.push(Action::Note("ud-received", self.state as u64));
-        let decision = self
-            .augmentation
-            .as_ref()
-            .and_then(|a| a.ud_for(self.role(), self.current_name()));
+        let decision =
+            self.augmentation.as_ref().and_then(|a| a.ud_for(self.role(), self.current_name()));
         match decision {
             Some(d) => self.jump_to_decision(d, out),
             None => {
@@ -275,10 +271,8 @@ mod tests {
         }
         for _round in 0..64 {
             let mut moved = false;
-            let pending: Vec<Vec<(usize, CommitMsg)>> = std::mem::replace(
-                &mut outboxes,
-                vec![Vec::new(); parts.len()],
-            );
+            let pending: Vec<Vec<(usize, CommitMsg)>> =
+                std::mem::replace(&mut outboxes, vec![Vec::new(); parts.len()]);
             for (dst, inbox) in pending.into_iter().enumerate() {
                 for (src, msg) in inbox {
                     moved = true;
@@ -295,11 +289,7 @@ mod tests {
         parts.iter().map(|p| p.decision()).collect()
     }
 
-    fn collect_sends(
-        src: usize,
-        actions: &[Action],
-        outboxes: &mut [Vec<(usize, CommitMsg)>],
-    ) {
+    fn collect_sends(src: usize, actions: &[Action], outboxes: &mut [Vec<(usize, CommitMsg)>]) {
         for a in actions {
             if let Action::Send { to, msg } = a {
                 outboxes[to.index()].push((src, *msg));

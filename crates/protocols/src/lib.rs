@@ -60,5 +60,5 @@ pub mod timing;
 
 pub use api::{Action, CommitMsg, Participant, TimerTag, Vote};
 pub use outcome::{SiteOutcome, Verdict};
-pub use runner::{run_protocol, ProtocolRun};
+pub use runner::{run_protocol, run_protocol_with, ProtocolRun};
 pub use termination::{PhasePlan, TerminationMaster, TerminationSlave, TerminationVariant};

@@ -5,7 +5,7 @@ use crate::outcome::SiteOutcome;
 use ptp_model::Decision;
 use ptp_simnet::{
     Actor, Ctx, DelayModel, Envelope, FailureSpec, NetConfig, PartitionEngine, RunReport,
-    Simulation, SiteId, TimerHandle, Trace,
+    Simulation, SiteId, TimerHandle, Trace, TraceSink,
 };
 use std::cell::RefCell;
 use std::collections::HashMap;
@@ -115,13 +115,35 @@ pub struct ProtocolRun {
 }
 
 /// Runs `participants` (site `i` = `participants[i]`, site 0 the master)
-/// under the given network conditions.
+/// under the given network conditions, recording a full trace.
+///
+/// Equivalent to [`run_protocol_with`] with `record_trace = true`; the
+/// timing experiments (Figs. 5–7, 9) measure over the returned trace.
 pub fn run_protocol(
     participants: Vec<Box<dyn Participant>>,
     config: NetConfig,
     partition: PartitionEngine,
     delay: &DelayModel,
     failures: Vec<FailureSpec>,
+) -> ProtocolRun {
+    run_protocol_with(participants, config, partition, delay, failures, true)
+}
+
+/// Runs `participants` with an explicit tracing choice.
+///
+/// `record_trace = false` routes the simulation through
+/// [`TraceSink::Null`]: verdict-only workloads (resilience sweeps,
+/// counterexample hunts) skip every per-event allocation and
+/// [`ProtocolRun::trace`] comes back empty. Outcomes, decisions and the
+/// [`RunReport`] (including its event counters) are identical either way —
+/// the sink never feeds back into protocol behaviour.
+pub fn run_protocol_with(
+    participants: Vec<Box<dyn Participant>>,
+    config: NetConfig,
+    partition: PartitionEngine,
+    delay: &DelayModel,
+    failures: Vec<FailureSpec>,
+    record_trace: bool,
 ) -> ProtocolRun {
     let n = participants.len();
     let board: Board = Rc::new(RefCell::new(vec![SiteOutcome::default(); n]));
@@ -139,12 +161,11 @@ pub fn run_protocol(
         })
         .collect();
 
-    let sim = Simulation::new(config, actors, partition, delay, failures);
+    let sink = if record_trace { TraceSink::recording() } else { TraceSink::Null };
+    let sim = Simulation::with_sink(config, actors, partition, delay, failures, sink);
     let (actors, trace, report) = sim.run();
     drop(actors); // release the adapters' board references
-    let outcomes = Rc::try_unwrap(board)
-        .expect("board uniquely owned after run")
-        .into_inner();
+    let outcomes = Rc::try_unwrap(board).expect("board uniquely owned after run").into_inner();
     ProtocolRun { outcomes, trace, report }
 }
 

@@ -42,7 +42,7 @@
 
 use crate::api::{Action, CommitMsg, Participant, TimerTag, Vote};
 use crate::timing::{
-    MASTER_COLLECT_T, MASTER_PROTO_T, SLAVE_P_WAIT_T, SLAVE_PROTO_T, SLAVE_W_WAIT_T,
+    MASTER_COLLECT_T, MASTER_PROTO_T, SLAVE_PROTO_T, SLAVE_P_WAIT_T, SLAVE_W_WAIT_T,
 };
 use ptp_model::Decision;
 use ptp_simnet::SiteId;
@@ -301,10 +301,7 @@ impl Participant for TerminationMaster {
                 self.pb.clear();
                 self.state = MState::Collecting;
                 out.push(Action::CancelTimer { tag: TimerTag::Proto });
-                out.push(Action::SetTimer {
-                    t_units: self.timing.collect,
-                    tag: TimerTag::Collect,
-                });
+                out.push(Action::SetTimer { t_units: self.timing.collect, tag: TimerTag::Collect });
             }
             MState::Round(cur) if *cur == k => {
                 // UD of a post-decisive request (4PC's ready): everyone is
@@ -337,13 +334,9 @@ impl Participant for TerminationMaster {
             }
             (MState::Collecting, TimerTag::Collect) => {
                 // if (N − UD = PB) then abort_1-n else commit_1-n.
-                let expected: BTreeSet<u16> =
-                    self.slaves().difference(&self.ud).copied().collect();
+                let expected: BTreeSet<u16> = self.slaves().difference(&self.ud).copied().collect();
                 let no_prepare_crossed = expected == self.pb;
-                out.push(Action::Note(
-                    "master-collect-decision",
-                    u64::from(!no_prepare_crossed),
-                ));
+                out.push(Action::Note("master-collect-decision", u64::from(!no_prepare_crossed)));
                 if no_prepare_crossed {
                     self.decide(Decision::Abort, true, out);
                 } else {
@@ -563,9 +556,7 @@ impl Participant for TerminationSlave {
                 out.push(Action::Note("slave-wwait-abort", self.me as u64));
                 self.decide(Decision::Abort, out);
             }
-            (SState::Probing, TimerTag::PWait)
-                if self.variant == TerminationVariant::Transient =>
-            {
+            (SState::Probing, TimerTag::PWait) if self.variant == TerminationVariant::Transient => {
                 // Sec. 6: only case 3.2.2.2 exceeds 5T, and there every
                 // prepare crossed — commit.
                 out.push(Action::Note("slave-pwait-commit", self.me as u64));
@@ -619,8 +610,7 @@ mod tests {
     use super::*;
 
     fn acts_contain_broadcast(out: &[Action], kind: &str) -> bool {
-        out.iter()
-            .any(|a| matches!(a, Action::Broadcast { msg: CommitMsg::Kind(k) } if *k == kind))
+        out.iter().any(|a| matches!(a, Action::Broadcast { msg: CommitMsg::Kind(k) } if *k == kind))
     }
 
     #[test]
@@ -826,9 +816,10 @@ mod tests {
         out.clear();
         s.on_timer(TimerTag::Proto, &mut out);
         assert_eq!(s.state_name(), "probing");
-        assert!(out
-            .iter()
-            .any(|a| matches!(a, Action::Send { to: SiteId(0), msg: CommitMsg::Probe { slave: 2 } })));
+        assert!(out.iter().any(|a| matches!(
+            a,
+            Action::Send { to: SiteId(0), msg: CommitMsg::Probe { slave: 2 } }
+        )));
         out.clear();
         s.on_ud(SiteId(0), &CommitMsg::Probe { slave: 2 }, &mut out);
         assert!(acts_contain_broadcast(&out, "commit"));

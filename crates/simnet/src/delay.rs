@@ -12,8 +12,7 @@
 //! returns into `[1, T]` ticks so the paper's delivery bound always holds.
 
 use crate::message::{MsgId, SiteId};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use crate::rng::SmallRng;
 use std::collections::BTreeMap;
 
 /// Which leg of a message's journey a delay is being sampled for.
@@ -77,14 +76,12 @@ impl DelayModel {
                 min: *min,
                 max: (*max).max(*min),
             },
-            DelayModel::Scheduled { overrides, default } => DelaySampler::Scheduled {
-                overrides: overrides.clone(),
-                default: *default,
-            },
-            DelayModel::PerLink { links, default } => DelaySampler::PerLink {
-                links: links.clone(),
-                default: *default,
-            },
+            DelayModel::Scheduled { overrides, default } => {
+                DelaySampler::Scheduled { overrides: overrides.clone(), default: *default }
+            }
+            DelayModel::PerLink { links, default } => {
+                DelaySampler::PerLink { links: links.clone(), default: *default }
+            }
         }
     }
 }
@@ -106,9 +103,9 @@ impl DelaySampler {
         match self {
             DelaySampler::Fixed(d) => *d,
             DelaySampler::Uniform { rng, min, max } => rng.gen_range(*min..=*max),
-            DelaySampler::Scheduled { overrides, default } => *overrides
-                .get(&(id.0, matches!(leg, Leg::Return)))
-                .unwrap_or(default),
+            DelaySampler::Scheduled { overrides, default } => {
+                *overrides.get(&(id.0, matches!(leg, Leg::Return))).unwrap_or(default)
+            }
             DelaySampler::PerLink { links, default } => {
                 *links.get(&(src.0, dst.0)).unwrap_or(default)
             }
@@ -153,9 +150,7 @@ mod tests {
 
     fn sample_all(model: &DelayModel, n: u64) -> Vec<u64> {
         let mut s = model.sampler();
-        (0..n)
-            .map(|i| s.sample(MsgId(i), SiteId(1), SiteId(2), Leg::Outbound))
-            .collect()
+        (0..n).map(|i| s.sample(MsgId(i), SiteId(1), SiteId(2), Leg::Outbound)).collect()
     }
 
     #[test]
@@ -186,10 +181,7 @@ mod tests {
 
     #[test]
     fn schedule_overrides_specific_messages() {
-        let m = ScheduleBuilder::with_default(100)
-            .outbound(3, 999)
-            .return_leg(3, 500)
-            .build();
+        let m = ScheduleBuilder::with_default(100).outbound(3, 999).return_leg(3, 500).build();
         let mut s = m.sampler();
         assert_eq!(s.sample(MsgId(2), SiteId(1), SiteId(2), Leg::Outbound), 100);
         assert_eq!(s.sample(MsgId(3), SiteId(1), SiteId(2), Leg::Outbound), 999);

@@ -83,8 +83,19 @@ pub(crate) struct EventQueue<P> {
 }
 
 impl<P> EventQueue<P> {
+    #[cfg(test)]
     pub fn new() -> Self {
         EventQueue { heap: BinaryHeap::new(), next_seq: 0 }
+    }
+
+    /// Queue with room for `capacity` events before the first heap growth.
+    ///
+    /// The simulator sizes this from the cluster: an `n`-site commit
+    /// protocol keeps O(n²) messages and O(n) timers in flight at its
+    /// broadcast peaks, so reserving up front removes every reallocation
+    /// from the common sweep scenario.
+    pub fn with_capacity(capacity: usize) -> Self {
+        EventQueue { heap: BinaryHeap::with_capacity(capacity), next_seq: 0 }
     }
 
     pub fn push(&mut self, at: SimTime, kind: EventKind<P>) {

@@ -13,7 +13,6 @@ use crate::time::SimTime;
 
 /// Crash (and optionally recover) one site at fixed instants.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-#[derive(serde::Serialize, serde::Deserialize)]
 pub struct FailureSpec {
     /// The site to crash.
     pub site: SiteId,

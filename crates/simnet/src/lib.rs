@@ -62,7 +62,9 @@ pub mod failure;
 pub mod message;
 pub mod net;
 pub mod partition;
+pub mod rng;
 pub mod time;
+mod timers;
 pub mod trace;
 
 pub use delay::{DelayModel, Leg, ScheduleBuilder};
@@ -71,4 +73,4 @@ pub use message::{Disposition, Envelope, MsgId, SiteId};
 pub use net::{Actor, Ctx, NetConfig, Payload, RunReport, Simulation, StopReason, TimerHandle};
 pub use partition::{PartitionEngine, PartitionMode, PartitionSpec};
 pub use time::{SimDuration, SimTime};
-pub use trace::{Trace, TraceEvent};
+pub use trace::{Trace, TraceCounters, TraceEvent, TraceSink};

@@ -8,7 +8,6 @@ use core::fmt;
 /// The paper numbers sites `1..n` with site 1 the master; we follow the same
 /// convention in protocol code, but `SiteId` itself is just an opaque index.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-#[derive(serde::Serialize, serde::Deserialize)]
 pub struct SiteId(pub u16);
 
 impl SiteId {
@@ -30,7 +29,6 @@ impl fmt::Display for SiteId {
 /// Assigned in send order, which lets adversarial delay schedules address
 /// individual messages deterministically.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-#[derive(serde::Serialize, serde::Deserialize)]
 pub struct MsgId(pub u64);
 
 /// A message in flight: payload plus routing metadata.

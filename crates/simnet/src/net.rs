@@ -6,8 +6,8 @@ use crate::failure::FailureSpec;
 use crate::message::{Envelope, MsgId, SiteId};
 use crate::partition::{PartitionEngine, PartitionMode};
 use crate::time::{SimDuration, SimTime};
-use crate::trace::{Trace, TraceEvent};
-use std::collections::HashSet;
+use crate::timers::TimerSlab;
+use crate::trace::{Trace, TraceCounters, TraceEvent, TraceSink};
 
 /// A message payload the network can carry.
 ///
@@ -132,13 +132,21 @@ impl<P: Payload> Ctx<'_, P> {
         self.core.send(self.me, dst, payload);
     }
 
-    /// Sends a clone of `payload` to every site in `dsts` except self.
+    /// Sends `payload` to every site in `dsts` except self — cloning for
+    /// all targets but the last, which receives the original by move. With
+    /// `k` targets that is `k - 1` clones instead of `k`, which matters on
+    /// the sweep hot path where every protocol round broadcasts.
     pub fn send_to_all(&mut self, dsts: &[SiteId], payload: P) {
-        for &d in dsts {
-            if d != self.me {
-                self.core.send(self.me, d, payload.clone());
+        let me = self.me;
+        let Some(last) = dsts.iter().rposition(|&d| d != me) else {
+            return;
+        };
+        for &d in &dsts[..last] {
+            if d != me {
+                self.core.send(me, d, payload.clone());
             }
         }
+        self.core.send(me, dsts[last], payload);
     }
 
     /// Arms a timer that fires `after` from now, delivering `tag` to
@@ -158,7 +166,7 @@ impl<P: Payload> Ctx<'_, P> {
     pub fn note(&mut self, label: &'static str, detail: u64) {
         let at = self.core.now;
         let site = self.me;
-        self.core.trace.push(TraceEvent::Note { at, site, label, detail });
+        self.core.trace(TraceEvent::Note { at, site, label, detail });
     }
 }
 
@@ -169,26 +177,30 @@ struct Core<P: Payload> {
     now: SimTime,
     queue: EventQueue<P>,
     next_msg: u64,
-    next_timer: u64,
-    cancelled: HashSet<u64>,
+    timers: TimerSlab,
     crashed: Vec<bool>,
     partition: PartitionEngine,
     sampler: DelaySampler,
-    trace: Trace,
+    sink: TraceSink,
+    counters: TraceCounters,
 }
 
 impl<P: Payload> Core<P> {
+    /// Routes one event to the counters and the configured sink.
+    #[inline]
+    fn trace(&mut self, ev: TraceEvent) {
+        self.counters.record(&ev);
+        self.sink.push(ev);
+    }
+
     fn send(&mut self, src: SiteId, dst: SiteId, payload: P) {
         let id = MsgId(self.next_msg);
         self.next_msg += 1;
         let kind = payload.kind();
         let env = Envelope { id, src, dst, sent_at: self.now, payload };
-        self.trace.push(TraceEvent::Sent { at: self.now, id, src, dst, kind });
+        self.trace(TraceEvent::Sent { at: self.now, id, src, dst, kind });
 
-        let out = self
-            .sampler
-            .sample(id, src, dst, Leg::Outbound)
-            .clamp(1, self.config.t_unit);
+        let out = self.sampler.sample(id, src, dst, Leg::Outbound).clamp(1, self.config.t_unit);
         let delivery_at = self.now + SimDuration(out);
 
         let fate = self.classify(src, dst, self.now, delivery_at);
@@ -198,20 +210,12 @@ impl<P: Payload> Core<P> {
             }
             Fate::Bounce(bounce_at) => match self.config.mode {
                 PartitionMode::Optimistic => {
-                    let ret = self
-                        .sampler
-                        .sample(id, src, dst, Leg::Return)
-                        .clamp(1, self.config.t_unit);
+                    let ret =
+                        self.sampler.sample(id, src, dst, Leg::Return).clamp(1, self.config.t_unit);
                     self.queue.push(bounce_at + SimDuration(ret), EventKind::ReturnUd(env));
                 }
                 PartitionMode::Pessimistic => {
-                    self.trace.push(TraceEvent::Dropped {
-                        at: self.now,
-                        id,
-                        src,
-                        dst,
-                        kind,
-                    });
+                    self.trace(TraceEvent::Dropped { at: self.now, id, src, dst, kind });
                 }
             },
         }
@@ -244,21 +248,16 @@ impl<P: Payload> Core<P> {
     }
 
     fn set_timer(&mut self, site: SiteId, after: SimDuration, tag: u64) -> TimerHandle {
-        let timer = self.next_timer;
-        self.next_timer += 1;
+        let timer = self.timers.arm();
         let fire_at = self.now + after;
-        self.trace.push(TraceEvent::TimerSet { at: self.now, site, timer, tag, fire_at });
+        self.trace(TraceEvent::TimerSet { at: self.now, site, timer, tag, fire_at });
         self.queue.push(fire_at, EventKind::Timer { site, timer, tag });
         TimerHandle(timer)
     }
 
     fn cancel_timer(&mut self, site: SiteId, handle: TimerHandle) {
-        if self.cancelled.insert(handle.0) {
-            self.trace.push(TraceEvent::TimerCancelled {
-                at: self.now,
-                site,
-                timer: handle.0,
-            });
+        if self.timers.cancel(handle.0) {
+            self.trace(TraceEvent::TimerCancelled { at: self.now, site, timer: handle.0 });
         }
     }
 }
@@ -286,6 +285,8 @@ pub struct RunReport {
     pub ended_at: SimTime,
     /// Number of dispatched events.
     pub events: u64,
+    /// Per-category trace tallies, kept even under [`TraceSink::Null`].
+    pub counters: TraceCounters,
 }
 
 /// A configured simulation: actors plus network behaviour.
@@ -299,7 +300,8 @@ pub struct Simulation<P: Payload> {
 }
 
 impl<P: Payload> Simulation<P> {
-    /// Creates a simulation over `actors` (site `i` is `actors[i]`).
+    /// Creates a simulation over `actors` (site `i` is `actors[i]`) with a
+    /// full-recording trace sink.
     pub fn new(
         config: NetConfig,
         actors: Vec<Box<dyn Actor<P>>>,
@@ -307,8 +309,27 @@ impl<P: Payload> Simulation<P> {
         delay: &DelayModel,
         failures: Vec<FailureSpec>,
     ) -> Self {
+        Simulation::with_sink(config, actors, partition, delay, failures, TraceSink::recording())
+    }
+
+    /// Creates a simulation with an explicit [`TraceSink`].
+    ///
+    /// Use [`TraceSink::Null`] for verdict-only workloads (resilience
+    /// sweeps): no trace events are stored, and [`Simulation::run`] returns
+    /// an empty [`Trace`]. Event tallies are still available via
+    /// [`RunReport::counters`].
+    pub fn with_sink(
+        config: NetConfig,
+        actors: Vec<Box<dyn Actor<P>>>,
+        partition: PartitionEngine,
+        delay: &DelayModel,
+        failures: Vec<FailureSpec>,
+        sink: TraceSink,
+    ) -> Self {
         let n = actors.len();
-        let mut queue = EventQueue::new();
+        // Broadcast peaks put O(n²) deliveries plus O(n) timers in flight;
+        // reserving once here keeps the heap from reallocating mid-run.
+        let mut queue = EventQueue::with_capacity(n * n + 4 * n + 2 * failures.len() + 8);
         for f in &failures {
             assert!(f.site.index() < n, "failure spec names unknown site {}", f.site);
             queue.push(f.at, EventKind::Crash(f.site));
@@ -322,12 +343,12 @@ impl<P: Payload> Simulation<P> {
                 now: SimTime::ZERO,
                 queue,
                 next_msg: 0,
-                next_timer: 0,
-                cancelled: HashSet::new(),
+                timers: TimerSlab::with_capacity(2 * n),
                 crashed: vec![false; n],
                 partition,
                 sampler: delay.sampler(),
-                trace: Trace::default(),
+                sink,
+                counters: TraceCounters::default(),
             },
             actors: actors.into_iter().map(Some).collect(),
         }
@@ -363,7 +384,7 @@ impl<P: Payload> Simulation<P> {
                 EventKind::Deliver(env) => {
                     let dst = env.dst;
                     if self.core.crashed[dst.index()] {
-                        self.core.trace.push(TraceEvent::Dropped {
+                        self.core.trace(TraceEvent::Dropped {
                             at: ev.at,
                             id: env.id,
                             src: env.src,
@@ -372,7 +393,7 @@ impl<P: Payload> Simulation<P> {
                         });
                         continue;
                     }
-                    self.core.trace.push(TraceEvent::Delivered {
+                    self.core.trace(TraceEvent::Delivered {
                         at: ev.at,
                         id: env.id,
                         src: env.src,
@@ -384,7 +405,7 @@ impl<P: Payload> Simulation<P> {
                 EventKind::ReturnUd(env) => {
                     let src = env.src;
                     if self.core.crashed[src.index()] {
-                        self.core.trace.push(TraceEvent::Dropped {
+                        self.core.trace(TraceEvent::Dropped {
                             at: ev.at,
                             id: env.id,
                             src,
@@ -393,20 +414,20 @@ impl<P: Payload> Simulation<P> {
                         });
                         continue;
                     }
-                    self.core.trace.push(TraceEvent::Returned {
+                    self.core.trace(TraceEvent::Returned {
                         at: ev.at,
                         id: env.id,
                         src,
                         dst: env.dst,
                         kind: env.payload.kind(),
                     });
-                    self.with_actor(src.index(), |actor, ctx| {
-                        actor.on_undeliverable(env, ctx)
-                    });
+                    self.with_actor(src.index(), |actor, ctx| actor.on_undeliverable(env, ctx));
                 }
                 EventKind::Timer { site, timer, tag } => {
-                    if self.core.cancelled.remove(&timer) || self.core.crashed[site.index()] {
-                        self.core.trace.push(TraceEvent::TimerSuppressed {
+                    // Consume the slot either way; a handle never fires twice.
+                    let live = self.core.timers.fire(timer);
+                    if !live || self.core.crashed[site.index()] {
+                        self.core.trace(TraceEvent::TimerSuppressed {
                             at: ev.at,
                             site,
                             timer,
@@ -414,33 +435,29 @@ impl<P: Payload> Simulation<P> {
                         });
                         continue;
                     }
-                    self.core.trace.push(TraceEvent::TimerFired { at: ev.at, site, timer, tag });
+                    self.core.trace(TraceEvent::TimerFired { at: ev.at, site, timer, tag });
                     self.with_actor(site.index(), |actor, ctx| actor.on_timer(tag, ctx));
                 }
                 EventKind::Crash(site) => {
                     self.core.crashed[site.index()] = true;
-                    self.core.trace.push(TraceEvent::Crashed { at: ev.at, site });
+                    self.core.trace(TraceEvent::Crashed { at: ev.at, site });
                 }
                 EventKind::Recover(site) => {
                     self.core.crashed[site.index()] = false;
-                    self.core.trace.push(TraceEvent::Recovered { at: ev.at, site });
+                    self.core.trace(TraceEvent::Recovered { at: ev.at, site });
                     self.with_actor(site.index(), |actor, ctx| actor.on_recover(ctx));
                 }
             }
         };
 
-        let report = RunReport { stop, ended_at, events };
+        let report = RunReport { stop, ended_at, events, counters: self.core.counters };
         let actors = self.actors.into_iter().map(|a| a.expect("actor present")).collect();
-        (actors, self.core.trace, report)
+        (actors, self.core.sink.into_trace(), report)
     }
 
     /// Take-and-put-back dispatch so the handler can borrow the core mutably
     /// while owning the actor.
-    fn with_actor(
-        &mut self,
-        idx: usize,
-        f: impl FnOnce(&mut Box<dyn Actor<P>>, &mut Ctx<'_, P>),
-    ) {
+    fn with_actor(&mut self, idx: usize, f: impl FnOnce(&mut Box<dyn Actor<P>>, &mut Ctx<'_, P>)) {
         let mut actor = self.actors[idx].take().expect("actor re-entrancy");
         let mut ctx = Ctx { core: &mut self.core, me: SiteId(idx as u16) };
         f(&mut actor, &mut ctx);
@@ -477,11 +494,7 @@ mod tests {
             }
         }
         fn on_message(&mut self, env: Envelope<&'static str>, ctx: &mut Ctx<'_, &'static str>) {
-            self.board.borrow_mut().delivered.push((
-                ctx.me().0,
-                env.payload,
-                ctx.now().ticks(),
-            ));
+            self.board.borrow_mut().delivered.push((ctx.me().0, env.payload, ctx.now().ticks()));
             if env.payload == "ping" {
                 ctx.send(env.src, "pong");
             }
@@ -519,7 +532,8 @@ mod tests {
 
     #[test]
     fn ping_pong_round_trip() {
-        let (board, _, report) = two_site(PartitionEngine::always_connected(), PartitionMode::Optimistic);
+        let (board, _, report) =
+            two_site(PartitionEngine::always_connected(), PartitionMode::Optimistic);
         let b = board.borrow();
         assert_eq!(b.delivered, vec![(1, "ping", 100), (0, "pong", 200)]);
         assert_eq!(report.stop, StopReason::Quiescent);
@@ -552,10 +566,7 @@ mod tests {
         let b = board.borrow();
         assert!(b.delivered.is_empty());
         assert!(b.ud.is_empty());
-        assert!(trace
-            .events()
-            .iter()
-            .any(|e| matches!(e, TraceEvent::Dropped { .. })));
+        assert!(trace.events().iter().any(|e| matches!(e, TraceEvent::Dropped { .. })));
     }
 
     #[test]
@@ -629,10 +640,7 @@ mod tests {
         );
         let (_, trace, _) = sim.run();
         assert_eq!(board.borrow().timers, vec![(0, 1, 10)]);
-        assert!(trace
-            .events()
-            .iter()
-            .any(|e| matches!(e, TraceEvent::TimerSuppressed { .. })));
+        assert!(trace.events().iter().any(|e| matches!(e, TraceEvent::TimerSuppressed { .. })));
     }
 
     #[test]

@@ -15,7 +15,6 @@ use crate::time::SimTime;
 
 /// Whether undeliverable messages are returned or lost.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-#[derive(serde::Serialize, serde::Deserialize)]
 pub enum PartitionMode {
     /// The paper's assumption 1: undeliverable messages come back to the
     /// sender (within `2T` of the original send in this simulator).
@@ -29,7 +28,6 @@ pub enum PartitionMode {
 /// A partition episode: at `at`, the sites split into `groups`; if `heal_at`
 /// is set, full connectivity returns at that instant (transient partitioning).
 #[derive(Debug, Clone, PartialEq, Eq)]
-#[derive(serde::Serialize, serde::Deserialize)]
 pub struct PartitionSpec {
     /// When the partition occurs.
     pub at: SimTime,
@@ -88,9 +86,7 @@ impl PartitionEngine {
     pub fn new(mut episodes: Vec<PartitionSpec>) -> Self {
         episodes.sort_by_key(|e| e.at);
         for pair in episodes.windows(2) {
-            let end = pair[0]
-                .heal_at
-                .expect("an unhealed partition must be the last episode");
+            let end = pair[0].heal_at.expect("an unhealed partition must be the last episode");
             assert!(end <= pair[1].at, "partition episodes overlap in time");
         }
         PartitionEngine { episodes }
@@ -103,9 +99,7 @@ impl PartitionEngine {
 
     /// The episode active at `now`, if any.
     pub fn active_at(&self, now: SimTime) -> Option<&PartitionSpec> {
-        self.episodes.iter().find(|e| {
-            e.at <= now && e.heal_at.map_or(true, |h| now < h)
-        })
+        self.episodes.iter().find(|e| e.at <= now && e.heal_at.is_none_or(|h| now < h))
     }
 
     /// Can a message travel from `a` to `b` at instant `now`?
@@ -199,11 +193,8 @@ mod tests {
 
     #[test]
     fn unlisted_site_is_isolated() {
-        let eng = PartitionEngine::new(vec![PartitionSpec::simple(
-            SimTime(0),
-            vec![s(1)],
-            vec![s(2)],
-        )]);
+        let eng =
+            PartitionEngine::new(vec![PartitionSpec::simple(SimTime(0), vec![s(1)], vec![s(2)])]);
         assert!(!eng.connected(s(1), s(9), SimTime(5)));
         assert!(!eng.connected(s(9), s(2), SimTime(5)));
     }
@@ -211,10 +202,7 @@ mod tests {
     #[test]
     fn disconnect_time_finds_partition_start() {
         let eng = PartitionEngine::new(vec![simple_at(100)]);
-        assert_eq!(
-            eng.disconnect_time(s(1), s(3), SimTime(50), SimTime(150)),
-            Some(SimTime(100))
-        );
+        assert_eq!(eng.disconnect_time(s(1), s(3), SimTime(50), SimTime(150)), Some(SimTime(100)));
         // Same-group pairs never disconnect.
         assert_eq!(eng.disconnect_time(s(1), s(2), SimTime(50), SimTime(150)), None);
         // Window entirely before the partition.

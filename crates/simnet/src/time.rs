@@ -10,12 +10,10 @@ use core::ops::{Add, AddAssign, Sub};
 
 /// An absolute instant in simulated time, in ticks since simulation start.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
-#[derive(serde::Serialize, serde::Deserialize)]
 pub struct SimTime(pub u64);
 
 /// A span of simulated time, in ticks.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
-#[derive(serde::Serialize, serde::Deserialize)]
 pub struct SimDuration(pub u64);
 
 impl SimTime {

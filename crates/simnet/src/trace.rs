@@ -62,6 +62,117 @@ impl TraceEvent {
     }
 }
 
+/// Per-category event tallies, maintained by every run regardless of the
+/// [`TraceSink`] in use.
+///
+/// Sweeps that judge verdicts with the null sink still get these for free
+/// (they are a handful of integer bumps), so experiment reports can cite
+/// message counts without paying for full traces.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TraceCounters {
+    /// Messages handed to the network.
+    pub sent: u64,
+    /// Messages delivered to their destinations.
+    pub delivered: u64,
+    /// Messages returned to their senders as undeliverable.
+    pub returned: u64,
+    /// Messages dropped (pessimistic mode or crashed receiver).
+    pub dropped: u64,
+    /// Timers armed.
+    pub timers_set: u64,
+    /// Timers fired and dispatched.
+    pub timers_fired: u64,
+    /// Timers cancelled before firing.
+    pub timers_cancelled: u64,
+    /// Timers that expired but were suppressed.
+    pub timers_suppressed: u64,
+    /// Site crashes.
+    pub crashes: u64,
+    /// Site recoveries.
+    pub recoveries: u64,
+    /// Free-form annotations.
+    pub notes: u64,
+}
+
+impl TraceCounters {
+    /// Tallies one event.
+    pub(crate) fn record(&mut self, ev: &TraceEvent) {
+        match ev {
+            TraceEvent::Sent { .. } => self.sent += 1,
+            TraceEvent::Delivered { .. } => self.delivered += 1,
+            TraceEvent::Returned { .. } => self.returned += 1,
+            TraceEvent::Dropped { .. } => self.dropped += 1,
+            TraceEvent::TimerSet { .. } => self.timers_set += 1,
+            TraceEvent::TimerFired { .. } => self.timers_fired += 1,
+            TraceEvent::TimerCancelled { .. } => self.timers_cancelled += 1,
+            TraceEvent::TimerSuppressed { .. } => self.timers_suppressed += 1,
+            TraceEvent::Crashed { .. } => self.crashes += 1,
+            TraceEvent::Recovered { .. } => self.recoveries += 1,
+            TraceEvent::Note { .. } => self.notes += 1,
+        }
+    }
+
+    /// Total events tallied.
+    pub fn total(&self) -> u64 {
+        self.sent
+            + self.delivered
+            + self.returned
+            + self.dropped
+            + self.timers_set
+            + self.timers_fired
+            + self.timers_cancelled
+            + self.timers_suppressed
+            + self.crashes
+            + self.recoveries
+            + self.notes
+    }
+}
+
+/// Where a simulation's trace events go.
+///
+/// The timing experiments (Figs. 5–7, 9) need the complete log; the
+/// resilience sweeps only consult verdicts and run millions of scenarios,
+/// where the per-event `Vec` growth dominated the profile. The null sink
+/// drops events on the floor (counters are still kept in the
+/// [`crate::RunReport`]), making the sweep hot path allocation-free on the
+/// tracing side.
+#[derive(Debug)]
+pub enum TraceSink {
+    /// Record every event into a [`Trace`].
+    Recording(Trace),
+    /// Discard events; only [`TraceCounters`] are maintained.
+    Null,
+}
+
+impl TraceSink {
+    /// A recording sink over an empty trace.
+    pub fn recording() -> TraceSink {
+        TraceSink::Recording(Trace::default())
+    }
+
+    /// True when events are being kept.
+    pub fn is_recording(&self) -> bool {
+        matches!(self, TraceSink::Recording(_))
+    }
+
+    /// Consumes the sink, yielding the recorded trace (empty for
+    /// [`TraceSink::Null`]).
+    pub fn into_trace(self) -> Trace {
+        match self {
+            TraceSink::Recording(trace) => trace,
+            TraceSink::Null => Trace::default(),
+        }
+    }
+
+    #[inline]
+    pub(crate) fn push(&mut self, ev: TraceEvent) {
+        match self {
+            TraceSink::Recording(trace) => trace.push(ev),
+            TraceSink::Null => {}
+        }
+    }
+}
+
 /// The full, ordered execution log of one simulation run.
 #[derive(Debug, Default, Clone)]
 pub struct Trace {

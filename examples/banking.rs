@@ -65,9 +65,7 @@ fn run_bank(protocol: CommitProtocol) {
     println!("  final balances: alice = {alice:?}, bob = {bob:?}");
 
     println!("  lock-hold intervals:");
-    for (txn, site, ticks, still_held) in
-        run.metrics.hold_durations(run.report.ended_at)
-    {
+    for (txn, site, ticks, still_held) in run.metrics.hold_durations(run.report.ended_at) {
         let status = if still_held { " (NEVER RELEASED)" } else { "" };
         println!("    {txn} @ {site}: {:.2}T{status}", ticks as f64 / 1000.0);
     }

@@ -54,7 +54,9 @@ fn main() {
     println!("{}", table.render());
     println!("The paper's claims, mechanically checked:");
     println!(" * 2PC and quorum commit block; they never violate atomicity.");
-    println!(" * Extended 2PC (Fig. 2) and rule-augmented 3PC violate atomicity at n >= 3 (Sec. 3).");
+    println!(
+        " * Extended 2PC (Fig. 2) and rule-augmented 3PC violate atomicity at n >= 3 (Sec. 3)."
+    );
     println!(" * Modified 3PC + termination protocol is resilient everywhere (Theorem 9),");
     println!("   and the generic construction extends to a 4-phase protocol (Theorem 10).");
 }

@@ -1,0 +1,9 @@
+//! Workspace façade crate.
+//!
+//! The root package exists to host the repo-level integration tests
+//! (`tests/`) and examples (`examples/`); the real API lives in
+//! [`ptp_core`] and the crates it re-exports.
+
+#![forbid(unsafe_code)]
+
+pub use ptp_core::*;

@@ -102,11 +102,8 @@ fn mixed_votes_stay_atomic_under_partition() {
     let mut grid = dense_grid(3);
     grid.partition_times = (0..=16).map(|i| i * 500).collect();
     grid.delays = vec![DelayModel::Fixed(1000), DelayModel::Uniform { seed: 3, min: 1, max: 1000 }];
-    grid.votes = vec![
-        vec![Vote::No, Vote::Yes],
-        vec![Vote::Yes, Vote::No],
-        vec![Vote::No, Vote::No],
-    ];
+    grid.votes =
+        vec![vec![Vote::No, Vote::Yes], vec![Vote::Yes, Vote::No], vec![Vote::No, Vote::No]];
     let report = sweep(ProtocolKind::HuangLi3pc, &grid);
     // With a no-vote the transaction must abort everywhere; resilience
     // still means "no mixed decisions, nobody blocked".

@@ -30,7 +30,8 @@ fn sequential_workload_commits_in_order() {
         .seed(2, Key::from("b"), Value::from_u64(0));
     // Ten transfers, far enough apart to never conflict.
     for i in 0..10u32 {
-        cluster = cluster.submit(i as u64 * 8000, two_site_txn(i + 1, (i + 1) as u64, (i + 1) as u64));
+        cluster =
+            cluster.submit(i as u64 * 8000, two_site_txn(i + 1, (i + 1) as u64, (i + 1) as u64));
     }
     let run = cluster.run();
     assert!(run.metrics.atomicity_violations().is_empty());
@@ -113,11 +114,7 @@ fn two_pc_blocked_locks_vs_huang_li_released() {
         .submit(0, two_site_txn(1, 1, 1))
         .partition(partition())
         .run();
-    assert!(hl
-        .metrics
-        .hold_durations(SimTime(200_000))
-        .iter()
-        .all(|(_, _, _, still)| !still));
+    assert!(hl.metrics.hold_durations(SimTime(200_000)).iter().all(|(_, _, _, still)| !still));
     // And the termination is timely: every lock released within ~12T.
     for (txn, site, ticks, _) in hl.metrics.hold_durations(SimTime(200_000)) {
         assert!(ticks <= 12_000, "{txn} at {site} held {ticks} ticks");
@@ -169,10 +166,11 @@ fn contended_keys_serialize_or_abort_never_corrupt() {
     // Five transactions all writing the same keys, 300 ticks apart, on a
     // fast network: whatever mix of commits/aborts results, the final value
     // must equal the payload of the *last committed* transaction.
-    let mut cluster = DbCluster::new(3, CommitProtocol::HuangLi)
-        .delay(ptp_simnet::DelayModel::Fixed(150));
+    let mut cluster =
+        DbCluster::new(3, CommitProtocol::HuangLi).delay(ptp_simnet::DelayModel::Fixed(150));
     for i in 0..5u32 {
-        cluster = cluster.submit(i as u64 * 300, two_site_txn(i + 1, (i + 1) as u64 * 10, (i + 1) as u64 * 10));
+        cluster = cluster
+            .submit(i as u64 * 300, two_site_txn(i + 1, (i + 1) as u64 * 10, (i + 1) as u64 * 10));
     }
     let run = cluster.run();
     assert!(run.metrics.atomicity_violations().is_empty());

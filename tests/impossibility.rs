@@ -92,9 +92,7 @@ fn without_crashes_the_same_scenarios_are_fine() {
     // Sanity: the Sec. 7 scenarios minus the crash are resilient — the
     // crash is load-bearing.
     let schedule = ScheduleBuilder::with_default(1000).outbound(7, 400).build();
-    let s1 = Scenario::new(4)
-        .partition_g2(vec![SiteId(2), SiteId(3)], 2500)
-        .delay(schedule);
+    let s1 = Scenario::new(4).partition_g2(vec![SiteId(2), SiteId(3)], 2500).delay(schedule);
     assert!(run_scenario(ProtocolKind::HuangLi3pc, &s1).verdict.is_resilient());
 
     let s2 = Scenario::new(4).partition_g2(vec![SiteId(3)], 2500);

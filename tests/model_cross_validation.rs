@@ -31,11 +31,7 @@ fn interpreted_and_engine_3pc_agree_failure_free() {
             vec![],
         );
         let engine = run_scenario(ProtocolKind::HuangLi3pc, &Scenario::new(4).delay(delay));
-        assert_eq!(
-            Verdict::judge(&interpreted.outcomes),
-            engine.verdict,
-            "seed {seed}"
-        );
+        assert_eq!(Verdict::judge(&interpreted.outcomes), engine.verdict, "seed {seed}");
     }
 }
 
@@ -144,10 +140,8 @@ fn decisions_match_terminal_global_states() {
     // all-abort; simulated runs must land in one of them.
     let result = run_scenario(ProtocolKind::Plain3pc, &Scenario::new(3));
     assert_eq!(result.verdict, Verdict::AllCommit);
-    let aborted = run_scenario(
-        ProtocolKind::Plain3pc,
-        &Scenario::new(3).votes(vec![Vote::No, Vote::Yes]),
-    );
+    let aborted =
+        run_scenario(ProtocolKind::Plain3pc, &Scenario::new(3).votes(vec![Vote::No, Vote::Yes]));
     assert_eq!(aborted.verdict, Verdict::AllAbort);
 }
 

@@ -111,7 +111,7 @@ mod wal_props {
 
     #[derive(Debug, Clone)]
     enum Op {
-        Begin(u8, u8),  // txn, value
+        Begin(u8, u8), // txn, value
         Commit(u8),
         Abort(u8),
         Flush,

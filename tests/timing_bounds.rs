@@ -72,10 +72,7 @@ fn fig5_no_spurious_timeouts_failure_free() {
 fn fig6_adversarial_probe_gap_is_tight_but_bounded() {
     // prepare->2 bounces almost instantly; the G1 slave's probe is as late
     // as the delay bound allows: gap approaches 5T from below.
-    let schedule = ScheduleBuilder::with_default(1000)
-        .outbound(5, 1)
-        .return_leg(5, 1)
-        .build();
+    let schedule = ScheduleBuilder::with_default(1000).outbound(5, 1).return_leg(5, 1).build();
     let scenario = Scenario::new(3).partition_g2(vec![SiteId(2)], 2001).delay(schedule);
     let result = run_scenario(ProtocolKind::HuangLi3pc, &scenario);
     let gap = probe_gap(&result.trace).expect("UD + probe must occur");
@@ -104,13 +101,9 @@ fn fig6_randomized_probe_gaps_within_5t() {
 fn fig7_adversarial_w_wait_is_tight_but_bounded() {
     // The Fig. 7 worst case: the peer's commit reaches the w-waiting slave
     // just inside 6T (see exp_fig7_wait_w_bound for the construction).
-    let schedule = ScheduleBuilder::with_default(1000)
-        .outbound(1, 1)
-        .outbound(4, 998)
-        .outbound(6, 1)
-        .build();
-    let scenario =
-        Scenario::new(3).partition_g2(vec![SiteId(1), SiteId(2)], 3000).delay(schedule);
+    let schedule =
+        ScheduleBuilder::with_default(1000).outbound(1, 1).outbound(4, 998).outbound(6, 1).build();
+    let scenario = Scenario::new(3).partition_g2(vec![SiteId(1), SiteId(2)], 3000).delay(schedule);
     let result = run_scenario(ProtocolKind::HuangLi3pc, &scenario);
     let gap = max_w_wait(&result.trace, 3).expect("w wait must occur");
     assert!(gap <= 6000, "gap {gap} exceeds 6T");
@@ -123,9 +116,11 @@ fn fig7_randomized_w_waits_within_6t() {
     for seed in 0..25u64 {
         for at in (500..=4000).step_by(500) {
             for g2 in [vec![SiteId(2)], vec![SiteId(1), SiteId(2)]] {
-                let scenario = Scenario::new(3)
-                    .partition_g2(g2, at)
-                    .delay(DelayModel::Uniform { seed, min: 1, max: 1000 });
+                let scenario = Scenario::new(3).partition_g2(g2, at).delay(DelayModel::Uniform {
+                    seed,
+                    min: 1,
+                    max: 1000,
+                });
                 let result = run_scenario(ProtocolKind::HuangLi3pc, &scenario);
                 if let Some(gap) = max_w_wait(&result.trace, 3) {
                     assert!(gap <= 6000, "seed {seed} at {at}: gap {gap}");

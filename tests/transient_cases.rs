@@ -52,10 +52,7 @@ fn case_tree_is_populated_and_bounded() {
         TransientCase::Case3_2_2_1,
         TransientCase::Case3_2_2_2,
     ] {
-        assert!(
-            per_case.contains_key(&case),
-            "case {case:?} missing from sweep: {per_case:?}"
-        );
+        assert!(per_case.contains_key(&case), "case {case:?} missing from sweep: {per_case:?}");
     }
 
     // Every measured wait stays within the Sec. 6 analysis (5T overall).
@@ -110,9 +107,6 @@ fn outside_tree_cases_are_still_resilient() {
             .delay(DelayModel::Fixed(1000));
         let result = run_scenario(ProtocolKind::HuangLi3pc, &scenario);
         assert!(result.verdict.is_resilient());
-        assert_eq!(
-            classify(&result.trace, &[SiteId(2)]),
-            TransientCase::OutsideTree
-        );
+        assert_eq!(classify(&result.trace, &[SiteId(2)]), TransientCase::OutsideTree);
     }
 }
