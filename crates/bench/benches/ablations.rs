@@ -10,15 +10,19 @@ use ptp_core::ddb::cluster::{CommitProtocol, DbCluster};
 use ptp_core::ddb::site::TxnSpec;
 use ptp_core::ddb::value::{Key, TxnId, Value, WriteOp};
 use ptp_protocols::api::Vote;
-use ptp_protocols::clusters::huang_li_3pc_cluster_with_timing;
+use ptp_protocols::clusters::huang_li_3pc_cluster_with_timing_any;
 use ptp_protocols::runner::run_protocol;
 use ptp_protocols::termination::{ProtocolTiming, TerminationVariant};
 use ptp_simnet::{DelayModel, NetConfig, PartitionEngine, PartitionSpec, SimTime, SiteId};
 use std::collections::BTreeMap;
 
 fn partitioned_run(timing: ProtocolTiming, delay: &DelayModel) {
-    let parts =
-        huang_li_3pc_cluster_with_timing(4, &[Vote::Yes; 3], TerminationVariant::Transient, timing);
+    let parts = huang_li_3pc_cluster_with_timing_any(
+        4,
+        &[Vote::Yes; 3],
+        TerminationVariant::Transient,
+        timing,
+    );
     let partition = PartitionEngine::new(vec![PartitionSpec::simple(
         SimTime(2500),
         vec![SiteId(0), SiteId(1)],

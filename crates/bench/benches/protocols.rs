@@ -1,8 +1,9 @@
 //! Criterion benchmarks: cost of one full commit-protocol execution, per
-//! protocol kind, failure-free and through a partition.
+//! protocol kind, failure-free and through a partition — plus the one-shot
+//! vs reused-session comparison the PR 2 API redesign is about.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use ptp_core::{run_scenario, run_scenario_with, ProtocolKind, Scenario};
+use ptp_core::{run_scenario, ProtocolKind, RunOptions, Scenario, Session};
 use ptp_simnet::SiteId;
 
 fn bench_failure_free(c: &mut Criterion) {
@@ -10,8 +11,10 @@ fn bench_failure_free(c: &mut Criterion) {
     for kind in ProtocolKind::ALL {
         group.bench_with_input(BenchmarkId::from_parameter(kind.name()), &kind, |b, &kind| {
             let scenario = Scenario::new(4);
+            let mut session = Session::new(kind, 4);
+            let recording = RunOptions::recording();
             b.iter(|| {
-                let r = run_scenario(kind, &scenario);
+                let r = session.run_with(&scenario, &recording);
                 assert!(r.verdict.is_atomic());
                 r
             })
@@ -31,22 +34,41 @@ fn bench_partitioned(c: &mut Criterion) {
     ] {
         group.bench_with_input(BenchmarkId::from_parameter(kind.name()), &kind, |b, &kind| {
             let scenario = Scenario::new(4).partition_g2(vec![SiteId(2), SiteId(3)], 2500);
-            b.iter(|| run_scenario(kind, &scenario))
+            let mut session = Session::new(kind, 4);
+            let recording = RunOptions::recording();
+            b.iter(|| session.run_with(&scenario, &recording))
         });
     }
     group.finish();
 }
 
-/// Full-trace vs. null-sink execution of the same scenario: the per-run
-/// cost of trace recording, which the sweep engine now skips entirely.
+/// Full-trace vs. counters-only execution of the same scenario: the per-run
+/// cost of trace recording, which the sweep engine skips entirely.
 fn bench_trace_modes(c: &mut Criterion) {
     let mut group = c.benchmark_group("protocols/trace_modes_n4");
     let scenario = Scenario::new(4).partition_g2(vec![SiteId(2), SiteId(3)], 2500);
-    group.bench_function("recording", |b| {
-        b.iter(|| run_scenario_with(ProtocolKind::HuangLi3pc, &scenario, true))
+    let mut session = Session::new(ProtocolKind::HuangLi3pc, 4);
+    let recording = RunOptions::recording();
+    let counters = RunOptions::new();
+    group.bench_function("recording", |b| b.iter(|| session.run_with(&scenario, &recording)));
+    group.bench_function("counters_only", |b| b.iter(|| session.run_with(&scenario, &counters)));
+    group.finish();
+}
+
+/// One-shot (cluster + simulator buffers rebuilt per run) vs a reused
+/// session (built once) vs the session's verdict-only fast path — the
+/// allocation work the `Session` API removes from the hot path.
+fn bench_session_reuse(c: &mut Criterion) {
+    let mut group = c.benchmark_group("protocols/session_reuse_n4");
+    let scenario = Scenario::new(4).partition_g2(vec![SiteId(2), SiteId(3)], 2500);
+    let counters = RunOptions::new();
+    group.bench_function("one_shot", |b| {
+        b.iter(|| ptp_core::run_scenario_opts(ProtocolKind::HuangLi3pc, &scenario, &counters))
     });
-    group.bench_function("null_sink", |b| {
-        b.iter(|| run_scenario_with(ProtocolKind::HuangLi3pc, &scenario, false))
+    let mut session = Session::new(ProtocolKind::HuangLi3pc, 4);
+    group.bench_function("reused_session", |b| b.iter(|| session.run(&scenario)));
+    group.bench_function("reused_session_verdict", |b| {
+        b.iter(|| session.verdict(&scenario, &counters))
     });
     group.finish();
 }
@@ -72,6 +94,7 @@ criterion_group!(
     bench_failure_free,
     bench_partitioned,
     bench_trace_modes,
+    bench_session_reuse,
     bench_cluster_size,
 );
 criterion_main!(benches);

@@ -17,8 +17,8 @@
 use ptp_bench::{dense_grid, json_escape};
 use ptp_core::report::Table;
 use ptp_core::{
-    run_scenario_with, sweep_serial, sweep_threads, sweep_with_threads, ProtocolKind, SweepGrid,
-    SweepReport,
+    run_scenario_opts, sweep_serial, sweep_threads, sweep_with_threads, ProtocolKind, RunOptions,
+    SweepGrid, SweepReport,
 };
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -47,8 +47,9 @@ fn time_ms(f: impl FnOnce() -> SweepReport) -> (SweepReport, f64) {
 }
 
 /// The pre-refactor-equivalent engine: serial, a full `Trace` recorded per
-/// cell, buffers cloned per cell. Kept here (not in `ptp-core`) because its
-/// only remaining job is to be the yardstick.
+/// cell, buffers cloned per cell, and a fresh one-shot session built per
+/// cell (`run_scenario_opts` constructs and discards one). Kept here (not
+/// in `ptp-core`) because its only remaining job is to be the yardstick.
 fn sweep_serial_full_trace(kind: ProtocolKind, grid: &SweepGrid) -> SweepReport {
     let mut total_events = 0u64;
     let mut report = SweepReport::default();
@@ -63,7 +64,7 @@ fn sweep_serial_full_trace(kind: ProtocolKind, grid: &SweepGrid) -> SweepReport 
             at: spec.at,
             heal_at: spec.heal_at(),
         };
-        let result = run_scenario_with(kind, &scenario, true);
+        let result = run_scenario_opts(kind, &scenario, &RunOptions::recording());
         total_events += result.trace.len() as u64;
         if matches!(result.verdict, ptp_protocols::Verdict::AllCommit) {
             report.all_commit += 1;

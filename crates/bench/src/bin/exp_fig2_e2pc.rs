@@ -13,7 +13,9 @@ use ptp_bench::{dense_grid, print_scorecard, standard_delays};
 use ptp_core::model::dot::to_dot;
 use ptp_core::model::protocols::extended_two_phase;
 use ptp_core::model::rules::derive_rules_augmentation;
-use ptp_core::{run_scenario_with, sweep, PartitionShape, ProtocolKind, Scenario, SweepGrid};
+use ptp_core::{
+    run_scenario_opts, sweep, PartitionShape, ProtocolKind, RunOptions, Scenario, SweepGrid,
+};
 use ptp_protocols::api::Vote;
 use ptp_protocols::Verdict;
 
@@ -60,7 +62,7 @@ fn main() {
         Scenario::new(3).votes(vec![Vote::Yes; 2]).delay(grid3.delays[witness.delay_index].clone());
     scenario.partition =
         PartitionShape::Simple { g2: witness.g2.clone(), at: witness.at, heal_at: None };
-    let result = run_scenario_with(ProtocolKind::Extended2pc, &scenario, false);
+    let result = run_scenario_opts(ProtocolKind::Extended2pc, &scenario, &RunOptions::new());
     match &result.verdict {
         Verdict::Inconsistent { committed, aborted } => {
             println!("replayed: committed = {committed:?}, aborted = {aborted:?}");

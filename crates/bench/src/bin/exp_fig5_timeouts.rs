@@ -12,15 +12,19 @@
 
 use ptp_core::report::Table;
 use ptp_protocols::api::Vote;
-use ptp_protocols::clusters::huang_li_3pc_cluster_with_timing;
+use ptp_protocols::clusters::huang_li_3pc_cluster_with_timing_any;
 use ptp_protocols::runner::run_protocol;
 use ptp_protocols::termination::{ProtocolTiming, TerminationVariant};
 use ptp_protocols::Verdict;
 use ptp_simnet::{DelayModel, NetConfig, PartitionEngine, TraceEvent};
 
 fn run_once(timing: ProtocolTiming, delay: &DelayModel) -> (Verdict, usize) {
-    let parts =
-        huang_li_3pc_cluster_with_timing(4, &[Vote::Yes; 3], TerminationVariant::Transient, timing);
+    let parts = huang_li_3pc_cluster_with_timing_any(
+        4,
+        &[Vote::Yes; 3],
+        TerminationVariant::Transient,
+        timing,
+    );
     let run = run_protocol(
         parts,
         NetConfig::default(),

@@ -8,7 +8,7 @@
 //! is as slow as the delay bound allows), and (2) a randomized sweep.
 
 use ptp_core::report::Table;
-use ptp_core::{run_scenario, ProtocolKind, Scenario};
+use ptp_core::{ProtocolKind, RunOptions, Scenario, Session};
 use ptp_simnet::{DelayModel, ScheduleBuilder, SiteId, Trace, TraceEvent};
 
 /// Gap (ticks) between the first UD(prepare) at the master and the last
@@ -36,6 +36,10 @@ fn probe_gap(trace: &Trace) -> Option<u64> {
 fn main() {
     println!("== E7 / Fig. 6: master's probe-collection bound (paper: 5T) ==\n");
 
+    // One session for the whole experiment; every run records its trace.
+    let mut session = Session::new(ProtocolKind::HuangLi3pc, 3);
+    let recording = RunOptions::recording();
+
     // Adversarial schedule, n = 3, G2 = {2}. Message send order:
     //   0: xact->1   1: xact->2   2: yes 1->0   3: yes 2->0
     //   4: prepare->1   5: prepare->2   6: ack 1->0   7: probe 1->0
@@ -47,7 +51,7 @@ fn main() {
         .return_leg(5, 1) // ...and returns immediately
         .build();
     let scenario = Scenario::new(3).partition_g2(vec![SiteId(2)], 2001).delay(schedule);
-    let result = run_scenario(ProtocolKind::HuangLi3pc, &scenario);
+    let result = session.run_with(&scenario, &recording);
     let gap = probe_gap(&result.trace).expect("adversarial run must produce UD + probe");
     println!(
         "adversarial schedule: gap = {:.3}T (paper bound 5T), verdict {:?}",
@@ -66,7 +70,7 @@ fn main() {
             let scenario = Scenario::new(3)
                 .partition_g2(vec![SiteId(2)], at)
                 .delay(DelayModel::Uniform { seed, min: 1, max: 1000 });
-            let result = run_scenario(ProtocolKind::HuangLi3pc, &scenario);
+            let result = session.run_with(&scenario, &recording);
             assert!(result.verdict.is_resilient(), "seed {seed} at {at}");
             if let Some(gap) = probe_gap(&result.trace) {
                 runs += 1;

@@ -12,7 +12,7 @@
 //! committed peer.
 
 use ptp_core::report::Table;
-use ptp_core::{run_scenario, ProtocolKind, Scenario};
+use ptp_core::{ProtocolKind, RunOptions, Scenario, Session};
 use ptp_simnet::{DelayModel, ScheduleBuilder, SiteId, Trace, TraceEvent};
 
 /// For each slave that noted `slave-timeout-w`, the gap to the first commit
@@ -60,7 +60,9 @@ fn main() {
         .outbound(6, 1) // ack 1->0 delivered at 2999, before the cut
         .build();
     let scenario = Scenario::new(3).partition_g2(vec![SiteId(1), SiteId(2)], 3000).delay(schedule);
-    let result = run_scenario(ProtocolKind::HuangLi3pc, &scenario);
+    let mut session = Session::new(ProtocolKind::HuangLi3pc, 3);
+    let recording = RunOptions::recording();
+    let result = session.run_with(&scenario, &recording);
     let gap = max_w_wait(&result.trace, 3).expect("worst case must produce the wait");
     println!(
         "adversarial schedule: commit reached the w-waiting slave {:.3}T after its timeout",
@@ -80,7 +82,7 @@ fn main() {
                 let scenario = Scenario::new(3)
                     .partition_g2(g2.clone(), at)
                     .delay(DelayModel::Uniform { seed, min: 1, max: 1000 });
-                let result = run_scenario(ProtocolKind::HuangLi3pc, &scenario);
+                let result = session.run_with(&scenario, &recording);
                 assert!(result.verdict.is_resilient(), "seed {seed} at {at} g2 {g2:?}");
                 if let Some(gap) = max_w_wait(&result.trace, 3) {
                     waits += 1;

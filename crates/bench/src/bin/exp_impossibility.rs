@@ -11,7 +11,8 @@
 
 use ptp_bench::standard_delays;
 use ptp_core::{
-    run_scenario_with, sweep, PartitionShape, ProtocolKind, Scenario, SweepGrid, SweepReport,
+    run_scenario_opts, sweep, PartitionShape, ProtocolKind, RunOptions, Scenario, SweepGrid,
+    SweepReport,
 };
 use ptp_protocols::Verdict;
 use ptp_simnet::SiteId;
@@ -67,7 +68,7 @@ fn main() {
     let mut scenario = Scenario::new(4).delay(crafted);
     scenario.partition =
         PartitionShape::Multiple { groups: groups.clone(), at: 2500, heal_at: None };
-    let result = run_scenario_with(ProtocolKind::HuangLi3pc, &scenario, false);
+    let result = run_scenario_opts(ProtocolKind::HuangLi3pc, &scenario, &RunOptions::new());
     total += 1;
     if let Verdict::Inconsistent { .. } = result.verdict {
         violations += 1;
@@ -80,7 +81,7 @@ fn main() {
                 Scenario::new(4).delay(ptp_simnet::DelayModel::Uniform { seed, min: 1, max: 1000 });
             scenario.partition =
                 PartitionShape::Multiple { groups: groups.clone(), at, heal_at: None };
-            let result = run_scenario_with(ProtocolKind::HuangLi3pc, &scenario, false);
+            let result = run_scenario_opts(ProtocolKind::HuangLi3pc, &scenario, &RunOptions::new());
             total += 1;
             match result.verdict {
                 Verdict::Inconsistent { .. } => {

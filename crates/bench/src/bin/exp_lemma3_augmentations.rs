@@ -15,10 +15,10 @@ use ptp_core::model::rules::derive_rules_augmentation;
 use ptp_core::model::Augmentation;
 use ptp_core::report::Table;
 use ptp_protocols::api::Vote;
-use ptp_protocols::clusters::fsa_cluster;
-use ptp_protocols::runner::run_protocol_with;
-use ptp_protocols::Verdict;
-use ptp_simnet::{DelayModel, NetConfig, PartitionEngine, PartitionSpec, SimTime, SiteId};
+use ptp_protocols::clusters::fsa_cluster_any;
+use ptp_protocols::runner::ClusterRunner;
+use ptp_protocols::{TraceMode, Verdict};
+use ptp_simnet::{DelayModel, NetConfig, SimTime, SiteId};
 
 /// The scenario grid each augmentation must survive: every boundary, T/2
 /// partition instants to 8T, two delay schedules, and both unanimous-yes
@@ -48,29 +48,24 @@ impl Grid {
 }
 
 /// Searches the grid for a violation; returns the first failing scenario.
+///
+/// The cluster is built once per augmentation and reset per cell — the
+/// session-style hot path (one `ClusterRunner`, reused partition buffers,
+/// counters-only tracing) applied to the 4096-assignment search.
 fn find_violation(aug: &Augmentation, grid: &Grid) -> Option<(Vec<SiteId>, u64, usize)> {
     let spec = three_phase(3);
+    let mut runner = ClusterRunner::new(fsa_cluster_any(spec, &[Vote::Yes; 2], Some(aug.clone())));
     for g2 in &grid.boundaries {
         for &at in &grid.times {
             for (di, delay) in grid.delays.iter().enumerate() {
                 for votes in &grid.votes {
-                    let g1: Vec<SiteId> =
-                        (0..3u16).map(SiteId).filter(|s| !g2.contains(s)).collect();
-                    let partition = PartitionEngine::new(vec![PartitionSpec::simple(
-                        SimTime(at),
-                        g1,
-                        g2.clone(),
-                    )]);
-                    let parts = fsa_cluster(spec.clone(), votes, Some(aug.clone()));
-                    let run = run_protocol_with(
-                        parts,
-                        NetConfig::default(),
-                        partition,
-                        delay,
-                        vec![],
-                        false,
-                    );
-                    if matches!(Verdict::judge(&run.outcomes), Verdict::Inconsistent { .. }) {
+                    runner.reset(votes);
+                    let groups = runner.partition_mut().reset_single(SimTime(at), None, 2);
+                    groups[0].extend((0..3u16).map(SiteId).filter(|s| !g2.contains(s)));
+                    groups[1].extend_from_slice(g2);
+                    let (outcomes, _, _) =
+                        runner.run_borrowed(NetConfig::default(), delay, TraceMode::Counters, &[]);
+                    if matches!(Verdict::judge(outcomes), Verdict::Inconsistent { .. }) {
                         return Some((g2.clone(), at, di));
                     }
                 }

@@ -12,7 +12,7 @@ use ptp_bench::{dense_grid, print_scorecard};
 use ptp_core::model::protocols::four_phase;
 use ptp_core::model::resilience::check_conditions;
 use ptp_core::report::Table;
-use ptp_core::{run_scenario_with, ProtocolKind, Scenario};
+use ptp_core::{run_scenario_opts, ProtocolKind, RunOptions, Scenario};
 
 fn main() {
     println!("== E11 / Theorem 10: the generic construction on a 4-phase protocol ==\n");
@@ -40,7 +40,7 @@ fn main() {
     // Failure-free latency: the price of the extra phase.
     let mut table = Table::new(vec!["protocol", "failure-free commit latency (last site)"]);
     for kind in [ProtocolKind::HuangLi3pc, ProtocolKind::HuangLi4pc] {
-        let result = run_scenario_with(kind, &Scenario::new(4), false);
+        let result = run_scenario_opts(kind, &Scenario::new(4), &RunOptions::new());
         let last = result.outcomes.iter().filter_map(|o| o.decided_at).max().expect("all decided");
         table.row(vec![kind.name().to_string(), format!("{:.2}T", last.in_t_units(1000))]);
     }

@@ -12,20 +12,36 @@
 //! This crate is the front door:
 //!
 //! * [`Scenario`] describes a cluster and its network conditions;
-//! * [`run_scenario`] executes any [`ProtocolKind`] through it;
+//! * [`Session`] builds a protocol cluster **once** and executes any number
+//!   of scenarios through it, reusing every buffer across runs;
+//! * [`RunOptions`] types the per-run choices (trace retention, injected
+//!   failures, horizon) that used to be positional `bool`/`Vec` parameters;
+//! * [`run_scenario`] / [`run_scenario_opts`] are the one-shot conveniences;
 //! * [`sweep()`] grids over boundaries × partition instants × heal instants ×
 //!   delay schedules and reports every atomicity violation or blocked site;
 //! * [`cases`] classifies transient-partition runs into the paper's Sec. 6
 //!   case tree and measures the per-case worst-case waits.
 //!
 //! ```
-//! use ptp_core::{run_scenario, ProtocolKind, Scenario};
+//! use ptp_core::{ProtocolKind, RunOptions, Scenario, Session};
 //! use ptp_simnet::SiteId;
 //!
-//! // Cut slave 2 off right as the master's prepares go out.
-//! let scenario = Scenario::new(3).partition_g2(vec![SiteId(2)], 2500);
-//! let result = run_scenario(ProtocolKind::HuangLi3pc, &scenario);
-//! assert!(result.verdict.is_resilient());
+//! // One session, many scenarios: the cluster, the simulator's event heap
+//! // and the partition engine's buffers are all built once.
+//! let mut session = Session::new(ProtocolKind::HuangLi3pc, 3);
+//! for at in [500u64, 1500, 2500, 3500] {
+//!     // Cut slave 2 off at tick `at` (2500 = prepares in flight).
+//!     let scenario = Scenario::new(3).partition_g2(vec![SiteId(2)], at);
+//!     let result = session.run(&scenario);
+//!     assert!(result.verdict.is_resilient());
+//! }
+//!
+//! // Need the full event trace? Say so in the options.
+//! let result = session.run_with(
+//!     &Scenario::new(3).partition_g2(vec![SiteId(2)], 2500),
+//!     &RunOptions::recording(),
+//! );
+//! assert!(!result.trace.is_empty());
 //! ```
 
 #![forbid(unsafe_code)]
@@ -35,14 +51,22 @@ pub mod cases;
 pub mod report;
 pub mod run;
 pub mod scenario;
+pub mod session;
 pub mod sweep;
 
-pub use run::{build_cluster, run_scenario, run_scenario_with, ScenarioResult};
+#[allow(deprecated)]
+pub use run::{build_cluster, run_scenario_with};
+pub use run::{run_scenario, run_scenario_opts, ScenarioResult};
 pub use scenario::{PartitionShape, ProtocolKind, Scenario};
+pub use session::{build_cluster_any, Session};
 pub use sweep::{
     all_simple_boundaries, sweep, sweep_parallel, sweep_serial, sweep_threads, sweep_with_threads,
     ScenarioDesc, ScenarioSpec, SweepGrid, SweepReport,
 };
+
+// The typed execution options, re-exported from `ptp-protocols` so most
+// callers need only this crate.
+pub use ptp_protocols::{RunOptions, TraceMode};
 
 // Re-export the lower layers so examples and downstream users need only one
 // dependency.

@@ -1,15 +1,15 @@
 //! One-shot scenario execution.
+//!
+//! These free functions build a [`crate::Session`] internally, run it once
+//! and discard it — convenient for single scenarios and tests. Anything
+//! that executes *many* scenarios (sweeps, experiment loops) should hold a
+//! `Session` so the cluster and simulator buffers are built once and
+//! reused.
 
 use crate::scenario::{ProtocolKind, Scenario};
+use crate::session::{build_cluster_any, Session};
 use ptp_protocols::api::Participant;
-use ptp_protocols::clusters::{
-    extended_2pc_cluster, huang_li_3pc_cluster, huang_li_4pc_cluster, naive_augmented_3pc_cluster,
-    plain_2pc_cluster, plain_3pc_cluster,
-};
-use ptp_protocols::quorum::quorum_cluster;
-use ptp_protocols::runner::{run_protocol_with, ProtocolRun};
-use ptp_protocols::termination::TerminationVariant;
-use ptp_protocols::{SiteOutcome, Verdict};
+use ptp_protocols::{AnyParticipant, RunOptions, SiteOutcome, TraceMode, Verdict};
 use ptp_simnet::{RunReport, Trace};
 
 /// The result of one scenario run.
@@ -19,60 +19,53 @@ pub struct ScenarioResult {
     pub verdict: Verdict,
     /// Per-site outcomes.
     pub outcomes: Vec<SiteOutcome>,
-    /// Full network trace (for timing measurements and debugging).
+    /// Full network trace (for timing measurements and debugging). Empty
+    /// unless the run used [`TraceMode::Record`].
     pub trace: Trace,
     /// Simulator report.
     pub report: RunReport,
 }
 
-/// Builds the participant vector for a protocol kind.
-pub fn build_cluster(kind: ProtocolKind, scenario: &Scenario) -> Vec<Box<dyn Participant>> {
-    let n = scenario.n;
-    let votes = &scenario.votes;
-    match kind {
-        ProtocolKind::Plain2pc => plain_2pc_cluster(n, votes),
-        ProtocolKind::Extended2pc => extended_2pc_cluster(n, votes),
-        ProtocolKind::Plain3pc => plain_3pc_cluster(n, votes),
-        ProtocolKind::Naive3pc => naive_augmented_3pc_cluster(n, votes),
-        ProtocolKind::HuangLi3pc => huang_li_3pc_cluster(n, votes, TerminationVariant::Transient),
-        ProtocolKind::HuangLi3pcStatic => {
-            huang_li_3pc_cluster(n, votes, TerminationVariant::Static)
-        }
-        ProtocolKind::HuangLi4pc => huang_li_4pc_cluster(n, votes, TerminationVariant::Transient),
-        ProtocolKind::QuorumMajority => {
-            quorum_cluster(kind.quorum_config(n).expect("quorum kind"), votes)
-        }
-    }
+/// Runs `kind` through `scenario` once with typed [`RunOptions`].
+pub fn run_scenario_opts(
+    kind: ProtocolKind,
+    scenario: &Scenario,
+    options: &RunOptions,
+) -> ScenarioResult {
+    Session::new(kind, scenario.n).run_with(scenario, options)
 }
 
-/// Runs `kind` through `scenario` and judges the outcome, recording a full
-/// trace (equivalent to [`run_scenario_with`] with `record_trace = true`).
+/// Runs `kind` through `scenario` once and judges the outcome, recording a
+/// full trace (equivalent to [`run_scenario_opts`] with
+/// [`RunOptions::recording`]).
 pub fn run_scenario(kind: ProtocolKind, scenario: &Scenario) -> ScenarioResult {
-    run_scenario_with(kind, scenario, true)
+    run_scenario_opts(kind, scenario, &RunOptions::recording())
 }
 
-/// Runs `kind` through `scenario` with an explicit tracing choice.
-///
-/// With `record_trace = false` the simulation uses the null
-/// [`ptp_simnet::TraceSink`]: [`ScenarioResult::trace`] comes back empty
-/// and no per-event allocation happens, but the verdict, outcomes and
-/// report (with event counters) are byte-identical to a recorded run. The
-/// sweep engine runs every grid cell this way.
+/// Runs `kind` through `scenario` with a boolean tracing choice.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `run_scenario_opts` with `RunOptions` (or a reusable `Session`)"
+)]
 pub fn run_scenario_with(
     kind: ProtocolKind,
     scenario: &Scenario,
     record_trace: bool,
 ) -> ScenarioResult {
-    let parts = build_cluster(kind, scenario);
-    let ProtocolRun { outcomes, trace, report } = run_protocol_with(
-        parts,
-        scenario.net_config(),
-        scenario.partition_engine(),
-        &scenario.delay,
-        scenario.failures.clone(),
-        record_trace,
-    );
-    ScenarioResult { verdict: Verdict::judge(&outcomes), outcomes, trace, report }
+    let trace = if record_trace { TraceMode::Record } else { TraceMode::Counters };
+    run_scenario_opts(kind, scenario, &RunOptions::new().trace(trace))
+}
+
+/// Builds a boxed participant vector for a protocol kind.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `session::build_cluster_any` (enum-dispatched) or a `Session`"
+)]
+pub fn build_cluster(kind: ProtocolKind, scenario: &Scenario) -> Vec<Box<dyn Participant>> {
+    build_cluster_any(kind, scenario.n, &scenario.votes)
+        .into_iter()
+        .map(AnyParticipant::boxed)
+        .collect()
 }
 
 #[cfg(test)]
@@ -131,16 +124,16 @@ mod tests {
     }
 
     #[test]
-    fn null_sink_matches_recording_sink_on_transient_partition() {
-        // The TraceSink choice must never feed back into protocol
+    fn counters_mode_matches_recording_mode_on_transient_partition() {
+        // The TraceMode choice must never feed back into protocol
         // behaviour: verdict, per-site outcomes and event counters all
         // match; only the trace itself is withheld.
         let s = Scenario::new(4)
             .transient_partition(vec![SiteId(2), SiteId(3)], 2500, 7500)
             .delay(ptp_simnet::DelayModel::Uniform { seed: 42, min: 1, max: 1000 });
         for kind in ProtocolKind::ALL {
-            let recorded = run_scenario_with(kind, &s, true);
-            let quiet = run_scenario_with(kind, &s, false);
+            let recorded = run_scenario_opts(kind, &s, &RunOptions::recording());
+            let quiet = run_scenario_opts(kind, &s, &RunOptions::new());
             assert_eq!(recorded.verdict, quiet.verdict, "{}", kind.name());
             assert_eq!(recorded.outcomes, quiet.outcomes, "{}", kind.name());
             assert_eq!(recorded.report.counters, quiet.report.counters, "{}", kind.name());
@@ -148,6 +141,16 @@ mod tests {
             assert!(!recorded.trace.is_empty(), "{}", kind.name());
             assert!(quiet.trace.is_empty(), "{}", kind.name());
         }
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_still_work() {
+        let s = Scenario::new(3);
+        let r = run_scenario_with(ProtocolKind::HuangLi3pc, &s, false);
+        assert_eq!(r.verdict, Verdict::AllCommit);
+        assert!(r.trace.is_empty());
+        assert_eq!(build_cluster(ProtocolKind::HuangLi3pc, &s).len(), 3);
     }
 
     #[test]

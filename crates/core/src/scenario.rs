@@ -3,8 +3,7 @@
 use ptp_protocols::api::Vote;
 use ptp_protocols::quorum::QuorumConfig;
 use ptp_simnet::{
-    DelayModel, FailureSpec, NetConfig, PartitionEngine, PartitionMode, PartitionSpec, SimTime,
-    SiteId,
+    DelayModel, FailureSpec, NetConfig, PartitionEngine, PartitionMode, SimTime, SiteId,
 };
 
 /// Which commit protocol to run.
@@ -60,7 +59,8 @@ impl ProtocolKind {
         }
     }
 
-    pub(crate) fn quorum_config(self, n: usize) -> Option<QuorumConfig> {
+    /// The quorum configuration a kind implies, if it is quorum-based.
+    pub fn quorum_config(self, n: usize) -> Option<QuorumConfig> {
         match self {
             ProtocolKind::QuorumMajority => Some(QuorumConfig::majority(n)),
             _ => None,
@@ -185,23 +185,34 @@ impl Scenario {
         }
     }
 
-    /// The derived partition engine.
+    /// The derived partition engine, as a fresh allocation.
+    ///
+    /// Repeated-run workloads should prefer [`Scenario::configure_partition`]
+    /// (via [`crate::Session`]), which rewrites an existing engine's buffers
+    /// in place instead of rebuilding the G1/G2 vectors per call.
     pub fn partition_engine(&self) -> PartitionEngine {
+        let mut engine = PartitionEngine::always_connected();
+        self.configure_partition(&mut engine);
+        engine
+    }
+
+    /// Rewrites `engine` in place to this scenario's partition shape,
+    /// reusing the engine's episode and group buffers. The G1 complement of
+    /// a simple partition is written directly into the engine's first group
+    /// buffer — no intermediate vector is built.
+    pub fn configure_partition(&self, engine: &mut PartitionEngine) {
         match &self.partition {
-            PartitionShape::None => PartitionEngine::always_connected(),
+            PartitionShape::None => engine.clear(),
             PartitionShape::Simple { g2, at, heal_at } => {
-                let g1: Vec<SiteId> =
-                    (0..self.n as u16).map(SiteId).filter(|s| !g2.contains(s)).collect();
-                let mut spec = PartitionSpec::simple(SimTime(*at), g1, g2.clone());
-                spec.heal_at = heal_at.map(SimTime);
-                PartitionEngine::new(vec![spec])
+                let groups = engine.reset_single(SimTime(*at), heal_at.map(SimTime), 2);
+                groups[0].extend((0..self.n as u16).map(SiteId).filter(|s| !g2.contains(s)));
+                groups[1].extend_from_slice(g2);
             }
             PartitionShape::Multiple { groups, at, heal_at } => {
-                PartitionEngine::new(vec![PartitionSpec {
-                    at: SimTime(*at),
-                    groups: groups.clone(),
-                    heal_at: heal_at.map(SimTime),
-                }])
+                let bufs = engine.reset_single(SimTime(*at), heal_at.map(SimTime), groups.len());
+                for (buf, group) in bufs.iter_mut().zip(groups) {
+                    buf.extend_from_slice(group);
+                }
             }
         }
     }

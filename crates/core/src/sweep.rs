@@ -16,16 +16,18 @@
 //! scoped thread pool. Workers fold their blocks into partial
 //! [`SweepReport`]s which are reduced **in block order**, so
 //! [`sweep_parallel`] returns bit-identical reports — kept counterexamples
-//! included — to [`sweep_serial`] at any thread count. Each worker reuses
-//! one [`Scenario`] as a scratch buffer (votes / G2 / delay are only
-//! rewritten when the decoded indices change) and runs cells with tracing
-//! off, so the steady-state hot path allocates only what one simulation
-//! inherently needs.
+//! included — to [`sweep_serial`] at any thread count. Each worker owns one
+//! [`crate::Session`] (the cluster and simulator buffers are built once per
+//! worker, not once per cell) plus one [`Scenario`] scratch buffer (votes /
+//! G2 / delay are only rewritten when the decoded indices change), and runs
+//! cells through the verdict-only fast path — so the steady-state hot path
+//! performs no cluster construction, no participant boxing, no G1/G2
+//! rebuild, and no trace allocation.
 
-use crate::run::run_scenario_with;
 use crate::scenario::{PartitionShape, ProtocolKind, Scenario};
+use crate::session::Session;
 use ptp_protocols::api::Vote;
-use ptp_protocols::Verdict;
+use ptp_protocols::{RunOptions, Verdict};
 use ptp_simnet::{DelayModel, PartitionMode, SiteId};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
@@ -296,22 +298,30 @@ const BLOCK: usize = 64;
 /// thread spawn/teardown would dominate.
 const PARALLEL_THRESHOLD: usize = 2 * BLOCK;
 
-/// Worker-local scratch: one [`Scenario`] reused across every cell the
+/// Worker-local scratch: one [`Session`] (cluster + simulator buffers built
+/// once per worker) and one [`Scenario`] reused across every cell the
 /// worker runs, so votes/G2/delay buffers are recycled instead of
 /// reallocated ~`grid.size()` times.
 struct CellRunner {
+    session: Session,
     scenario: Scenario,
+    options: RunOptions,
     delay_index: Option<usize>,
 }
 
 impl CellRunner {
-    fn new(grid: &SweepGrid) -> CellRunner {
+    fn new(kind: ProtocolKind, grid: &SweepGrid) -> CellRunner {
         let mut scenario = Scenario::new(grid.n);
         scenario.mode = grid.mode;
-        CellRunner { scenario, delay_index: None }
+        CellRunner {
+            session: Session::new(kind, grid.n),
+            scenario,
+            options: RunOptions::new(),
+            delay_index: None,
+        }
     }
 
-    fn run(&mut self, kind: ProtocolKind, grid: &SweepGrid, spec: &ScenarioSpec<'_>) -> Verdict {
+    fn run(&mut self, grid: &SweepGrid, spec: &ScenarioSpec<'_>) -> Verdict {
         let scenario = &mut self.scenario;
         if self.delay_index != Some(spec.delay_index) {
             // DelayModel clones can be heavy (scheduled/per-link maps);
@@ -337,7 +347,7 @@ impl CellRunner {
                 };
             }
         }
-        run_scenario_with(kind, scenario, false).verdict
+        self.session.verdict(scenario, &self.options)
     }
 }
 
@@ -370,10 +380,10 @@ pub fn sweep(kind: ProtocolKind, grid: &SweepGrid) -> SweepReport {
 /// Runs the grid on the calling thread, in flat-index order.
 pub fn sweep_serial(kind: ProtocolKind, grid: &SweepGrid) -> SweepReport {
     let mut report = SweepReport::default();
-    let mut runner = CellRunner::new(grid);
+    let mut runner = CellRunner::new(kind, grid);
     for index in 0..grid.size() {
         let spec = grid.scenario(index);
-        let verdict = runner.run(kind, grid, &spec);
+        let verdict = runner.run(grid, &spec);
         report.record_cell(&spec, verdict);
     }
     report
@@ -386,10 +396,10 @@ pub fn sweep_parallel(kind: ProtocolKind, grid: &SweepGrid) -> SweepReport {
 
 /// Runs the grid across exactly `threads` workers (1 = serial).
 ///
-/// Workers claim contiguous [`BLOCK`]-sized index ranges from a shared
+/// Workers claim contiguous `BLOCK`-sized index ranges from a shared
 /// counter and fold each into a partial [`SweepReport`]; the partials are
 /// then reduced in ascending block order, which makes the result — totals
-/// *and* the first-[`KEEP`] kept counterexamples — bit-identical to
+/// *and* the first-`KEEP` kept counterexamples — bit-identical to
 /// [`sweep_serial`] regardless of scheduling.
 pub fn sweep_with_threads(kind: ProtocolKind, grid: &SweepGrid, threads: usize) -> SweepReport {
     let total = grid.size();
@@ -408,7 +418,7 @@ pub fn sweep_with_threads(kind: ProtocolKind, grid: &SweepGrid, threads: usize) 
             let tx = tx.clone();
             let next_block = &next_block;
             scope.spawn(move || {
-                let mut runner = CellRunner::new(grid);
+                let mut runner = CellRunner::new(kind, grid);
                 loop {
                     let block = next_block.fetch_add(1, Ordering::Relaxed);
                     if block >= blocks {
@@ -419,7 +429,7 @@ pub fn sweep_with_threads(kind: ProtocolKind, grid: &SweepGrid, threads: usize) 
                     let mut partial = SweepReport::default();
                     for index in start..end {
                         let spec = grid.scenario(index);
-                        let verdict = runner.run(kind, grid, &spec);
+                        let verdict = runner.run(grid, &spec);
                         partial.record_cell(&spec, verdict);
                     }
                     if tx.send((block, partial)).is_err() {

@@ -10,7 +10,8 @@
 //!
 //! * every benchmark runs a short warm-up, then timed batches until a
 //!   sampling budget is spent;
-//! * the median per-iteration time is reported, plus elements/sec when a
+//! * the median per-iteration time is reported with its spread
+//!   (min/max/stddev across samples), plus elements/sec when a
 //!   [`Throughput`] was declared;
 //! * `cargo bench -- <filter>` runs only benchmarks whose id contains the
 //!   filter substring (same CLI shape as Criterion).
@@ -125,6 +126,28 @@ fn median(samples: &mut [f64]) -> f64 {
     }
 }
 
+/// Spread statistics over per-iteration samples: `(min, max, stddev)`.
+///
+/// Real Criterion reports a confidence interval; this shim reports the
+/// sample extremes plus the population standard deviation, which is enough
+/// to spot noisy benchmarks before trusting a median-vs-median comparison.
+fn spread(samples: &[f64]) -> (f64, f64, f64) {
+    if samples.is_empty() {
+        return (0.0, 0.0, 0.0);
+    }
+    let mut min = f64::INFINITY;
+    let mut max = f64::NEG_INFINITY;
+    let mut sum = 0.0;
+    for &s in samples {
+        min = min.min(s);
+        max = max.max(s);
+        sum += s;
+    }
+    let mean = sum / samples.len() as f64;
+    let var = samples.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>() / samples.len() as f64;
+    (min, max, var.sqrt())
+}
+
 fn format_ns(ns: f64) -> String {
     if ns >= 1e9 {
         format!("{:.3} s", ns / 1e9)
@@ -187,6 +210,7 @@ impl Criterion {
         }
         let mut bencher = Bencher { samples: Vec::new(), budget: self.budget };
         f(&mut bencher);
+        let (min, max, stddev) = spread(&bencher.samples);
         let med = median(&mut bencher.samples);
         let rate = match throughput {
             Some(Throughput::Elements(n)) if med > 0.0 => {
@@ -197,7 +221,14 @@ impl Criterion {
             }
             _ => String::new(),
         };
-        println!("{id:<48} time: {:<12} ({} samples){rate}", format_ns(med), bencher.samples.len());
+        println!(
+            "{id:<48} time: {:<12} [{} .. {}] σ {:<10} ({} samples){rate}",
+            format_ns(med),
+            format_ns(min),
+            format_ns(max),
+            format_ns(stddev),
+            bencher.samples.len()
+        );
     }
 }
 
@@ -285,6 +316,15 @@ mod tests {
         assert!(format_ns(12_000.0).ends_with("µs"));
         assert!(format_ns(12_000_000.0).ends_with("ms"));
         assert!(format_ns(2e9).ends_with('s'));
+    }
+
+    #[test]
+    fn spread_reports_min_max_stddev() {
+        let (min, max, sd) = spread(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert_eq!(min, 2.0);
+        assert_eq!(max, 9.0);
+        assert!((sd - 2.0).abs() < 1e-9, "population stddev of the classic example is 2, got {sd}");
+        assert_eq!(spread(&[]), (0.0, 0.0, 0.0));
     }
 
     #[test]

@@ -8,7 +8,7 @@
 use crate::site::{DbMsg, Metrics, ParticipantFactory, SiteNode, TxnSpec};
 use crate::storage::Storage;
 use crate::value::{Key, TxnId, Value};
-use ptp_protocols::api::{Participant, Vote};
+use ptp_protocols::api::Vote;
 use ptp_protocols::interp::FsaParticipant;
 use ptp_protocols::quorum::{QuorumConfig, QuorumSite};
 use ptp_protocols::termination::{
@@ -50,26 +50,24 @@ impl CommitProtocol {
             CommitProtocol::TwoPhase => {
                 let spec = Arc::new(ptp_model::protocols::two_phase(n));
                 Rc::new(move |site: SiteId, _n: usize| {
-                    Box::new(FsaParticipant::new(spec.clone(), site.index(), Vote::Yes, None))
-                        as Box<dyn Participant>
+                    FsaParticipant::new(spec.clone(), site.index(), Vote::Yes, None).into()
                 })
             }
             CommitProtocol::HuangLi => Rc::new(move |site: SiteId, n: usize| {
                 if site == SiteId(0) {
-                    Box::new(TerminationMaster::new(PhasePlan::three_phase(), n))
-                        as Box<dyn Participant>
+                    TerminationMaster::new(PhasePlan::three_phase(), n).into()
                 } else {
-                    Box::new(TerminationSlave::new(
+                    TerminationSlave::new(
                         PhasePlan::three_phase(),
                         site,
                         Vote::Yes,
                         TerminationVariant::Transient,
-                    ))
+                    )
+                    .into()
                 }
             }),
             CommitProtocol::QuorumMajority => Rc::new(move |site: SiteId, n: usize| {
-                Box::new(QuorumSite::new(QuorumConfig::majority(n), site, Vote::Yes))
-                    as Box<dyn Participant>
+                QuorumSite::new(QuorumConfig::majority(n), site, Vote::Yes).into()
             }),
         }
     }

@@ -29,6 +29,7 @@ use crate::value::{TxnId, WriteOp};
 use crate::wal::{Record, Wal};
 use ptp_model::Decision;
 use ptp_protocols::api::{Action, CommitMsg, Participant, TimerTag};
+use ptp_protocols::AnyParticipant;
 use ptp_simnet::{Actor, Ctx, Envelope, Payload, SimTime, SiteId, TimerHandle};
 use std::cell::RefCell;
 use std::collections::{BTreeMap, HashMap};
@@ -54,7 +55,11 @@ impl Payload for DbMsg {
 
 /// Factory building the per-transaction protocol participant for a site.
 /// (`site == SiteId(0)` must yield a master, anything else a slave.)
-pub type ParticipantFactory = Rc<dyn Fn(SiteId, usize) -> Box<dyn Participant>>;
+///
+/// Participants are produced as enum-dispatched [`AnyParticipant`]s, so the
+/// per-transaction slot stores the state machine inline — no boxing per
+/// in-flight transaction.
+pub type ParticipantFactory = Rc<dyn Fn(SiteId, usize) -> AnyParticipant>;
 
 /// A transaction the cluster driver submits at the master.
 #[derive(Debug, Clone)]
@@ -119,7 +124,7 @@ impl Metrics {
 
 /// Per-transaction state at one site.
 struct TxnSlot {
-    participant: Box<dyn Participant>,
+    participant: AnyParticipant,
     timers: HashMap<TimerTag, TimerHandle>,
     hold_index: Option<usize>,
 }

@@ -79,8 +79,12 @@ impl LiveOutcome {
 
 /// Runs the participants (site `i` = `participants[i]`, site 0 the master)
 /// on threads until everyone decides or `config.run_timeout` elapses.
-pub fn run_live(
-    participants: Vec<Box<dyn Participant>>,
+///
+/// Generic over the participant type: boxed `Vec<Box<dyn Participant>>`
+/// clusters and enum-dispatched `Vec<ptp_protocols::AnyParticipant>` ones
+/// (from the `*_cluster_any` constructors) both work.
+pub fn run_live<P: Participant + 'static>(
+    participants: Vec<P>,
     config: LiveConfig,
     partition: Option<LivePartition>,
 ) -> LiveOutcome {
@@ -157,15 +161,17 @@ pub fn run_live(
 mod tests {
     use super::*;
     use ptp_protocols::api::Vote;
-    use ptp_protocols::clusters::huang_li_3pc_cluster;
+    use ptp_protocols::clusters::huang_li_3pc_cluster_any;
     use ptp_protocols::termination::TerminationVariant;
+    use ptp_protocols::AnyParticipant;
 
     fn cfg() -> LiveConfig {
         LiveConfig::with_t(Duration::from_millis(8))
     }
 
-    fn hl_cluster(n: usize) -> Vec<Box<dyn Participant>> {
-        huang_li_3pc_cluster(n, &vec![Vote::Yes; n - 1], TerminationVariant::Transient)
+    // Enum-dispatched cluster: the live threads run without a single box.
+    fn hl_cluster(n: usize) -> Vec<AnyParticipant> {
+        huang_li_3pc_cluster_any(n, &vec![Vote::Yes; n - 1], TerminationVariant::Transient)
     }
 
     #[test]

@@ -9,10 +9,10 @@ use std::collections::HashMap;
 use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender};
 use std::time::{Duration, Instant};
 
-pub(crate) struct SiteRunner {
+pub(crate) struct SiteRunner<P: Participant> {
     me: SiteId,
     n: usize,
-    participant: Box<dyn Participant + Send>,
+    participant: P,
     inbox: Receiver<Inbound>,
     router: Sender<Outbound>,
     done: Sender<(SiteId, Decision)>,
@@ -25,16 +25,16 @@ pub(crate) struct SiteRunner {
     decided: Option<Decision>,
 }
 
-impl SiteRunner {
+impl<P: Participant> SiteRunner<P> {
     pub(crate) fn new(
         me: SiteId,
         n: usize,
-        participant: Box<dyn Participant + Send>,
+        participant: P,
         inbox: Receiver<Inbound>,
         router: Sender<Outbound>,
         done: Sender<(SiteId, Decision)>,
         config: LiveConfig,
-    ) -> SiteRunner {
+    ) -> SiteRunner<P> {
         SiteRunner {
             me,
             n,

@@ -64,6 +64,14 @@ pub enum TimerTag {
 }
 
 impl TimerTag {
+    /// Number of distinct tags — sizes the runner's per-site timer table.
+    pub const COUNT: usize = 5;
+
+    /// Dense index in `0..TimerTag::COUNT`.
+    pub fn index(self) -> usize {
+        (self.encode() - 1) as usize
+    }
+
     /// Stable encoding for the simulator's `u64` timer tags.
     pub fn encode(self) -> u64 {
         match self {
@@ -148,6 +156,43 @@ pub trait Participant: Send {
     /// Short, stable name of the current local state (for traces and the
     /// quorum baseline's state reports).
     fn state_name(&self) -> &'static str;
+
+    /// Re-initialises the participant for a fresh run with the given vote,
+    /// keeping its configuration (protocol spec, timing, quorum sizes, site
+    /// identity) and — wherever possible — its heap allocations.
+    ///
+    /// Contract: after `reset`, the participant must behave exactly like a
+    /// freshly constructed one with the same configuration and `vote`.
+    /// Masters have no vote of their own and ignore the argument. This is
+    /// what lets a `ptp_core::Session` build each state machine once and
+    /// replay thousands of grid cells through it.
+    fn reset(&mut self, vote: Vote);
+}
+
+/// Boxed participants delegate, so heterogeneous `Box<dyn Participant>`
+/// clusters keep working wherever a `P: Participant` is expected.
+impl Participant for Box<dyn Participant> {
+    fn start(&mut self, out: &mut Vec<Action>) {
+        (**self).start(out);
+    }
+    fn on_msg(&mut self, from: SiteId, msg: &CommitMsg, out: &mut Vec<Action>) {
+        (**self).on_msg(from, msg, out);
+    }
+    fn on_ud(&mut self, original_dst: SiteId, msg: &CommitMsg, out: &mut Vec<Action>) {
+        (**self).on_ud(original_dst, msg, out);
+    }
+    fn on_timer(&mut self, tag: TimerTag, out: &mut Vec<Action>) {
+        (**self).on_timer(tag, out);
+    }
+    fn decision(&self) -> Option<Decision> {
+        (**self).decision()
+    }
+    fn state_name(&self) -> &'static str {
+        (**self).state_name()
+    }
+    fn reset(&mut self, vote: Vote) {
+        (**self).reset(vote);
+    }
 }
 
 /// How a slave votes when the transaction arrives.
@@ -182,9 +227,20 @@ mod tests {
             TimerTag::QuorumCollect,
         ] {
             assert_eq!(TimerTag::decode(tag.encode()), Some(tag));
+            // COUNT sizes the runner's dense timer table; a tag whose
+            // index falls outside it would panic at runtime.
+            assert!(tag.index() < TimerTag::COUNT, "{tag:?} index out of table");
         }
         assert_eq!(TimerTag::decode(0), None);
         assert_eq!(TimerTag::decode(99), None);
+        // Every index in 0..COUNT is covered by exactly one tag.
+        let mut seen = [false; TimerTag::COUNT];
+        for raw in 1..=TimerTag::COUNT as u64 {
+            let tag = TimerTag::decode(raw).expect("dense encoding");
+            assert!(!seen[tag.index()]);
+            seen[tag.index()] = true;
+        }
+        assert!(seen.iter().all(|s| *s));
     }
 
     #[test]

@@ -252,6 +252,14 @@ impl Participant for FsaParticipant {
             StateKind::Abort => "abort",
         }
     }
+
+    fn reset(&mut self, vote: Vote) {
+        self.vote = vote;
+        self.state = 0;
+        self.pool.clear();
+        self.decided = None;
+        self.blocked_noted = false;
+    }
 }
 
 #[cfg(test)]

@@ -16,34 +16,38 @@
 //! * **Quorum commit** ([`quorum`]): the Skeen 1982 baseline that blocks in
 //!   minority partitions.
 //!
-//! [`clusters`] builds ready-to-run site vectors; [`runner::run_protocol`]
-//! executes them through a scenario; [`outcome::Verdict`] judges atomicity
-//! and blocking.
+//! [`clusters`] builds ready-to-run site vectors — the `*_cluster_any`
+//! constructors return flat, enum-dispatched [`AnyParticipant`] vectors
+//! (see [`dispatch`]); [`runner::ClusterRunner`] is the reusable execution
+//! harness (`ptp_core::Session` wraps it); [`options::RunOptions`] types
+//! the per-run choices (trace retention, failures, horizon);
+//! [`runner::run_protocol`] / [`runner::run_protocol_opts`] are the
+//! one-shot conveniences; [`outcome::Verdict`] judges atomicity and
+//! blocking.
 //!
 //! ```
-//! use ptp_protocols::clusters::huang_li_3pc_cluster;
+//! use ptp_protocols::clusters::huang_li_3pc_cluster_any;
 //! use ptp_protocols::termination::TerminationVariant;
 //! use ptp_protocols::api::Vote;
 //! use ptp_protocols::outcome::Verdict;
-//! use ptp_protocols::runner::run_protocol;
-//! use ptp_simnet::{DelayModel, NetConfig, PartitionEngine, PartitionSpec, SimTime, SiteId};
+//! use ptp_protocols::runner::ClusterRunner;
+//! use ptp_protocols::RunOptions;
+//! use ptp_simnet::{DelayModel, NetConfig, SimTime, SiteId};
 //!
-//! // Three sites; the network splits {master, site1} | {site2} mid-commit.
-//! let parts = huang_li_3pc_cluster(3, &[Vote::Yes; 2], TerminationVariant::Transient);
-//! let partition = PartitionEngine::new(vec![PartitionSpec::simple(
-//!     SimTime(2500),
-//!     vec![SiteId(0), SiteId(1)],
-//!     vec![SiteId(2)],
-//! )]);
-//! let run = run_protocol(
-//!     parts,
-//!     NetConfig::default(),
-//!     partition,
-//!     &DelayModel::Fixed(900),
-//!     vec![],
-//! );
-//! let verdict = Verdict::judge(&run.outcomes);
-//! assert!(verdict.is_resilient(), "{verdict:?}");
+//! // Three sites, built once; the runner replays them through any number
+//! // of partition scenarios, reusing every buffer.
+//! let cluster = huang_li_3pc_cluster_any(3, &[Vote::Yes; 2], TerminationVariant::Transient);
+//! let mut runner = ClusterRunner::new(cluster);
+//! for at in [1500u64, 2500, 3500] {
+//!     runner.reset(&[Vote::Yes; 2]);
+//!     // The network splits {master, site1} | {site2} at tick `at`.
+//!     let groups = runner.partition_mut().reset_single(SimTime(at), None, 2);
+//!     groups[0].extend([SiteId(0), SiteId(1)]);
+//!     groups[1].push(SiteId(2));
+//!     let run = runner.run(NetConfig::default(), &DelayModel::Fixed(900), &RunOptions::new());
+//!     let verdict = Verdict::judge(&run.outcomes);
+//!     assert!(verdict.is_resilient(), "{verdict:?}");
+//! }
 //! ```
 
 #![forbid(unsafe_code)]
@@ -51,7 +55,9 @@
 
 pub mod api;
 pub mod clusters;
+pub mod dispatch;
 pub mod interp;
+pub mod options;
 pub mod outcome;
 pub mod quorum;
 pub mod runner;
@@ -59,6 +65,10 @@ pub mod termination;
 pub mod timing;
 
 pub use api::{Action, CommitMsg, Participant, TimerTag, Vote};
+pub use dispatch::AnyParticipant;
+pub use options::{RunOptions, TraceMode};
 pub use outcome::{SiteOutcome, Verdict};
-pub use runner::{run_protocol, run_protocol_with, ProtocolRun};
+#[allow(deprecated)]
+pub use runner::run_protocol_with;
+pub use runner::{run_protocol, run_protocol_opts, ClusterRunner, ProtocolRun};
 pub use termination::{PhasePlan, TerminationMaster, TerminationSlave, TerminationVariant};

@@ -300,17 +300,31 @@ impl Participant for QuorumSite {
             QPhase::Done(Decision::Abort) => "a",
         }
     }
+
+    fn reset(&mut self, vote: Vote) {
+        self.vote = if self.is_master() { Vote::Yes } else { vote };
+        self.phase = if self.is_master() { QPhase::Wait } else { QPhase::Initial };
+        self.replies = 0;
+        self.reports = None;
+        self.decided = None;
+        self.blocked_noted = false;
+    }
 }
 
-/// Builds a quorum-commit cluster of `n` sites.
-pub fn quorum_cluster(cfg: QuorumConfig, votes: &[Vote]) -> Vec<Box<dyn Participant>> {
+/// Builds an enum-dispatched quorum-commit cluster of `n` sites.
+pub fn quorum_cluster_any(cfg: QuorumConfig, votes: &[Vote]) -> Vec<crate::AnyParticipant> {
     assert_eq!(votes.len(), cfg.n - 1);
-    let mut parts: Vec<Box<dyn Participant>> =
-        vec![Box::new(QuorumSite::new(cfg, SiteId(0), Vote::Yes))];
+    let mut parts: Vec<crate::AnyParticipant> =
+        vec![QuorumSite::new(cfg, SiteId(0), Vote::Yes).into()];
     for (i, &v) in votes.iter().enumerate() {
-        parts.push(Box::new(QuorumSite::new(cfg, SiteId(i as u16 + 1), v)));
+        parts.push(QuorumSite::new(cfg, SiteId(i as u16 + 1), v).into());
     }
     parts
+}
+
+/// Boxed form of [`quorum_cluster_any`].
+pub fn quorum_cluster(cfg: QuorumConfig, votes: &[Vote]) -> Vec<Box<dyn Participant>> {
+    quorum_cluster_any(cfg, votes).into_iter().map(crate::AnyParticipant::boxed).collect()
 }
 
 #[cfg(test)]

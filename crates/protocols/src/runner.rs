@@ -1,61 +1,99 @@
 //! Wiring participants to the simulated network.
+//!
+//! The centrepiece is [`ClusterRunner`]: a **reusable** harness that owns
+//! the actor adapters, the simulator's recycled buffers
+//! ([`ptp_simnet::SimScratch`]) and an outcome scratch vector, so running a
+//! cluster through thousands of scenarios allocates per run only what a
+//! single simulation inherently needs. It is generic over the participant
+//! type — `ClusterRunner<AnyParticipant>` (what `ptp_core::Session` uses)
+//! dispatches protocol events without any vtable; `ClusterRunner<Box<dyn
+//! Participant>>` keeps the historical heterogeneous clusters working.
+//!
+//! One-shot conveniences remain: [`run_protocol`] (records a full trace)
+//! and [`run_protocol_opts`] (typed [`RunOptions`]). The boolean-flag
+//! [`run_protocol_with`] is deprecated.
 
-use crate::api::{Action, CommitMsg, Participant, TimerTag};
+use crate::api::{Action, CommitMsg, Participant, TimerTag, Vote};
+use crate::options::{RunOptions, TraceMode};
 use crate::outcome::SiteOutcome;
 use ptp_model::Decision;
 use ptp_simnet::{
     Actor, Ctx, DelayModel, Envelope, FailureSpec, NetConfig, PartitionEngine, RunReport,
-    Simulation, SiteId, TimerHandle, Trace, TraceSink,
+    SimScratch, Simulation, SiteId, TimerHandle, Trace,
 };
-use std::cell::RefCell;
-use std::collections::HashMap;
-use std::rc::Rc;
-
-/// Shared outcome board written by the actor adapters during a run.
-type Board = Rc<RefCell<Vec<SiteOutcome>>>;
+use std::sync::Arc;
 
 /// Adapter: drives a [`Participant`] as a `ptp-simnet` [`Actor`].
-struct ProtocolActor {
-    inner: Box<dyn Participant>,
-    all_sites: Vec<SiteId>,
-    board: Board,
-    timers: HashMap<TimerTag, TimerHandle>,
+///
+/// Each adapter owns its site's [`SiteOutcome`] (sites never write each
+/// other's outcomes, so no shared board is needed), a dense timer table
+/// indexed by [`TimerTag`], and a reusable action buffer — all recycled
+/// across runs by [`ClusterRunner`].
+struct ProtocolActor<P> {
+    inner: P,
+    all_sites: Arc<[SiteId]>,
+    outcome: SiteOutcome,
+    timers: [Option<TimerHandle>; TimerTag::COUNT],
+    pending: Vec<Action>,
 }
 
-impl ProtocolActor {
-    fn apply(&mut self, actions: Vec<Action>, ctx: &mut Ctx<'_, CommitMsg>) {
-        for action in actions {
+impl<P: Participant> ProtocolActor<P> {
+    fn new(inner: P, all_sites: Arc<[SiteId]>) -> Self {
+        ProtocolActor {
+            inner,
+            all_sites,
+            outcome: SiteOutcome::default(),
+            timers: [None; TimerTag::COUNT],
+            pending: Vec::new(),
+        }
+    }
+
+    /// Clears the per-run adapter state (the participant itself is reset by
+    /// the caller, which knows the votes). Buffers keep their capacity.
+    fn begin_run(&mut self) {
+        self.outcome.decision = None;
+        self.outcome.decided_at = None;
+        self.outcome.history.clear();
+        self.timers = [None; TimerTag::COUNT];
+    }
+
+    /// Runs one participant handler through the reusable action buffer and
+    /// applies the resulting effects.
+    fn dispatch(&mut self, ctx: &mut Ctx<'_, CommitMsg>, f: impl FnOnce(&mut P, &mut Vec<Action>)) {
+        let mut out = std::mem::take(&mut self.pending);
+        f(&mut self.inner, &mut out);
+        self.apply(&mut out, ctx);
+        self.pending = out;
+    }
+
+    fn apply(&mut self, actions: &mut Vec<Action>, ctx: &mut Ctx<'_, CommitMsg>) {
+        for action in actions.drain(..) {
             match action {
                 Action::Send { to, msg } => ctx.send(to, msg),
-                Action::Broadcast { msg } => {
-                    let sites = self.all_sites.clone();
-                    ctx.send_to_all(&sites, msg);
-                }
+                Action::Broadcast { msg } => ctx.send_to_all(&self.all_sites, msg),
                 Action::SetTimer { t_units, tag } => {
-                    if let Some(old) = self.timers.remove(&tag) {
+                    if let Some(old) = self.timers[tag.index()].take() {
                         ctx.cancel_timer(old);
                     }
                     let handle = ctx.set_timer(ctx.t(t_units), tag.encode());
-                    self.timers.insert(tag, handle);
+                    self.timers[tag.index()] = Some(handle);
                 }
                 Action::CancelTimer { tag } => {
-                    if let Some(old) = self.timers.remove(&tag) {
+                    if let Some(old) = self.timers[tag.index()].take() {
                         ctx.cancel_timer(old);
                     }
                 }
                 Action::Decide(decision) => {
-                    let me = ctx.me().index();
-                    let mut board = self.board.borrow_mut();
-                    let slot = &mut board[me];
                     // First decision wins; a second one would be a protocol
                     // bug, surfaced by the debug assertion.
                     debug_assert!(
-                        slot.decision.is_none() || slot.decision == Some(decision),
-                        "site {me} changed its decision"
+                        self.outcome.decision.is_none() || self.outcome.decision == Some(decision),
+                        "site {} changed its decision",
+                        ctx.me()
                     );
-                    if slot.decision.is_none() {
-                        slot.decision = Some(decision);
-                        slot.decided_at = Some(ctx.now());
+                    if self.outcome.decision.is_none() {
+                        self.outcome.decision = Some(decision);
+                        self.outcome.decided_at = Some(ctx.now());
                         ctx.note(
                             "decided",
                             match decision {
@@ -66,8 +104,7 @@ impl ProtocolActor {
                     }
                 }
                 Action::Note(label, detail) => {
-                    let me = ctx.me().index();
-                    self.board.borrow_mut()[me].history.push((ctx.now(), label));
+                    self.outcome.history.push((ctx.now(), label));
                     ctx.note(label, detail);
                 }
             }
@@ -75,31 +112,23 @@ impl ProtocolActor {
     }
 }
 
-impl Actor<CommitMsg> for ProtocolActor {
+impl<P: Participant> Actor<CommitMsg> for ProtocolActor<P> {
     fn on_start(&mut self, ctx: &mut Ctx<'_, CommitMsg>) {
-        let mut out = Vec::new();
-        self.inner.start(&mut out);
-        self.apply(out, ctx);
+        self.dispatch(ctx, |p, out| p.start(out));
     }
 
     fn on_message(&mut self, env: Envelope<CommitMsg>, ctx: &mut Ctx<'_, CommitMsg>) {
-        let mut out = Vec::new();
-        self.inner.on_msg(env.src, &env.payload, &mut out);
-        self.apply(out, ctx);
+        self.dispatch(ctx, |p, out| p.on_msg(env.src, &env.payload, out));
     }
 
     fn on_undeliverable(&mut self, env: Envelope<CommitMsg>, ctx: &mut Ctx<'_, CommitMsg>) {
-        let mut out = Vec::new();
-        self.inner.on_ud(env.dst, &env.payload, &mut out);
-        self.apply(out, ctx);
+        self.dispatch(ctx, |p, out| p.on_ud(env.dst, &env.payload, out));
     }
 
     fn on_timer(&mut self, tag: u64, ctx: &mut Ctx<'_, CommitMsg>) {
         let Some(tag) = TimerTag::decode(tag) else { return };
-        self.timers.remove(&tag);
-        let mut out = Vec::new();
-        self.inner.on_timer(tag, &mut out);
-        self.apply(out, ctx);
+        self.timers[tag.index()] = None;
+        self.dispatch(ctx, |p, out| p.on_timer(tag, out));
     }
 }
 
@@ -114,29 +143,183 @@ pub struct ProtocolRun {
     pub report: RunReport,
 }
 
-/// Runs `participants` (site `i` = `participants[i]`, site 0 the master)
-/// under the given network conditions, recording a full trace.
+/// A reusable protocol-execution harness: build once, run many scenarios.
 ///
-/// Equivalent to [`run_protocol_with`] with `record_trace = true`; the
-/// timing experiments (Figs. 5–7, 9) measure over the returned trace.
-pub fn run_protocol(
-    participants: Vec<Box<dyn Participant>>,
+/// ```
+/// use ptp_protocols::clusters::huang_li_3pc_cluster_any;
+/// use ptp_protocols::options::RunOptions;
+/// use ptp_protocols::runner::ClusterRunner;
+/// use ptp_protocols::termination::TerminationVariant;
+/// use ptp_protocols::api::Vote;
+/// use ptp_protocols::Verdict;
+/// use ptp_simnet::{DelayModel, NetConfig, SimTime, SiteId};
+///
+/// let cluster = huang_li_3pc_cluster_any(3, &[Vote::Yes; 2], TerminationVariant::Transient);
+/// let mut runner = ClusterRunner::new(cluster);
+/// for at in [0u64, 1500, 2500, 4500] {
+///     runner.reset(&[Vote::Yes; 2]);
+///     let groups = runner.partition_mut().reset_single(SimTime(at), None, 2);
+///     groups[0].extend([SiteId(0), SiteId(1)]);
+///     groups[1].push(SiteId(2));
+///     let run = runner.run(NetConfig::default(), &DelayModel::Fixed(900), &RunOptions::new());
+///     assert!(Verdict::judge(&run.outcomes).is_resilient());
+/// }
+/// ```
+pub struct ClusterRunner<P: Participant> {
+    actors: Vec<ProtocolActor<P>>,
+    /// Recycled simulator buffers; `None` only transiently while a run is in
+    /// flight.
+    scratch: Option<SimScratch<CommitMsg>>,
+    /// The previous run's outcomes, swapped out of the actors so both
+    /// buffers (and their history capacity) ping-pong between runs.
+    outcomes: Vec<SiteOutcome>,
+}
+
+impl<P: Participant> ClusterRunner<P> {
+    /// Builds the harness around a participant vector (site `i` =
+    /// `participants[i]`, site 0 the master).
+    pub fn new(participants: Vec<P>) -> Self {
+        let n = participants.len();
+        assert!(n >= 2, "a cluster needs a master and at least one slave");
+        let all_sites: Arc<[SiteId]> = (0..n as u16).map(SiteId).collect();
+        ClusterRunner {
+            actors: participants
+                .into_iter()
+                .map(|p| ProtocolActor::new(p, all_sites.clone()))
+                .collect(),
+            scratch: Some(SimScratch::new()),
+            outcomes: vec![SiteOutcome::default(); n],
+        }
+    }
+
+    /// Number of sites.
+    pub fn site_count(&self) -> usize {
+        self.actors.len()
+    }
+
+    /// The participants, in site order.
+    pub fn participants(&self) -> impl Iterator<Item = &P> {
+        self.actors.iter().map(|a| &a.inner)
+    }
+
+    /// Mutable access to the participants (for custom re-initialisation
+    /// between runs; most callers want [`ClusterRunner::reset`]).
+    pub fn participants_mut(&mut self) -> impl Iterator<Item = &mut P> {
+        self.actors.iter_mut().map(|a| &mut a.inner)
+    }
+
+    /// Resets every participant for a fresh run: the master (site 0) and one
+    /// vote per slave, matching the cluster constructors' convention.
+    pub fn reset(&mut self, votes: &[Vote]) {
+        assert_eq!(votes.len() + 1, self.actors.len(), "one vote per slave");
+        for (i, actor) in self.actors.iter_mut().enumerate() {
+            actor.inner.reset(if i == 0 { Vote::Yes } else { votes[i - 1] });
+        }
+    }
+
+    /// The partition engine the next run will use. Reconfigure it in place
+    /// ([`PartitionEngine::clear`] / [`PartitionEngine::reset_single`]) to
+    /// reuse its group buffers across runs.
+    pub fn partition_mut(&mut self) -> &mut PartitionEngine {
+        &mut self.scratch.as_mut().expect("scratch present between runs").partition
+    }
+
+    /// Replaces the partition engine wholesale.
+    pub fn set_partition(&mut self, engine: PartitionEngine) {
+        *self.partition_mut() = engine;
+    }
+
+    /// The outcomes of the most recent run (empty defaults before any run).
+    pub fn last_outcomes(&self) -> &[SiteOutcome] {
+        &self.outcomes
+    }
+
+    /// Runs the cluster once with everything explicit, returning the
+    /// outcomes by reference — the zero-copy path the sweep engine uses.
+    ///
+    /// The caller is responsible for having [`ClusterRunner::reset`] the
+    /// participants and configured [`ClusterRunner::partition_mut`]; any
+    /// horizon override must already be folded into `config` (see
+    /// [`RunOptions::apply_horizon`]).
+    pub fn run_borrowed(
+        &mut self,
+        config: NetConfig,
+        delay: &DelayModel,
+        trace: TraceMode,
+        failures: &[FailureSpec],
+    ) -> (&[SiteOutcome], Trace, RunReport) {
+        for actor in &mut self.actors {
+            actor.begin_run();
+        }
+        let actors = std::mem::take(&mut self.actors);
+        let scratch = self.scratch.take().expect("scratch present between runs");
+        let sim = Simulation::with_scratch(config, actors, delay, failures, trace.sink(), scratch);
+        let (actors, trace, report, scratch) = sim.run_recycling();
+        self.actors = actors;
+        self.scratch = Some(scratch);
+        for (slot, actor) in self.outcomes.iter_mut().zip(&mut self.actors) {
+            std::mem::swap(slot, &mut actor.outcome);
+        }
+        (&self.outcomes, trace, report)
+    }
+
+    /// Runs the cluster once under typed [`RunOptions`], returning owned
+    /// outcomes.
+    pub fn run(
+        &mut self,
+        config: NetConfig,
+        delay: &DelayModel,
+        options: &RunOptions,
+    ) -> ProtocolRun {
+        let config = options.apply_horizon(config);
+        let (outcomes, trace, report) =
+            self.run_borrowed(config, delay, options.trace, &options.failures);
+        ProtocolRun { outcomes: outcomes.to_vec(), trace, report }
+    }
+}
+
+/// One-shot execution of `participants` (site `i` = `participants[i]`,
+/// site 0 the master) with typed [`RunOptions`].
+///
+/// Builds a [`ClusterRunner`], runs it once and discards it; workloads that
+/// run many scenarios should keep a runner (or a `ptp_core::Session`)
+/// instead.
+pub fn run_protocol_opts<P: Participant>(
+    participants: Vec<P>,
+    config: NetConfig,
+    partition: PartitionEngine,
+    delay: &DelayModel,
+    options: &RunOptions,
+) -> ProtocolRun {
+    let mut runner = ClusterRunner::new(participants);
+    runner.set_partition(partition);
+    runner.run(config, delay, options)
+}
+
+/// Runs `participants` under the given network conditions, recording a full
+/// trace (the timing experiments measure over it). Equivalent to
+/// [`run_protocol_opts`] with [`RunOptions::recording`] plus `failures`.
+pub fn run_protocol<P: Participant>(
+    participants: Vec<P>,
     config: NetConfig,
     partition: PartitionEngine,
     delay: &DelayModel,
     failures: Vec<FailureSpec>,
 ) -> ProtocolRun {
-    run_protocol_with(participants, config, partition, delay, failures, true)
+    run_protocol_opts(
+        participants,
+        config,
+        partition,
+        delay,
+        &RunOptions::recording().failures(failures),
+    )
 }
 
-/// Runs `participants` with an explicit tracing choice.
-///
-/// `record_trace = false` routes the simulation through
-/// [`TraceSink::Null`]: verdict-only workloads (resilience sweeps,
-/// counterexample hunts) skip every per-event allocation and
-/// [`ProtocolRun::trace`] comes back empty. Outcomes, decisions and the
-/// [`RunReport`] (including its event counters) are identical either way —
-/// the sink never feeds back into protocol behaviour.
+/// Runs `participants` with a boolean tracing choice.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `run_protocol_opts` with `RunOptions` (or a reusable `ClusterRunner`)"
+)]
 pub fn run_protocol_with(
     participants: Vec<Box<dyn Participant>>,
     config: NetConfig,
@@ -145,28 +328,14 @@ pub fn run_protocol_with(
     failures: Vec<FailureSpec>,
     record_trace: bool,
 ) -> ProtocolRun {
-    let n = participants.len();
-    let board: Board = Rc::new(RefCell::new(vec![SiteOutcome::default(); n]));
-    let all_sites: Vec<SiteId> = (0..n as u16).map(SiteId).collect();
-
-    let actors: Vec<Box<dyn Actor<CommitMsg>>> = participants
-        .into_iter()
-        .map(|p| {
-            Box::new(ProtocolActor {
-                inner: p,
-                all_sites: all_sites.clone(),
-                board: board.clone(),
-                timers: HashMap::new(),
-            }) as Box<dyn Actor<CommitMsg>>
-        })
-        .collect();
-
-    let sink = if record_trace { TraceSink::recording() } else { TraceSink::Null };
-    let sim = Simulation::with_sink(config, actors, partition, delay, failures, sink);
-    let (actors, trace, report) = sim.run();
-    drop(actors); // release the adapters' board references
-    let outcomes = Rc::try_unwrap(board).expect("board uniquely owned after run").into_inner();
-    ProtocolRun { outcomes, trace, report }
+    let trace = if record_trace { TraceMode::Record } else { TraceMode::Counters };
+    run_protocol_opts(
+        participants,
+        config,
+        partition,
+        delay,
+        &RunOptions::new().trace(trace).failures(failures),
+    )
 }
 
 #[cfg(test)]
@@ -176,17 +345,21 @@ mod tests {
     use crate::interp::FsaParticipant;
     use crate::outcome::Verdict;
     use ptp_model::protocols::two_phase;
-    use std::sync::Arc;
+    use ptp_simnet::{PartitionSpec, SimTime};
+
+    fn two_pc_parts(votes: &[Vote]) -> Vec<FsaParticipant> {
+        let spec = Arc::new(two_phase(votes.len() + 1));
+        (0..spec.n())
+            .map(|site| {
+                let vote = if site == 0 { Vote::Yes } else { votes[site - 1] };
+                FsaParticipant::new(spec.clone(), site, vote, None)
+            })
+            .collect()
+    }
 
     fn run_2pc(votes: &[Vote]) -> ProtocolRun {
-        let spec = Arc::new(two_phase(votes.len() + 1));
-        let mut parts: Vec<Box<dyn Participant>> = Vec::new();
-        for site in 0..spec.n() {
-            let vote = if site == 0 { Vote::Yes } else { votes[site - 1] };
-            parts.push(Box::new(FsaParticipant::new(spec.clone(), site, vote, None)));
-        }
         run_protocol(
-            parts,
+            two_pc_parts(votes),
             NetConfig::default(),
             PartitionEngine::always_connected(),
             &DelayModel::Fixed(300),
@@ -214,5 +387,75 @@ mod tests {
         }
         // Master decides before the slaves receive the commit message.
         assert!(run.outcomes[0].decided_at <= run.outcomes[1].decided_at);
+    }
+
+    #[test]
+    fn boxed_participants_still_run() {
+        let boxed: Vec<Box<dyn Participant>> = two_pc_parts(&[Vote::Yes, Vote::Yes])
+            .into_iter()
+            .map(|p| Box::new(p) as Box<dyn Participant>)
+            .collect();
+        let run = run_protocol(
+            boxed,
+            NetConfig::default(),
+            PartitionEngine::always_connected(),
+            &DelayModel::Fixed(300),
+            vec![],
+        );
+        assert_eq!(Verdict::judge(&run.outcomes), Verdict::AllCommit);
+    }
+
+    #[test]
+    fn reused_runner_matches_one_shot_runs() {
+        // The tentpole guarantee at this layer: a runner reused across runs
+        // (with participant resets in between) is indistinguishable from
+        // fresh one-shot executions — outcomes, trace and report.
+        let mut runner = ClusterRunner::new(two_pc_parts(&[Vote::Yes, Vote::Yes]));
+        let votes_grid = [[Vote::Yes, Vote::Yes], [Vote::No, Vote::Yes], [Vote::Yes, Vote::Yes]];
+        for votes in votes_grid {
+            runner.reset(&votes);
+            runner.partition_mut().clear();
+            let reused =
+                runner.run(NetConfig::default(), &DelayModel::Fixed(300), &RunOptions::recording());
+            let fresh = run_2pc(&votes);
+            assert_eq!(reused.outcomes, fresh.outcomes);
+            assert_eq!(reused.trace.events(), fresh.trace.events());
+            assert_eq!(reused.report.events, fresh.report.events);
+            assert_eq!(reused.report.counters, fresh.report.counters);
+        }
+    }
+
+    #[test]
+    fn runner_partition_buffers_are_reused() {
+        let mut runner = ClusterRunner::new(two_pc_parts(&[Vote::Yes, Vote::Yes]));
+        for at in [500u64, 1500] {
+            runner.reset(&[Vote::Yes, Vote::Yes]);
+            let groups = runner.partition_mut().reset_single(SimTime(at), None, 2);
+            groups[0].extend([SiteId(0), SiteId(1)]);
+            groups[1].push(SiteId(2));
+            let run = runner.run(NetConfig::default(), &DelayModel::Fixed(300), &RunOptions::new());
+            assert!(run.trace.is_empty(), "counters mode records no trace");
+            // Plain 2PC under partition: never inconsistent.
+            assert!(Verdict::judge(&run.outcomes).is_atomic());
+        }
+    }
+
+    #[test]
+    fn options_horizon_cuts_the_run_short() {
+        // A partitioned bare 2PC quiesces late; a 1T horizon must stop it.
+        let parts = two_pc_parts(&[Vote::Yes, Vote::Yes]);
+        let partition = PartitionEngine::new(vec![PartitionSpec::simple(
+            SimTime(0),
+            vec![SiteId(0), SiteId(1)],
+            vec![SiteId(2)],
+        )]);
+        let run = run_protocol_opts(
+            parts,
+            NetConfig::default(),
+            partition,
+            &DelayModel::Fixed(1000),
+            &RunOptions::new().horizon_t(1),
+        );
+        assert!(run.report.ended_at <= SimTime(1000));
     }
 }

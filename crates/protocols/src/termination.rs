@@ -360,6 +360,15 @@ impl Participant for TerminationMaster {
             MState::Done(Decision::Abort) => "a1",
         }
     }
+
+    fn reset(&mut self, _vote: Vote) {
+        // The master has no vote; its plan, size and timing are fixed.
+        self.state = MState::Round(0);
+        self.replies.clear();
+        self.ud.clear();
+        self.pb.clear();
+        self.decided = None;
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -581,28 +590,29 @@ impl Participant for TerminationSlave {
             SState::Done(Decision::Abort) => "a",
         }
     }
+
+    fn reset(&mut self, vote: Vote) {
+        self.vote = vote;
+        self.state = SState::Await(0);
+        self.decided = None;
+    }
 }
 
-/// Builds a full cluster (master + `n - 1` slaves) running the termination
-/// protocol over `plan`.
+/// Builds a full boxed cluster (master + `n - 1` slaves) running the
+/// termination protocol over `plan`. See
+/// [`crate::clusters::termination_cluster_any`] for the enum-dispatched
+/// form.
 pub fn termination_cluster(
     plan: &PhasePlan,
     n: usize,
     votes: &[Vote],
     variant: TerminationVariant,
 ) -> Vec<Box<dyn Participant>> {
-    assert_eq!(votes.len(), n - 1, "one vote per slave");
-    let mut parts: Vec<Box<dyn Participant>> =
-        vec![Box::new(TerminationMaster::new(plan.clone(), n))];
-    for (i, &vote) in votes.iter().enumerate() {
-        parts.push(Box::new(TerminationSlave::new(
-            plan.clone(),
-            SiteId(i as u16 + 1),
-            vote,
-            variant,
-        )));
-    }
-    parts
+    use crate::dispatch::AnyParticipant;
+    crate::clusters::termination_cluster_any(plan, n, votes, variant)
+        .into_iter()
+        .map(AnyParticipant::boxed)
+        .collect()
 }
 
 #[cfg(test)]

@@ -98,6 +98,18 @@ impl<P> EventQueue<P> {
         EventQueue { heap: BinaryHeap::with_capacity(capacity), next_seq: 0 }
     }
 
+    /// Drops any queued events and rewinds the sequence counter, keeping the
+    /// heap's allocation. A cleared queue behaves exactly like a freshly
+    /// constructed one, which is what lets [`crate::net::SimScratch`] recycle
+    /// it across runs without perturbing determinism.
+    pub fn reset(&mut self, capacity: usize) {
+        self.heap.clear();
+        // The heap is empty here, so this guarantees `capacity` slots (and
+        // is a no-op when the recycled allocation already suffices).
+        self.heap.reserve(capacity);
+        self.next_seq = 0;
+    }
+
     pub fn push(&mut self, at: SimTime, kind: EventKind<P>) {
         let seq = self.next_seq;
         self.next_seq += 1;

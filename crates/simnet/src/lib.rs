@@ -70,7 +70,9 @@ pub mod trace;
 pub use delay::{DelayModel, Leg, ScheduleBuilder};
 pub use failure::FailureSpec;
 pub use message::{Disposition, Envelope, MsgId, SiteId};
-pub use net::{Actor, Ctx, NetConfig, Payload, RunReport, Simulation, StopReason, TimerHandle};
+pub use net::{
+    Actor, Ctx, NetConfig, Payload, RunReport, SimScratch, Simulation, StopReason, TimerHandle,
+};
 pub use partition::{PartitionEngine, PartitionMode, PartitionSpec};
 pub use time::{SimDuration, SimTime};
 pub use trace::{Trace, TraceCounters, TraceEvent, TraceSink};

@@ -90,6 +90,30 @@ pub trait Actor<P: Payload> {
     }
 }
 
+/// Boxed actors act by delegation, so `Simulation` can be used both with
+/// heterogeneous `Vec<Box<dyn Actor<P>>>` clusters (the historical API) and
+/// with statically dispatched actor vectors.
+impl<P: Payload, A: Actor<P> + ?Sized> Actor<P> for Box<A> {
+    fn on_start(&mut self, ctx: &mut Ctx<'_, P>) {
+        (**self).on_start(ctx);
+    }
+    fn on_message(&mut self, env: Envelope<P>, ctx: &mut Ctx<'_, P>) {
+        (**self).on_message(env, ctx);
+    }
+    fn on_undeliverable(&mut self, env: Envelope<P>, ctx: &mut Ctx<'_, P>) {
+        (**self).on_undeliverable(env, ctx);
+    }
+    fn on_timer(&mut self, tag: u64, ctx: &mut Ctx<'_, P>) {
+        (**self).on_timer(tag, ctx);
+    }
+    fn on_recover(&mut self, ctx: &mut Ctx<'_, P>) {
+        (**self).on_recover(ctx);
+    }
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        (**self).as_any()
+    }
+}
+
 /// Handle to an armed timer, used for cancellation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct TimerHandle(pub u64);
@@ -267,6 +291,45 @@ enum Fate {
     Bounce(SimTime),
 }
 
+/// The simulator's reusable buffers: event heap, timer slab, crash flags,
+/// and the partition engine (whose group vectors a session rewrites between
+/// runs).
+///
+/// A simulation built with [`Simulation::with_scratch`] and finished with
+/// [`Simulation::run_recycling`] hands these back so the next run starts
+/// with warm allocations instead of fresh ones. Every buffer is reset to a
+/// fresh-construction state on reuse, so a recycled run is bit-identical to
+/// a cold one — determinism never depends on which path built the
+/// simulation.
+#[derive(Debug)]
+pub struct SimScratch<P: Payload> {
+    queue: EventQueue<P>,
+    timers: TimerSlab,
+    crashed: Vec<bool>,
+    /// The partition engine. Callers reconfigure it in place between runs
+    /// via [`PartitionEngine::clear`] / [`PartitionEngine::reset_single`],
+    /// or simply assign a new one.
+    pub partition: PartitionEngine,
+}
+
+impl<P: Payload> SimScratch<P> {
+    /// Fresh, empty scratch with an always-connected partition engine.
+    pub fn new() -> SimScratch<P> {
+        SimScratch {
+            queue: EventQueue::with_capacity(0),
+            timers: TimerSlab::with_capacity(0),
+            crashed: Vec::new(),
+            partition: PartitionEngine::always_connected(),
+        }
+    }
+}
+
+impl<P: Payload> Default for SimScratch<P> {
+    fn default() -> Self {
+        SimScratch::new()
+    }
+}
+
 /// Why the event loop stopped.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum StopReason {
@@ -294,17 +357,22 @@ pub struct RunReport {
 /// Build with [`Simulation::new`], then [`Simulation::run`]. The actors are
 /// returned to the caller afterwards so protocol outcomes can be read off
 /// their final state.
-pub struct Simulation<P: Payload> {
+///
+/// The actor type defaults to `Box<dyn Actor<P>>` (heterogeneous clusters,
+/// the historical API) but any `A: Actor<P>` works; a homogeneous actor
+/// vector dispatches statically, which is what the protocol session runner
+/// uses on the sweep hot path.
+pub struct Simulation<P: Payload, A: Actor<P> = Box<dyn Actor<P>>> {
     core: Core<P>,
-    actors: Vec<Option<Box<dyn Actor<P>>>>,
+    actors: Vec<Option<A>>,
 }
 
-impl<P: Payload> Simulation<P> {
+impl<P: Payload, A: Actor<P>> Simulation<P, A> {
     /// Creates a simulation over `actors` (site `i` is `actors[i]`) with a
     /// full-recording trace sink.
     pub fn new(
         config: NetConfig,
-        actors: Vec<Box<dyn Actor<P>>>,
+        actors: Vec<A>,
         partition: PartitionEngine,
         delay: &DelayModel,
         failures: Vec<FailureSpec>,
@@ -320,17 +388,41 @@ impl<P: Payload> Simulation<P> {
     /// [`RunReport::counters`].
     pub fn with_sink(
         config: NetConfig,
-        actors: Vec<Box<dyn Actor<P>>>,
+        actors: Vec<A>,
         partition: PartitionEngine,
         delay: &DelayModel,
         failures: Vec<FailureSpec>,
         sink: TraceSink,
     ) -> Self {
+        let mut scratch = SimScratch::new();
+        scratch.partition = partition;
+        Simulation::with_scratch(config, actors, delay, &failures, sink, scratch)
+    }
+
+    /// Creates a simulation that reuses the buffers of a previous run.
+    ///
+    /// The partition engine is taken from `scratch.partition` (configure it
+    /// before calling); every other buffer is reset to a fresh state, so
+    /// the run is indistinguishable from one built by
+    /// [`Simulation::with_sink`]. Finish with [`Simulation::run_recycling`]
+    /// to get the scratch back.
+    pub fn with_scratch(
+        config: NetConfig,
+        actors: Vec<A>,
+        delay: &DelayModel,
+        failures: &[FailureSpec],
+        sink: TraceSink,
+        scratch: SimScratch<P>,
+    ) -> Self {
         let n = actors.len();
+        let SimScratch { mut queue, mut timers, mut crashed, partition } = scratch;
         // Broadcast peaks put O(n²) deliveries plus O(n) timers in flight;
         // reserving once here keeps the heap from reallocating mid-run.
-        let mut queue = EventQueue::with_capacity(n * n + 4 * n + 2 * failures.len() + 8);
-        for f in &failures {
+        queue.reset(n * n + 4 * n + 2 * failures.len() + 8);
+        timers.reset();
+        crashed.clear();
+        crashed.resize(n, false);
+        for f in failures {
             assert!(f.site.index() < n, "failure spec names unknown site {}", f.site);
             queue.push(f.at, EventKind::Crash(f.site));
             if let Some(r) = f.recover_at {
@@ -343,8 +435,8 @@ impl<P: Payload> Simulation<P> {
                 now: SimTime::ZERO,
                 queue,
                 next_msg: 0,
-                timers: TimerSlab::with_capacity(2 * n),
-                crashed: vec![false; n],
+                timers,
+                crashed,
                 partition,
                 sampler: delay.sampler(),
                 sink,
@@ -359,9 +451,27 @@ impl<P: Payload> Simulation<P> {
         self.actors.len()
     }
 
+    /// [`Simulation::run`], additionally returning the reusable buffers for
+    /// the next [`Simulation::with_scratch`] construction.
+    pub fn run_recycling(self) -> (Vec<A>, Trace, RunReport, SimScratch<P>) {
+        let (actors, trace, report, core) = self.run_inner();
+        let scratch = SimScratch {
+            queue: core.queue,
+            timers: core.timers,
+            crashed: core.crashed,
+            partition: core.partition,
+        };
+        (actors, trace, report, scratch)
+    }
+
     /// Runs every actor's `on_start`, then dispatches events until quiescence
     /// or the horizon. Returns the actors, the trace, and a report.
-    pub fn run(mut self) -> (Vec<Box<dyn Actor<P>>>, Trace, RunReport) {
+    pub fn run(self) -> (Vec<A>, Trace, RunReport) {
+        let (actors, trace, report, _) = self.run_inner();
+        (actors, trace, report)
+    }
+
+    fn run_inner(mut self) -> (Vec<A>, Trace, RunReport, Core<P>) {
         // Start hooks, in site order at t=0.
         for i in 0..self.actors.len() {
             self.with_actor(i, |actor, ctx| actor.on_start(ctx));
@@ -452,12 +562,14 @@ impl<P: Payload> Simulation<P> {
 
         let report = RunReport { stop, ended_at, events, counters: self.core.counters };
         let actors = self.actors.into_iter().map(|a| a.expect("actor present")).collect();
-        (actors, self.core.sink.into_trace(), report)
+        let mut core = self.core;
+        let sink = std::mem::replace(&mut core.sink, TraceSink::Null);
+        (actors, sink.into_trace(), report, core)
     }
 
     /// Take-and-put-back dispatch so the handler can borrow the core mutably
     /// while owning the actor.
-    fn with_actor(&mut self, idx: usize, f: impl FnOnce(&mut Box<dyn Actor<P>>, &mut Ctx<'_, P>)) {
+    fn with_actor(&mut self, idx: usize, f: impl FnOnce(&mut A, &mut Ctx<'_, P>)) {
         let mut actor = self.actors[idx].take().expect("actor re-entrancy");
         let mut ctx = Ctx { core: &mut self.core, me: SiteId(idx as u16) };
         f(&mut actor, &mut ctx);
@@ -703,6 +815,44 @@ mod tests {
         );
         sim.run();
         assert_eq!(board.borrow().delivered[0], (1, "ping", 1000));
+    }
+
+    #[test]
+    fn recycled_scratch_replays_identically() {
+        // Two ping-pong runs through the same scratch (the second reusing
+        // the first's warm buffers) must produce identical traces and
+        // reports — and match a cold with_sink run.
+        let part = || {
+            PartitionEngine::new(vec![PartitionSpec::transient(
+                SimTime(150),
+                vec![SiteId(0)],
+                vec![SiteId(1)],
+                SimTime(400),
+            )])
+        };
+        let run_once = |scratch: SimScratch<&'static str>| {
+            let board = Rc::new(RefCell::new(Board::default()));
+            let a = Echo { board: board.clone(), peer: Some(SiteId(1)), starts_ping: true };
+            let b = Echo { board: board.clone(), peer: None, starts_ping: false };
+            let actors: Vec<Box<dyn Actor<&'static str>>> = vec![Box::new(a), Box::new(b)];
+            let sim = Simulation::with_scratch(
+                NetConfig::default(),
+                actors,
+                &DelayModel::Fixed(100),
+                &[],
+                TraceSink::recording(),
+                scratch,
+            );
+            let (_, trace, report, scratch) = sim.run_recycling();
+            (trace, report.events, scratch)
+        };
+        let mut scratch = SimScratch::new();
+        scratch.partition = part();
+        let (cold_trace, cold_events, mut scratch) = run_once(scratch);
+        scratch.partition = part();
+        let (warm_trace, warm_events, _) = run_once(scratch);
+        assert_eq!(cold_trace.events(), warm_trace.events());
+        assert_eq!(cold_events, warm_events);
     }
 
     #[test]

@@ -97,6 +97,45 @@ impl PartitionEngine {
         PartitionEngine { episodes: Vec::new() }
     }
 
+    /// Removes every episode in place: the engine reports full connectivity
+    /// afterwards, exactly like [`PartitionEngine::always_connected`].
+    pub fn clear(&mut self) {
+        self.episodes.clear();
+    }
+
+    /// Reconfigures the engine in place as a **single** episode starting at
+    /// `at` (healing at `heal_at`, if given) with exactly `group_count`
+    /// connectivity groups, and returns the group buffers for the caller to
+    /// fill. Existing group vectors are cleared and reused, so a scenario
+    /// session can rewrite its engine for every grid cell without
+    /// reallocating — this is the buffer-reuse path behind
+    /// `ptp_core::Session`.
+    ///
+    /// A single episode needs no overlap validation, so the resulting engine
+    /// is always well formed once the caller has filled the groups.
+    pub fn reset_single(
+        &mut self,
+        at: SimTime,
+        heal_at: Option<SimTime>,
+        group_count: usize,
+    ) -> &mut [Vec<SiteId>] {
+        self.episodes.truncate(1);
+        match self.episodes.first_mut() {
+            Some(episode) => {
+                episode.at = at;
+                episode.heal_at = heal_at;
+            }
+            None => self.episodes.push(PartitionSpec { at, groups: Vec::new(), heal_at }),
+        }
+        let groups = &mut self.episodes[0].groups;
+        for g in groups.iter_mut() {
+            g.clear();
+        }
+        groups.truncate(group_count);
+        groups.resize_with(group_count, Vec::new);
+        groups
+    }
+
     /// The episode active at `now`, if any.
     pub fn active_at(&self, now: SimTime) -> Option<&PartitionSpec> {
         self.episodes.iter().find(|e| e.at <= now && e.heal_at.is_none_or(|h| now < h))

@@ -30,6 +30,14 @@ impl TimerSlab {
         TimerSlab { generations: Vec::with_capacity(capacity), free: Vec::with_capacity(capacity) }
     }
 
+    /// Forgets every slot and generation, keeping the allocations. A reset
+    /// slab hands out the same handle ids as a fresh one, so recycling it
+    /// across runs (see [`crate::net::SimScratch`]) cannot change a trace.
+    pub fn reset(&mut self) {
+        self.generations.clear();
+        self.free.clear();
+    }
+
     fn encode(slot: u32, generation: u32) -> u64 {
         u64::from(generation) << 32 | u64::from(slot)
     }

@@ -12,7 +12,7 @@
 
 use ptp_core::livenet::{run_live, LiveConfig, LivePartition};
 use ptp_core::protocols::api::Vote;
-use ptp_core::protocols::clusters::huang_li_3pc_cluster;
+use ptp_core::protocols::clusters::huang_li_3pc_cluster_any;
 use ptp_core::protocols::termination::TerminationVariant;
 use ptp_simnet::SiteId;
 use std::time::Duration;
@@ -45,7 +45,7 @@ fn main() {
             }),
         ),
     ] {
-        let parts = huang_li_3pc_cluster(4, &[Vote::Yes; 3], TerminationVariant::Transient);
+        let parts = huang_li_3pc_cluster_any(4, &[Vote::Yes; 3], TerminationVariant::Transient);
         let outcome = run_live(parts, LiveConfig::with_t(t), partition);
         println!("{label}:");
         for (i, d) in outcome.decisions.iter().enumerate() {

@@ -1,11 +1,15 @@
-//! Quickstart: run the Huang–Li termination protocol through a network
-//! partition and watch every site terminate consistently.
+//! Quickstart: run the Huang–Li termination protocol through network
+//! partitions and watch every site terminate consistently.
+//!
+//! Demonstrates the session-based execution API: build the cluster once
+//! with [`Session::new`], then run as many scenarios as you like through
+//! it — each `run` resets the state machines and reuses every buffer.
 //!
 //! ```sh
 //! cargo run --example quickstart
 //! ```
 
-use ptp_core::{run_scenario, ProtocolKind, Scenario};
+use ptp_core::{ProtocolKind, RunOptions, Scenario, Session};
 use ptp_simnet::SiteId;
 
 fn main() {
@@ -17,7 +21,10 @@ fn main() {
     println!("== Huang–Li termination protocol (modified 3PC), 5 sites ==");
     println!("partition: {{0,1,2}} | {{3,4}} at t = 2.5T (prepares in flight)\n");
 
-    let result = run_scenario(ProtocolKind::HuangLi3pc, &scenario);
+    // The session owns the cluster; RunOptions::recording() asks for the
+    // full event trace on top of the default verdict/outcome reporting.
+    let mut session = Session::new(ProtocolKind::HuangLi3pc, 5);
+    let result = session.run_with(&scenario, &RunOptions::recording());
 
     for (i, outcome) in result.outcomes.iter().enumerate() {
         let role = if i == 0 { "master" } else { "slave " };
@@ -30,11 +37,30 @@ fn main() {
     }
 
     println!("\nverdict: {:?}", result.verdict);
+    println!("trace: {} recorded events", result.trace.len());
     assert!(result.verdict.is_resilient(), "Theorem 9 in action");
 
-    // Contrast with plain two-phase commit in the same scenario.
+    // The same session replays any number of variations — here the whole
+    // family of partition instants around the danger zone, trace-free (the
+    // default options skip trace recording entirely).
+    println!("\n== The same split at every instant from 0T to 4T ==");
+    let mut commits = 0usize;
+    let mut aborts = 0usize;
+    for at in (0..=4000).step_by(250) {
+        let s = Scenario::new(5).partition_g2(vec![SiteId(3), SiteId(4)], at);
+        let r = session.run(&s);
+        assert!(r.verdict.is_resilient(), "t={at}: {:?}", r.verdict);
+        match r.verdict {
+            ptp_core::protocols::Verdict::AllCommit => commits += 1,
+            _ => aborts += 1,
+        }
+    }
+    println!("17 instants: {commits} all-commit, {aborts} all-abort, 0 blocked, 0 inconsistent");
+
+    // Contrast with plain two-phase commit in the original scenario.
     println!("\n== The same partition under plain 2PC ==");
-    let result2pc = run_scenario(ProtocolKind::Plain2pc, &scenario);
+    let mut twopc = Session::new(ProtocolKind::Plain2pc, 5);
+    let result2pc = twopc.run(&scenario);
     for (i, outcome) in result2pc.outcomes.iter().enumerate() {
         match outcome.decision {
             Some(d) => println!("site {i}: {d}"),

@@ -2,7 +2,9 @@
 //! counterexamples, as tests: each *must* produce a violation, documenting
 //! that the paper's model boundaries are real.
 
-use ptp_core::{run_scenario, sweep, PartitionShape, ProtocolKind, Scenario, SweepGrid};
+use ptp_core::{
+    run_scenario, sweep, PartitionShape, ProtocolKind, RunOptions, Scenario, Session, SweepGrid,
+};
 use ptp_model::Decision;
 use ptp_protocols::Verdict;
 use ptp_simnet::{DelayModel, FailureSpec, ScheduleBuilder, SimTime, SiteId};
@@ -77,14 +79,21 @@ fn sec7_counterexample_1_lone_prepared_g2_slave_crashes() {
 
 #[test]
 fn sec7_counterexample_2_g1_slave_crashes_before_probing() {
-    let scenario = Scenario::new(4)
-        .partition_g2(vec![SiteId(3)], 2500)
-        .fail(FailureSpec::crash(SiteId(1), SimTime(3500)));
-    let result = run_scenario(ProtocolKind::HuangLi3pc, &scenario);
+    // The crash is injected through RunOptions (not the scenario) to cover
+    // the typed failure path end to end.
+    let scenario = Scenario::new(4).partition_g2(vec![SiteId(3)], 2500);
+    let options = RunOptions::recording().fail(FailureSpec::crash(SiteId(1), SimTime(3500)));
+    let mut session = Session::new(ProtocolKind::HuangLi3pc, 4);
+    let result = session.run_with(&scenario, &options);
     assert_eq!(result.outcomes[0].decision, Some(Decision::Commit));
     assert_eq!(result.outcomes[2].decision, Some(Decision::Commit));
     assert_eq!(result.outcomes[3].decision, Some(Decision::Abort));
     assert!(matches!(result.verdict, Verdict::Inconsistent { .. }));
+
+    // The same session without the failure option: resilient again (the
+    // injected crash does not leak into later runs).
+    let clean = session.run(&scenario);
+    assert!(clean.verdict.is_resilient(), "{:?}", clean.verdict);
 }
 
 #[test]

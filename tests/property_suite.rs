@@ -11,7 +11,7 @@
 //!   derivation are pure functions of the spec.
 
 use proptest::prelude::*;
-use ptp_core::{run_scenario, PartitionShape, ProtocolKind, Scenario};
+use ptp_core::{run_scenario_opts, PartitionShape, ProtocolKind, RunOptions, Scenario};
 use ptp_simnet::{DelayModel, SiteId};
 
 proptest! {
@@ -44,7 +44,7 @@ proptest! {
             at,
             heal_at: heal.map(|h| at + h),
         };
-        let result = run_scenario(ProtocolKind::HuangLi3pc, &scenario);
+        let result = run_scenario_opts(ProtocolKind::HuangLi3pc, &scenario, &RunOptions::new());
         prop_assert!(
             result.verdict.is_resilient(),
             "scenario {:?} -> {:?}",
@@ -62,7 +62,7 @@ proptest! {
         let scenario = Scenario::new(3)
             .partition_g2(vec![SiteId(g2_single)], at)
             .delay(DelayModel::Uniform { seed, min: 1, max: 1000 });
-        let result = run_scenario(ProtocolKind::HuangLi4pc, &scenario);
+        let result = run_scenario_opts(ProtocolKind::HuangLi4pc, &scenario, &RunOptions::new());
         prop_assert!(result.verdict.is_resilient());
     }
 
@@ -75,7 +75,7 @@ proptest! {
         let scenario = Scenario::new(3)
             .partition_g2(vec![SiteId(2)], at)
             .delay(DelayModel::Uniform { seed, min: 1, max: 1000 });
-        let result = run_scenario(ProtocolKind::Plain2pc, &scenario);
+        let result = run_scenario_opts(ProtocolKind::Plain2pc, &scenario, &RunOptions::new());
         prop_assert!(result.verdict.is_atomic());
     }
 
@@ -93,7 +93,7 @@ proptest! {
         let scenario = Scenario::new(5)
             .partition_g2(g2, at)
             .delay(DelayModel::Uniform { seed, min: 1, max: 1000 });
-        let result = run_scenario(ProtocolKind::QuorumMajority, &scenario);
+        let result = run_scenario_opts(ProtocolKind::QuorumMajority, &scenario, &RunOptions::new());
         prop_assert!(result.verdict.is_atomic());
     }
 }

@@ -3,7 +3,7 @@
 //! must never exceed the stated bound.
 
 use ptp_core::cases::max_wait_after_p_timeout;
-use ptp_core::{run_scenario, ProtocolKind, Scenario};
+use ptp_core::{run_scenario, ProtocolKind, RunOptions, Scenario, Session};
 use ptp_simnet::{DelayModel, ScheduleBuilder, SiteId, Trace, TraceEvent};
 
 fn probe_gap(trace: &Trace) -> Option<u64> {
@@ -83,12 +83,14 @@ fn fig6_adversarial_probe_gap_is_tight_but_bounded() {
 
 #[test]
 fn fig6_randomized_probe_gaps_within_5t() {
+    let mut session = Session::new(ProtocolKind::HuangLi3pc, 3);
+    let recording = RunOptions::recording();
     for seed in 0..25u64 {
         for at in (1500..=3500).step_by(500) {
             let scenario = Scenario::new(3)
                 .partition_g2(vec![SiteId(2)], at)
                 .delay(DelayModel::Uniform { seed, min: 1, max: 1000 });
-            let result = run_scenario(ProtocolKind::HuangLi3pc, &scenario);
+            let result = session.run_with(&scenario, &recording);
             assert!(result.verdict.is_resilient());
             if let Some(gap) = probe_gap(&result.trace) {
                 assert!(gap <= 5000, "seed {seed} at {at}: gap {gap}");
@@ -113,6 +115,8 @@ fn fig7_adversarial_w_wait_is_tight_but_bounded() {
 
 #[test]
 fn fig7_randomized_w_waits_within_6t() {
+    let mut session = Session::new(ProtocolKind::HuangLi3pc, 3);
+    let recording = RunOptions::recording();
     for seed in 0..25u64 {
         for at in (500..=4000).step_by(500) {
             for g2 in [vec![SiteId(2)], vec![SiteId(1), SiteId(2)]] {
@@ -121,7 +125,7 @@ fn fig7_randomized_w_waits_within_6t() {
                     min: 1,
                     max: 1000,
                 });
-                let result = run_scenario(ProtocolKind::HuangLi3pc, &scenario);
+                let result = session.run_with(&scenario, &recording);
                 if let Some(gap) = max_w_wait(&result.trace, 3) {
                     assert!(gap <= 6000, "seed {seed} at {at}: gap {gap}");
                 }
@@ -132,13 +136,15 @@ fn fig7_randomized_w_waits_within_6t() {
 
 #[test]
 fn fig9_p_timeout_waits_within_5t_even_transient() {
+    let mut session = Session::new(ProtocolKind::HuangLi3pc, 3);
+    let recording = RunOptions::recording();
     for seed in 0..15u64 {
         for at in (2000..=4500).step_by(500) {
             for heal in [1000u64, 3000, 6000] {
                 let scenario = Scenario::new(3)
                     .transient_partition(vec![SiteId(2)], at, at + heal)
                     .delay(DelayModel::Uniform { seed, min: 1, max: 1000 });
-                let result = run_scenario(ProtocolKind::HuangLi3pc, &scenario);
+                let result = session.run_with(&scenario, &recording);
                 assert!(result.verdict.is_resilient());
                 if let Some(wait) = max_wait_after_p_timeout(&result.trace, 3) {
                     assert!(wait <= 5000, "seed {seed} at {at} heal {heal}: wait {wait}");
@@ -152,9 +158,10 @@ fn fig9_p_timeout_waits_within_5t_even_transient() {
 fn decision_latency_bounded_under_any_partition() {
     // End-to-end liveness bound: every site decides within a fixed horizon
     // of the partition (no unbounded waiting anywhere in the protocol).
+    let mut session = Session::new(ProtocolKind::HuangLi3pc, 4);
     for at in (0..=6000).step_by(500) {
         let scenario = Scenario::new(4).partition_g2(vec![SiteId(2), SiteId(3)], at);
-        let result = run_scenario(ProtocolKind::HuangLi3pc, &scenario);
+        let result = session.run(&scenario);
         for (i, o) in result.outcomes.iter().enumerate() {
             let decided = o.decided_at.unwrap_or_else(|| panic!("site {i} undecided"));
             // Commit protocol takes <= 5T failure-free; termination adds at

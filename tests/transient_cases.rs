@@ -4,12 +4,14 @@
 //! case 3.2.2.2 that the 5T rule converts into a commit.
 
 use ptp_core::cases::{classify, max_wait_after_p_timeout, TransientCase};
-use ptp_core::{run_scenario, ProtocolKind, Scenario};
+use ptp_core::{ProtocolKind, RunOptions, Scenario, Session};
 use ptp_simnet::{DelayModel, SiteId};
 use std::collections::BTreeMap;
 
 fn sweep_cases() -> BTreeMap<TransientCase, (usize, u64)> {
     let mut per_case: BTreeMap<TransientCase, (usize, u64)> = BTreeMap::new();
+    let mut session = Session::new(ProtocolKind::HuangLi3pc, 3);
+    let recording = RunOptions::recording();
     for g2 in [vec![SiteId(2)], vec![SiteId(1), SiteId(2)]] {
         for at in (1500..=4750).step_by(250) {
             for heal_after in [500u64, 1500, 3000, 6000] {
@@ -22,7 +24,7 @@ fn sweep_cases() -> BTreeMap<TransientCase, (usize, u64)> {
                     let scenario = Scenario::new(3)
                         .transient_partition(g2.clone(), at, at + heal_after)
                         .delay(delay);
-                    let result = run_scenario(ProtocolKind::HuangLi3pc, &scenario);
+                    let result = session.run_with(&scenario, &recording);
                     assert!(
                         result.verdict.is_resilient(),
                         "g2={g2:?} at={at} heal=+{heal_after} seed={seed}: {:?}",
@@ -72,12 +74,13 @@ fn static_variant_survives_permanent_but_only_transient_survives_heals() {
     // waiting forever only in case 3.2.2.2 — which needs all commits
     // *sent*; with our grid it is rare but the transient variant must be
     // resilient everywhere regardless.
+    let mut session = Session::new(ProtocolKind::HuangLi3pc, 3);
     for at in (1500..=4500).step_by(250) {
         for heal_after in [500u64, 2000, 5000] {
             let scenario = Scenario::new(3)
                 .transient_partition(vec![SiteId(2)], at, at + heal_after)
                 .delay(DelayModel::Fixed(1000));
-            let result = run_scenario(ProtocolKind::HuangLi3pc, &scenario);
+            let result = session.run(&scenario);
             assert!(result.verdict.is_resilient(), "transient at={at} heal=+{heal_after}");
         }
     }
@@ -88,11 +91,12 @@ fn transient_heal_mid_collection_still_consistent() {
     // Heal while the master's 5T window is open: probes that suddenly can
     // cross must not confuse the PB/UD rule (the subtle scenario analysed
     // in the termination-protocol module docs).
+    let mut session = Session::new(ProtocolKind::HuangLi3pc, 4);
     for heal_after in (500..=8000).step_by(250) {
         let scenario = Scenario::new(4)
             .transient_partition(vec![SiteId(2), SiteId(3)], 2500, 2500 + heal_after)
             .delay(DelayModel::Fixed(1000));
-        let result = run_scenario(ProtocolKind::HuangLi3pc, &scenario);
+        let result = session.run(&scenario);
         assert!(result.verdict.is_resilient(), "heal=+{heal_after}: {:?}", result.verdict);
     }
 }
@@ -101,11 +105,13 @@ fn transient_heal_mid_collection_still_consistent() {
 fn outside_tree_cases_are_still_resilient() {
     // Partitions during phase 1 (before any prepare) sit outside the Sec. 6
     // tree but must of course still terminate consistently (abort).
+    let mut session = Session::new(ProtocolKind::HuangLi3pc, 3);
+    let recording = RunOptions::recording();
     for at in (0..=1400).step_by(200) {
         let scenario = Scenario::new(3)
             .transient_partition(vec![SiteId(2)], at, at + 2000)
             .delay(DelayModel::Fixed(1000));
-        let result = run_scenario(ProtocolKind::HuangLi3pc, &scenario);
+        let result = session.run_with(&scenario, &recording);
         assert!(result.verdict.is_resilient());
         assert_eq!(classify(&result.trace, &[SiteId(2)]), TransientCase::OutsideTree);
     }
