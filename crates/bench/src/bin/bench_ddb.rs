@@ -1,0 +1,225 @@
+//! Database-workload throughput baseline.
+//!
+//! The sibling of `bench_sweep`, one layer down: how fast the ddb cluster
+//! driver pushes a 200-transaction workload through each [`CommitProtocol`]
+//! with the per-site participant free-lists doing the recycling. Writes
+//! `BENCH_ddb.json` next to the working directory so future performance
+//! work on the database layer has a recorded trajectory to beat.
+//!
+//! Modes:
+//!
+//! * default — the production path: pooled participants.
+//! * `--compare` — additionally times the construct-per-transaction
+//!   baseline (the pre-pool behaviour), yielding the speedup column.
+//!
+//! `CRITERION_BUDGET_MS` caps the per-measurement sampling time (as in the
+//! criterion shim), so the CI smoke run finishes in milliseconds while a
+//! real baseline run samples enough rounds for a stable median.
+
+use ptp_bench::json_escape;
+use ptp_core::ddb::cluster::{CommitProtocol, DbCluster, DbRun};
+use ptp_core::ddb::site::TxnSpec;
+use ptp_core::ddb::value::{Key, TxnId, Value, WriteOp};
+use ptp_core::report::Table;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+const SITES: usize = 4;
+const TXNS: u32 = 200;
+const SUBMIT_SPACING: u64 = 400;
+const REPEATS: usize = 4;
+const MAX_ROUNDS: usize = 41;
+
+/// The fixed 200-transaction workload: every transaction writes one key on
+/// each slave, keys drawn from an 8-key pool per site so a realistic share
+/// of transactions contend for locks.
+fn workload() -> Vec<(u64, TxnSpec)> {
+    (0..TXNS)
+        .map(|i| {
+            let mut writes = BTreeMap::new();
+            for site in 1..SITES as u16 {
+                writes.insert(
+                    site,
+                    vec![WriteOp {
+                        key: Key::from(format!("k{}", (i as u64 * 7 + site as u64) % 8)),
+                        value: Value::from_u64(i as u64),
+                    }],
+                );
+            }
+            (i as u64 * SUBMIT_SPACING, TxnSpec { id: TxnId(i + 1), writes })
+        })
+        .collect()
+}
+
+fn build(protocol: CommitProtocol, pooled: bool) -> DbCluster {
+    let mut cluster = DbCluster::new(SITES, protocol);
+    if !pooled {
+        cluster = cluster.construct_per_txn();
+    }
+    for (at, spec) in workload() {
+        cluster = cluster.submit(at, spec);
+    }
+    cluster
+}
+
+/// One timed observation: `REPEATS` consecutive executions of the workload
+/// under one clock read, so a single run's wall time comes out with far
+/// less timer/scheduler jitter than timing runs individually.
+fn run_block(protocol: CommitProtocol, pooled: bool) -> (f64, DbRun) {
+    let clusters: Vec<DbCluster> = (0..REPEATS).map(|_| build(protocol, pooled)).collect();
+    let mut last = None;
+    let round = Instant::now();
+    for cluster in clusters {
+        last = Some(cluster.run());
+    }
+    let wall = round.elapsed().as_secs_f64() * 1000.0 / REPEATS as f64;
+    let run = last.expect("at least one repeat");
+    assert!(run.metrics.atomicity_violations().is_empty(), "{}", protocol.name());
+    assert_eq!(run.metrics.decisions.len(), TXNS as usize, "every txn must terminate");
+    (wall, run)
+}
+
+fn median(walls: &mut [f64]) -> f64 {
+    walls.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+    walls[walls.len() / 2]
+}
+
+/// Samples pooled (and, in compare mode, per-txn) wall times within the
+/// budget.
+///
+/// The comparison is *paired*: each round times both modes back to back
+/// (order alternating between rounds), and the reported speedup is the
+/// median of the per-round ratios. Adjacent observations see the same
+/// container load, so the pairing cancels the slow CPU-contention drift
+/// that dwarfs the few-percent construction cost on a shared box.
+fn sample(
+    protocol: CommitProtocol,
+    compare: bool,
+    budget_ms: u64,
+) -> (f64, Option<(f64, f64)>, DbRun) {
+    let _ = run_block(protocol, true); // warmup
+    let mut pooled_walls = Vec::new();
+    let mut per_txn_walls = Vec::new();
+    let mut ratios = Vec::new();
+    let started = Instant::now();
+    let mut last = None;
+    while pooled_walls.is_empty()
+        || (pooled_walls.len() < MAX_ROUNDS && started.elapsed().as_millis() < budget_ms as u128)
+    {
+        let pooled_first = pooled_walls.len() % 2 == 0;
+        if compare && !pooled_first {
+            per_txn_walls.push(run_block(protocol, false).0);
+        }
+        let (wall, run) = run_block(protocol, true);
+        pooled_walls.push(wall);
+        last = Some(run);
+        if compare {
+            if pooled_first {
+                per_txn_walls.push(run_block(protocol, false).0);
+            }
+            ratios.push(per_txn_walls.last().unwrap() / wall.max(f64::MIN_POSITIVE));
+        }
+    }
+    let per_txn = compare.then(|| (median(&mut per_txn_walls), median(&mut ratios)));
+    (median(&mut pooled_walls), per_txn, last.expect("at least one round"))
+}
+
+struct Measurement {
+    protocol: CommitProtocol,
+    pooled_ms: f64,
+    constructed: usize,
+    reused: usize,
+    /// Compare mode: `(median per-txn wall ms, paired median speedup)`.
+    per_txn: Option<(f64, f64)>,
+}
+
+impl Measurement {
+    fn txns_per_sec(&self) -> f64 {
+        TXNS as f64 * 1000.0 / self.pooled_ms.max(f64::MIN_POSITIVE)
+    }
+}
+
+fn render_json(measurements: &[Measurement]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"benchmark\": \"{}\",", json_escape("ddb_txn_throughput"));
+    let _ = writeln!(out, "  \"sites\": {SITES},");
+    let _ = writeln!(out, "  \"txns\": {TXNS},");
+    out.push_str("  \"protocols\": [\n");
+    for (i, m) in measurements.iter().enumerate() {
+        out.push_str("    {");
+        let _ = write!(
+            out,
+            "\"protocol\": \"{}\", \"wall_ms\": {:.3}, \"txns_per_sec\": {:.1}, \
+             \"participants_constructed\": {}, \"participants_reused\": {}",
+            json_escape(m.protocol.name()),
+            m.pooled_ms,
+            m.txns_per_sec(),
+            m.constructed,
+            m.reused
+        );
+        if let Some((per_txn_ms, speedup)) = m.per_txn {
+            let _ = write!(
+                out,
+                ", \"per_txn_wall_ms\": {per_txn_ms:.3}, \"speedup_vs_per_txn\": {speedup:.3}"
+            );
+        }
+        out.push_str(if i + 1 == measurements.len() { "}\n" } else { "},\n" });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn main() {
+    let compare = std::env::args().any(|a| a == "--compare");
+    let budget_ms =
+        std::env::var("CRITERION_BUDGET_MS").ok().and_then(|v| v.parse().ok()).unwrap_or(2_000u64);
+    println!("== bench_ddb: {TXNS}-txn workload throughput, n = {SITES} ==");
+    println!(
+        "budget {budget_ms} ms per measurement{}\n",
+        if compare { ", with construct-per-txn baseline" } else { "" }
+    );
+
+    let protocols =
+        [CommitProtocol::TwoPhase, CommitProtocol::HuangLi, CommitProtocol::QuorumMajority];
+    let measurements: Vec<Measurement> = protocols
+        .iter()
+        .map(|&protocol| {
+            let (pooled_ms, per_txn, run) = sample(protocol, compare, budget_ms);
+            Measurement {
+                protocol,
+                pooled_ms,
+                constructed: run.participants_constructed,
+                reused: run.participants_reused,
+                per_txn,
+            }
+        })
+        .collect();
+
+    let mut headers = vec!["protocol", "wall ms", "txns/s", "constructed", "reused"];
+    if compare {
+        headers.extend(["per-txn ms", "vs per-txn"]);
+    }
+    let mut table = Table::new(headers);
+    for m in &measurements {
+        let mut row = vec![
+            m.protocol.name().to_string(),
+            format!("{:.1}", m.pooled_ms),
+            format!("{:.0}", m.txns_per_sec()),
+            m.constructed.to_string(),
+            m.reused.to_string(),
+        ];
+        if let Some((per_txn_ms, speedup)) = m.per_txn {
+            row.push(format!("{per_txn_ms:.1}"));
+            row.push(format!("{speedup:.2}x"));
+        }
+        table.row(row);
+    }
+    println!("{}", table.render());
+
+    let json = render_json(&measurements);
+    let path = "BENCH_ddb.json";
+    std::fs::write(path, &json).expect("write BENCH_ddb.json");
+    println!("wrote {path}");
+}

@@ -15,7 +15,7 @@
 
 use ptp_core::cases::{classify, max_wait_after_p_timeout, TransientCase};
 use ptp_core::report::Table;
-use ptp_core::{ProtocolKind, RunOptions, Scenario, Session};
+use ptp_core::{ProtocolKind, RunOptions, Scenario, SessionPool};
 use ptp_simnet::{DelayModel, SiteId};
 use std::collections::BTreeMap;
 
@@ -24,9 +24,9 @@ fn main() {
 
     let mut per_case: BTreeMap<TransientCase, (usize, u64)> = BTreeMap::new();
     let mut total = 0usize;
-    // One session for the ~2600-run sweep; traces recorded for the
+    // One pooled cluster for the ~2600-run sweep; traces recorded for the
     // classifier.
-    let mut session = Session::new(ProtocolKind::HuangLi3pc, 3);
+    let mut pool = SessionPool::new();
     let recording = RunOptions::recording();
 
     let boundaries: Vec<Vec<SiteId>> =
@@ -43,7 +43,8 @@ fn main() {
                     let scenario = Scenario::new(3)
                         .transient_partition(g2.clone(), at, at + heal_after)
                         .delay(delay);
-                    let result = session.run_with(&scenario, &recording);
+                    let result =
+                        pool.session(ProtocolKind::HuangLi3pc, 3).run_with(&scenario, &recording);
                     assert!(
                         result.verdict.is_resilient(),
                         "violation: g2={g2:?} at={at} heal=+{heal_after} seed={seed}: {:?}",

@@ -9,7 +9,7 @@
 //! per side, who terminates.
 
 use ptp_core::report::Table;
-use ptp_core::{all_simple_boundaries, ProtocolKind, Scenario, Session};
+use ptp_core::{all_simple_boundaries, ProtocolKind, Scenario, SessionPool};
 use ptp_simnet::SiteId;
 
 fn main() {
@@ -24,14 +24,12 @@ fn main() {
         "verdict",
     ]);
 
-    // One reusable session per protocol; every boundary runs through it.
-    let mut sessions =
-        [Session::new(ProtocolKind::QuorumMajority, 5), Session::new(ProtocolKind::HuangLi3pc, 5)];
+    // One pooled cluster per protocol; every boundary runs through it.
+    let mut pool = SessionPool::new();
     for g2 in all_simple_boundaries(5) {
-        for session in &mut sessions {
-            let kind = session.kind();
+        for kind in [ProtocolKind::QuorumMajority, ProtocolKind::HuangLi3pc] {
             let scenario = Scenario::new(5).partition_g2(g2.clone(), 2500);
-            let result = session.run(&scenario);
+            let result = pool.session(kind, 5).run(&scenario);
             let g1_terminated = result
                 .outcomes
                 .iter()

@@ -12,7 +12,7 @@ use ptp_bench::{dense_grid, print_scorecard};
 use ptp_core::model::protocols::four_phase;
 use ptp_core::model::resilience::check_conditions;
 use ptp_core::report::Table;
-use ptp_core::{run_scenario_opts, ProtocolKind, RunOptions, Scenario};
+use ptp_core::{ProtocolKind, Scenario, SessionPool};
 
 fn main() {
     println!("== E11 / Theorem 10: the generic construction on a 4-phase protocol ==\n");
@@ -37,10 +37,12 @@ fn main() {
         &grid,
     );
 
-    // Failure-free latency: the price of the extra phase.
+    // Failure-free latency: the price of the extra phase. Both protocol
+    // clusters come from one pool, reused for the paired measurement.
+    let mut pool = SessionPool::new();
     let mut table = Table::new(vec!["protocol", "failure-free commit latency (last site)"]);
     for kind in [ProtocolKind::HuangLi3pc, ProtocolKind::HuangLi4pc] {
-        let result = run_scenario_opts(kind, &Scenario::new(4), &RunOptions::new());
+        let result = pool.session(kind, 4).run(&Scenario::new(4));
         let last = result.outcomes.iter().filter_map(|o| o.decided_at).max().expect("all decided");
         table.row(vec![kind.name().to_string(), format!("{:.2}T", last.in_t_units(1000))]);
     }

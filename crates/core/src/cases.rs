@@ -217,8 +217,16 @@ pub fn max_wait_after_p_timeout(trace: &Trace, n: usize) -> Option<u64> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::run::run_scenario;
+    use crate::run::ScenarioResult;
     use crate::scenario::{ProtocolKind, Scenario};
+    use crate::session::SessionPool;
+    use ptp_protocols::RunOptions;
+
+    /// Classifier runs all go through one shared cluster: the pool hands
+    /// back the `(HuangLi3pc, n)` session for every scenario.
+    fn recorded(pool: &mut SessionPool, s: &Scenario) -> ScenarioResult {
+        pool.session(ProtocolKind::HuangLi3pc, s.n).run_with(s, &RunOptions::recording())
+    }
 
     #[test]
     fn paper_bounds_table() {
@@ -237,42 +245,43 @@ mod tests {
     }
 
     #[test]
-    fn early_partition_is_outside_tree() {
+    fn classifier_cases_over_one_shared_cluster() {
+        // One pooled session serves every classifier run in sequence; the
+        // cases must come out exactly as they did from one-shot clusters.
+        let mut pool = SessionPool::new();
+
         // Partition at t=0: no prepare was ever sent.
         let s = Scenario::new(3).partition_g2(vec![ptp_simnet::SiteId(2)], 0);
-        let r = run_scenario(ProtocolKind::HuangLi3pc, &s);
+        let r = recorded(&mut pool, &s);
         assert_eq!(classify(&r.trace, &[ptp_simnet::SiteId(2)]), TransientCase::OutsideTree);
-    }
 
-    #[test]
-    fn blocked_prepare_is_case1() {
         // With fixed delay T: xact 0..1T, yes 1T..2T, prepares sent at 2T
         // arriving at 3T. Partition at 2.5T catches the G2 prepare
         // mid-flight: it bounces and no prepare crosses B.
         let s = Scenario::new(3).partition_g2(vec![ptp_simnet::SiteId(2)], 2500);
-        let r = run_scenario(ProtocolKind::HuangLi3pc, &s);
+        let r = recorded(&mut pool, &s);
         assert_eq!(classify(&r.trace, &[ptp_simnet::SiteId(2)]), TransientCase::Case1);
         assert!(r.verdict.is_resilient());
-    }
 
-    #[test]
-    fn late_partition_with_commit_crossing_is_case3() {
         // Partition just after commits went out at 4T: commit to G2 is
         // mid-flight and bounces -> case 3.2.2.x.
         let s = Scenario::new(3).partition_g2(vec![ptp_simnet::SiteId(2)], 4500);
-        let r = run_scenario(ProtocolKind::HuangLi3pc, &s);
+        let r = recorded(&mut pool, &s);
         let case = classify(&r.trace, &[ptp_simnet::SiteId(2)]);
         assert!(
             matches!(case, TransientCase::Case3_2_2_1 | TransientCase::Case3_2_2_2),
             "got {case:?}"
         );
         assert!(r.verdict.is_resilient());
+
+        assert_eq!(pool.len(), 1, "every run shared the one cluster");
     }
 
     #[test]
     fn p_timeout_wait_measured_when_present() {
+        let mut pool = SessionPool::new();
         let s = Scenario::new(3).partition_g2(vec![ptp_simnet::SiteId(2)], 4500);
-        let r = run_scenario(ProtocolKind::HuangLi3pc, &s);
+        let r = recorded(&mut pool, &s);
         let wait = max_wait_after_p_timeout(&r.trace, 3);
         assert!(wait.is_some());
         // Sec. 6: never more than 5T.

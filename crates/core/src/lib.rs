@@ -14,6 +14,8 @@
 //! * [`Scenario`] describes a cluster and its network conditions;
 //! * [`Session`] builds a protocol cluster **once** and executes any number
 //!   of scenarios through it, reusing every buffer across runs;
+//! * [`SessionPool`] keys sessions by `(kind, n)` so flows that interleave
+//!   several protocols or cluster sizes share clusters the same way;
 //! * [`RunOptions`] types the per-run choices (trace retention, injected
 //!   failures, horizon) that used to be positional `bool`/`Vec` parameters;
 //! * [`run_scenario`] / [`run_scenario_opts`] are the one-shot conveniences;
@@ -54,11 +56,9 @@ pub mod scenario;
 pub mod session;
 pub mod sweep;
 
-#[allow(deprecated)]
-pub use run::{build_cluster, run_scenario_with};
 pub use run::{run_scenario, run_scenario_opts, ScenarioResult};
 pub use scenario::{PartitionShape, ProtocolKind, Scenario};
-pub use session::{build_cluster_any, Session};
+pub use session::{build_cluster_any, Session, SessionPool};
 pub use sweep::{
     all_simple_boundaries, sweep, sweep_parallel, sweep_serial, sweep_threads, sweep_with_threads,
     ScenarioDesc, ScenarioSpec, SweepGrid, SweepReport,

@@ -7,9 +7,8 @@
 //! reused.
 
 use crate::scenario::{ProtocolKind, Scenario};
-use crate::session::{build_cluster_any, Session};
-use ptp_protocols::api::Participant;
-use ptp_protocols::{AnyParticipant, RunOptions, SiteOutcome, TraceMode, Verdict};
+use crate::session::Session;
+use ptp_protocols::{RunOptions, SiteOutcome, Verdict};
 use ptp_simnet::{RunReport, Trace};
 
 /// The result of one scenario run.
@@ -20,7 +19,7 @@ pub struct ScenarioResult {
     /// Per-site outcomes.
     pub outcomes: Vec<SiteOutcome>,
     /// Full network trace (for timing measurements and debugging). Empty
-    /// unless the run used [`TraceMode::Record`].
+    /// unless the run used [`ptp_protocols::TraceMode::Record`].
     pub trace: Trace,
     /// Simulator report.
     pub report: RunReport,
@@ -40,32 +39,6 @@ pub fn run_scenario_opts(
 /// [`RunOptions::recording`]).
 pub fn run_scenario(kind: ProtocolKind, scenario: &Scenario) -> ScenarioResult {
     run_scenario_opts(kind, scenario, &RunOptions::recording())
-}
-
-/// Runs `kind` through `scenario` with a boolean tracing choice.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `run_scenario_opts` with `RunOptions` (or a reusable `Session`)"
-)]
-pub fn run_scenario_with(
-    kind: ProtocolKind,
-    scenario: &Scenario,
-    record_trace: bool,
-) -> ScenarioResult {
-    let trace = if record_trace { TraceMode::Record } else { TraceMode::Counters };
-    run_scenario_opts(kind, scenario, &RunOptions::new().trace(trace))
-}
-
-/// Builds a boxed participant vector for a protocol kind.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `session::build_cluster_any` (enum-dispatched) or a `Session`"
-)]
-pub fn build_cluster(kind: ProtocolKind, scenario: &Scenario) -> Vec<Box<dyn Participant>> {
-    build_cluster_any(kind, scenario.n, &scenario.votes)
-        .into_iter()
-        .map(AnyParticipant::boxed)
-        .collect()
 }
 
 #[cfg(test)]
@@ -141,16 +114,6 @@ mod tests {
             assert!(!recorded.trace.is_empty(), "{}", kind.name());
             assert!(quiet.trace.is_empty(), "{}", kind.name());
         }
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_shims_still_work() {
-        let s = Scenario::new(3);
-        let r = run_scenario_with(ProtocolKind::HuangLi3pc, &s, false);
-        assert_eq!(r.verdict, Verdict::AllCommit);
-        assert!(r.trace.is_empty());
-        assert_eq!(build_cluster(ProtocolKind::HuangLi3pc, &s).len(), 3);
     }
 
     #[test]

@@ -7,7 +7,7 @@ use ptp_simnet::{
 };
 
 /// Which commit protocol to run.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum ProtocolKind {
     /// Fig. 1: plain two-phase commit (no timeout/UD transitions).
     Plain2pc,

@@ -166,6 +166,54 @@ impl Session {
     }
 }
 
+/// A lazily built collection of [`Session`]s keyed by `(kind, n)`.
+///
+/// Flows that interleave several protocols or cluster sizes — the Sec. 6
+/// case classifier, the quorum baseline, protocol-comparison tables — hold
+/// one pool and route every run through it, so each distinct cluster is
+/// built exactly once for the whole flow instead of once per call site.
+///
+/// ```
+/// use ptp_core::{ProtocolKind, Scenario, SessionPool};
+/// use ptp_simnet::SiteId;
+///
+/// let mut pool = SessionPool::new();
+/// for kind in [ProtocolKind::HuangLi3pc, ProtocolKind::QuorumMajority] {
+///     for at in [1500u64, 2500] {
+///         let scenario = Scenario::new(5).partition_g2(vec![SiteId(4)], at);
+///         let result = pool.session(kind, 5).run(&scenario);
+///         assert!(result.verdict.is_atomic());
+///     }
+/// }
+/// assert_eq!(pool.len(), 2); // one cluster per kind, reused across runs
+/// ```
+#[derive(Default)]
+pub struct SessionPool {
+    sessions: std::collections::BTreeMap<(ProtocolKind, usize), Session>,
+}
+
+impl SessionPool {
+    /// An empty pool; sessions are built on first request.
+    pub fn new() -> SessionPool {
+        SessionPool::default()
+    }
+
+    /// The session for `(kind, n)`, building it on first use.
+    pub fn session(&mut self, kind: ProtocolKind, n: usize) -> &mut Session {
+        self.sessions.entry((kind, n)).or_insert_with(|| Session::new(kind, n))
+    }
+
+    /// Number of distinct clusters built so far.
+    pub fn len(&self) -> usize {
+        self.sessions.len()
+    }
+
+    /// Has no session been built yet?
+    pub fn is_empty(&self) -> bool {
+        self.sessions.is_empty()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -237,6 +285,25 @@ mod tests {
     fn wrong_cluster_size_panics() {
         let mut session = Session::new(ProtocolKind::HuangLi3pc, 3);
         let _ = session.run(&Scenario::new(4));
+    }
+
+    #[test]
+    fn session_pool_builds_each_cluster_once_and_matches_one_shot() {
+        let mut pool = SessionPool::new();
+        assert!(pool.is_empty());
+        let scenarios = [Scenario::new(3).partition_g2(vec![SiteId(2)], 2500), Scenario::new(3)];
+        for kind in [ProtocolKind::HuangLi3pc, ProtocolKind::Plain2pc, ProtocolKind::HuangLi3pc] {
+            for s in &scenarios {
+                let pooled = pool.session(kind, 3).run(s);
+                let fresh = run_scenario(kind, s);
+                assert_eq!(pooled.verdict, fresh.verdict, "{}", kind.name());
+                assert_eq!(pooled.outcomes, fresh.outcomes, "{}", kind.name());
+            }
+        }
+        // Two distinct kinds at one size: exactly two clusters ever built.
+        assert_eq!(pool.len(), 2);
+        let _ = pool.session(ProtocolKind::HuangLi3pc, 4);
+        assert_eq!(pool.len(), 3);
     }
 
     #[test]

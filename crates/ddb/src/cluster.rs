@@ -5,7 +5,7 @@
 //! storage and WAL — the harness behind experiment E14 and the banking
 //! example.
 
-use crate::site::{DbMsg, Metrics, ParticipantFactory, SiteNode, TxnSpec};
+use crate::site::{DbMsg, Metrics, ParticipantBuilder, ParticipantFactory, SiteNode, TxnSpec};
 use crate::storage::Storage;
 use crate::value::{Key, TxnId, Value};
 use ptp_protocols::api::Vote;
@@ -45,7 +45,7 @@ impl CommitProtocol {
         }
     }
 
-    fn factory(self, n: usize) -> ParticipantFactory {
+    fn builder(self, n: usize) -> ParticipantBuilder {
         match self {
             CommitProtocol::TwoPhase => {
                 let spec = Arc::new(ptp_model::protocols::two_phase(n));
@@ -91,6 +91,10 @@ pub struct DbCluster {
     pub config: NetConfig,
     /// Site failures to inject (crash / crash-recover).
     pub failures: Vec<ptp_simnet::FailureSpec>,
+    /// Recycle protocol participants through per-site free-lists (the
+    /// default). `false` constructs one participant per transaction — the
+    /// pre-pool behaviour, kept as the equivalence/bench baseline.
+    pub reuse_participants: bool,
 }
 
 /// Everything a cluster run produces.
@@ -105,6 +109,10 @@ pub struct DbRun {
     pub storages: Vec<Storage>,
     /// Transactions still undecided per site (blocked) at the end.
     pub blocked: Vec<Vec<TxnId>>,
+    /// Protocol participants constructed across all sites.
+    pub participants_constructed: usize,
+    /// Pool acquisitions served off the free-lists across all sites.
+    pub participants_reused: usize,
 }
 
 impl DbCluster {
@@ -119,7 +127,15 @@ impl DbCluster {
             delay: DelayModel::Fixed(700),
             config: NetConfig::default(),
             failures: Vec::new(),
+            reuse_participants: true,
         }
+    }
+
+    /// Constructs one participant per transaction instead of pooling —
+    /// the equivalence/bench baseline.
+    pub fn construct_per_txn(mut self) -> DbCluster {
+        self.reuse_participants = false;
+        self
     }
 
     /// Seeds a key at a site.
@@ -157,7 +173,12 @@ impl DbCluster {
     /// Runs the cluster to quiescence (or the horizon).
     pub fn run(self) -> DbRun {
         let metrics = Rc::new(RefCell::new(Metrics::default()));
-        let factory = self.protocol.factory(self.n);
+        let builder = self.protocol.builder(self.n);
+        let factory = if self.reuse_participants {
+            ParticipantFactory::pooled(builder)
+        } else {
+            ParticipantFactory::construct_per_txn(builder)
+        };
 
         let mut seeds: BTreeMap<u16, Storage> = BTreeMap::new();
         for (site, key, value) in self.seed {
@@ -170,7 +191,7 @@ impl DbCluster {
                 Box::new(SiteNode::new(
                     SiteId(i),
                     self.n,
-                    factory.clone(),
+                    &factory,
                     metrics.clone(),
                     workload,
                     seeds.remove(&i).unwrap_or_default(),
@@ -183,6 +204,8 @@ impl DbCluster {
 
         let mut storages = Vec::with_capacity(self.n);
         let mut blocked = Vec::with_capacity(self.n);
+        let mut participants_constructed = 0;
+        let mut participants_reused = 0;
         for actor in &actors {
             let node = actor
                 .as_any()
@@ -190,10 +213,20 @@ impl DbCluster {
                 .expect("cluster actors are SiteNodes");
             storages.push(node.storage().clone());
             blocked.push(node.active_txns());
+            participants_constructed += node.pool().constructed();
+            participants_reused += node.pool().reused();
         }
         drop(actors);
         let metrics = Rc::try_unwrap(metrics).expect("metrics uniquely owned").into_inner();
-        DbRun { metrics, trace, report, storages, blocked }
+        DbRun {
+            metrics,
+            trace,
+            report,
+            storages,
+            blocked,
+            participants_constructed,
+            participants_reused,
+        }
     }
 }
 
@@ -347,6 +380,62 @@ mod tests {
         // aborted during recovery.
         assert_eq!(run.storages[2].get(&Key::from("acct-b")).unwrap().as_u64(), Some(0));
         assert!(run.metrics.atomicity_violations().is_empty());
+    }
+
+    #[test]
+    fn crash_closes_in_flight_lock_holds_at_crash_time() {
+        // Slave 2 crashes at 1200 with txn 1 staged (locks held, protocol in
+        // flight). Its hold interval must close at the crash instant — not
+        // run to the horizon, which would inflate E14's blocked-lock
+        // numbers.
+        use ptp_simnet::FailureSpec;
+        let run = seeded(3, CommitProtocol::HuangLi)
+            .submit(0, transfer_spec(1, 30))
+            .fail(FailureSpec::crash_recover(SiteId(2), SimTime(1200), SimTime(20_000)))
+            .run();
+        let site2: Vec<_> = run.metrics.lock_holds.iter().filter(|h| h.site == SiteId(2)).collect();
+        assert!(!site2.is_empty(), "slave 2 acquired locks before the crash");
+        for hold in site2 {
+            assert_eq!(hold.to, Some(SimTime(1200)), "hold must close at the crash: {hold:?}");
+        }
+        assert!(run.metrics.hold_durations(SimTime(200_000)).iter().all(|(_, _, _, still)| !still));
+    }
+
+    #[test]
+    fn permanent_crash_also_closes_lock_holds() {
+        // No recovery ever happens, so only the crash hook can close the
+        // interval.
+        use ptp_simnet::FailureSpec;
+        let run = seeded(3, CommitProtocol::HuangLi)
+            .submit(0, transfer_spec(1, 30))
+            .fail(FailureSpec::crash(SiteId(2), SimTime(1200)))
+            .run();
+        for hold in run.metrics.lock_holds.iter().filter(|h| h.site == SiteId(2)) {
+            assert_eq!(hold.to, Some(SimTime(1200)), "{hold:?}");
+        }
+    }
+
+    #[test]
+    fn pooled_cluster_constructs_once_per_site_for_sequential_txns() {
+        // Ten non-overlapping transactions: each site needs exactly one
+        // participant, reused nine times.
+        let mut cluster = seeded(3, CommitProtocol::HuangLi);
+        for i in 0..10u32 {
+            cluster = cluster.submit(i as u64 * 8000, transfer_spec(i + 1, 1));
+        }
+        let run = cluster.run();
+        assert!(run.metrics.atomicity_violations().is_empty());
+        assert_eq!(run.participants_constructed, 3);
+        assert_eq!(run.participants_reused, 27);
+
+        let mut per_txn = seeded(3, CommitProtocol::HuangLi).construct_per_txn();
+        for i in 0..10u32 {
+            per_txn = per_txn.submit(i as u64 * 8000, transfer_spec(i + 1, 1));
+        }
+        let baseline = per_txn.run();
+        assert_eq!(baseline.participants_constructed, 30);
+        assert_eq!(baseline.participants_reused, 0);
+        assert_eq!(run.metrics, baseline.metrics, "pooling must be behaviour-neutral");
     }
 
     #[test]

@@ -48,7 +48,10 @@ pub mod value;
 pub mod wal;
 
 pub use cluster::{CommitProtocol, DbCluster, DbRun};
-pub use site::{DbMsg, LockHold, Metrics, SiteNode, TxnSpec};
+pub use site::{
+    DbMsg, LockHold, Metrics, ParticipantBuilder, ParticipantFactory, ParticipantPool, SiteNode,
+    TxnSpec,
+};
 pub use storage::Storage;
 pub use value::{Key, TxnId, Value, WriteOp};
 pub use wal::{Record, RecoveryAction, Wal};

@@ -98,17 +98,22 @@ impl LockTable {
         for (key, entry) in self.locks.iter_mut() {
             entry.holders.retain(|(t, _)| *t != txn);
             entry.queue.retain(|(t, _)| *t != txn);
-            // Promote from the queue head while compatible.
+            // Promote from the queue head while compatible. The requester's
+            // own shared hold never conflicts with its queued exclusive
+            // upgrade — counting it would strand the upgrade forever.
             while let Some(&(next, mode)) = entry.queue.front() {
                 let ok = match mode {
                     LockMode::Shared => entry.holders.iter().all(|(_, m)| *m == LockMode::Shared),
-                    LockMode::Exclusive => entry.holders.is_empty(),
+                    LockMode::Exclusive => entry.holders.iter().all(|(t, _)| *t == next),
                 };
                 if !ok {
                     break;
                 }
                 entry.queue.pop_front();
-                entry.holders.push((next, mode));
+                match entry.holders.iter().position(|(t, _)| *t == next) {
+                    Some(pos) => entry.holders[pos].1 = mode, // upgrade in place
+                    None => entry.holders.push((next, mode)),
+                }
                 promoted.push(next);
             }
             if entry.holders.is_empty() && entry.queue.is_empty() {
@@ -203,6 +208,41 @@ mod tests {
         lt.acquire(TxnId(1), k("a"), LockMode::Shared);
         lt.acquire(TxnId(2), k("a"), LockMode::Shared);
         assert_eq!(lt.acquire(TxnId(1), k("a"), LockMode::Exclusive), LockGrant::Waiting);
+    }
+
+    #[test]
+    fn queued_upgrade_promotes_when_other_reader_leaves() {
+        // txn 1 holds Shared and queues an Exclusive upgrade behind txn 2's
+        // Shared hold. When txn 2 releases, the promotion check must not
+        // count txn 1's own shared hold as a conflicting holder.
+        let mut lt = LockTable::new();
+        lt.acquire(TxnId(1), k("a"), LockMode::Shared);
+        lt.acquire(TxnId(2), k("a"), LockMode::Shared);
+        assert_eq!(lt.acquire(TxnId(1), k("a"), LockMode::Exclusive), LockGrant::Waiting);
+        let promoted = lt.release_all(TxnId(2));
+        assert_eq!(promoted, vec![TxnId(1)]);
+        assert!(lt.holds(TxnId(1), &k("a"), LockMode::Exclusive));
+        assert_eq!(lt.waiting_count(), 0);
+        // The upgrade replaced the shared hold — releasing once frees the key.
+        lt.release_all(TxnId(1));
+        assert!(!lt.is_locked(&k("a")));
+    }
+
+    #[test]
+    fn queued_upgrade_still_waits_for_later_readers_behind_it() {
+        // FIFO discipline: txn 1's queued upgrade is at the head, so a
+        // shared request queued after it must wait until the upgrade runs.
+        let mut lt = LockTable::new();
+        lt.acquire(TxnId(1), k("a"), LockMode::Shared);
+        lt.acquire(TxnId(2), k("a"), LockMode::Shared);
+        lt.acquire(TxnId(1), k("a"), LockMode::Exclusive);
+        lt.acquire(TxnId(3), k("a"), LockMode::Shared);
+        let promoted = lt.release_all(TxnId(2));
+        // Only the upgrade promotes; txn 3 stays queued behind the now
+        // exclusive txn 1.
+        assert_eq!(promoted, vec![TxnId(1)]);
+        assert_eq!(lt.waiting_count(), 1);
+        assert_eq!(lt.release_all(TxnId(1)), vec![TxnId(3)]);
     }
 
     #[test]

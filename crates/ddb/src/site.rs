@@ -28,7 +28,7 @@ use crate::storage::Storage;
 use crate::value::{TxnId, WriteOp};
 use crate::wal::{Record, Wal};
 use ptp_model::Decision;
-use ptp_protocols::api::{Action, CommitMsg, Participant, TimerTag};
+use ptp_protocols::api::{Action, CommitMsg, Participant, TimerTag, Vote};
 use ptp_protocols::AnyParticipant;
 use ptp_simnet::{Actor, Ctx, Envelope, Payload, SimTime, SiteId, TimerHandle};
 use std::cell::RefCell;
@@ -53,13 +53,130 @@ impl Payload for DbMsg {
     }
 }
 
-/// Factory building the per-transaction protocol participant for a site.
+/// Builder producing a fresh protocol participant for a site.
 /// (`site == SiteId(0)` must yield a master, anything else a slave.)
 ///
 /// Participants are produced as enum-dispatched [`AnyParticipant`]s, so the
 /// per-transaction slot stores the state machine inline — no boxing per
 /// in-flight transaction.
-pub type ParticipantFactory = Rc<dyn Fn(SiteId, usize) -> AnyParticipant>;
+pub type ParticipantBuilder = Rc<dyn Fn(SiteId, usize) -> AnyParticipant>;
+
+/// A shared pool handle: the builder plus the reuse policy, cloned to every
+/// site of a cluster. Each site derives its own [`ParticipantPool`] from it
+/// ([`ParticipantFactory::pool`]), because participants carry their site
+/// identity and cannot migrate between sites.
+#[derive(Clone)]
+pub struct ParticipantFactory {
+    builder: ParticipantBuilder,
+    reuse: bool,
+}
+
+impl ParticipantFactory {
+    /// A factory whose pools keep finished participants on a free-list and
+    /// `reset` them for the next transaction (the default).
+    pub fn pooled(builder: ParticipantBuilder) -> ParticipantFactory {
+        ParticipantFactory { builder, reuse: true }
+    }
+
+    /// A factory whose pools construct a fresh participant for every
+    /// transaction — the pre-pool behaviour, kept as the equivalence
+    /// baseline for tests and the `bench_ddb --compare` mode.
+    pub fn construct_per_txn(builder: ParticipantBuilder) -> ParticipantFactory {
+        ParticipantFactory { builder, reuse: false }
+    }
+
+    /// The per-site pool for `me` in a cluster of `n`.
+    pub fn pool(&self, me: SiteId, n: usize) -> ParticipantPool {
+        ParticipantPool {
+            builder: self.builder.clone(),
+            me,
+            n,
+            arena: Vec::new(),
+            free: Vec::new(),
+            reuse: self.reuse,
+            constructed: 0,
+            reused: 0,
+        }
+    }
+}
+
+/// A per-site arena of protocol participants with a free-list of slots.
+///
+/// Participants live in a stable arena and are addressed by index, so a
+/// transaction's state machine is never moved after construction: `acquire`
+/// pops a free slot and [`Participant::reset`]s it *in place* instead of
+/// constructing per transaction, and `release` just parks the index. (An
+/// earlier free-list design moved the participant value in and out of the
+/// pool; two 192-byte enum moves per transaction cost more than some
+/// protocols' entire allocation-free constructors.) Reuse is provably
+/// behaviour-neutral — `reset` restores the freshly-constructed state (the
+/// PR 2 session-reuse guarantee), and the pooled-vs-per-txn property test
+/// pins cluster [`Metrics`] to be field-identical either way.
+pub struct ParticipantPool {
+    builder: ParticipantBuilder,
+    me: SiteId,
+    n: usize,
+    arena: Vec<AnyParticipant>,
+    free: Vec<u32>,
+    reuse: bool,
+    constructed: usize,
+    reused: usize,
+}
+
+impl ParticipantPool {
+    /// The slot of a participant ready to run one transaction: a freed slot
+    /// recycled (or, for a [`ParticipantFactory::construct_per_txn`] pool,
+    /// rebuilt) in place when one is available, a freshly built arena entry
+    /// otherwise. Whatever the path, the participant ends up in its
+    /// freshly-reset state voting `vote` — never the vote the builder baked
+    /// in.
+    pub fn acquire(&mut self, vote: Vote) -> usize {
+        let idx = match self.free.pop() {
+            Some(idx) => {
+                let idx = idx as usize;
+                if self.reuse {
+                    self.reused += 1;
+                } else {
+                    self.constructed += 1;
+                    self.arena[idx] = (self.builder)(self.me, self.n);
+                }
+                idx
+            }
+            None => {
+                self.constructed += 1;
+                self.arena.push((self.builder)(self.me, self.n));
+                self.arena.len() - 1
+            }
+        };
+        self.arena[idx].reset(vote);
+        idx
+    }
+
+    /// Parks a finished (or crash-wiped) slot for the next transaction.
+    pub fn release(&mut self, slot: usize) {
+        self.free.push(slot as u32);
+    }
+
+    /// The participant in `slot`.
+    pub fn get_mut(&mut self, slot: usize) -> &mut AnyParticipant {
+        &mut self.arena[slot]
+    }
+
+    /// Slots currently parked on the free-list.
+    pub fn idle(&self) -> usize {
+        self.free.len()
+    }
+
+    /// Total participants constructed since the pool was built.
+    pub fn constructed(&self) -> usize {
+        self.constructed
+    }
+
+    /// Total acquisitions served by resetting a freed slot in place.
+    pub fn reused(&self) -> usize {
+        self.reused
+    }
+}
 
 /// A transaction the cluster driver submits at the master.
 #[derive(Debug, Clone)]
@@ -85,7 +202,7 @@ pub struct LockHold {
 }
 
 /// Shared run metrics, written by all sites.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, PartialEq)]
 pub struct Metrics {
     /// Per transaction, per site: decision and its instant.
     pub decisions: BTreeMap<TxnId, BTreeMap<u16, (Decision, SimTime)>>,
@@ -122,9 +239,10 @@ impl Metrics {
     }
 }
 
-/// Per-transaction state at one site.
+/// Per-transaction state at one site. The participant itself lives in the
+/// site's [`ParticipantPool`] arena; this holds its slot index.
 struct TxnSlot {
-    participant: AnyParticipant,
+    participant: usize,
     timers: HashMap<TimerTag, TimerHandle>,
     hold_index: Option<usize>,
 }
@@ -139,7 +257,7 @@ struct ParkedXact {
 pub struct SiteNode {
     me: SiteId,
     n: usize,
-    factory: ParticipantFactory,
+    pool: ParticipantPool,
     storage: Storage,
     wal: Wal,
     locks: LockTable,
@@ -149,6 +267,10 @@ pub struct SiteNode {
     finished: BTreeMap<TxnId, Decision>,
     /// Master only: the workload to submit, as (tick, spec).
     workload: Vec<(u64, TxnSpec)>,
+    /// Index into `workload` by transaction id, so per-message lookups
+    /// (xact write sets, client submissions) cost O(log T) instead of a
+    /// linear scan of the whole workload.
+    workload_index: HashMap<TxnId, usize>,
 }
 
 /// Timer-tag encoding: protocol timers are `(txn + 1) << 8 | tag`; client
@@ -160,17 +282,19 @@ impl SiteNode {
     pub fn new(
         me: SiteId,
         n: usize,
-        factory: ParticipantFactory,
+        factory: &ParticipantFactory,
         metrics: Rc<RefCell<Metrics>>,
         workload: Vec<(u64, TxnSpec)>,
         storage: Storage,
     ) -> SiteNode {
         assert!(me.index() < n);
         assert!(me == SiteId(0) || workload.is_empty(), "only the master submits");
+        let workload_index =
+            workload.iter().enumerate().map(|(i, (_, spec))| (spec.id, i)).collect();
         SiteNode {
             me,
             n,
-            factory,
+            pool: factory.pool(me, n),
             storage,
             wal: Wal::new(),
             locks: LockTable::new(),
@@ -179,6 +303,7 @@ impl SiteNode {
             parked: BTreeMap::new(),
             finished: BTreeMap::new(),
             workload,
+            workload_index,
         }
     }
 
@@ -195,6 +320,11 @@ impl SiteNode {
     /// Still-active (undecided) transactions at this site.
     pub fn active_txns(&self) -> Vec<TxnId> {
         self.slots.keys().copied().collect()
+    }
+
+    /// This site's participant pool (post-run reuse inspection).
+    pub fn pool(&self) -> &ParticipantPool {
+        &self.pool
     }
 
     fn apply_actions(&mut self, txn: TxnId, actions: Vec<Action>, ctx: &mut Ctx<'_, DbMsg>) {
@@ -239,10 +369,7 @@ impl SiteNode {
         if self.me != SiteId(0) || !matches!(msg, CommitMsg::Kind("xact")) {
             return None;
         }
-        self.workload
-            .iter()
-            .find(|(_, spec)| spec.id == txn)
-            .and_then(|(_, spec)| spec.writes.get(&dst.0).cloned())
+        self.workload_index.get(&txn).and_then(|&i| self.workload[i].1.writes.get(&dst.0).cloned())
     }
 
     /// Terminates a transaction locally: WAL, storage, locks, metrics.
@@ -273,6 +400,7 @@ impl SiteNode {
                 m.lock_holds[idx].to = Some(now);
             }
         }
+        self.pool.release(slot.participant);
         self.finished.insert(txn, decision);
         let promoted = self.locks.release_all(txn);
         for t in promoted {
@@ -312,13 +440,14 @@ impl SiteNode {
             Some(m.lock_holds.len() - 1)
         };
 
-        let mut participant = (self.factory)(self.me, self.n);
+        let slot = self.pool.acquire(Vote::Yes);
         let mut out = Vec::new();
+        let participant = self.pool.get_mut(slot);
         participant.start(&mut out);
         if self.me != SiteId(0) {
             participant.on_msg(from, &CommitMsg::Kind("xact"), &mut out);
         }
-        self.slots.insert(txn, TxnSlot { participant, timers: HashMap::new(), hold_index });
+        self.slots.insert(txn, TxnSlot { participant: slot, timers: HashMap::new(), hold_index });
         self.apply_actions(txn, out, ctx);
     }
 
@@ -331,8 +460,14 @@ impl SiteNode {
         writes: Vec<WriteOp>,
         ctx: &mut Ctx<'_, DbMsg>,
     ) {
-        if self.finished.contains_key(&txn) || self.slots.contains_key(&txn) {
-            return; // duplicate delivery
+        if self.finished.contains_key(&txn)
+            || self.slots.contains_key(&txn)
+            || self.parked.contains_key(&txn)
+        {
+            // Duplicate delivery. The `parked` guard matters: re-admitting a
+            // parked transaction would enqueue duplicate wait-queue entries
+            // in the lock table and overwrite its ParkedXact.
+            return;
         }
         let mut all = true;
         for w in &writes {
@@ -366,9 +501,9 @@ impl Actor<DbMsg> for SiteNode {
             self.admit_xact(txn, env.src, writes, ctx);
             return;
         }
-        if let Some(slot) = self.slots.get_mut(&txn) {
+        if let Some(slot) = self.slots.get(&txn) {
             let mut out = Vec::new();
-            slot.participant.on_msg(env.src, &inner, &mut out);
+            self.pool.get_mut(slot.participant).on_msg(env.src, &inner, &mut out);
             self.apply_actions(txn, out, ctx);
         } else if self.parked.contains_key(&txn) {
             // Decision for a transaction still waiting on locks: honor it —
@@ -392,9 +527,9 @@ impl Actor<DbMsg> for SiteNode {
 
     fn on_undeliverable(&mut self, env: Envelope<DbMsg>, ctx: &mut Ctx<'_, DbMsg>) {
         let DbMsg { txn, inner, .. } = env.payload;
-        if let Some(slot) = self.slots.get_mut(&txn) {
+        if let Some(slot) = self.slots.get(&txn) {
             let mut out = Vec::new();
-            slot.participant.on_ud(env.dst, &inner, &mut out);
+            self.pool.get_mut(slot.participant).on_ud(env.dst, &inner, &mut out);
             self.apply_actions(txn, out, ctx);
         }
     }
@@ -404,7 +539,8 @@ impl Actor<DbMsg> for SiteNode {
         let low = raw & 0xff;
         if low == CLIENT_TAG {
             // Client submission at the master.
-            let Some((_, spec)) = self.workload.iter().find(|(_, s)| s.id == txn).cloned() else {
+            let Some((_, spec)) = self.workload_index.get(&txn).map(|&i| self.workload[i].clone())
+            else {
                 return;
             };
             self.metrics.borrow_mut().submitted.insert(spec.id, ctx.now());
@@ -416,9 +552,27 @@ impl Actor<DbMsg> for SiteNode {
         let Some(tag) = TimerTag::decode(low) else { return };
         if let Some(slot) = self.slots.get_mut(&txn) {
             slot.timers.remove(&tag);
+            let participant = slot.participant;
             let mut out = Vec::new();
-            slot.participant.on_timer(tag, &mut out);
+            self.pool.get_mut(participant).on_timer(tag, &mut out);
             self.apply_actions(txn, out, ctx);
+        }
+    }
+
+    /// The crash wipes this site's volatile state, so its in-flight
+    /// lock-hold intervals end *now* — leaving them open would bill a
+    /// crashed site's locks to the full horizon and corrupt E14's
+    /// blocked-lock accounting. Pure metrics bookkeeping; the state itself
+    /// is torn down in [`SiteNode::on_recover`].
+    fn on_crash(&mut self, ctx: &mut Ctx<'_, DbMsg>) {
+        let now = ctx.now();
+        let mut m = self.metrics.borrow_mut();
+        for slot in self.slots.values() {
+            if let Some(idx) = slot.hold_index {
+                if m.lock_holds[idx].to.is_none() {
+                    m.lock_holds[idx].to = Some(now);
+                }
+            }
         }
     }
 
@@ -427,7 +581,9 @@ impl Actor<DbMsg> for SiteNode {
     /// participants, lock table — is gone; the durable log decides what to
     /// redo and what to presume aborted.
     fn on_recover(&mut self, ctx: &mut Ctx<'_, DbMsg>) {
-        self.slots.clear();
+        for (_, slot) in std::mem::take(&mut self.slots) {
+            self.pool.release(slot.participant);
+        }
         self.parked.clear();
         self.locks = LockTable::new();
         self.storage.crash();
@@ -458,6 +614,113 @@ impl Actor<DbMsg> for SiteNode {
 mod tests {
     use super::*;
     use crate::value::{Key, Value};
+    use ptp_protocols::termination::{PhasePlan, TerminationSlave, TerminationVariant};
+    use ptp_simnet::{DelayModel, NetConfig, PartitionEngine, Simulation, TraceEvent};
+
+    fn slave_factory() -> ParticipantFactory {
+        ParticipantFactory::pooled(Rc::new(|site, _n| {
+            TerminationSlave::new(
+                PhasePlan::three_phase(),
+                site,
+                Vote::Yes,
+                TerminationVariant::Transient,
+            )
+            .into()
+        }))
+    }
+
+    fn xact(txn: u32, key: &str) -> DbMsg {
+        DbMsg {
+            txn: TxnId(txn),
+            inner: CommitMsg::Kind("xact"),
+            writes: Some(vec![WriteOp { key: Key::from(key), value: Value::from_u64(1) }]),
+        }
+    }
+
+    /// Master stand-in at site 0: fires a scripted burst of xacts at the
+    /// slave and ignores everything the slave's protocol sends back.
+    struct ScriptedMaster(Vec<DbMsg>);
+
+    impl Actor<DbMsg> for ScriptedMaster {
+        fn on_start(&mut self, ctx: &mut Ctx<'_, DbMsg>) {
+            for msg in self.0.drain(..) {
+                ctx.send(SiteId(1), msg);
+            }
+        }
+        fn on_message(&mut self, _env: Envelope<DbMsg>, _ctx: &mut Ctx<'_, DbMsg>) {}
+    }
+
+    #[test]
+    fn duplicate_xact_for_parked_txn_is_ignored() {
+        // txn 1 takes the lock on "k"; txn 2 parks behind it; the duplicate
+        // xact for parked txn 2 must not re-acquire (which would enqueue a
+        // second wait-queue entry and overwrite the ParkedXact).
+        let metrics = Rc::new(RefCell::new(Metrics::default()));
+        let slave = SiteNode::new(
+            SiteId(1),
+            2,
+            &slave_factory(),
+            metrics.clone(),
+            Vec::new(),
+            Storage::new(),
+        );
+        let driver = ScriptedMaster(vec![xact(1, "k"), xact(2, "k"), xact(2, "k")]);
+        let actors: Vec<Box<dyn Actor<DbMsg>>> = vec![Box::new(driver), Box::new(slave)];
+        let sim = Simulation::new(
+            NetConfig::default(),
+            actors,
+            PartitionEngine::always_connected(),
+            &DelayModel::Fixed(100),
+            vec![],
+        );
+        let (actors, trace, _) = sim.run();
+
+        let lock_waits = trace
+            .events()
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::Note { label: "lock-wait", detail: 2, .. }))
+            .count();
+        assert_eq!(lock_waits, 1, "the duplicate xact re-parked txn 2");
+
+        let node = actors[1].as_any().and_then(|a| a.downcast_ref::<SiteNode>()).unwrap();
+        assert_eq!(node.locks.waiting_count(), 0, "stale wait-queue entries remain");
+        assert!(node.parked.is_empty());
+        assert!(node.slots.is_empty());
+        // Both transactions terminated (abandoned by the silent master, so
+        // both abort) — and txn 2 reused txn 1's pooled participant.
+        assert_eq!(node.finished.len(), 2);
+        assert_eq!(node.pool.constructed(), 1);
+        assert_eq!(node.pool.reused(), 1);
+    }
+
+    #[test]
+    fn pool_resets_released_slots_in_place() {
+        let mut pool = slave_factory().pool(SiteId(1), 2);
+        let slot = pool.acquire(Vote::Yes);
+        assert_eq!((pool.constructed(), pool.reused(), pool.idle()), (1, 0, 0));
+        pool.release(slot);
+        assert_eq!(pool.idle(), 1);
+        assert_eq!(pool.acquire(Vote::Yes), slot, "freed slot is recycled");
+        assert_eq!((pool.constructed(), pool.reused(), pool.idle()), (1, 1, 0));
+    }
+
+    #[test]
+    fn per_txn_pool_rebuilds_instead_of_resetting() {
+        let factory = ParticipantFactory::construct_per_txn(Rc::new(|site, _n| {
+            TerminationSlave::new(
+                PhasePlan::three_phase(),
+                site,
+                Vote::Yes,
+                TerminationVariant::Transient,
+            )
+            .into()
+        }));
+        let mut pool = factory.pool(SiteId(1), 2);
+        let slot = pool.acquire(Vote::Yes);
+        pool.release(slot);
+        assert_eq!(pool.acquire(Vote::Yes), slot, "the arena slot is still recycled");
+        assert_eq!((pool.constructed(), pool.reused()), (2, 0), "but its machine is rebuilt");
+    }
 
     #[test]
     fn db_msg_kind_delegates() {

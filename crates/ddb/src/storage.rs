@@ -6,7 +6,7 @@ use crate::value::{Key, TxnId, Value, WriteOp};
 use std::collections::BTreeMap;
 
 /// One site's key-value store.
-#[derive(Debug, Default, Clone)]
+#[derive(Debug, Default, Clone, PartialEq)]
 pub struct Storage {
     committed: BTreeMap<Key, Value>,
     staged: BTreeMap<TxnId, Vec<WriteOp>>,

@@ -68,7 +68,5 @@ pub use api::{Action, CommitMsg, Participant, TimerTag, Vote};
 pub use dispatch::AnyParticipant;
 pub use options::{RunOptions, TraceMode};
 pub use outcome::{SiteOutcome, Verdict};
-#[allow(deprecated)]
-pub use runner::run_protocol_with;
 pub use runner::{run_protocol, run_protocol_opts, ClusterRunner, ProtocolRun};
 pub use termination::{PhasePlan, TerminationMaster, TerminationSlave, TerminationVariant};

@@ -10,8 +10,7 @@
 //! Participant>>` keeps the historical heterogeneous clusters working.
 //!
 //! One-shot conveniences remain: [`run_protocol`] (records a full trace)
-//! and [`run_protocol_opts`] (typed [`RunOptions`]). The boolean-flag
-//! [`run_protocol_with`] is deprecated.
+//! and [`run_protocol_opts`] (typed [`RunOptions`]).
 
 use crate::api::{Action, CommitMsg, Participant, TimerTag, Vote};
 use crate::options::{RunOptions, TraceMode};
@@ -312,29 +311,6 @@ pub fn run_protocol<P: Participant>(
         partition,
         delay,
         &RunOptions::recording().failures(failures),
-    )
-}
-
-/// Runs `participants` with a boolean tracing choice.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `run_protocol_opts` with `RunOptions` (or a reusable `ClusterRunner`)"
-)]
-pub fn run_protocol_with(
-    participants: Vec<Box<dyn Participant>>,
-    config: NetConfig,
-    partition: PartitionEngine,
-    delay: &DelayModel,
-    failures: Vec<FailureSpec>,
-    record_trace: bool,
-) -> ProtocolRun {
-    let trace = if record_trace { TraceMode::Record } else { TraceMode::Counters };
-    run_protocol_opts(
-        participants,
-        config,
-        partition,
-        delay,
-        &RunOptions::new().trace(trace).failures(failures),
     )
 }
 

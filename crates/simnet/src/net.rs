@@ -79,6 +79,12 @@ pub trait Actor<P: Payload> {
     /// A previously armed timer fired (and was not cancelled).
     fn on_timer(&mut self, _tag: u64, _ctx: &mut Ctx<'_, P>) {}
 
+    /// The site just crashed. This is a *bookkeeping* hook — the site is
+    /// already marked down when it runs, so implementations must not send
+    /// messages or arm timers here; close out externally visible accounting
+    /// (e.g. metric intervals for state the crash wipes) and nothing else.
+    fn on_crash(&mut self, _ctx: &mut Ctx<'_, P>) {}
+
     /// The site recovered from a crash.
     fn on_recover(&mut self, _ctx: &mut Ctx<'_, P>) {}
 
@@ -105,6 +111,9 @@ impl<P: Payload, A: Actor<P> + ?Sized> Actor<P> for Box<A> {
     }
     fn on_timer(&mut self, tag: u64, ctx: &mut Ctx<'_, P>) {
         (**self).on_timer(tag, ctx);
+    }
+    fn on_crash(&mut self, ctx: &mut Ctx<'_, P>) {
+        (**self).on_crash(ctx);
     }
     fn on_recover(&mut self, ctx: &mut Ctx<'_, P>) {
         (**self).on_recover(ctx);
@@ -551,6 +560,7 @@ impl<P: Payload, A: Actor<P>> Simulation<P, A> {
                 EventKind::Crash(site) => {
                     self.core.crashed[site.index()] = true;
                     self.core.trace(TraceEvent::Crashed { at: ev.at, site });
+                    self.with_actor(site.index(), |actor, ctx| actor.on_crash(ctx));
                 }
                 EventKind::Recover(site) => {
                     self.core.crashed[site.index()] = false;
@@ -773,6 +783,32 @@ mod tests {
             .events()
             .iter()
             .any(|e| matches!(e, TraceEvent::Crashed { site, .. } if *site == SiteId(1))));
+    }
+
+    #[test]
+    fn crash_hook_runs_at_crash_instant_and_recover_after() {
+        struct CrashWatcher {
+            board: Rc<RefCell<Vec<(&'static str, u64)>>>,
+        }
+        impl Actor<&'static str> for CrashWatcher {
+            fn on_message(&mut self, _: Envelope<&'static str>, _: &mut Ctx<'_, &'static str>) {}
+            fn on_crash(&mut self, ctx: &mut Ctx<'_, &'static str>) {
+                self.board.borrow_mut().push(("crash", ctx.now().ticks()));
+            }
+            fn on_recover(&mut self, ctx: &mut Ctx<'_, &'static str>) {
+                self.board.borrow_mut().push(("recover", ctx.now().ticks()));
+            }
+        }
+        let board = Rc::new(RefCell::new(Vec::new()));
+        let sim = Simulation::new(
+            NetConfig::default(),
+            vec![Box::new(CrashWatcher { board: board.clone() })],
+            PartitionEngine::always_connected(),
+            &DelayModel::Fixed(1),
+            vec![FailureSpec::crash_recover(SiteId(0), SimTime(40), SimTime(90))],
+        );
+        sim.run();
+        assert_eq!(*board.borrow(), vec![("crash", 40), ("recover", 90)]);
     }
 
     #[test]

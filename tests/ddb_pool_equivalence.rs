@@ -1,0 +1,137 @@
+//! The ddb participant-pool equivalence property (this PR's tentpole
+//! guarantee at the database layer):
+//!
+//! > A cluster recycling protocol participants through per-site free-lists
+//! > produces field-identical [`Metrics`] (and storages, and blocked sets)
+//! > to one constructing a participant per transaction, across randomized
+//! > workloads, for every [`CommitProtocol`].
+//!
+//! Workloads randomize transaction count, write sets (drawn from a small
+//! key pool so lock conflicts and timeout aborts happen), submission times,
+//! delay model, partitions and site crashes, all from a seeded
+//! [`SmallRng`] so failures replay bit-for-bit.
+
+use ptp_core::ddb::cluster::{CommitProtocol, DbCluster};
+use ptp_core::ddb::site::TxnSpec;
+use ptp_core::ddb::value::{Key, TxnId, Value, WriteOp};
+use ptp_simnet::rng::SmallRng;
+use ptp_simnet::{DelayModel, FailureSpec, PartitionEngine, PartitionSpec, SimTime, SiteId};
+use std::collections::BTreeMap;
+
+const RUNS_PER_PROTOCOL: usize = 50;
+
+/// One deterministic cluster specification, buildable any number of times.
+struct ClusterSpec {
+    n: usize,
+    workload: Vec<(u64, TxnSpec)>,
+    delay: DelayModel,
+    partition: Option<PartitionSpec>,
+    failure: Option<FailureSpec>,
+}
+
+impl ClusterSpec {
+    fn random(rng: &mut SmallRng) -> ClusterSpec {
+        let n = 3 + rng.gen_range(0..=1) as usize;
+        let txns = 1 + rng.gen_range(0..=7) as u32;
+        let workload = (0..txns)
+            .map(|i| {
+                let at = rng.gen_range(0..=20_000);
+                let mut writes = BTreeMap::new();
+                for site in 1..n as u16 {
+                    if rng.gen_range(0..=3) == 0 {
+                        continue; // this site sits the transaction out
+                    }
+                    let key = format!("k{}", rng.gen_range(0..=2));
+                    writes.insert(
+                        site,
+                        vec![WriteOp {
+                            key: Key::from(key),
+                            value: Value::from_u64(rng.gen_range(0..=999)),
+                        }],
+                    );
+                }
+                (at, TxnSpec { id: TxnId(i + 1), writes })
+            })
+            .collect();
+
+        let delay = match rng.gen_range(0..=2) {
+            0 => DelayModel::Fixed(1 + rng.gen_range(0..=999)),
+            1 => DelayModel::Uniform { seed: rng.gen_range(0..=9_999), min: 1, max: 1000 },
+            _ => DelayModel::Fixed(700),
+        };
+
+        let partition = (rng.gen_range(0..=2) == 0).then(|| {
+            let cut = SiteId(1 + rng.gen_range(0..=(n as u64 - 2)) as u16);
+            let g1 = (0..n as u16).map(SiteId).filter(|s| *s != cut).collect();
+            let at = SimTime(rng.gen_range(0..=12_000));
+            match rng.gen_range(0..=1) {
+                0 => PartitionSpec::simple(at, g1, vec![cut]),
+                _ => PartitionSpec::transient(
+                    at,
+                    g1,
+                    vec![cut],
+                    at + ptp_simnet::SimDuration(500 + rng.gen_range(0..=8_000)),
+                ),
+            }
+        });
+
+        let failure = (rng.gen_range(0..=3) == 0).then(|| {
+            let site = SiteId(1 + rng.gen_range(0..=(n as u64 - 2)) as u16);
+            let at = SimTime(500 + rng.gen_range(0..=8_000));
+            if rng.gen_range(0..=1) == 0 {
+                FailureSpec::crash(site, at)
+            } else {
+                FailureSpec::crash_recover(site, at, at + ptp_simnet::SimDuration(10_000))
+            }
+        });
+
+        ClusterSpec { n, workload, delay, partition, failure }
+    }
+
+    fn build(&self, protocol: CommitProtocol, pooled: bool) -> DbCluster {
+        let mut cluster = DbCluster::new(self.n, protocol).delay(self.delay.clone());
+        if !pooled {
+            cluster = cluster.construct_per_txn();
+        }
+        for site in 1..self.n as u16 {
+            cluster = cluster.seed(site, Key::from(format!("k{site}")), Value::from_u64(0));
+        }
+        for (at, spec) in &self.workload {
+            cluster = cluster.submit(*at, spec.clone());
+        }
+        if let Some(p) = &self.partition {
+            cluster = cluster.partition(PartitionEngine::new(vec![p.clone()]));
+        }
+        if let Some(f) = self.failure {
+            cluster = cluster.fail(f);
+        }
+        cluster
+    }
+}
+
+#[test]
+fn pooled_cluster_matches_construct_per_txn_for_every_protocol() {
+    for protocol in
+        [CommitProtocol::TwoPhase, CommitProtocol::HuangLi, CommitProtocol::QuorumMajority]
+    {
+        // The RNG seed is fixed per protocol so every failure is replayable.
+        let mut rng = SmallRng::seed_from_u64(0xD0B ^ protocol.name().len() as u64);
+        for i in 0..RUNS_PER_PROTOCOL {
+            let spec = ClusterSpec::random(&mut rng);
+            let pooled = spec.build(protocol, true).run();
+            let per_txn = spec.build(protocol, false).run();
+            let tag = format!("{} run #{i}", protocol.name());
+            assert_eq!(pooled.metrics, per_txn.metrics, "{tag}: metrics");
+            assert_eq!(pooled.storages, per_txn.storages, "{tag}: storages");
+            assert_eq!(pooled.blocked, per_txn.blocked, "{tag}: blocked sets");
+            assert_eq!(pooled.trace.events(), per_txn.trace.events(), "{tag}: trace");
+            assert_eq!(pooled.report.events, per_txn.report.events, "{tag}: event count");
+            assert!(
+                pooled.participants_constructed <= per_txn.participants_constructed,
+                "{tag}: pooling constructed more ({} > {})",
+                pooled.participants_constructed,
+                per_txn.participants_constructed
+            );
+        }
+    }
+}
