@@ -1,4 +1,4 @@
-//! Ablation benchmarks for the design choices DESIGN.md calls out:
+//! Ablation benchmarks for the design choices ARCHITECTURE.md calls out:
 //! timer constants, delay distributions, and the ddb integration's cost.
 //!
 //! These measure wall-clock cost of representative runs; the *semantic*

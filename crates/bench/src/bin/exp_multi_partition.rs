@@ -1,0 +1,192 @@
+//! Partition-schedule resilience: where the simple-partition assumption
+//! breaks.
+//!
+//! The paper restricts itself to *simple* (two-group, single-episode)
+//! partitioning and proves the termination protocol resilient there
+//! (Theorem 9). This experiment is the quantitative generalization of
+//! `tests/impossibility.rs::multiple_partitioning_breaks_the_termination_protocol`:
+//! it sweeps every protocol over the [`ScheduleShape::FAMILIES`] schedule
+//! families — the simple baseline plus split→heal→re-split, three-way
+//! splits and nested secessions — and tabulates per-family resilience and
+//! atomicity, so the cost of leaving the paper's model is a number, not an
+//! anecdote.
+//!
+//! The delay axis includes the crafted schedule behind the Sec. 2
+//! counterexample, so the multi-way family provably contains the paper's
+//! own breaking scenario.
+//!
+//! Writes `BENCH_schedule.json` (the third committed perf/behaviour record
+//! next to `BENCH_sweep.json` and `BENCH_ddb.json`); CI regenerates it in
+//! the bench smoke step.
+
+use ptp_bench::json_escape;
+use ptp_core::report::Table;
+use ptp_core::{
+    sweep_threads, sweep_with_threads, ProtocolKind, ScheduleShape, SweepGrid, SweepReport,
+};
+use ptp_simnet::{DelayModel, ScheduleBuilder};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+const N: usize = 4;
+
+/// Protocols worth comparing outside the simple model: the paper's three
+/// variants, the blocking baseline and the quorum reference.
+const KINDS: [ProtocolKind; 5] = [
+    ProtocolKind::Plain2pc,
+    ProtocolKind::HuangLi3pc,
+    ProtocolKind::HuangLi3pcStatic,
+    ProtocolKind::HuangLi4pc,
+    ProtocolKind::QuorumMajority,
+];
+
+/// One family's grid: all simple boundaries × T/4 instants up to 8T ×
+/// {permanent, heal-after-3T} × three delay schedules, with the shape axis
+/// pinned to `shape`.
+fn family_grid(shape: ScheduleShape) -> SweepGrid {
+    let mut grid = SweepGrid::standard(N).with_shapes(vec![shape]);
+    grid.heals = vec![None, Some(3000)];
+    grid.delays = vec![
+        DelayModel::Fixed(1000),
+        DelayModel::Uniform { seed: 11, min: 1, max: 1000 },
+        // The crafted schedule behind the Sec. 2 multiple-partitioning
+        // counterexample: slave 2's prepare crosses into its own fragment.
+        ScheduleBuilder::with_default(1000).outbound(7, 400).build(),
+    ];
+    grid
+}
+
+struct Cell {
+    kind: ProtocolKind,
+    report: SweepReport,
+    wall_ms: f64,
+}
+
+fn measure_family(shape: ScheduleShape) -> (SweepGrid, Vec<Cell>) {
+    let grid = family_grid(shape);
+    let threads = sweep_threads();
+    let cells = KINDS
+        .iter()
+        .map(|&kind| {
+            let started = Instant::now();
+            let report = sweep_with_threads(kind, &grid, threads);
+            let wall_ms = started.elapsed().as_secs_f64() * 1000.0;
+            assert_eq!(report.total, grid.size());
+            Cell { kind, report, wall_ms }
+        })
+        .collect();
+    (grid, cells)
+}
+
+fn render_json(families: &[(ScheduleShape, SweepGrid, Vec<Cell>)]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"benchmark\": \"{}\",", json_escape("schedule"));
+    let _ = writeln!(out, "  \"n\": {N},");
+    let _ = writeln!(out, "  \"threads\": {},", sweep_threads());
+    let _ = writeln!(out, "  \"protocols\": {},", KINDS.len());
+    out.push_str("  \"families\": [\n");
+    for (fi, (shape, grid, cells)) in families.iter().enumerate() {
+        let _ = writeln!(out, "    {{");
+        let _ = writeln!(out, "      \"family\": \"{}\",", json_escape(shape.name()));
+        let _ = writeln!(out, "      \"episodes\": {},", shape.episode_count());
+        let _ = writeln!(out, "      \"scenarios_per_protocol\": {},", grid.size());
+        out.push_str("      \"protocols\": [\n");
+        for (ci, cell) in cells.iter().enumerate() {
+            let r = &cell.report;
+            out.push_str("        {");
+            let _ = write!(
+                out,
+                "\"protocol\": \"{}\", \"all_commit\": {}, \"all_abort\": {}, \
+                 \"blocked\": {}, \"inconsistent\": {}, \"resilient\": {}, \
+                 \"atomic\": {}, \"wall_ms\": {:.3}",
+                json_escape(cell.kind.name()),
+                r.all_commit,
+                r.all_abort,
+                r.blocked_count,
+                r.inconsistent_count,
+                r.fully_resilient(),
+                r.fully_atomic(),
+                cell.wall_ms
+            );
+            out.push_str(if ci + 1 == cells.len() { "}\n" } else { "},\n" });
+        }
+        out.push_str("      ]\n");
+        out.push_str(if fi + 1 == families.len() { "    }\n" } else { "    },\n" });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn main() {
+    println!("== exp_multi_partition: resilience across partition-schedule families ==");
+    println!(
+        "n = {N}, {} scenarios per protocol per family, {} worker thread(s)\n",
+        family_grid(ScheduleShape::Simple).size(),
+        sweep_threads()
+    );
+
+    let families: Vec<(ScheduleShape, SweepGrid, Vec<Cell>)> = ScheduleShape::FAMILIES
+        .iter()
+        .map(|&shape| {
+            let (grid, cells) = measure_family(shape);
+            (shape, grid, cells)
+        })
+        .collect();
+
+    let mut table = Table::new(vec![
+        "family",
+        "protocol",
+        "scenarios",
+        "all-commit",
+        "all-abort",
+        "blocked",
+        "inconsistent",
+        "resilient?",
+        "atomic?",
+        "wall ms",
+    ]);
+    for (shape, grid, cells) in &families {
+        for cell in cells {
+            let r = &cell.report;
+            table.row(vec![
+                shape.name().to_string(),
+                cell.kind.name().to_string(),
+                grid.size().to_string(),
+                r.all_commit.to_string(),
+                r.all_abort.to_string(),
+                r.blocked_count.to_string(),
+                r.inconsistent_count.to_string(),
+                if r.fully_resilient() { "YES".into() } else { "no".into() },
+                if r.fully_atomic() { "YES".into() } else { "no".into() },
+                format!("{:.1}", cell.wall_ms),
+            ]);
+        }
+    }
+    println!("{}", table.render());
+
+    // Sanity anchors: Theorem 9 must hold on the simple family, and the
+    // multi-way family must exhibit the Sec. 2 impossibility (it contains
+    // the crafted counterexample cell).
+    for (shape, _, cells) in &families {
+        let hl = cells.iter().find(|c| c.kind == ProtocolKind::HuangLi3pc).expect("HL-3PC ran");
+        match shape {
+            ScheduleShape::Simple => assert!(
+                hl.report.fully_resilient(),
+                "Theorem 9 violated on the simple family: {:?}",
+                hl.report
+            ),
+            ScheduleShape::MultiWay { .. } => assert!(
+                !hl.report.fully_atomic(),
+                "the multi-way family must break atomicity for HL-3PC (Sec. 2): {:?}",
+                hl.report
+            ),
+            _ => {}
+        }
+    }
+
+    let json = render_json(&families);
+    let path = "BENCH_schedule.json";
+    std::fs::write(path, &json).expect("write BENCH_schedule.json");
+    println!("wrote {path}");
+}

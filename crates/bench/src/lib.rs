@@ -2,7 +2,7 @@
 //! regenerate every figure and table of Huang & Li (ICDE 1987), and for the
 //! Criterion benchmarks in `benches/`.
 //!
-//! Experiment ↔ paper map (see DESIGN.md for the full index):
+//! Experiment ↔ paper map (see ARCHITECTURE.md for the full index):
 //!
 //! | binary | paper artifact |
 //! |---|---|
@@ -21,7 +21,9 @@
 //! | `exp_assumptions` | the Sec. 7 assumption-necessity counterexamples |
 //! | `exp_blocking_availability` | Sec. 1–2 motivation (locks + blocking) |
 //! | `exp_quorum_baseline` | reference \[5\] baseline comparison |
+//! | `exp_multi_partition` | partition-schedule families beyond the paper's model (`BENCH_schedule.json`) |
 //! | `bench_sweep` | sweep-engine throughput baseline (`BENCH_sweep.json`) |
+//! | `bench_ddb` | database workload throughput baseline (`BENCH_ddb.json`) |
 //!
 //! ## Sweep-engine performance baseline
 //!

@@ -6,8 +6,9 @@
 //! with every other site, on both sides of the boundary. Huang & Li (ICDE
 //! 1987) designed such a protocol for the three-phase commit protocol under
 //! *optimistic simple partitioning* (undeliverable messages return to their
-//! senders); this workspace reproduces the whole paper. See DESIGN.md for
-//! the system inventory and EXPERIMENTS.md for paper-vs-measured results.
+//! senders); this workspace reproduces the whole paper. See README.md for
+//! the quickstart and ARCHITECTURE.md for the system inventory and the
+//! experiment ↔ paper map.
 //!
 //! This crate is the front door:
 //!
@@ -19,8 +20,12 @@
 //! * [`RunOptions`] types the per-run choices (trace retention, injected
 //!   failures, horizon) that used to be positional `bool`/`Vec` parameters;
 //! * [`run_scenario`] / [`run_scenario_opts`] are the one-shot conveniences;
-//! * [`sweep()`] grids over boundaries × partition instants × heal instants ×
-//!   delay schedules and reports every atomicity violation or blocked site;
+//! * [`sweep()`] grids over schedule shapes × boundaries × partition
+//!   instants × heal instants × delay schedules and reports every atomicity
+//!   violation or blocked site;
+//! * [`PartitionSchedule`] generalizes the paper's single simple partition
+//!   to ordered multi-episode, multi-group schedules, and
+//!   [`ScheduleShape`] enumerates whole families of them in sweeps;
 //! * [`cases`] classifies transient-partition runs into the paper's Sec. 6
 //!   case tree and measures the per-case worst-case waits.
 //!
@@ -57,11 +62,11 @@ pub mod session;
 pub mod sweep;
 
 pub use run::{run_scenario, run_scenario_opts, ScenarioResult};
-pub use scenario::{PartitionShape, ProtocolKind, Scenario};
+pub use scenario::{PartitionEpisode, PartitionSchedule, PartitionShape, ProtocolKind, Scenario};
 pub use session::{build_cluster_any, Session, SessionPool};
 pub use sweep::{
     all_simple_boundaries, sweep, sweep_parallel, sweep_serial, sweep_threads, sweep_with_threads,
-    ScenarioDesc, ScenarioSpec, SweepGrid, SweepReport,
+    ScenarioDesc, ScenarioSpec, ScheduleShape, SweepGrid, SweepReport,
 };
 
 // The typed execution options, re-exported from `ptp-protocols` so most

@@ -68,7 +68,184 @@ impl ProtocolKind {
     }
 }
 
+/// One episode of a [`PartitionSchedule`]: at tick `at` the sites regroup
+/// into `groups`; if `heal_at` is set, full connectivity returns at that
+/// instant (until the next episode, if any).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PartitionEpisode {
+    /// The connectivity groups. Two = simple partitioning; more = multiple
+    /// partitioning. Sites listed nowhere are isolated singletons.
+    pub groups: Vec<Vec<SiteId>>,
+    /// Episode start, in ticks.
+    pub at: u64,
+    /// Heal instant, in ticks, if the episode ends.
+    pub heal_at: Option<u64>,
+}
+
+/// An ordered multi-episode partition schedule: cascading splits, staggered
+/// heals, regroupings. This is the general form behind
+/// [`PartitionShape::Schedule`]; the paper's *simple* partitioning is the
+/// one-episode, two-group special case.
+///
+/// Episodes are appended in time order with [`PartitionSchedule::episode`],
+/// which validates the no-overlap invariant (an episode may start only at or
+/// after its predecessor's heal instant; an unhealed episode must be last).
+///
+/// # Examples
+///
+/// Split → heal → re-split, then a run through the usual session API:
+///
+/// ```
+/// use ptp_core::{PartitionSchedule, ProtocolKind, Scenario, Session};
+/// use ptp_simnet::SiteId;
+///
+/// let schedule = PartitionSchedule::new()
+///     .episode(vec![vec![SiteId(0), SiteId(1)], vec![SiteId(2)]], 1500, Some(4000))
+///     .episode(vec![vec![SiteId(0), SiteId(2)], vec![SiteId(1)]], 6500, None);
+/// assert_eq!(schedule.len(), 2);
+/// assert!(!schedule.is_multi_group());
+///
+/// let scenario = Scenario::new(3).partition_schedule(schedule);
+/// let mut session = Session::new(ProtocolKind::HuangLi3pc, 3);
+/// assert!(session.run(&scenario).verdict.is_atomic());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct PartitionSchedule {
+    episodes: Vec<PartitionEpisode>,
+}
+
+impl PartitionSchedule {
+    /// An empty schedule (always connected until episodes are added).
+    pub fn new() -> PartitionSchedule {
+        PartitionSchedule::default()
+    }
+
+    /// Appends an episode: the sites regroup into `groups` at tick `at`,
+    /// healing at `heal_at` if given.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the episode overlaps its predecessor (`at` before the
+    /// previous heal instant, or the previous episode never heals), or if
+    /// `heal_at <= at`.
+    pub fn episode(
+        mut self,
+        groups: Vec<Vec<SiteId>>,
+        at: u64,
+        heal_at: Option<u64>,
+    ) -> PartitionSchedule {
+        if let Some(prev) = self.episodes.last() {
+            let end = prev.heal_at.expect("an unhealed episode must be the last");
+            assert!(end <= at, "partition episodes overlap in time");
+        }
+        if let Some(h) = heal_at {
+            assert!(at < h, "an episode must heal after it starts");
+        }
+        self.episodes.push(PartitionEpisode { groups, at, heal_at });
+        self
+    }
+
+    /// The episodes, in time order.
+    pub fn episodes(&self) -> &[PartitionEpisode] {
+        &self.episodes
+    }
+
+    /// Number of episodes.
+    pub fn len(&self) -> usize {
+        self.episodes.len()
+    }
+
+    /// True if the schedule has no episodes.
+    pub fn is_empty(&self) -> bool {
+        self.episodes.is_empty()
+    }
+
+    /// True if any episode splits the sites into more than two groups
+    /// (multiple partitioning — outside the paper's model).
+    pub fn is_multi_group(&self) -> bool {
+        self.episodes.iter().any(|e| e.groups.len() > 2)
+    }
+
+    /// Truncates/extends the schedule in place to `count` episodes, keeping
+    /// surviving episode records (and their group-vector capacity) for
+    /// [`PartitionSchedule::episode_groups`] to rewrite. The in-place dual
+    /// of building a fresh schedule with [`PartitionSchedule::episode`];
+    /// every episode must then be rewritten, in index order. Kept episodes
+    /// have their heal instants stamped out, so an out-of-order rewrite
+    /// trips the predecessor check instead of validating against a stale
+    /// header.
+    pub fn reset(&mut self, count: usize) {
+        self.episodes.truncate(count);
+        for episode in &mut self.episodes {
+            episode.heal_at = None;
+        }
+        self.episodes.resize_with(count, || PartitionEpisode {
+            groups: Vec::new(),
+            at: 0,
+            heal_at: None,
+        });
+    }
+
+    /// Rewrites episode `index`'s start/heal instants and returns its
+    /// cleared group buffers (recycled, like
+    /// [`ptp_simnet::PartitionEngine::episode_groups`]) for the caller to
+    /// fill. Like the engine-level writer — and unlike the validated
+    /// [`PartitionSchedule::episode`] builder — a degenerate heal instant
+    /// (`heal_at <= at`) is tolerated as an empty, never-active episode.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is outside the schedule set up by
+    /// [`PartitionSchedule::reset`], or if the episode would overlap its
+    /// predecessor (an unhealed — or not-yet-rewritten — predecessor means
+    /// this write is out of order).
+    pub fn episode_groups(
+        &mut self,
+        index: usize,
+        at: u64,
+        heal_at: Option<u64>,
+        group_count: usize,
+    ) -> &mut [Vec<SiteId>] {
+        assert!(
+            index < self.episodes.len(),
+            "episode index {index} outside the {}-episode schedule",
+            self.episodes.len()
+        );
+        if index > 0 {
+            let end =
+                self.episodes[index - 1].heal_at.expect("an unhealed episode must be the last");
+            assert!(end <= at, "partition episodes overlap in time");
+        }
+        let episode = &mut self.episodes[index];
+        episode.at = at;
+        episode.heal_at = heal_at;
+        for g in episode.groups.iter_mut() {
+            g.clear();
+        }
+        episode.groups.truncate(group_count);
+        episode.groups.resize_with(group_count, Vec::new);
+        &mut episode.groups
+    }
+}
+
 /// How (and whether) the network partitions during the run.
+///
+/// # Examples
+///
+/// Each [`Scenario`] builder maps to one shape:
+///
+/// ```
+/// use ptp_core::{PartitionSchedule, PartitionShape, Scenario};
+/// use ptp_simnet::SiteId;
+///
+/// assert_eq!(Scenario::new(3).partition, PartitionShape::None);
+/// let s = Scenario::new(3).partition_g2(vec![SiteId(2)], 2500);
+/// assert!(matches!(s.partition, PartitionShape::Simple { .. }));
+/// let s = Scenario::new(3).partition_schedule(
+///     PartitionSchedule::new().episode(vec![vec![SiteId(0), SiteId(1)], vec![SiteId(2)]], 1000, None),
+/// );
+/// assert!(matches!(s.partition, PartitionShape::Schedule(_)));
+/// ```
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum PartitionShape {
     /// No partition.
@@ -92,6 +269,9 @@ pub enum PartitionShape {
         /// Heal instant, if any.
         heal_at: Option<u64>,
     },
+    /// An ordered multi-episode schedule (cascading splits, staggered
+    /// heals, regroupings) — the generalization the schedule sweeps explore.
+    Schedule(PartitionSchedule),
 }
 
 /// A complete scenario: cluster size, votes, network behaviour.
@@ -158,6 +338,12 @@ impl Scenario {
         self
     }
 
+    /// Sets a multi-episode partition schedule (see [`PartitionSchedule`]).
+    pub fn partition_schedule(mut self, schedule: PartitionSchedule) -> Scenario {
+        self.partition = PartitionShape::Schedule(schedule);
+        self
+    }
+
     /// Sets the delay model.
     pub fn delay(mut self, delay: DelayModel) -> Scenario {
         self.delay = delay;
@@ -214,6 +400,20 @@ impl Scenario {
                     buf.extend_from_slice(group);
                 }
             }
+            PartitionShape::Schedule(schedule) => {
+                engine.reset_schedule(schedule.len());
+                for (i, episode) in schedule.episodes().iter().enumerate() {
+                    let bufs = engine.episode_groups(
+                        i,
+                        SimTime(episode.at),
+                        episode.heal_at.map(SimTime),
+                        episode.groups.len(),
+                    );
+                    for (buf, group) in bufs.iter_mut().zip(&episode.groups) {
+                        buf.extend_from_slice(group);
+                    }
+                }
+            }
         }
     }
 }
@@ -245,6 +445,102 @@ mod tests {
         let eng = s.partition_engine();
         assert!(!eng.connected(SiteId(0), SiteId(2), SimTime(3000)));
         assert!(eng.connected(SiteId(0), SiteId(2), SimTime(5000)));
+    }
+
+    #[test]
+    fn schedule_engine_replays_every_episode() {
+        let schedule = PartitionSchedule::new()
+            .episode(vec![vec![SiteId(0), SiteId(1)], vec![SiteId(2)]], 1000, Some(3000))
+            .episode(vec![vec![SiteId(0)], vec![SiteId(1)], vec![SiteId(2)]], 5000, None);
+        let s = Scenario::new(3).partition_schedule(schedule);
+        let eng = s.partition_engine();
+        assert!(!eng.connected(SiteId(0), SiteId(2), SimTime(2000)), "episode 1 split");
+        assert!(eng.connected(SiteId(0), SiteId(2), SimTime(4000)), "healed gap");
+        assert!(!eng.connected(SiteId(0), SiteId(1), SimTime(6000)), "episode 2 shatter");
+    }
+
+    #[test]
+    fn single_episode_schedule_matches_simple_shape_engine() {
+        // A one-episode two-group schedule must configure the engine
+        // identically to the legacy Simple shape (the reset_single path).
+        let simple = Scenario::new(4).transient_partition(vec![SiteId(2), SiteId(3)], 1500, 6000);
+        let schedule = Scenario::new(4).partition_schedule(PartitionSchedule::new().episode(
+            vec![vec![SiteId(0), SiteId(1)], vec![SiteId(2), SiteId(3)]],
+            1500,
+            Some(6000),
+        ));
+        assert_eq!(simple.partition_engine().episodes(), schedule.partition_engine().episodes());
+    }
+
+    #[test]
+    fn schedule_reset_reuses_buffers_and_matches_builder() {
+        let built = PartitionSchedule::new()
+            .episode(vec![vec![SiteId(0)], vec![SiteId(1)]], 100, Some(200))
+            .episode(vec![vec![SiteId(0), SiteId(1)], vec![SiteId(2)]], 300, None);
+        let mut reused = PartitionSchedule::new().episode(
+            vec![vec![SiteId(5), SiteId(6)], vec![SiteId(7)]],
+            50,
+            None,
+        );
+        reused.reset(2);
+        let g = reused.episode_groups(0, 100, Some(200), 2);
+        g[0].push(SiteId(0));
+        g[1].push(SiteId(1));
+        let g = reused.episode_groups(1, 300, None, 2);
+        g[0].extend([SiteId(0), SiteId(1)]);
+        g[1].push(SiteId(2));
+        assert_eq!(reused, built);
+    }
+
+    #[test]
+    fn degenerate_simple_heal_still_configures() {
+        // A Simple shape whose heal instant equals its start was a harmless
+        // no-op before the schedule refactor; it must stay one.
+        let mut s = Scenario::new(3);
+        s.partition = PartitionShape::Simple { g2: vec![SiteId(2)], at: 2000, heal_at: Some(2000) };
+        let eng = s.partition_engine();
+        assert!(eng.connected(SiteId(0), SiteId(2), SimTime(2000)));
+        assert!(eng.connected(SiteId(0), SiteId(2), SimTime(3000)));
+    }
+
+    #[test]
+    #[should_panic(expected = "unhealed")]
+    fn schedule_out_of_order_rewrite_is_rejected() {
+        let mut schedule = PartitionSchedule::new()
+            .episode(vec![vec![SiteId(0)], vec![SiteId(1)]], 0, Some(50))
+            .episode(vec![vec![SiteId(0)], vec![SiteId(1)]], 100, None);
+        schedule.reset(2);
+        // Episode 0's stale heal instant is stamped out by reset, so
+        // writing episode 1 first cannot silently validate against it.
+        let _ = schedule.episode_groups(1, 100, None, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "overlap")]
+    fn schedule_builder_rejects_overlap() {
+        let _ = PartitionSchedule::new()
+            .episode(vec![vec![SiteId(0)], vec![SiteId(1)]], 100, Some(500))
+            .episode(vec![vec![SiteId(0)], vec![SiteId(1)]], 400, None);
+    }
+
+    #[test]
+    #[should_panic(expected = "unhealed")]
+    fn schedule_builder_rejects_episode_after_permanent_split() {
+        let _ = PartitionSchedule::new()
+            .episode(vec![vec![SiteId(0)], vec![SiteId(1)]], 100, None)
+            .episode(vec![vec![SiteId(0)], vec![SiteId(1)]], 400, None);
+    }
+
+    #[test]
+    fn multi_group_classification() {
+        let two = PartitionSchedule::new().episode(vec![vec![SiteId(0)], vec![SiteId(1)]], 0, None);
+        assert!(!two.is_multi_group());
+        let three = PartitionSchedule::new().episode(
+            vec![vec![SiteId(0)], vec![SiteId(1)], vec![SiteId(2)]],
+            0,
+            None,
+        );
+        assert!(three.is_multi_group());
     }
 
     #[test]

@@ -24,7 +24,7 @@
 //! performs no cluster construction, no participant boxing, no G1/G2
 //! rebuild, and no trace allocation.
 
-use crate::scenario::{PartitionShape, ProtocolKind, Scenario};
+use crate::scenario::{PartitionSchedule, PartitionShape, ProtocolKind, Scenario};
 use crate::session::Session;
 use ptp_protocols::api::Vote;
 use ptp_protocols::{RunOptions, Verdict};
@@ -52,11 +52,164 @@ pub fn all_simple_boundaries(n: usize) -> Vec<Vec<SiteId>> {
     out
 }
 
+/// A family of partition *schedules*, parameterized by one grid cell's
+/// boundary (`g2`), partition instant and heal delay. The sweep engine
+/// enumerates these alongside the classic axes, so one grid can compare the
+/// paper's simple partitioning against the multi-episode / multi-group
+/// generalizations that break its assumptions.
+///
+/// For every shape the grid's heal axis governs the **final** episode
+/// (relative to that episode's start); earlier episodes derive their
+/// instants from the shape's own parameters.
+///
+/// # Examples
+///
+/// ```
+/// use ptp_core::{PartitionSchedule, ScheduleShape};
+/// use ptp_simnet::SiteId;
+///
+/// // Derive the concrete schedule a nested secession implies for the
+/// // boundary G2 = {2, 3} of a 4-site cluster, split at t = 2000.
+/// let shape = ScheduleShape::NestedSecession { after: 1500 };
+/// let mut schedule = PartitionSchedule::new();
+/// shape.write_schedule(4, &[SiteId(2), SiteId(3)], 2000, None, &mut schedule);
+/// assert_eq!(schedule.len(), 2);
+/// assert_eq!(schedule.episodes()[0].groups.len(), 2); // [G1 | G2]
+/// assert_eq!(schedule.episodes()[1].groups.len(), 3); // [G1 | {2} | {3}]
+/// assert_eq!(schedule.episodes()[1].at, 3500);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScheduleShape {
+    /// The paper's model: one episode, two groups `[G1 | G2]` — exactly
+    /// what the legacy single-episode (`reset_single`) path replays.
+    Simple,
+    /// Split `[G1 | G2]` at `at`, heal `heal_after` ticks later, then split
+    /// along the same boundary again `resplit_after` ticks after the heal.
+    /// Sec. 6's repeated-transient-partition story as a schedule.
+    SplitHealResplit {
+        /// Ticks from the split to the heal.
+        heal_after: u64,
+        /// Ticks from the heal to the second split.
+        resplit_after: u64,
+    },
+    /// One episode, `1 + g2_groups` groups: G2 is dealt round-robin into
+    /// `g2_groups` fragments (`g2_groups >= 2` gives the multiple
+    /// partitioning of experiment E12).
+    MultiWay {
+        /// Number of fragments G2 shatters into.
+        g2_groups: usize,
+    },
+    /// Nested secession: simple split `[G1 | G2]` at `at`; `after` ticks
+    /// later the tail half of G2 secedes from its own fragment, giving
+    /// three groups with no reconnect instant in between.
+    NestedSecession {
+        /// Ticks from the first split to the inner secession.
+        after: u64,
+    },
+}
+
+impl ScheduleShape {
+    /// The default schedule families [`SweepGrid::schedule_families`]
+    /// enumerates: the simple baseline plus three multi-episode /
+    /// multi-group generalizations.
+    pub const FAMILIES: [ScheduleShape; 4] = [
+        ScheduleShape::Simple,
+        ScheduleShape::SplitHealResplit { heal_after: 1500, resplit_after: 1500 },
+        ScheduleShape::MultiWay { g2_groups: 2 },
+        ScheduleShape::NestedSecession { after: 1500 },
+    ];
+
+    /// Display name used in experiment tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            ScheduleShape::Simple => "simple",
+            ScheduleShape::SplitHealResplit { .. } => "split-heal-resplit",
+            ScheduleShape::MultiWay { .. } => "multi-way",
+            ScheduleShape::NestedSecession { .. } => "nested-secession",
+        }
+    }
+
+    /// Episodes the derived schedule will have.
+    pub fn episode_count(self) -> usize {
+        match self {
+            ScheduleShape::Simple | ScheduleShape::MultiWay { .. } => 1,
+            ScheduleShape::SplitHealResplit { .. } | ScheduleShape::NestedSecession { .. } => 2,
+        }
+    }
+
+    /// True for shapes that leave the paper's simple-partitioning model
+    /// (more than one episode, or more than two groups).
+    pub fn is_simple(self) -> bool {
+        matches!(self, ScheduleShape::Simple)
+    }
+
+    /// Writes the concrete schedule this shape derives from one grid cell —
+    /// boundary `g2` (G1 is the complement in `0..n`), partition instant
+    /// `at`, final-episode heal delay `heal` — into `schedule` in place,
+    /// recycling its episode and group buffers.
+    pub fn write_schedule(
+        self,
+        n: usize,
+        g2: &[SiteId],
+        at: u64,
+        heal: Option<u64>,
+        schedule: &mut PartitionSchedule,
+    ) {
+        fn fill_g1(buf: &mut Vec<SiteId>, n: usize, g2: &[SiteId]) {
+            buf.extend((0..n as u16).map(SiteId).filter(|s| !g2.contains(s)));
+        }
+        match self {
+            ScheduleShape::Simple => {
+                schedule.reset(1);
+                let bufs = schedule.episode_groups(0, at, heal.map(|h| at + h), 2);
+                fill_g1(&mut bufs[0], n, g2);
+                bufs[1].extend_from_slice(g2);
+            }
+            ScheduleShape::SplitHealResplit { heal_after, resplit_after } => {
+                assert!(heal_after > 0, "the first episode must heal before the re-split");
+                schedule.reset(2);
+                let bufs = schedule.episode_groups(0, at, Some(at + heal_after), 2);
+                fill_g1(&mut bufs[0], n, g2);
+                bufs[1].extend_from_slice(g2);
+                let at2 = at + heal_after + resplit_after;
+                let bufs = schedule.episode_groups(1, at2, heal.map(|h| at2 + h), 2);
+                fill_g1(&mut bufs[0], n, g2);
+                bufs[1].extend_from_slice(g2);
+            }
+            ScheduleShape::MultiWay { g2_groups } => {
+                assert!(g2_groups >= 1, "G2 must shatter into at least one fragment");
+                schedule.reset(1);
+                let bufs = schedule.episode_groups(0, at, heal.map(|h| at + h), 1 + g2_groups);
+                fill_g1(&mut bufs[0], n, g2);
+                for (i, site) in g2.iter().enumerate() {
+                    bufs[1 + i % g2_groups].push(*site);
+                }
+            }
+            ScheduleShape::NestedSecession { after } => {
+                assert!(after > 0, "the secession must follow the first split");
+                schedule.reset(2);
+                let bufs = schedule.episode_groups(0, at, Some(at + after), 2);
+                fill_g1(&mut bufs[0], n, g2);
+                bufs[1].extend_from_slice(g2);
+                let at2 = at + after;
+                let bufs = schedule.episode_groups(1, at2, heal.map(|h| at2 + h), 3);
+                fill_g1(&mut bufs[0], n, g2);
+                let head = g2.len().div_ceil(2);
+                bufs[1].extend_from_slice(&g2[..head]);
+                bufs[2].extend_from_slice(&g2[head..]);
+            }
+        }
+    }
+}
+
 /// The grid of scenarios a sweep explores.
 #[derive(Debug, Clone)]
 pub struct SweepGrid {
     /// Cluster size.
     pub n: usize,
+    /// Schedule families to try (default: just [`ScheduleShape::Simple`],
+    /// the paper's model — existing grids are unchanged).
+    pub shapes: Vec<ScheduleShape>,
     /// G2 groups to try (default: all simple boundaries).
     pub boundaries: Vec<Vec<SiteId>>,
     /// Partition instants in ticks (default: every T/4 from 0 to 8T).
@@ -81,6 +234,7 @@ impl SweepGrid {
         let t = 1000u64;
         SweepGrid {
             n,
+            shapes: vec![ScheduleShape::Simple],
             boundaries: all_simple_boundaries(n),
             partition_times: (0..=32).map(|i| i * t / 4).collect(),
             heals: vec![None],
@@ -92,6 +246,22 @@ impl SweepGrid {
             votes: vec![vec![Vote::Yes; n - 1]],
             mode: PartitionMode::Optimistic,
         }
+    }
+
+    /// The standard grid extended over every default schedule family
+    /// ([`ScheduleShape::FAMILIES`]): the simple baseline plus
+    /// split→heal→re-split, three-way splits and nested secessions, each
+    /// derived from the same boundary/instant/heal axes.
+    pub fn schedule_families(n: usize) -> SweepGrid {
+        let mut grid = SweepGrid::standard(n);
+        grid.shapes = ScheduleShape::FAMILIES.to_vec();
+        grid
+    }
+
+    /// Replaces the schedule-family axis.
+    pub fn with_shapes(mut self, shapes: Vec<ScheduleShape>) -> SweepGrid {
+        self.shapes = shapes;
+        self
     }
 
     /// Adds transient-partition cases: heal after each given multiple of
@@ -120,8 +290,9 @@ impl SweepGrid {
     /// already exceed `u64` territory on 32-bit hosts), so the arithmetic
     /// is checked.
     pub fn checked_size(&self) -> Option<usize> {
-        self.boundaries
+        self.shapes
             .len()
+            .checked_mul(self.boundaries.len())?
             .checked_mul(self.partition_times.len())?
             .checked_mul(self.heals.len())?
             .checked_mul(self.delays.len())?
@@ -136,8 +307,9 @@ impl SweepGrid {
         self.checked_size().unwrap_or(usize::MAX)
     }
 
-    /// Decodes flat cell index `index` (row-major over boundaries ×
-    /// partition times × heals × delays × votes — the exact order the old
+    /// Decodes flat cell index `index` (row-major over shapes × boundaries
+    /// × partition times × heals × delays × votes — with a single
+    /// [`ScheduleShape::Simple`] shape this is the exact order the old
     /// nested loops used) into a borrowed scenario description.
     ///
     /// # Panics
@@ -154,8 +326,10 @@ impl SweepGrid {
         rest /= self.heals.len();
         let at = self.partition_times[rest % self.partition_times.len()];
         rest /= self.partition_times.len();
-        let g2 = &self.boundaries[rest];
-        ScenarioSpec { g2, at, heal, delay_index, vote_index }
+        let g2 = &self.boundaries[rest % self.boundaries.len()];
+        rest /= self.boundaries.len();
+        let shape = self.shapes[rest];
+        ScenarioSpec { shape, g2, at, heal, delay_index, vote_index }
     }
 }
 
@@ -163,11 +337,15 @@ impl SweepGrid {
 /// run the scenario, borrowed from the grid (no per-cell allocation).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ScenarioSpec<'g> {
+    /// The schedule family the cell instantiates.
+    pub shape: ScheduleShape,
     /// The G2 group.
     pub g2: &'g [SiteId],
     /// Partition instant (ticks).
     pub at: u64,
-    /// Heal delay after the partition instant (`None` = permanent).
+    /// Heal delay after the **final** episode's start (`None` = permanent).
+    /// For single-episode shapes that episode starts at `at`, matching the
+    /// old nested loops exactly.
     pub heal: Option<u64>,
     /// Index into the grid's delay list.
     pub delay_index: usize,
@@ -176,15 +354,30 @@ pub struct ScenarioSpec<'g> {
 }
 
 impl ScenarioSpec<'_> {
-    /// Absolute heal instant, as the old nested loops computed it.
+    /// When this cell's final episode starts: `at` for single-episode
+    /// shapes, later for the two-episode families (mirrors
+    /// [`ScheduleShape::write_schedule`]'s derivation).
+    pub fn final_episode_at(&self) -> u64 {
+        match self.shape {
+            ScheduleShape::Simple | ScheduleShape::MultiWay { .. } => self.at,
+            ScheduleShape::SplitHealResplit { heal_after, resplit_after } => {
+                self.at + heal_after + resplit_after
+            }
+            ScheduleShape::NestedSecession { after } => self.at + after,
+        }
+    }
+
+    /// Absolute heal instant of the final episode — for the Simple shape,
+    /// exactly what the old nested loops computed.
     pub fn heal_at(&self) -> Option<u64> {
-        self.heal.map(|h| self.at + h)
+        self.heal.map(|h| self.final_episode_at() + h)
     }
 
     /// Materialises the owned per-scenario record for reporting, attaching
     /// the observed verdict.
     pub fn describe(&self, verdict: Verdict) -> ScenarioDesc {
         ScenarioDesc {
+            shape: self.shape,
             g2: self.g2.to_vec(),
             at: self.at,
             heal_at: self.heal_at(),
@@ -198,6 +391,8 @@ impl ScenarioSpec<'_> {
 /// Compact identification of one failing scenario.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ScenarioDesc {
+    /// The schedule family the cell instantiated.
+    pub shape: ScheduleShape,
     /// The G2 group.
     pub g2: Vec<SiteId>,
     /// Partition instant (ticks).
@@ -332,19 +527,39 @@ impl CellRunner {
         }
         scenario.votes.clear();
         scenario.votes.extend_from_slice(&grid.votes[spec.vote_index]);
-        match &mut scenario.partition {
-            PartitionShape::Simple { g2, at, heal_at } => {
-                g2.clear();
-                g2.extend_from_slice(spec.g2);
-                *at = spec.at;
-                *heal_at = spec.heal_at();
-            }
-            other => {
-                *other = PartitionShape::Simple {
-                    g2: spec.g2.to_vec(),
-                    at: spec.at,
-                    heal_at: spec.heal_at(),
+        match spec.shape {
+            // The legacy single-episode fast path: rewrite the Simple shape
+            // (and, through it, the engine's `reset_single` buffers) in
+            // place, exactly as before the schedule axis existed.
+            ScheduleShape::Simple => match &mut scenario.partition {
+                PartitionShape::Simple { g2, at, heal_at } => {
+                    g2.clear();
+                    g2.extend_from_slice(spec.g2);
+                    *at = spec.at;
+                    *heal_at = spec.heal_at();
+                }
+                other => {
+                    *other = PartitionShape::Simple {
+                        g2: spec.g2.to_vec(),
+                        at: spec.at,
+                        heal_at: spec.heal_at(),
+                    };
+                }
+            },
+            // Multi-episode / multi-group families: rewrite the scenario's
+            // schedule in place (episode and group buffers recycled; the
+            // shape axis varies slowest, so the Simple↔Schedule variant
+            // switch happens once per family, not once per cell).
+            shape => {
+                let schedule = match &mut scenario.partition {
+                    PartitionShape::Schedule(schedule) => schedule,
+                    other => {
+                        *other = PartitionShape::Schedule(PartitionSchedule::default());
+                        let PartitionShape::Schedule(schedule) = other else { unreachable!() };
+                        schedule
+                    }
                 };
+                shape.write_schedule(grid.n, spec.g2, spec.at, spec.heal, schedule);
             }
         }
         self.session.verdict(scenario, &self.options)
@@ -477,13 +692,16 @@ mod tests {
     #[test]
     fn grid_size_is_product() {
         let g = SweepGrid::standard(3);
-        let expected = g.boundaries.len()
+        let expected = g.shapes.len()
+            * g.boundaries.len()
             * g.partition_times.len()
             * g.heals.len()
             * g.delays.len()
             * g.votes.len();
         assert_eq!(g.size(), expected);
         assert_eq!(g.size(), 297);
+        // The schedule-family grid multiplies in the shape axis.
+        assert_eq!(SweepGrid::schedule_families(3).size(), 297 * ScheduleShape::FAMILIES.len());
     }
 
     #[test]
@@ -534,20 +752,27 @@ mod tests {
         // loops enumerated, in the same order.
         let grid = SweepGrid::standard(3)
             .with_transient_heals(2)
-            .with_votes(vec![vec![Vote::Yes, Vote::Yes], vec![Vote::No, Vote::Yes]]);
+            .with_votes(vec![vec![Vote::Yes, Vote::Yes], vec![Vote::No, Vote::Yes]])
+            .with_shapes(vec![
+                ScheduleShape::Simple,
+                ScheduleShape::NestedSecession { after: 1000 },
+            ]);
         let mut index = 0usize;
-        for g2 in &grid.boundaries {
-            for &at in &grid.partition_times {
-                for &heal in &grid.heals {
-                    for delay_index in 0..grid.delays.len() {
-                        for vote_index in 0..grid.votes.len() {
-                            let spec = grid.scenario(index);
-                            assert_eq!(spec.g2, g2.as_slice());
-                            assert_eq!(spec.at, at);
-                            assert_eq!(spec.heal, heal);
-                            assert_eq!(spec.delay_index, delay_index);
-                            assert_eq!(spec.vote_index, vote_index);
-                            index += 1;
+        for &shape in &grid.shapes {
+            for g2 in &grid.boundaries {
+                for &at in &grid.partition_times {
+                    for &heal in &grid.heals {
+                        for delay_index in 0..grid.delays.len() {
+                            for vote_index in 0..grid.votes.len() {
+                                let spec = grid.scenario(index);
+                                assert_eq!(spec.shape, shape);
+                                assert_eq!(spec.g2, g2.as_slice());
+                                assert_eq!(spec.at, at);
+                                assert_eq!(spec.heal, heal);
+                                assert_eq!(spec.delay_index, delay_index);
+                                assert_eq!(spec.vote_index, vote_index);
+                                index += 1;
+                            }
                         }
                     }
                 }
@@ -616,6 +841,103 @@ mod tests {
         assert_eq!(serial.blocked.len(), KEEP);
         let parallel = sweep_with_threads(ProtocolKind::Plain2pc, &grid, 4);
         assert_reports_identical(&serial, &parallel);
+    }
+
+    #[test]
+    fn schedule_families_enumerate_distinct_multi_episode_shapes() {
+        // The acceptance floor: at least three distinct non-simple shapes,
+        // each deriving a structurally different schedule from one cell.
+        let grid = SweepGrid::schedule_families(4);
+        let multi: Vec<ScheduleShape> =
+            grid.shapes.iter().copied().filter(|s| !s.is_simple()).collect();
+        assert!(multi.len() >= 3, "need ≥3 multi-episode families, got {multi:?}");
+
+        let g2 = [SiteId(2), SiteId(3)];
+        let mut derived = Vec::new();
+        for shape in &multi {
+            let mut schedule = PartitionSchedule::new();
+            shape.write_schedule(4, &g2, 2000, None, &mut schedule);
+            assert!(
+                schedule.len() > 1 || schedule.is_multi_group(),
+                "{} stayed inside the simple model: {schedule:?}",
+                shape.name()
+            );
+            derived.push(schedule);
+        }
+        // Structurally distinct: no two families derive the same schedule.
+        for i in 0..derived.len() {
+            for j in i + 1..derived.len() {
+                assert_ne!(derived[i], derived[j], "{} == {}", multi[i].name(), multi[j].name());
+            }
+        }
+    }
+
+    #[test]
+    fn described_heal_instant_matches_the_derived_schedule() {
+        // ScenarioDesc must name the heal instant that actually occurs in
+        // the run: the final episode's, which for two-episode shapes is
+        // later than `at + heal`.
+        let g2 = [SiteId(2), SiteId(3)];
+        for shape in ScheduleShape::FAMILIES {
+            let spec = ScenarioSpec {
+                shape,
+                g2: &g2,
+                at: 2000,
+                heal: Some(3000),
+                delay_index: 0,
+                vote_index: 0,
+            };
+            let mut schedule = PartitionSchedule::new();
+            shape.write_schedule(4, &g2, spec.at, spec.heal, &mut schedule);
+            let last = schedule.episodes().last().unwrap();
+            assert_eq!(spec.final_episode_at(), last.at, "{}", shape.name());
+            assert_eq!(spec.heal_at(), last.heal_at, "{}", shape.name());
+            let desc = spec.describe(Verdict::AllCommit);
+            assert_eq!(desc.heal_at, last.heal_at, "{}", shape.name());
+        }
+    }
+
+    #[test]
+    fn single_fragment_multiway_pins_schedule_path_to_legacy_path() {
+        // MultiWay { g2_groups: 1 } derives exactly the single [G1 | G2]
+        // episode the Simple shape replays through `reset_single` — but
+        // through the schedule machinery. Sweeping both over the same grid
+        // must agree cell-for-cell (only the recorded shape tag differs).
+        let mut simple = SweepGrid::standard(3).with_transient_heals(1);
+        simple.partition_times = (0..=8).map(|i| i * 500).collect();
+        simple.delays = vec![DelayModel::Fixed(1000), DelayModel::Fixed(500)];
+        let schedule = simple.clone().with_shapes(vec![ScheduleShape::MultiWay { g2_groups: 1 }]);
+        for kind in [ProtocolKind::HuangLi3pc, ProtocolKind::Plain2pc] {
+            let legacy = sweep_serial(kind, &simple);
+            let pinned = sweep_serial(kind, &schedule);
+            assert_eq!(legacy.total, pinned.total);
+            assert_eq!(legacy.all_commit, pinned.all_commit, "{}", kind.name());
+            assert_eq!(legacy.all_abort, pinned.all_abort, "{}", kind.name());
+            assert_eq!(legacy.blocked_count, pinned.blocked_count, "{}", kind.name());
+            assert_eq!(legacy.inconsistent_count, pinned.inconsistent_count, "{}", kind.name());
+            for (a, b) in legacy.blocked.iter().zip(&pinned.blocked) {
+                assert_eq!(
+                    (&a.g2, a.at, a.heal_at, a.delay_index),
+                    (&b.g2, b.at, b.heal_at, b.delay_index)
+                );
+                assert_eq!(a.verdict, b.verdict);
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_schedule_sweep_identical_to_serial() {
+        // Determinism on a schedule grid at the kept thread counts.
+        let mut grid = SweepGrid::schedule_families(4);
+        grid.partition_times = (0..=8).map(|i| i * 500).collect();
+        grid.delays =
+            vec![DelayModel::Fixed(1000), DelayModel::Uniform { seed: 7, min: 1, max: 1000 }];
+        let serial = sweep_serial(ProtocolKind::HuangLi3pc, &grid);
+        for threads in [2, 4, 7] {
+            let parallel = sweep_with_threads(ProtocolKind::HuangLi3pc, &grid, threads);
+            assert_reports_identical(&serial, &parallel);
+        }
+        assert_eq!(serial.total, grid.size());
     }
 
     #[test]

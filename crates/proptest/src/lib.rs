@@ -150,13 +150,22 @@ macro_rules! prop_oneof {
 
 /// Declares property tests. Supports the upstream shape:
 ///
-/// ```ignore
+/// ```
+/// use proptest::prelude::*;
+///
 /// proptest! {
 ///     #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
 ///     #[test]
-///     fn my_property(x in 0u64..100, flag in prop::bool::ANY) { ... }
+///     fn my_property(x in 0u64..100, flag in prop::bool::ANY) {
+///         prop_assume!(x != 13 || flag);
+///         prop_assert!(x < 100);
+///     }
 /// }
 /// ```
+// The `#[test]` in the example is deliberate: it documents the exact
+// upstream invocation shape, and rustdoc compiles `#[test]`-bearing
+// doctests under the test harness, so `my_property` genuinely runs.
+#[allow(clippy::test_attr_in_doctest)]
 #[macro_export]
 macro_rules! proptest {
     (#![proptest_config($config:expr)] $($rest:tt)*) => {

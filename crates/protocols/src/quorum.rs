@@ -20,7 +20,7 @@
 //! explicit prepare-to-commit/prepare-to-abort buffer states and weighted
 //! votes; equal weights and state-report collection preserve the behaviour
 //! that matters for the comparison (safety via intersecting quorums,
-//! blocking minorities). See DESIGN.md.
+//! blocking minorities). See ARCHITECTURE.md.
 
 use crate::api::{Action, CommitMsg, Participant, TimerTag, Vote};
 use crate::timing::{MASTER_PROTO_T, SLAVE_PROTO_T};

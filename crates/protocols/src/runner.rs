@@ -217,8 +217,9 @@ impl<P: Participant> ClusterRunner<P> {
     }
 
     /// The partition engine the next run will use. Reconfigure it in place
-    /// ([`PartitionEngine::clear`] / [`PartitionEngine::reset_single`]) to
-    /// reuse its group buffers across runs.
+    /// ([`PartitionEngine::clear`], [`PartitionEngine::reset_single`], or
+    /// [`PartitionEngine::reset_schedule`] + episode writes for
+    /// multi-episode schedules) to reuse its group buffers across runs.
     pub fn partition_mut(&mut self) -> &mut PartitionEngine {
         &mut self.scratch.as_mut().expect("scratch present between runs").partition
     }
@@ -413,6 +414,55 @@ mod tests {
             assert!(run.trace.is_empty(), "counters mode records no trace");
             // Plain 2PC under partition: never inconsistent.
             assert!(Verdict::judge(&run.outcomes).is_atomic());
+        }
+    }
+
+    #[test]
+    fn runner_replays_multi_episode_schedules_in_place() {
+        // Split → heal → re-split replayed through one reused runner: the
+        // schedule write path must recycle buffers run after run and match
+        // a fresh engine built by PartitionEngine::new.
+        let mut runner = ClusterRunner::new(two_pc_parts(&[Vote::Yes, Vote::Yes]));
+        for round in 0..3u64 {
+            let at = 500 + round * 250;
+            runner.reset(&[Vote::Yes, Vote::Yes]);
+            let engine = runner.partition_mut();
+            engine.reset_schedule(2);
+            let g = engine.episode_groups(0, SimTime(at), Some(SimTime(at + 2000)), 2);
+            g[0].extend([SiteId(0), SiteId(1)]);
+            g[1].push(SiteId(2));
+            let g = engine.episode_groups(1, SimTime(at + 4000), None, 2);
+            g[0].extend([SiteId(0), SiteId(1)]);
+            g[1].push(SiteId(2));
+            let expected = PartitionEngine::new(vec![
+                PartitionSpec::transient(
+                    SimTime(at),
+                    vec![SiteId(0), SiteId(1)],
+                    vec![SiteId(2)],
+                    SimTime(at + 2000),
+                ),
+                PartitionSpec::simple(
+                    SimTime(at + 4000),
+                    vec![SiteId(0), SiteId(1)],
+                    vec![SiteId(2)],
+                ),
+            ]);
+            assert_eq!(runner.partition_mut().episodes(), expected.episodes());
+
+            let reused =
+                runner.run(NetConfig::default(), &DelayModel::Fixed(300), &RunOptions::new());
+            let fresh = run_protocol_opts(
+                two_pc_parts(&[Vote::Yes, Vote::Yes]),
+                NetConfig::default(),
+                expected,
+                &DelayModel::Fixed(300),
+                &RunOptions::new(),
+            );
+            assert_eq!(reused.outcomes, fresh.outcomes, "round {round}");
+            assert_eq!(reused.report.counters, fresh.report.counters, "round {round}");
+            // 2PC across any partition schedule: atomic (it may block, it
+            // never lies).
+            assert!(Verdict::judge(&reused.outcomes).is_atomic());
         }
     }
 

@@ -25,7 +25,7 @@
 //!   boundary — broadcast abort; otherwise broadcast commit.
 //!   (The paper writes `N − UD = PB` with `N = {1..n}` including the
 //!   master, but `PB` can only contain slaves, so we implement the evident
-//!   intent over the slave set; see DESIGN.md.)
+//!   intent over the slave set; see ARCHITECTURE.md.)
 //! * post-decisive rounds (4PC's `r1`) — timeout or UD: broadcast commit.
 //!
 //! **Slave**
