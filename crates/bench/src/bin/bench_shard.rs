@@ -1,0 +1,203 @@
+//! Sharded-store throughput baseline.
+//!
+//! The sibling of `bench_ddb`, one structural layer up: how fast the
+//! sharded cluster driver pushes a 200-transaction mixed workload (three
+//! quarters single-shard, one quarter cross-shard) through each
+//! [`CommitProtocol`] over a 3-shard × 2-replica topology on six sites.
+//! Writes `BENCH_shard.json` — the **fourth** committed perf record next to
+//! `BENCH_sweep.json`, `BENCH_ddb.json` and `BENCH_schedule.json` — so
+//! future performance work on the sharded layer has a recorded trajectory
+//! to beat. CI regenerates it in the bench smoke step.
+//!
+//! `CRITERION_BUDGET_MS` caps the per-measurement sampling time, as in the
+//! sibling benches.
+
+use ptp_bench::json_escape;
+use ptp_core::ddb::cluster::CommitProtocol;
+use ptp_core::ddb::value::{TxnId, Value, WriteOp};
+use ptp_core::report::Table;
+use ptp_shard::{ShardCluster, ShardRun, ShardTopology, ShardTxnSpec};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+const SITES: usize = 6;
+const SHARDS: usize = 3;
+const REPLICATION: usize = 2;
+const TXNS: u32 = 200;
+const SUBMIT_SPACING: u64 = 400;
+const REPEATS: usize = 4;
+const MAX_ROUNDS: usize = 41;
+
+fn topology() -> ShardTopology {
+    ShardTopology::uniform(SITES, SHARDS, REPLICATION)
+}
+
+/// The fixed workload: every 4th transaction spans two shards (the
+/// cross-shard share), the rest stay inside one; keys cycle through an
+/// 8-key pool per shard so a realistic fraction contend for locks.
+fn workload(topo: &ShardTopology) -> Vec<(u64, ShardTxnSpec)> {
+    let pools = ptp_bench::shard_key_pool(topo, 8);
+    (0..TXNS)
+        .map(|i| {
+            let shard = i as usize % SHARDS;
+            let key = pools[shard][(i as usize * 7) % 8].clone();
+            let mut writes = vec![WriteOp { key, value: Value::from_u64(i as u64) }];
+            if i % 4 == 0 {
+                let other = (shard + 1) % SHARDS;
+                let key = pools[other][(i as usize * 5) % 8].clone();
+                writes.push(WriteOp { key, value: Value::from_u64(i as u64) });
+            }
+            (i as u64 * SUBMIT_SPACING, ShardTxnSpec { id: TxnId(i + 1), writes })
+        })
+        .collect()
+}
+
+fn build(protocol: CommitProtocol) -> ShardCluster {
+    let topo = topology();
+    let mut cluster = ShardCluster::new(topo.clone(), protocol);
+    for (at, spec) in workload(&topo) {
+        cluster = cluster.submit(at, spec);
+    }
+    cluster
+}
+
+/// One timed observation: `REPEATS` consecutive executions under one clock
+/// read (less timer/scheduler jitter than timing runs individually).
+fn run_block(protocol: CommitProtocol) -> (f64, ShardRun) {
+    let clusters: Vec<ShardCluster> = (0..REPEATS).map(|_| build(protocol)).collect();
+    let mut last = None;
+    let round = Instant::now();
+    for cluster in clusters {
+        last = Some(cluster.run());
+    }
+    let wall = round.elapsed().as_secs_f64() * 1000.0 / REPEATS as f64;
+    let run = last.expect("at least one repeat");
+    assert!(run.metrics.atomicity_violations().is_empty(), "{}", protocol.name());
+    assert_eq!(run.metrics.decisions.len(), TXNS as usize, "every txn must terminate");
+    assert!(run.cross_shard.submitted > 0, "the workload must exercise cross-shard commits");
+    (wall, run)
+}
+
+fn median(walls: &mut [f64]) -> f64 {
+    walls.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+    walls[walls.len() / 2]
+}
+
+fn sample(protocol: CommitProtocol, budget_ms: u64) -> (f64, ShardRun) {
+    let _ = run_block(protocol); // warmup
+    let mut walls = Vec::new();
+    let started = Instant::now();
+    let mut last = None;
+    while walls.is_empty()
+        || (walls.len() < MAX_ROUNDS && started.elapsed().as_millis() < budget_ms as u128)
+    {
+        let (wall, run) = run_block(protocol);
+        walls.push(wall);
+        last = Some(run);
+    }
+    (median(&mut walls), last.expect("at least one round"))
+}
+
+struct Measurement {
+    protocol: CommitProtocol,
+    wall_ms: f64,
+    run: ShardRun,
+}
+
+impl Measurement {
+    fn txns_per_sec(&self) -> f64 {
+        TXNS as f64 * 1000.0 / self.wall_ms.max(f64::MIN_POSITIVE)
+    }
+
+    fn min_availability(&self) -> f64 {
+        self.run.shards.iter().map(|s| s.availability()).fold(1.0, f64::min)
+    }
+}
+
+fn render_json(measurements: &[Measurement]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"benchmark\": \"{}\",", json_escape("shard_txn_throughput"));
+    let _ = writeln!(out, "  \"sites\": {SITES},");
+    let _ = writeln!(out, "  \"shards\": {SHARDS},");
+    let _ = writeln!(out, "  \"replication\": {REPLICATION},");
+    let _ = writeln!(out, "  \"txns\": {TXNS},");
+    out.push_str("  \"protocols\": [\n");
+    for (i, m) in measurements.iter().enumerate() {
+        let cross = &m.run.cross_shard;
+        out.push_str("    {");
+        let _ = write!(
+            out,
+            "\"protocol\": \"{}\", \"wall_ms\": {:.3}, \"txns_per_sec\": {:.1}, \
+             \"cross_submitted\": {}, \"cross_committed\": {}, \"cross_aborted\": {}, \
+             \"cross_blocked\": {}, \"cross_abort_rate\": {:.4}, \
+             \"min_shard_availability\": {:.4}, \
+             \"participants_constructed\": {}, \"participants_reused\": {}",
+            json_escape(m.protocol.name()),
+            m.wall_ms,
+            m.txns_per_sec(),
+            cross.submitted,
+            cross.committed,
+            cross.aborted,
+            cross.blocked,
+            cross.abort_rate(),
+            m.min_availability(),
+            m.run.participants_constructed,
+            m.run.participants_reused,
+        );
+        out.push_str(if i + 1 == measurements.len() { "}\n" } else { "},\n" });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn main() {
+    let budget_ms =
+        std::env::var("CRITERION_BUDGET_MS").ok().and_then(|v| v.parse().ok()).unwrap_or(2_000u64);
+    println!(
+        "== bench_shard: {TXNS}-txn mixed workload, {SHARDS} shards x {REPLICATION} replicas \
+         over {SITES} sites =="
+    );
+    println!("budget {budget_ms} ms per measurement\n");
+
+    let protocols =
+        [CommitProtocol::TwoPhase, CommitProtocol::HuangLi, CommitProtocol::QuorumMajority];
+    let measurements: Vec<Measurement> = protocols
+        .iter()
+        .map(|&protocol| {
+            let (wall_ms, run) = sample(protocol, budget_ms);
+            Measurement { protocol, wall_ms, run }
+        })
+        .collect();
+
+    let mut table = Table::new(vec![
+        "protocol",
+        "wall ms",
+        "txns/s",
+        "x-shard",
+        "x-committed",
+        "x-abort rate",
+        "min avail",
+        "constructed",
+        "reused",
+    ]);
+    for m in &measurements {
+        table.row(vec![
+            m.protocol.name().to_string(),
+            format!("{:.1}", m.wall_ms),
+            format!("{:.0}", m.txns_per_sec()),
+            m.run.cross_shard.submitted.to_string(),
+            m.run.cross_shard.committed.to_string(),
+            format!("{:.2}", m.run.cross_shard.abort_rate()),
+            format!("{:.3}", m.min_availability()),
+            m.run.participants_constructed.to_string(),
+            m.run.participants_reused.to_string(),
+        ]);
+    }
+    println!("{}", table.render());
+
+    let json = render_json(&measurements);
+    let path = "BENCH_shard.json";
+    std::fs::write(path, &json).expect("write BENCH_shard.json");
+    println!("wrote {path}");
+}

@@ -1,0 +1,212 @@
+//! Shard-level availability under partition-schedule families.
+//!
+//! `exp_multi_partition` measured what schedule families beyond the paper's
+//! model do to a *single* replica group; this experiment asks the same
+//! question one structural layer up, on the sharded store: a 3-shard ×
+//! 2-replica cluster over six sites runs a mixed single-/cross-shard
+//! workload while each [`ScheduleShape`] family cuts the cluster along a
+//! boundary that strands shard 1's replica and all of shard 2. Per-shard
+//! **availability** — the fraction of `(transaction, replica)` slots that
+//! reached a decision — then quantifies, protocol by protocol, how much of
+//! the store each failure family takes offline:
+//!
+//! * 2PC blocks every participant the split catches mid-protocol;
+//! * HL-3PC terminates both sides of simple splits (availability lost only
+//!   where outcome shipping cannot reach a stranded replica);
+//! * quorum commit terminates only quorum-side fragments.
+//!
+//! The cross-shard columns show the same comparison at the top-level
+//! coordinator: a split severing two shards' groups is terminated — or
+//! measurably blocked — by the paper's protocol one layer up.
+
+use ptp_core::ddb::cluster::CommitProtocol;
+use ptp_core::ddb::value::{TxnId, Value, WriteOp};
+use ptp_core::report::Table;
+use ptp_core::{PartitionSchedule, ScheduleShape};
+use ptp_shard::{ShardCluster, ShardRun, ShardTopology, ShardTxnSpec};
+use ptp_simnet::{PartitionEngine, PartitionSpec, SimTime, SiteId};
+
+const SITES: usize = 6;
+const SHARDS: usize = 3;
+const REPLICATION: usize = 2;
+/// The boundary every family derives its schedule from: G2 = {3, 4, 5}
+/// strands shard 1's replica (site 3) from its master and cuts shard 2's
+/// whole group away from the coordinator side.
+const G2: [SiteId; 3] = [SiteId(3), SiteId(4), SiteId(5)];
+/// Split instant: top-level prepares are in flight (the paper's worst
+/// window, scaled to this workload).
+const SPLIT_AT: u64 = 2000;
+
+const PROTOCOLS: [CommitProtocol; 3] =
+    [CommitProtocol::TwoPhase, CommitProtocol::HuangLi, CommitProtocol::QuorumMajority];
+
+fn topology() -> ShardTopology {
+    ShardTopology::uniform(SITES, SHARDS, REPLICATION)
+}
+
+/// The fixed workload: per shard, three single-shard transactions spread
+/// around the split instant, plus one cross-shard transaction per shard
+/// pair in the same window — 13 transactions, every one potentially caught
+/// by an episode.
+fn workload(topo: &ShardTopology) -> Vec<(u64, ShardTxnSpec)> {
+    let pools = ptp_bench::shard_key_pool(topo, 8);
+    let mut out = Vec::new();
+    let mut id = 1u32;
+    for pool in pools.iter().take(SHARDS) {
+        for (j, at) in [0u64, 1600, 6000].into_iter().enumerate() {
+            out.push((
+                at,
+                ShardTxnSpec {
+                    id: TxnId(id),
+                    writes: vec![WriteOp {
+                        key: pool[j].clone(),
+                        value: Value::from_u64(id as u64),
+                    }],
+                },
+            ));
+            id += 1;
+        }
+    }
+    for (a, b) in [(0usize, 1usize), (1, 2), (0, 2)] {
+        out.push((
+            1500,
+            ShardTxnSpec {
+                id: TxnId(id),
+                writes: vec![
+                    WriteOp { key: pools[a][4].clone(), value: Value::from_u64(id as u64) },
+                    WriteOp { key: pools[b][4].clone(), value: Value::from_u64(id as u64) },
+                ],
+            },
+        ));
+        id += 1;
+    }
+    out.push((
+        5500,
+        ShardTxnSpec {
+            id: TxnId(id),
+            writes: vec![
+                WriteOp { key: pools[0][5].clone(), value: Value::from_u64(id as u64) },
+                WriteOp { key: pools[1][5].clone(), value: Value::from_u64(id as u64) },
+                WriteOp { key: pools[2][5].clone(), value: Value::from_u64(id as u64) },
+            ],
+        },
+    ));
+    out
+}
+
+/// Derives the family's concrete partition engine from the shared boundary.
+fn engine_for(shape: ScheduleShape) -> PartitionEngine {
+    let mut schedule = PartitionSchedule::new();
+    shape.write_schedule(SITES, &G2, SPLIT_AT, None, &mut schedule);
+    PartitionEngine::new(
+        schedule
+            .episodes()
+            .iter()
+            .map(|e| PartitionSpec {
+                at: SimTime(e.at),
+                groups: e.groups.clone(),
+                heal_at: e.heal_at.map(SimTime),
+            })
+            .collect(),
+    )
+}
+
+fn run_cell(shape: ScheduleShape, protocol: CommitProtocol) -> ShardRun {
+    let topo = topology();
+    let mut cluster = ShardCluster::new(topo.clone(), protocol).partition(engine_for(shape));
+    for (at, spec) in workload(&topo) {
+        cluster = cluster.submit(at, spec);
+    }
+    cluster.run()
+}
+
+fn main() {
+    println!("== exp_shard_availability: per-shard availability across schedule families ==");
+    println!(
+        "{SHARDS} shards x {REPLICATION} replicas over {SITES} sites; every family splits \
+         along G2 = {{3, 4, 5}} at t = {SPLIT_AT}\n"
+    );
+
+    let topo = topology();
+    for s in 0..SHARDS {
+        println!(
+            "  shard {s}: group {:?} (master site {})",
+            topo.group(s).iter().map(|x| x.0).collect::<Vec<_>>(),
+            topo.master(s).0
+        );
+    }
+    println!();
+
+    let mut table = Table::new(vec![
+        "family",
+        "protocol",
+        "avail s0",
+        "avail s1",
+        "avail s2",
+        "x-committed",
+        "x-aborted",
+        "x-blocked",
+        "atomic?",
+        "severed groups",
+    ]);
+
+    for shape in ScheduleShape::FAMILIES {
+        let engine = engine_for(shape);
+        let severed: Vec<usize> =
+            (0..SHARDS).filter(|&s| engine.severed_episodes(topo.group(s)) > 0).collect();
+        // One run per (family, protocol) cell; the sanity anchors below
+        // reuse these instead of re-simulating.
+        let runs: Vec<(CommitProtocol, ShardRun)> =
+            PROTOCOLS.iter().map(|&protocol| (protocol, run_cell(shape, protocol))).collect();
+        for (protocol, run) in &runs {
+            let atomic = run.metrics.atomicity_violations().is_empty();
+            for shard in &run.shards {
+                let a = shard.availability();
+                assert!((0.0..=1.0).contains(&a), "availability out of range: {shard:?}");
+            }
+            table.row(vec![
+                shape.name().to_string(),
+                protocol.name().to_string(),
+                format!("{:.3}", run.shards[0].availability()),
+                format!("{:.3}", run.shards[1].availability()),
+                format!("{:.3}", run.shards[2].availability()),
+                run.cross_shard.committed.to_string(),
+                run.cross_shard.aborted.to_string(),
+                run.cross_shard.blocked.to_string(),
+                if atomic { "YES".into() } else { "no".into() },
+                format!("{severed:?}"),
+            ]);
+            if shape.is_simple() {
+                assert!(atomic, "{}: simple split broke atomicity", protocol.name());
+            }
+        }
+
+        // Sanity anchor grounded in the layer-one results: on the simple
+        // family the paper's protocol must decide at least as many
+        // (txn, replica) slots as blocking 2PC on every shard.
+        if shape.is_simple() {
+            let shards_of = |p: CommitProtocol| {
+                &runs.iter().find(|(q, _)| *q == p).expect("protocol ran").1.shards
+            };
+            let (hl_shards, base_shards) =
+                (shards_of(CommitProtocol::HuangLi), shards_of(CommitProtocol::TwoPhase));
+            for (hl, base) in hl_shards.iter().zip(base_shards) {
+                assert!(
+                    hl.availability() >= base.availability(),
+                    "shard {}: HL-3PC ({:.3}) below 2PC ({:.3})",
+                    hl.shard,
+                    hl.availability(),
+                    base.availability()
+                );
+            }
+        }
+    }
+    println!("{}", table.render());
+
+    println!("Reading the table: a simple split leaves HL-3PC terminating both sides");
+    println!("(availability lost only where a stranded replica is out of shipping");
+    println!("reach), while 2PC's caught participants block and quorum commit");
+    println!("strands minority fragments. The multi-way and nested families leave");
+    println!("the paper's model: there the termination protocol itself can decide");
+    println!("inconsistently — the atomicity column, measured at shard level.");
+}

@@ -22,8 +22,10 @@
 //! | `exp_blocking_availability` | Sec. 1–2 motivation (locks + blocking) |
 //! | `exp_quorum_baseline` | reference \[5\] baseline comparison |
 //! | `exp_multi_partition` | partition-schedule families beyond the paper's model (`BENCH_schedule.json`) |
+//! | `exp_shard_availability` | shard-level availability of the sharded store under each schedule family |
 //! | `bench_sweep` | sweep-engine throughput baseline (`BENCH_sweep.json`) |
 //! | `bench_ddb` | database workload throughput baseline (`BENCH_ddb.json`) |
+//! | `bench_shard` | sharded-store throughput baseline (`BENCH_shard.json`) |
 //!
 //! ## Sweep-engine performance baseline
 //!
@@ -44,7 +46,7 @@
 //! default and deterministic at any thread count.
 
 use ptp_core::report::Table;
-use ptp_core::{sweep, ProtocolKind, SweepGrid, SweepReport};
+use ptp_core::{sweep, sweep_with_session, ProtocolKind, SessionPool, SweepGrid, SweepReport};
 use ptp_simnet::DelayModel;
 
 /// The delay schedules used by default across experiments: the slowest
@@ -67,6 +69,26 @@ pub fn dense_grid(n: usize) -> SweepGrid {
     grid.partition_times = (0..=64).map(|i| i * 125).collect();
     grid.delays = standard_delays(1000);
     grid
+}
+
+/// `per_shard` keys per shard of `topo`, found by probing the router with
+/// `key-{i}` names — the deterministic workload vocabulary shared by the
+/// sharded-store binaries (`bench_shard`, `exp_shard_availability`).
+pub fn shard_key_pool(
+    topo: &ptp_shard::ShardTopology,
+    per_shard: usize,
+) -> Vec<Vec<ptp_core::ddb::Key>> {
+    let mut pools: Vec<Vec<ptp_core::ddb::Key>> = vec![Vec::new(); topo.shards()];
+    let mut i = 0u64;
+    while pools.iter().any(|p| p.len() < per_shard) {
+        let key = ptp_core::ddb::Key::from(format!("key-{i}"));
+        let shard = topo.shard_of(&key);
+        if pools[shard].len() < per_shard {
+            pools[shard].push(key);
+        }
+        i += 1;
+    }
+    pools
 }
 
 /// Minimal JSON string escaping for the hand-rolled benchmark reports
@@ -100,11 +122,8 @@ pub fn sweep_row(kind: ProtocolKind, report: &SweepReport) -> Vec<String> {
     ]
 }
 
-/// Runs a set of protocols over one grid and prints the scorecard.
-pub fn print_scorecard(title: &str, kinds: &[ProtocolKind], grid: &SweepGrid) {
-    println!("== {title} ==");
-    println!("({} scenarios per protocol)\n", grid.size());
-    let mut table = Table::new(vec![
+fn scorecard_table() -> Table {
+    Table::new(vec![
         "protocol",
         "scenarios",
         "all-commit",
@@ -112,9 +131,36 @@ pub fn print_scorecard(title: &str, kinds: &[ProtocolKind], grid: &SweepGrid) {
         "blocked",
         "inconsistent",
         "resilient?",
-    ]);
+    ])
+}
+
+/// Runs a set of protocols over one grid and prints the scorecard.
+pub fn print_scorecard(title: &str, kinds: &[ProtocolKind], grid: &SweepGrid) {
+    println!("== {title} ==");
+    println!("({} scenarios per protocol)\n", grid.size());
+    let mut table = scorecard_table();
     for &kind in kinds {
         let report = sweep(kind, grid);
+        table.row(sweep_row(kind, &report));
+    }
+    println!("{}", table.render());
+}
+
+/// [`print_scorecard`] routed through a caller's [`SessionPool`]: each
+/// `(kind, n)` cluster is built once for the whole binary and reused
+/// across every grid it sweeps (serial, which is deterministic by
+/// construction — no thread-count dependence to even think about).
+pub fn print_scorecard_pooled(
+    pool: &mut SessionPool,
+    title: &str,
+    kinds: &[ProtocolKind],
+    grid: &SweepGrid,
+) {
+    println!("== {title} ==");
+    println!("({} scenarios per protocol)\n", grid.size());
+    let mut table = scorecard_table();
+    for &kind in kinds {
+        let report = sweep_with_session(pool.session(kind, grid.n), grid);
         table.row(sweep_row(kind, &report));
     }
     println!("{}", table.render());

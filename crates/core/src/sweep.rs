@@ -493,30 +493,25 @@ const BLOCK: usize = 64;
 /// thread spawn/teardown would dominate.
 const PARALLEL_THRESHOLD: usize = 2 * BLOCK;
 
-/// Worker-local scratch: one [`Session`] (cluster + simulator buffers built
-/// once per worker) and one [`Scenario`] reused across every cell the
-/// worker runs, so votes/G2/delay buffers are recycled instead of
-/// reallocated ~`grid.size()` times.
-struct CellRunner {
-    session: Session,
+/// Per-sweep scenario scratch: one [`Scenario`] reused across every cell,
+/// so votes/G2/delay buffers are recycled instead of reallocated
+/// ~`grid.size()` times. The session it drives is supplied per call —
+/// owned by a worker ([`CellRunner`]) or borrowed from a caller's
+/// [`crate::SessionPool`] ([`sweep_with_session`]).
+struct CellState {
     scenario: Scenario,
     options: RunOptions,
     delay_index: Option<usize>,
 }
 
-impl CellRunner {
-    fn new(kind: ProtocolKind, grid: &SweepGrid) -> CellRunner {
+impl CellState {
+    fn new(grid: &SweepGrid) -> CellState {
         let mut scenario = Scenario::new(grid.n);
         scenario.mode = grid.mode;
-        CellRunner {
-            session: Session::new(kind, grid.n),
-            scenario,
-            options: RunOptions::new(),
-            delay_index: None,
-        }
+        CellState { scenario, options: RunOptions::new(), delay_index: None }
     }
 
-    fn run(&mut self, grid: &SweepGrid, spec: &ScenarioSpec<'_>) -> Verdict {
+    fn run(&mut self, session: &mut Session, grid: &SweepGrid, spec: &ScenarioSpec<'_>) -> Verdict {
         let scenario = &mut self.scenario;
         if self.delay_index != Some(spec.delay_index) {
             // DelayModel clones can be heavy (scheduled/per-link maps);
@@ -562,7 +557,25 @@ impl CellRunner {
                 shape.write_schedule(grid.n, spec.g2, spec.at, spec.heal, schedule);
             }
         }
-        self.session.verdict(scenario, &self.options)
+        session.verdict(scenario, &self.options)
+    }
+}
+
+/// Worker-local scratch for the parallel path: an owned [`Session`]
+/// (cluster + simulator buffers built once per worker) plus the shared
+/// [`CellState`] scenario recycling.
+struct CellRunner {
+    session: Session,
+    cells: CellState,
+}
+
+impl CellRunner {
+    fn new(kind: ProtocolKind, grid: &SweepGrid) -> CellRunner {
+        CellRunner { session: Session::new(kind, grid.n), cells: CellState::new(grid) }
+    }
+
+    fn run(&mut self, grid: &SweepGrid, spec: &ScenarioSpec<'_>) -> Verdict {
+        self.cells.run(&mut self.session, grid, spec)
     }
 }
 
@@ -594,11 +607,32 @@ pub fn sweep(kind: ProtocolKind, grid: &SweepGrid) -> SweepReport {
 
 /// Runs the grid on the calling thread, in flat-index order.
 pub fn sweep_serial(kind: ProtocolKind, grid: &SweepGrid) -> SweepReport {
+    let mut session = Session::new(kind, grid.n);
+    sweep_with_session(&mut session, grid)
+}
+
+/// Runs the grid serially through a caller-owned [`Session`] — the
+/// [`crate::SessionPool`] path: flows that sweep several grids over the
+/// same `(kind, n)` clusters (the Theorem 9 scorecards, for instance) hold
+/// one pool and reuse each cluster across every grid instead of rebuilding
+/// it per sweep. Produces reports identical to [`sweep_serial`].
+///
+/// # Panics
+///
+/// If the session's cluster size differs from `grid.n`.
+pub fn sweep_with_session(session: &mut Session, grid: &SweepGrid) -> SweepReport {
+    assert_eq!(
+        session.sites(),
+        grid.n,
+        "grid has {} sites but the session was built for {}",
+        grid.n,
+        session.sites()
+    );
     let mut report = SweepReport::default();
-    let mut runner = CellRunner::new(kind, grid);
+    let mut cells = CellState::new(grid);
     for index in 0..grid.size() {
         let spec = grid.scenario(index);
-        let verdict = runner.run(grid, &spec);
+        let verdict = cells.run(session, grid, &spec);
         report.record_cell(&spec, verdict);
     }
     report
@@ -938,6 +972,32 @@ mod tests {
             assert_reports_identical(&serial, &parallel);
         }
         assert_eq!(serial.total, grid.size());
+    }
+
+    #[test]
+    fn pooled_session_sweep_matches_serial_across_grids() {
+        // One SessionPool session swept over two different grids (the
+        // exp_thm9 pattern) must reproduce the fresh-session reports.
+        let mut pool = crate::SessionPool::new();
+        let mut dense = SweepGrid::standard(3);
+        dense.partition_times = (0..=8).map(|i| i * 500).collect();
+        dense.delays = vec![DelayModel::Fixed(1000)];
+        let transient = dense.clone().with_transient_heals(2);
+        for kind in [ProtocolKind::HuangLi3pc, ProtocolKind::Plain2pc] {
+            for grid in [&dense, &transient] {
+                let pooled = sweep_with_session(pool.session(kind, 3), grid);
+                let fresh = sweep_serial(kind, grid);
+                assert_reports_identical(&fresh, &pooled);
+            }
+        }
+        assert_eq!(pool.len(), 2, "one cluster per kind across all four sweeps");
+    }
+
+    #[test]
+    #[should_panic(expected = "sites")]
+    fn pooled_session_sweep_rejects_size_mismatch() {
+        let mut session = Session::new(ProtocolKind::HuangLi3pc, 3);
+        let _ = sweep_with_session(&mut session, &SweepGrid::standard(4));
     }
 
     #[test]

@@ -23,6 +23,22 @@ use std::rc::Rc;
 use std::sync::Arc;
 
 /// Which commit protocol the cluster's transactions run.
+///
+/// # Examples
+///
+/// ```
+/// use ptp_ddb::cluster::CommitProtocol;
+/// use ptp_simnet::SiteId;
+///
+/// assert_eq!(CommitProtocol::HuangLi.name(), "HL-3PC");
+///
+/// // The builder is group-size generic: the same handle mints a master
+/// // (index 0) for a 3-site group and a slave for a 5-site one, which is
+/// // how `ptp-shard` runs one protocol at several replica-group sizes.
+/// let builder = CommitProtocol::HuangLi.participant_builder();
+/// let _master = builder(SiteId(0), 3);
+/// let _slave = builder(SiteId(2), 5);
+/// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum CommitProtocol {
     /// Plain two-phase commit (Fig. 1): blocks under partitions — the
@@ -45,12 +61,28 @@ impl CommitProtocol {
         }
     }
 
-    fn builder(self, n: usize) -> ParticipantBuilder {
+    /// The [`ParticipantBuilder`] for this protocol: `(site, n)` yields the
+    /// participant for virtual site `site` of an `n`-site protocol group
+    /// (`site == SiteId(0)` is the group's master). The builder is fully
+    /// group-size generic — one handle serves every replica-group size a
+    /// sharded cluster runs, caching derived per-size protocol specs — which
+    /// is what lets `ptp-shard` pool participants per `(site, group size)`
+    /// through the same [`ParticipantFactory`] machinery as [`DbCluster`].
+    pub fn participant_builder(self) -> ParticipantBuilder {
         match self {
             CommitProtocol::TwoPhase => {
-                let spec = Arc::new(ptp_model::protocols::two_phase(n));
-                Rc::new(move |site: SiteId, _n: usize| {
-                    FsaParticipant::new(spec.clone(), site.index(), Vote::Yes, None).into()
+                // One FSA spec per distinct group size, built on first use:
+                // a flat cluster only ever asks for its own n, so this is
+                // exactly the old one-spec-per-cluster behaviour there.
+                let specs: RefCell<BTreeMap<usize, Arc<ptp_model::ProtocolSpec>>> =
+                    RefCell::new(BTreeMap::new());
+                Rc::new(move |site: SiteId, n: usize| {
+                    let spec = specs
+                        .borrow_mut()
+                        .entry(n)
+                        .or_insert_with(|| Arc::new(ptp_model::protocols::two_phase(n)))
+                        .clone();
+                    FsaParticipant::new(spec, site.index(), Vote::Yes, None).into()
                 })
             }
             CommitProtocol::HuangLi => Rc::new(move |site: SiteId, n: usize| {
@@ -74,6 +106,29 @@ impl CommitProtocol {
 }
 
 /// A cluster specification.
+///
+/// # Examples
+///
+/// ```
+/// use ptp_ddb::cluster::{CommitProtocol, DbCluster};
+/// use ptp_ddb::site::TxnSpec;
+/// use ptp_ddb::value::{Key, TxnId, Value, WriteOp};
+/// use std::collections::BTreeMap;
+///
+/// let mut writes = BTreeMap::new();
+/// writes.insert(1u16, vec![WriteOp { key: Key::from("k"), value: Value::from_u64(7) }]);
+/// let run = DbCluster::new(3, CommitProtocol::HuangLi)
+///     .seed(1, Key::from("k"), Value::from_u64(0))
+///     .submit(0, TxnSpec { id: TxnId(1), writes })
+///     .run();
+/// assert!(run.metrics.atomicity_violations().is_empty());
+/// assert_eq!(run.storages[1].get(&Key::from("k")).unwrap().as_u64(), Some(7));
+/// // The WAL of every site comes back too: site 1 force-wrote the commit.
+/// assert!(run.wals[1].durable().iter().any(|r| matches!(
+///     r,
+///     ptp_ddb::wal::Record::Commit { txn } if *txn == TxnId(1)
+/// )));
+/// ```
 pub struct DbCluster {
     /// Number of sites.
     pub n: usize,
@@ -107,6 +162,8 @@ pub struct DbRun {
     pub report: RunReport,
     /// Final committed storage per site.
     pub storages: Vec<Storage>,
+    /// Final write-ahead log per site (durable + volatile records).
+    pub wals: Vec<crate::wal::Wal>,
     /// Transactions still undecided per site (blocked) at the end.
     pub blocked: Vec<Vec<TxnId>>,
     /// Protocol participants constructed across all sites.
@@ -173,7 +230,7 @@ impl DbCluster {
     /// Runs the cluster to quiescence (or the horizon).
     pub fn run(self) -> DbRun {
         let metrics = Rc::new(RefCell::new(Metrics::default()));
-        let builder = self.protocol.builder(self.n);
+        let builder = self.protocol.participant_builder();
         let factory = if self.reuse_participants {
             ParticipantFactory::pooled(builder)
         } else {
@@ -203,6 +260,7 @@ impl DbCluster {
         let (actors, trace, report) = sim.run();
 
         let mut storages = Vec::with_capacity(self.n);
+        let mut wals = Vec::with_capacity(self.n);
         let mut blocked = Vec::with_capacity(self.n);
         let mut participants_constructed = 0;
         let mut participants_reused = 0;
@@ -212,6 +270,7 @@ impl DbCluster {
                 .and_then(|a| a.downcast_ref::<SiteNode>())
                 .expect("cluster actors are SiteNodes");
             storages.push(node.storage().clone());
+            wals.push(node.wal().clone());
             blocked.push(node.active_txns());
             participants_constructed += node.pool().constructed();
             participants_reused += node.pool().reused();
@@ -223,6 +282,7 @@ impl DbCluster {
             trace,
             report,
             storages,
+            wals,
             blocked,
             participants_constructed,
             participants_reused,

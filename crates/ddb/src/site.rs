@@ -511,7 +511,7 @@ impl Actor<DbMsg> for SiteNode {
             // commit (impossible while we never voted; note it).
             if matches!(inner, CommitMsg::Kind("abort")) {
                 self.parked.remove(&txn);
-                self.locks.release_all(txn);
+                let promoted = self.locks.release_all(txn);
                 self.finished.insert(txn, Decision::Abort);
                 let now = ctx.now();
                 self.metrics
@@ -521,6 +521,12 @@ impl Actor<DbMsg> for SiteNode {
                     .or_default()
                     .insert(self.me.0, (Decision::Abort, now));
                 ctx.note("parked-abort", txn.0 as u64);
+                // A parked txn can hold granted locks (it parks if *any*
+                // request waits) with other waiters queued behind them;
+                // restart whatever its release promoted, as finish() does.
+                for t in promoted {
+                    self.try_unpark(t, ctx);
+                }
             }
         }
     }
@@ -691,6 +697,69 @@ mod tests {
         assert_eq!(node.finished.len(), 2);
         assert_eq!(node.pool.constructed(), 1);
         assert_eq!(node.pool.reused(), 1);
+    }
+
+    #[test]
+    fn parked_abort_promotes_waiters_queued_behind_its_granted_locks() {
+        // txn 1 takes k1. txn 2 wants [k1, k2]: k2 is granted, k1 waits, so
+        // it parks *holding* k2. txn 3 wants k2 and queues behind txn 2.
+        // The master then aborts parked txn 2: releasing its locks promotes
+        // txn 3, which must actually start (regression: the promoted list
+        // was dropped, stranding txn 3 in `parked` forever).
+        use ptp_simnet::ScheduleBuilder;
+        let metrics = Rc::new(RefCell::new(Metrics::default()));
+        let slave = SiteNode::new(
+            SiteId(1),
+            2,
+            &slave_factory(),
+            metrics.clone(),
+            Vec::new(),
+            Storage::new(),
+        );
+        let two = DbMsg {
+            txn: TxnId(2),
+            inner: CommitMsg::Kind("xact"),
+            writes: Some(vec![
+                WriteOp { key: Key::from("k1"), value: Value::from_u64(2) },
+                WriteOp { key: Key::from("k2"), value: Value::from_u64(2) },
+            ]),
+        };
+        let abort_two = DbMsg { txn: TxnId(2), inner: CommitMsg::Kind("abort"), writes: None };
+        let driver = ScriptedMaster(vec![xact(1, "k1"), two, xact(3, "k2"), abort_two]);
+        let actors: Vec<Box<dyn Actor<DbMsg>>> = vec![Box::new(driver), Box::new(slave)];
+        // Deliver in script order: msg i arrives at (i + 1) * 100.
+        let delay = ScheduleBuilder::with_default(100)
+            .outbound(1, 200)
+            .outbound(2, 300)
+            .outbound(3, 400)
+            .build();
+        let sim = Simulation::new(
+            NetConfig::default(),
+            actors,
+            PartitionEngine::always_connected(),
+            &delay,
+            vec![],
+        );
+        let (actors, trace, _) = sim.run();
+
+        let node = actors[1].as_any().and_then(|a| a.downcast_ref::<SiteNode>()).unwrap();
+        assert!(
+            trace.first_note(SiteId(1), "parked-abort").is_some(),
+            "txn 2 must be aborted while parked"
+        );
+        assert!(node.parked.is_empty(), "txn 3 stranded in parked: promotion dropped");
+        // txn 3 began (WAL Begin) once txn 2's release promoted it, and —
+        // abandoned by the silent master — terminated via its own timeout.
+        assert!(
+            node.wal
+                .durable()
+                .iter()
+                .any(|r| matches!(r, Record::Begin { txn, .. } if *txn == TxnId(3))),
+            "txn 3 never began"
+        );
+        assert_eq!(node.finished.get(&TxnId(2)), Some(&Decision::Abort));
+        assert!(node.finished.contains_key(&TxnId(3)), "txn 3 must terminate");
+        assert_eq!(node.locks.waiting_count(), 0);
     }
 
     #[test]

@@ -69,7 +69,11 @@ pub enum RecoveryAction {
 }
 
 /// The write-ahead log of one site.
-#[derive(Debug, Default, Clone)]
+///
+/// `PartialEq` compares records *and* the durable watermark, so equality is
+/// full stable-storage equivalence — what the recovery-idempotency and
+/// sharded-equivalence suites pin.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
 pub struct Wal {
     records: Vec<Record>,
     /// Records `< flushed` are on stable storage.

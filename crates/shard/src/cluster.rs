@@ -1,0 +1,375 @@
+//! The sharded cluster driver: builds one [`crate::ShardNode`] per site,
+//! routes seeds and workload through the shard map, runs everything in
+//! **one** simulation — so a single partition schedule or failure spec cuts
+//! across every replica group deterministically — and aggregates global
+//! plus per-shard metrics.
+
+use crate::node::ShardNode;
+use crate::plan::{PlanTable, ShardTxnSpec};
+use crate::topology::ShardTopology;
+use ptp_ddb::cluster::CommitProtocol;
+use ptp_ddb::site::{DbMsg, Metrics, ParticipantFactory};
+use ptp_ddb::storage::Storage;
+use ptp_ddb::value::{Key, TxnId, Value};
+use ptp_ddb::wal::Wal;
+use ptp_model::Decision;
+use ptp_simnet::{
+    Actor, DelayModel, NetConfig, PartitionEngine, RunReport, Simulation, SiteId, Trace,
+};
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+/// A sharded cluster specification, mirroring [`ptp_ddb::DbCluster`] one
+/// structural level up: instead of one fully-replicated site group, a
+/// keyspace split over `S` replica groups.
+///
+/// # Examples
+///
+/// ```
+/// use ptp_ddb::cluster::CommitProtocol;
+/// use ptp_ddb::value::{Key, TxnId, Value, WriteOp};
+/// use ptp_shard::{ShardCluster, ShardTopology, ShardTxnSpec};
+///
+/// // 3 shards × 2 replicas over 6 sites; transfer between two keys.
+/// let topo = ShardTopology::uniform(6, 3, 2);
+/// let (a, b) = (Key::from("acct-a"), Key::from("acct-b"));
+/// let run = ShardCluster::new(topo, CommitProtocol::HuangLi)
+///     .seed(a.clone(), Value::from_u64(100))
+///     .seed(b.clone(), Value::from_u64(0))
+///     .submit(0, ShardTxnSpec {
+///         id: TxnId(1),
+///         writes: vec![
+///             WriteOp { key: a.clone(), value: Value::from_u64(70) },
+///             WriteOp { key: b.clone(), value: Value::from_u64(30) },
+///         ],
+///     })
+///     .run();
+/// assert!(run.metrics.atomicity_violations().is_empty());
+/// // Every replica of each touched shard holds the committed value.
+/// for shard in &run.shards {
+///     assert_eq!(shard.availability(), 1.0, "shard {}", shard.shard);
+/// }
+/// ```
+pub struct ShardCluster {
+    /// The shard map.
+    pub topology: ShardTopology,
+    /// The commit protocol — used both inside replica groups and for the
+    /// top-level cross-shard coordinator.
+    pub protocol: CommitProtocol,
+    /// Initial committed data, routed to every replica of the key's shard.
+    pub seed: Vec<(Key, Value)>,
+    /// Client workload: `(submit tick, spec)`; each transaction is
+    /// submitted at its plan's master.
+    pub workload: Vec<(u64, ShardTxnSpec)>,
+    /// Network partition schedule (cuts across all groups).
+    pub partition: PartitionEngine,
+    /// Message delays.
+    pub delay: DelayModel,
+    /// Network configuration.
+    pub config: NetConfig,
+    /// Site failures to inject.
+    pub failures: Vec<ptp_simnet::FailureSpec>,
+    /// Recycle protocol participants through per-site pools (default), or
+    /// construct per transaction (the equivalence/bench baseline).
+    pub reuse_participants: bool,
+}
+
+/// Per-shard outcome accounting, derived from the shared [`Metrics`] after
+/// the run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardMetrics {
+    /// The shard index.
+    pub shard: usize,
+    /// Its replica group (master first).
+    pub group: Vec<SiteId>,
+    /// Transactions that wrote this shard.
+    pub txns: usize,
+    /// Of those, how many also wrote other shards.
+    pub cross_shard_txns: usize,
+    /// Transactions this shard's master decided `Commit`.
+    pub committed: usize,
+    /// Transactions this shard's master decided `Abort`.
+    pub aborted: usize,
+    /// Transactions this shard's master never decided (blocked at the
+    /// master by the end of the run).
+    pub undecided: usize,
+    /// Observed `(transaction, group member)` decisions.
+    pub member_decisions: usize,
+    /// Expected `(transaction, group member)` decisions
+    /// (`txns × group size`).
+    pub member_slots: usize,
+    /// Total lock-hold ticks attributed to this shard (horizon stands in
+    /// for still-held locks).
+    pub lock_hold_ticks: u64,
+    /// Lock-hold intervals still open at the end of the run.
+    pub locks_still_held: usize,
+}
+
+impl ShardMetrics {
+    /// Shard-level availability: the fraction of `(transaction, member)`
+    /// slots that reached a decision. `1.0` means every replica of this
+    /// shard learned the outcome of every transaction that touched it; a
+    /// partition that strands replicas (or blocks the protocol) drags it
+    /// down.
+    pub fn availability(&self) -> f64 {
+        if self.member_slots == 0 {
+            return 1.0;
+        }
+        self.member_decisions as f64 / self.member_slots as f64
+    }
+}
+
+/// Cross-shard traffic accounting, judged at each transaction's top-level
+/// coordinator.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CrossShardReport {
+    /// Cross-shard transactions submitted.
+    pub submitted: usize,
+    /// Coordinator decided `Commit`.
+    pub committed: usize,
+    /// Coordinator decided `Abort`.
+    pub aborted: usize,
+    /// Coordinator never decided (blocked).
+    pub blocked: usize,
+}
+
+impl CrossShardReport {
+    /// Abort rate among decided cross-shard transactions.
+    pub fn abort_rate(&self) -> f64 {
+        let decided = self.committed + self.aborted;
+        if decided == 0 {
+            return 0.0;
+        }
+        self.aborted as f64 / decided as f64
+    }
+}
+
+/// Everything a sharded run produces.
+pub struct ShardRun {
+    /// Global decisions, submissions, lock-hold intervals (all sites).
+    pub metrics: Metrics,
+    /// Per-shard outcome accounting.
+    pub shards: Vec<ShardMetrics>,
+    /// Cross-shard traffic accounting.
+    pub cross_shard: CrossShardReport,
+    /// Full network trace.
+    pub trace: Trace,
+    /// Simulator report.
+    pub report: RunReport,
+    /// Final committed storage per site.
+    pub storages: Vec<Storage>,
+    /// Final write-ahead log per site.
+    pub wals: Vec<Wal>,
+    /// Transactions with a commit protocol still in flight per site.
+    pub blocked: Vec<Vec<TxnId>>,
+    /// Protocol participants constructed across all sites and pools.
+    pub participants_constructed: usize,
+    /// Pool acquisitions served off free-lists.
+    pub participants_reused: usize,
+}
+
+impl ShardCluster {
+    /// A fresh cluster over `topology` with no seed data and no workload.
+    pub fn new(topology: ShardTopology, protocol: CommitProtocol) -> ShardCluster {
+        ShardCluster {
+            topology,
+            protocol,
+            seed: Vec::new(),
+            workload: Vec::new(),
+            partition: PartitionEngine::always_connected(),
+            delay: DelayModel::Fixed(700),
+            config: NetConfig::default(),
+            failures: Vec::new(),
+            reuse_participants: true,
+        }
+    }
+
+    /// Constructs one participant per transaction instead of pooling.
+    pub fn construct_per_txn(mut self) -> ShardCluster {
+        self.reuse_participants = false;
+        self
+    }
+
+    /// Seeds a key at every replica of its shard.
+    pub fn seed(mut self, key: Key, value: Value) -> ShardCluster {
+        self.seed.push((key, value));
+        self
+    }
+
+    /// Adds a transaction submitted at tick `at` (at its plan's master).
+    pub fn submit(mut self, at: u64, spec: ShardTxnSpec) -> ShardCluster {
+        self.workload.push((at, spec));
+        self
+    }
+
+    /// Sets the partition schedule.
+    pub fn partition(mut self, partition: PartitionEngine) -> ShardCluster {
+        self.partition = partition;
+        self
+    }
+
+    /// Sets the delay model.
+    pub fn delay(mut self, delay: DelayModel) -> ShardCluster {
+        self.delay = delay;
+        self
+    }
+
+    /// Injects a site failure (crash or crash-recover).
+    pub fn fail(mut self, spec: ptp_simnet::FailureSpec) -> ShardCluster {
+        self.failures.push(spec);
+        self
+    }
+
+    /// Runs the cluster to quiescence (or the horizon).
+    pub fn run(self) -> ShardRun {
+        let n = self.topology.sites();
+        let specs: Vec<ShardTxnSpec> = self.workload.iter().map(|(_, spec)| spec.clone()).collect();
+        let plans = Rc::new(PlanTable::compile(self.topology.clone(), &specs));
+
+        // Route seeds: every replica of the key's shard holds it.
+        let mut seeds: BTreeMap<u16, Storage> = BTreeMap::new();
+        for (key, value) in &self.seed {
+            let shard = self.topology.shard_of(key);
+            for site in self.topology.group(shard) {
+                seeds.entry(site.0).or_default().seed(key.clone(), value.clone());
+            }
+        }
+
+        // Route submissions to each plan's master, preserving order.
+        let mut workloads: Vec<Vec<(u64, TxnId)>> = vec![Vec::new(); n];
+        for (at, spec) in &self.workload {
+            let master = plans.get(spec.id).expect("just compiled").master();
+            workloads[master.index()].push((*at, spec.id));
+        }
+
+        let metrics = Rc::new(RefCell::new(Metrics::default()));
+        let builder = self.protocol.participant_builder();
+        let factory = if self.reuse_participants {
+            ParticipantFactory::pooled(builder)
+        } else {
+            ParticipantFactory::construct_per_txn(builder)
+        };
+
+        let actors: Vec<Box<dyn Actor<DbMsg>>> = (0..n as u16)
+            .map(|i| {
+                Box::new(ShardNode::new(
+                    SiteId(i),
+                    plans.clone(),
+                    factory.clone(),
+                    metrics.clone(),
+                    std::mem::take(&mut workloads[i as usize]),
+                    seeds.remove(&i).unwrap_or_default(),
+                )) as Box<dyn Actor<DbMsg>>
+            })
+            .collect();
+
+        let horizon = self.config.max_time;
+        let sim = Simulation::new(self.config, actors, self.partition, &self.delay, self.failures);
+        let (actors, trace, report) = sim.run();
+
+        let mut storages = Vec::with_capacity(n);
+        let mut wals = Vec::with_capacity(n);
+        let mut blocked = Vec::with_capacity(n);
+        let mut participants_constructed = 0;
+        let mut participants_reused = 0;
+        for actor in &actors {
+            let node = actor
+                .as_any()
+                .and_then(|a| a.downcast_ref::<ShardNode>())
+                .expect("cluster actors are ShardNodes");
+            storages.push(node.storage().clone());
+            wals.push(node.wal().clone());
+            blocked.push(node.active_txns());
+            participants_constructed += node.participants_constructed();
+            participants_reused += node.participants_reused();
+        }
+        drop(actors);
+        let metrics = Rc::try_unwrap(metrics).expect("metrics uniquely owned").into_inner();
+
+        let (shards, cross_shard) = aggregate(&plans, &metrics, horizon);
+        ShardRun {
+            metrics,
+            shards,
+            cross_shard,
+            trace,
+            report,
+            storages,
+            wals,
+            blocked,
+            participants_constructed,
+            participants_reused,
+        }
+    }
+}
+
+/// Derives the per-shard and cross-shard reports from the shared metrics.
+fn aggregate(
+    plans: &PlanTable,
+    metrics: &Metrics,
+    horizon: ptp_simnet::SimTime,
+) -> (Vec<ShardMetrics>, CrossShardReport) {
+    let topology = &plans.topology;
+    let mut shards: Vec<ShardMetrics> = (0..topology.shards())
+        .map(|s| ShardMetrics {
+            shard: s,
+            group: topology.group(s).to_vec(),
+            txns: 0,
+            cross_shard_txns: 0,
+            committed: 0,
+            aborted: 0,
+            undecided: 0,
+            member_decisions: 0,
+            member_slots: 0,
+            lock_hold_ticks: 0,
+            locks_still_held: 0,
+        })
+        .collect();
+    let mut cross = CrossShardReport::default();
+
+    for (txn, plan) in plans.iter() {
+        let decisions = metrics.decisions.get(txn);
+        if plan.is_cross_shard() {
+            cross.submitted += 1;
+            match decisions.and_then(|d| d.get(&plan.master().0)) {
+                Some((Decision::Commit, _)) => cross.committed += 1,
+                Some((Decision::Abort, _)) => cross.aborted += 1,
+                None => cross.blocked += 1,
+            }
+        }
+        for &s in &plan.shards {
+            let m = &mut shards[s];
+            m.txns += 1;
+            if plan.is_cross_shard() {
+                m.cross_shard_txns += 1;
+            }
+            m.member_slots += topology.group(s).len();
+            match decisions.and_then(|d| d.get(&topology.master(s).0)) {
+                Some((Decision::Commit, _)) => m.committed += 1,
+                Some((Decision::Abort, _)) => m.aborted += 1,
+                None => m.undecided += 1,
+            }
+            if let Some(d) = decisions {
+                m.member_decisions +=
+                    topology.group(s).iter().filter(|site| d.contains_key(&site.0)).count();
+            }
+        }
+    }
+
+    // Attribute each lock-hold interval to the first involved shard whose
+    // replica group contains the holding site.
+    for hold in &metrics.lock_holds {
+        let Some(plan) = plans.get(hold.txn) else { continue };
+        let Some(&shard) = plan.shards.iter().find(|&&s| topology.group(s).contains(&hold.site))
+        else {
+            continue;
+        };
+        let end = hold.to.unwrap_or(horizon);
+        shards[shard].lock_hold_ticks += end.ticks().saturating_sub(hold.from.ticks());
+        if hold.to.is_none() {
+            shards[shard].locks_still_held += 1;
+        }
+    }
+
+    (shards, cross)
+}

@@ -1,0 +1,602 @@
+//! The sharded site actor: `ptp-ddb`'s storage engine, WAL, lock table and
+//! participant pools, driven by per-transaction *group routing*.
+//!
+//! A [`ShardNode`] is [`ptp_ddb::SiteNode`] generalized from "site 0
+//! coordinates everyone" to "each transaction names its own protocol
+//! group". Participants run under **virtual** site ids — index `j` within
+//! the plan's group vector means virtual `SiteId(j)`, with virtual 0 the
+//! master — so the unmodified protocol state machines (2PC FSA, the
+//! Huang–Li termination master/slave, quorum sites) coordinate any subset
+//! of the cluster at any group size. The node translates on the boundary:
+//! outgoing [`Action::Send`]/[`Action::Broadcast`] targets map
+//! virtual → physical through the group vector, incoming envelope sources
+//! map physical → virtual.
+//!
+//! On top of the participant path, the node implements the cross-shard
+//! outcome shipping of [`crate::plan`]: a group master that decides a
+//! cross-shard transaction sends `shard-apply` (with the shard's writes) or
+//! `shard-abort` to its out-of-group replicas, which install the decided
+//! outcome under their own locks and WAL discipline — committed log
+//! shipping, the primary-copy half of the two-level design.
+
+use crate::plan::PlanTable;
+use ptp_ddb::locks::{LockGrant, LockMode, LockTable};
+use ptp_ddb::site::{DbMsg, LockHold, Metrics, ParticipantFactory, ParticipantPool};
+use ptp_ddb::storage::Storage;
+use ptp_ddb::value::{TxnId, WriteOp};
+use ptp_ddb::wal::{Record, Wal};
+use ptp_model::Decision;
+use ptp_protocols::api::{Action, CommitMsg, Participant, TimerTag, Vote};
+use ptp_simnet::{Actor, Ctx, Envelope, SiteId, TimerHandle};
+use std::cell::RefCell;
+use std::collections::{BTreeMap, HashMap};
+use std::rc::Rc;
+
+/// Message kind a group master ships to its out-of-group replicas when a
+/// cross-shard transaction commits (carries the shard's write set).
+pub const SHARD_APPLY: &str = "shard-apply";
+/// Message kind shipped on a cross-shard abort (no writes; the replica
+/// only records the outcome).
+pub const SHARD_ABORT: &str = "shard-abort";
+
+/// Timer-tag encoding, identical to `ptp_ddb::site`: protocol timers are
+/// `(txn + 1) << 8 | tag`; client submission timers use this low byte.
+const CLIENT_TAG: u64 = 0xfe;
+
+/// Per-transaction protocol state at one site. The participant lives in one
+/// of the node's per-`(virtual id, group size)` pools; this records where.
+struct TxnSlot {
+    pool: (u16, u16),
+    participant: usize,
+    timers: HashMap<TimerTag, TimerHandle>,
+    hold_index: Option<usize>,
+}
+
+/// A transaction waiting for locks at this site.
+enum Parked {
+    /// An in-flight xact: the commit protocol has not started, so the
+    /// master's timeout will abort the transaction if the wait outlasts it.
+    Xact { from: SiteId, writes: Vec<WriteOp> },
+    /// A *decided* cross-shard commit shipped by a group master: it must
+    /// apply as soon as the locks free up (the decision is already durable
+    /// at the master — there is nothing left to vote on).
+    Apply { writes: Vec<WriteOp> },
+}
+
+/// A sharded database site.
+pub struct ShardNode {
+    me: SiteId,
+    plans: Rc<PlanTable>,
+    factory: ParticipantFactory,
+    /// One participant arena per `(virtual id, group size)` this site plays:
+    /// a site can be slave 2 of its own 3-replica group and coordinator of a
+    /// 2-master top level at once, and the machines are not interchangeable.
+    pools: BTreeMap<(u16, u16), ParticipantPool>,
+    storage: Storage,
+    wal: Wal,
+    locks: LockTable,
+    metrics: Rc<RefCell<Metrics>>,
+    slots: BTreeMap<TxnId, TxnSlot>,
+    parked: BTreeMap<TxnId, Parked>,
+    finished: BTreeMap<TxnId, Decision>,
+    /// Transactions this site submits (it is their plan's master): `(tick,
+    /// txn)` in submission order.
+    workload: Vec<(u64, TxnId)>,
+}
+
+impl ShardNode {
+    /// Creates a site. `workload` holds the submissions whose plans name
+    /// this site as master/coordinator.
+    pub fn new(
+        me: SiteId,
+        plans: Rc<PlanTable>,
+        factory: ParticipantFactory,
+        metrics: Rc<RefCell<Metrics>>,
+        workload: Vec<(u64, TxnId)>,
+        storage: Storage,
+    ) -> ShardNode {
+        assert!(me.index() < plans.topology.sites());
+        for (_, txn) in &workload {
+            let plan = plans.get(*txn).expect("workload transactions are planned");
+            assert_eq!(plan.master(), me, "{txn} submitted away from its master");
+        }
+        ShardNode {
+            me,
+            plans,
+            factory,
+            pools: BTreeMap::new(),
+            storage,
+            wal: Wal::new(),
+            locks: LockTable::new(),
+            metrics,
+            slots: BTreeMap::new(),
+            parked: BTreeMap::new(),
+            finished: BTreeMap::new(),
+            workload,
+        }
+    }
+
+    /// Read access to the committed store (post-run inspection).
+    pub fn storage(&self) -> &Storage {
+        &self.storage
+    }
+
+    /// Read access to the WAL (post-run inspection).
+    pub fn wal(&self) -> &Wal {
+        &self.wal
+    }
+
+    /// Still-active (undecided, protocol in flight) transactions here.
+    pub fn active_txns(&self) -> Vec<TxnId> {
+        self.slots.keys().copied().collect()
+    }
+
+    /// Participants constructed across all of this site's pools.
+    pub fn participants_constructed(&self) -> usize {
+        self.pools.values().map(ParticipantPool::constructed).sum()
+    }
+
+    /// Pool acquisitions served off free-lists across all pools.
+    pub fn participants_reused(&self) -> usize {
+        self.pools.values().map(ParticipantPool::reused).sum()
+    }
+
+    fn apply_actions(&mut self, txn: TxnId, actions: Vec<Action>, ctx: &mut Ctx<'_, DbMsg>) {
+        let plans = self.plans.clone();
+        let Some(plan) = plans.get(txn) else { return };
+        let my_v = plan.virtual_of(self.me);
+        for action in actions {
+            match action {
+                Action::Send { to, msg } => {
+                    let dst = plan.group[to.index()];
+                    let writes = self.xact_writes_for(plan, &msg, dst, my_v);
+                    ctx.send(dst, DbMsg { txn, inner: msg, writes });
+                }
+                Action::Broadcast { msg } => {
+                    for (v, &dst) in plan.group.iter().enumerate() {
+                        if Some(v) != my_v {
+                            let writes = self.xact_writes_for(plan, &msg, dst, my_v);
+                            ctx.send(dst, DbMsg { txn, inner: msg, writes });
+                        }
+                    }
+                }
+                Action::SetTimer { t_units, tag } => {
+                    let raw = ((txn.0 as u64 + 1) << 8) | tag.encode();
+                    let handle = ctx.set_timer(ctx.t(t_units), raw);
+                    if let Some(slot) = self.slots.get_mut(&txn) {
+                        if let Some(old) = slot.timers.insert(tag, handle) {
+                            ctx.cancel_timer(old);
+                        }
+                    }
+                }
+                Action::CancelTimer { tag } => {
+                    if let Some(slot) = self.slots.get_mut(&txn) {
+                        if let Some(old) = slot.timers.remove(&tag) {
+                            ctx.cancel_timer(old);
+                        }
+                    }
+                }
+                Action::Decide(decision) => self.finish(txn, decision, ctx),
+                Action::Note(label, detail) => ctx.note(label, detail),
+            }
+        }
+    }
+
+    /// The group master attaches each destination's planned write set to
+    /// its xact (mirrors `SiteNode::xact_writes_for`, routed by plan).
+    fn xact_writes_for(
+        &self,
+        plan: &crate::plan::TxnPlan,
+        msg: &CommitMsg,
+        dst: SiteId,
+        my_v: Option<usize>,
+    ) -> Option<Vec<WriteOp>> {
+        if my_v != Some(0) || !matches!(msg, CommitMsg::Kind("xact")) {
+            return None;
+        }
+        plan.writes.get(&dst.0).cloned()
+    }
+
+    /// Terminates a protocol transaction locally: WAL, storage, locks,
+    /// metrics — then ships the outcome to any out-of-group replicas this
+    /// site masters for.
+    fn finish(&mut self, txn: TxnId, decision: Decision, ctx: &mut Ctx<'_, DbMsg>) {
+        let Some(mut slot) = self.slots.remove(&txn) else { return };
+        for (_, handle) in slot.timers.drain() {
+            ctx.cancel_timer(handle);
+        }
+        match decision {
+            Decision::Commit => {
+                self.wal.append_durable(Record::Commit { txn });
+                self.storage.apply(txn);
+                self.wal.append_durable(Record::Applied { txn });
+            }
+            Decision::Abort => {
+                self.wal.append_durable(Record::Abort { txn });
+                self.storage.discard(txn);
+            }
+        }
+        let now = ctx.now();
+        {
+            let mut m = self.metrics.borrow_mut();
+            m.decisions.entry(txn).or_default().insert(self.me.0, (decision, now));
+            if let Some(idx) = slot.hold_index {
+                m.lock_holds[idx].to = Some(now);
+            }
+        }
+        self.pools.get_mut(&slot.pool).expect("slot pool exists").release(slot.participant);
+        self.finished.insert(txn, decision);
+        self.ship(txn, decision, ctx);
+        let promoted = self.locks.release_all(txn);
+        for t in promoted {
+            self.try_unpark(t, ctx);
+        }
+    }
+
+    /// Ships a decided cross-shard outcome to this master's out-of-group
+    /// replicas (no-op for single-shard transactions and non-masters).
+    /// Every ship carries the replica's *complete* planned write set, so a
+    /// replica serving several involved shards installs everything from
+    /// whichever master's ship arrives first and drops the rest as
+    /// duplicates.
+    fn ship(&mut self, txn: TxnId, decision: Decision, ctx: &mut Ctx<'_, DbMsg>) {
+        let plans = self.plans.clone();
+        let Some(plan) = plans.get(txn) else { return };
+        let Some(targets) = plan.ships.get(&self.me.0) else { return };
+        for replica in targets {
+            let (kind, writes) = match decision {
+                Decision::Commit => (SHARD_APPLY, plan.replica_writes.get(&replica.0).cloned()),
+                Decision::Abort => (SHARD_ABORT, None),
+            };
+            ctx.send(*replica, DbMsg { txn, inner: CommitMsg::Kind(kind), writes });
+        }
+    }
+
+    /// Attempts to restart a parked transaction whose locks may now be free.
+    fn try_unpark(&mut self, txn: TxnId, ctx: &mut Ctx<'_, DbMsg>) {
+        let Some(parked) = self.parked.remove(&txn) else { return };
+        let writes = match &parked {
+            Parked::Xact { writes, .. } | Parked::Apply { writes } => writes,
+        };
+        let all_held = writes.iter().all(|w| self.locks.holds(txn, &w.key, LockMode::Exclusive));
+        if !all_held {
+            self.parked.insert(txn, parked);
+            return;
+        }
+        match parked {
+            Parked::Xact { from, writes } => self.begin_local(txn, from, writes, ctx),
+            Parked::Apply { writes } => self.do_apply(txn, writes, ctx),
+        }
+    }
+
+    /// Locks held: stage the writes and start the commit protocol (or, for
+    /// a sole-member group, decide on the spot — there is no one to poll).
+    fn begin_local(
+        &mut self,
+        txn: TxnId,
+        from: SiteId,
+        writes: Vec<WriteOp>,
+        ctx: &mut Ctx<'_, DbMsg>,
+    ) {
+        self.wal.append(Record::Begin { txn, writes: writes.clone() });
+        self.wal.flush();
+        self.storage.stage(txn, writes);
+
+        let hold_index = {
+            let mut m = self.metrics.borrow_mut();
+            m.lock_holds.push(LockHold { site: self.me, txn, from: ctx.now(), to: None });
+            Some(m.lock_holds.len() - 1)
+        };
+
+        let plans = self.plans.clone();
+        let plan = plans.get(txn).expect("admitted transactions are planned");
+        let k = plan.group.len();
+        let my_v = plan.virtual_of(self.me).expect("participants are group members");
+
+        if k == 1 {
+            // A replication-1 shard (or a cross-shard group that collapsed
+            // to one shared master): the only voter is this site, so the
+            // transaction commits locally and ships straight away.
+            self.complete_sole(txn, hold_index, ctx);
+            return;
+        }
+
+        let pool_key = (my_v as u16, k as u16);
+        let factory = self.factory.clone();
+        let pool =
+            self.pools.entry(pool_key).or_insert_with(|| factory.pool(SiteId(my_v as u16), k));
+        let slot = pool.acquire(Vote::Yes);
+        let mut out = Vec::new();
+        let participant = pool.get_mut(slot);
+        participant.start(&mut out);
+        if my_v != 0 {
+            let from_v = plan.virtual_of(from).unwrap_or(0);
+            participant.on_msg(SiteId(from_v as u16), &CommitMsg::Kind("xact"), &mut out);
+        }
+        self.slots.insert(
+            txn,
+            TxnSlot { pool: pool_key, participant: slot, timers: HashMap::new(), hold_index },
+        );
+        self.apply_actions(txn, out, ctx);
+    }
+
+    /// Commits a staged transaction whose protocol group is this site alone.
+    fn complete_sole(&mut self, txn: TxnId, hold_index: Option<usize>, ctx: &mut Ctx<'_, DbMsg>) {
+        self.wal.append_durable(Record::Commit { txn });
+        self.storage.apply(txn);
+        self.wal.append_durable(Record::Applied { txn });
+        let now = ctx.now();
+        {
+            let mut m = self.metrics.borrow_mut();
+            m.decisions.entry(txn).or_default().insert(self.me.0, (Decision::Commit, now));
+            if let Some(idx) = hold_index {
+                m.lock_holds[idx].to = Some(now);
+            }
+        }
+        self.finished.insert(txn, Decision::Commit);
+        self.ship(txn, Decision::Commit, ctx);
+        let promoted = self.locks.release_all(txn);
+        for t in promoted {
+            self.try_unpark(t, ctx);
+        }
+    }
+
+    /// A brand-new xact arrived (or this master submits one): acquire locks
+    /// or park.
+    fn admit_xact(
+        &mut self,
+        txn: TxnId,
+        from: SiteId,
+        writes: Vec<WriteOp>,
+        ctx: &mut Ctx<'_, DbMsg>,
+    ) {
+        if self.finished.contains_key(&txn)
+            || self.slots.contains_key(&txn)
+            || self.parked.contains_key(&txn)
+        {
+            // Duplicate delivery (see SiteNode::admit_xact for why the
+            // `parked` guard is load-bearing).
+            return;
+        }
+        if self.plans.get(txn).is_none() {
+            return;
+        }
+        let mut all = true;
+        for w in &writes {
+            if self.locks.acquire(txn, w.key.clone(), LockMode::Exclusive) == LockGrant::Waiting {
+                all = false;
+            }
+        }
+        if all {
+            self.begin_local(txn, from, writes, ctx);
+        } else {
+            ctx.note("lock-wait", txn.0 as u64);
+            self.parked.insert(txn, Parked::Xact { from, writes });
+        }
+    }
+
+    /// A decided cross-shard commit arrived from a group master: install it
+    /// under locks (parking behind conflicting holders if need be).
+    fn admit_apply(&mut self, txn: TxnId, writes: Vec<WriteOp>, ctx: &mut Ctx<'_, DbMsg>) {
+        if self.finished.contains_key(&txn)
+            || self.slots.contains_key(&txn)
+            || self.parked.contains_key(&txn)
+        {
+            return;
+        }
+        let mut all = true;
+        for w in &writes {
+            if self.locks.acquire(txn, w.key.clone(), LockMode::Exclusive) == LockGrant::Waiting {
+                all = false;
+            }
+        }
+        if all {
+            self.do_apply(txn, writes, ctx);
+        } else {
+            ctx.note("apply-wait", txn.0 as u64);
+            self.parked.insert(txn, Parked::Apply { writes });
+        }
+    }
+
+    /// Installs a shipped commit: full WAL discipline, momentary lock hold.
+    fn do_apply(&mut self, txn: TxnId, writes: Vec<WriteOp>, ctx: &mut Ctx<'_, DbMsg>) {
+        self.wal.append(Record::Begin { txn, writes: writes.clone() });
+        self.wal.flush();
+        self.storage.stage(txn, writes);
+        self.wal.append_durable(Record::Commit { txn });
+        self.storage.apply(txn);
+        self.wal.append_durable(Record::Applied { txn });
+        let now = ctx.now();
+        {
+            let mut m = self.metrics.borrow_mut();
+            m.decisions.entry(txn).or_default().insert(self.me.0, (Decision::Commit, now));
+            // The hold opens and closes at the apply instant: the replica
+            // never voted, so the interval records contention only.
+            m.lock_holds.push(LockHold { site: self.me, txn, from: now, to: Some(now) });
+        }
+        self.finished.insert(txn, Decision::Commit);
+        ctx.note("shard-applied", txn.0 as u64);
+        let promoted = self.locks.release_all(txn);
+        for t in promoted {
+            self.try_unpark(t, ctx);
+        }
+    }
+
+    /// Records a shipped abort (nothing was ever staged here).
+    fn admit_abort_ship(&mut self, txn: TxnId, ctx: &mut Ctx<'_, DbMsg>) {
+        if self.finished.contains_key(&txn)
+            || self.slots.contains_key(&txn)
+            || self.parked.contains_key(&txn)
+        {
+            return;
+        }
+        let now = ctx.now();
+        self.metrics
+            .borrow_mut()
+            .decisions
+            .entry(txn)
+            .or_default()
+            .insert(self.me.0, (Decision::Abort, now));
+        self.finished.insert(txn, Decision::Abort);
+        ctx.note("shard-aborted", txn.0 as u64);
+    }
+}
+
+impl Actor<DbMsg> for ShardNode {
+    fn on_start(&mut self, ctx: &mut Ctx<'_, DbMsg>) {
+        for &(at, txn) in &self.workload {
+            let raw = ((txn.0 as u64 + 1) << 8) | CLIENT_TAG;
+            ctx.set_timer(ptp_simnet::SimDuration(at), raw);
+        }
+    }
+
+    fn on_message(&mut self, env: Envelope<DbMsg>, ctx: &mut Ctx<'_, DbMsg>) {
+        let DbMsg { txn, inner, writes } = env.payload;
+        match inner {
+            CommitMsg::Kind("xact") => {
+                self.admit_xact(txn, env.src, writes.unwrap_or_default(), ctx);
+                return;
+            }
+            CommitMsg::Kind(SHARD_APPLY) => {
+                self.admit_apply(txn, writes.unwrap_or_default(), ctx);
+                return;
+            }
+            CommitMsg::Kind(SHARD_ABORT) => {
+                self.admit_abort_ship(txn, ctx);
+                return;
+            }
+            _ => {}
+        }
+        if let Some(slot) = self.slots.get(&txn) {
+            let (pool_key, participant) = (slot.pool, slot.participant);
+            let plans = self.plans.clone();
+            let Some(from_v) = plans.get(txn).and_then(|p| p.virtual_of(env.src)) else {
+                return; // not a member of this transaction's group
+            };
+            let mut out = Vec::new();
+            self.pools.get_mut(&pool_key).expect("slot pool exists").get_mut(participant).on_msg(
+                SiteId(from_v as u16),
+                &inner,
+                &mut out,
+            );
+            self.apply_actions(txn, out, ctx);
+        } else if self.parked.contains_key(&txn) {
+            // Decision for a transaction still waiting on locks: only an
+            // abort is possible for a parked xact (the master gave up on
+            // us); shipped applies never race their own decision.
+            if matches!(inner, CommitMsg::Kind("abort"))
+                && matches!(self.parked.get(&txn), Some(Parked::Xact { .. }))
+            {
+                self.parked.remove(&txn);
+                let promoted = self.locks.release_all(txn);
+                self.finished.insert(txn, Decision::Abort);
+                let now = ctx.now();
+                self.metrics
+                    .borrow_mut()
+                    .decisions
+                    .entry(txn)
+                    .or_default()
+                    .insert(self.me.0, (Decision::Abort, now));
+                ctx.note("parked-abort", txn.0 as u64);
+                // The parked txn may have held granted locks other waiters
+                // queued behind; restart whatever its release promoted
+                // (mirrors every other release_all site in this file).
+                for t in promoted {
+                    self.try_unpark(t, ctx);
+                }
+            }
+        }
+    }
+
+    fn on_undeliverable(&mut self, env: Envelope<DbMsg>, ctx: &mut Ctx<'_, DbMsg>) {
+        let DbMsg { txn, inner, .. } = env.payload;
+        if let Some(slot) = self.slots.get(&txn) {
+            let (pool_key, participant) = (slot.pool, slot.participant);
+            let plans = self.plans.clone();
+            let Some(dst_v) = plans.get(txn).and_then(|p| p.virtual_of(env.dst)) else {
+                return; // a bounced ship message has no participant to tell
+            };
+            let mut out = Vec::new();
+            self.pools.get_mut(&pool_key).expect("slot pool exists").get_mut(participant).on_ud(
+                SiteId(dst_v as u16),
+                &inner,
+                &mut out,
+            );
+            self.apply_actions(txn, out, ctx);
+        }
+    }
+
+    fn on_timer(&mut self, raw: u64, ctx: &mut Ctx<'_, DbMsg>) {
+        let txn = TxnId((raw >> 8).saturating_sub(1) as u32);
+        let low = raw & 0xff;
+        if low == CLIENT_TAG {
+            let plans = self.plans.clone();
+            let Some(plan) = plans.get(txn) else { return };
+            self.metrics.borrow_mut().submitted.insert(txn, ctx.now());
+            ctx.note("txn-submitted", txn.0 as u64);
+            let local = plan.writes.get(&self.me.0).cloned().unwrap_or_default();
+            self.admit_xact(txn, self.me, local, ctx);
+            return;
+        }
+        let Some(tag) = TimerTag::decode(low) else { return };
+        if let Some(slot) = self.slots.get_mut(&txn) {
+            slot.timers.remove(&tag);
+            let (pool_key, participant) = (slot.pool, slot.participant);
+            let mut out = Vec::new();
+            self.pools
+                .get_mut(&pool_key)
+                .expect("slot pool exists")
+                .get_mut(participant)
+                .on_timer(tag, &mut out);
+            self.apply_actions(txn, out, ctx);
+        }
+    }
+
+    /// Mirror of `SiteNode::on_crash`: close the crashed site's in-flight
+    /// lock-hold intervals at the crash instant (metrics bookkeeping only).
+    fn on_crash(&mut self, ctx: &mut Ctx<'_, DbMsg>) {
+        let now = ctx.now();
+        let mut m = self.metrics.borrow_mut();
+        for slot in self.slots.values() {
+            if let Some(idx) = slot.hold_index {
+                if m.lock_holds[idx].to.is_none() {
+                    m.lock_holds[idx].to = Some(now);
+                }
+            }
+        }
+    }
+
+    /// Crash recovery: volatile state is gone; the durable log decides what
+    /// to redo and what to presume aborted (Sec. 2), exactly as at a flat
+    /// site. Parked shipped applies are lost with the rest of the volatile
+    /// state — the replica stays stale, which the per-shard availability
+    /// metrics surface.
+    fn on_recover(&mut self, ctx: &mut Ctx<'_, DbMsg>) {
+        for (_, slot) in std::mem::take(&mut self.slots) {
+            self.pools.get_mut(&slot.pool).expect("slot pool exists").release(slot.participant);
+        }
+        self.parked.clear();
+        self.locks = LockTable::new();
+        self.storage.crash();
+        self.wal.crash();
+        let summary = ptp_ddb::recovery::recover(&mut self.storage, &mut self.wal);
+        for txn in &summary.redone {
+            let now = ctx.now();
+            self.metrics
+                .borrow_mut()
+                .decisions
+                .entry(*txn)
+                .or_default()
+                .insert(self.me.0, (Decision::Commit, now));
+            self.finished.insert(*txn, Decision::Commit);
+        }
+        for txn in &summary.discarded {
+            self.finished.insert(*txn, Decision::Abort);
+        }
+        ctx.note("recovered", (summary.redone.len() + summary.discarded.len()) as u64);
+    }
+
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
+    }
+}

@@ -1,0 +1,172 @@
+//! The sharded path must not fork behaviour (this PR's tentpole guarantee):
+//!
+//! > A [`ShardCluster`] with **1 shard × replication = n** — i.e. the flat,
+//! > fully-replicated cluster the paper models — running the same workload
+//! > is field-identical ([`Metrics`], storages, WALs, blocked sets) to the
+//! > existing [`DbCluster`], for every [`CommitProtocol`].
+//!
+//! Workloads randomize transaction count, write sets (drawn from a small
+//! key pool so lock conflicts and timeout aborts happen), submission
+//! times, delay model, partitions and site crashes, all from a seeded
+//! [`SmallRng`] so failures replay bit-for-bit.
+
+use ptp_core::ddb::cluster::{CommitProtocol, DbCluster};
+use ptp_core::ddb::site::TxnSpec;
+use ptp_core::ddb::value::{Key, TxnId, Value, WriteOp};
+use ptp_shard::{ShardCluster, ShardTopology, ShardTxnSpec};
+use ptp_simnet::rng::SmallRng;
+use ptp_simnet::{DelayModel, FailureSpec, PartitionEngine, PartitionSpec, SimTime, SiteId};
+use std::collections::BTreeMap;
+
+const RUNS_PER_PROTOCOL: usize = 50;
+
+/// One deterministic workload, buildable as either cluster flavour.
+struct WorkloadSpec {
+    n: usize,
+    /// Per transaction: `(submit tick, id, writes)`.
+    txns: Vec<(u64, TxnId, Vec<WriteOp>)>,
+    seeds: Vec<(Key, Value)>,
+    delay: DelayModel,
+    partition: Option<PartitionSpec>,
+    failure: Option<FailureSpec>,
+}
+
+impl WorkloadSpec {
+    fn random(rng: &mut SmallRng) -> WorkloadSpec {
+        let n = 3 + rng.gen_range(0..=1) as usize;
+        let txn_count = 1 + rng.gen_range(0..=7) as u32;
+        let txns = (0..txn_count)
+            .map(|i| {
+                let at = rng.gen_range(0..=20_000);
+                let writes = (0..=rng.gen_range(0..=2))
+                    .map(|_| WriteOp {
+                        key: Key::from(format!("k{}", rng.gen_range(0..=2))),
+                        value: Value::from_u64(rng.gen_range(0..=999)),
+                    })
+                    .collect();
+                (at, TxnId(i + 1), writes)
+            })
+            .collect();
+
+        let seeds =
+            (0..3).map(|i| (Key::from(format!("k{i}")), Value::from_u64(i as u64))).collect();
+
+        let delay = match rng.gen_range(0..=2) {
+            0 => DelayModel::Fixed(1 + rng.gen_range(0..=999)),
+            1 => DelayModel::Uniform { seed: rng.gen_range(0..=9_999), min: 1, max: 1000 },
+            _ => DelayModel::Fixed(700),
+        };
+
+        let partition = (rng.gen_range(0..=2) == 0).then(|| {
+            let cut = SiteId(1 + rng.gen_range(0..=(n as u64 - 2)) as u16);
+            let g1 = (0..n as u16).map(SiteId).filter(|s| *s != cut).collect();
+            let at = SimTime(rng.gen_range(0..=12_000));
+            match rng.gen_range(0..=1) {
+                0 => PartitionSpec::simple(at, g1, vec![cut]),
+                _ => PartitionSpec::transient(
+                    at,
+                    g1,
+                    vec![cut],
+                    at + ptp_simnet::SimDuration(500 + rng.gen_range(0..=8_000)),
+                ),
+            }
+        });
+
+        let failure = (rng.gen_range(0..=3) == 0).then(|| {
+            let site = SiteId(1 + rng.gen_range(0..=(n as u64 - 2)) as u16);
+            let at = SimTime(500 + rng.gen_range(0..=8_000));
+            if rng.gen_range(0..=1) == 0 {
+                FailureSpec::crash(site, at)
+            } else {
+                FailureSpec::crash_recover(site, at, at + ptp_simnet::SimDuration(10_000))
+            }
+        });
+
+        WorkloadSpec { n, txns, seeds, delay, partition, failure }
+    }
+
+    /// The flat baseline: with full replication every site stages every
+    /// write, so the equivalent [`DbCluster`] workload hands each site the
+    /// complete write set.
+    fn build_flat(&self, protocol: CommitProtocol) -> DbCluster {
+        let mut cluster = DbCluster::new(self.n, protocol).delay(self.delay.clone());
+        for (key, value) in &self.seeds {
+            for site in 0..self.n as u16 {
+                cluster = cluster.seed(site, key.clone(), value.clone());
+            }
+        }
+        for (at, id, writes) in &self.txns {
+            let per_site: BTreeMap<u16, Vec<WriteOp>> =
+                (0..self.n as u16).map(|s| (s, writes.clone())).collect();
+            cluster = cluster.submit(*at, TxnSpec { id: *id, writes: per_site });
+        }
+        if let Some(p) = &self.partition {
+            cluster = cluster.partition(PartitionEngine::new(vec![p.clone()]));
+        }
+        if let Some(f) = self.failure {
+            cluster = cluster.fail(f);
+        }
+        cluster
+    }
+
+    /// The same workload as a 1-shard, replication-`n` sharded cluster.
+    fn build_sharded(&self, protocol: CommitProtocol) -> ShardCluster {
+        let topology = ShardTopology::uniform(self.n, 1, self.n);
+        let mut cluster = ShardCluster::new(topology, protocol).delay(self.delay.clone());
+        for (key, value) in &self.seeds {
+            cluster = cluster.seed(key.clone(), value.clone());
+        }
+        for (at, id, writes) in &self.txns {
+            cluster = cluster.submit(*at, ShardTxnSpec { id: *id, writes: writes.clone() });
+        }
+        if let Some(p) = &self.partition {
+            cluster = cluster.partition(PartitionEngine::new(vec![p.clone()]));
+        }
+        if let Some(f) = self.failure {
+            cluster = cluster.fail(f);
+        }
+        cluster
+    }
+}
+
+#[test]
+fn one_shard_full_replication_matches_db_cluster_for_every_protocol() {
+    for protocol in
+        [CommitProtocol::TwoPhase, CommitProtocol::HuangLi, CommitProtocol::QuorumMajority]
+    {
+        // The RNG seed is fixed per protocol so every failure is replayable.
+        let mut rng = SmallRng::seed_from_u64(0x5AAD ^ protocol.name().len() as u64);
+        for i in 0..RUNS_PER_PROTOCOL {
+            let spec = WorkloadSpec::random(&mut rng);
+            let flat = spec.build_flat(protocol).run();
+            let sharded = spec.build_sharded(protocol).run();
+            let tag = format!("{} run #{i}", protocol.name());
+            assert_eq!(flat.metrics, sharded.metrics, "{tag}: metrics");
+            assert_eq!(flat.storages, sharded.storages, "{tag}: storages");
+            assert_eq!(flat.wals, sharded.wals, "{tag}: WALs");
+            assert_eq!(flat.blocked, sharded.blocked, "{tag}: blocked sets");
+            assert_eq!(flat.trace.events(), sharded.trace.events(), "{tag}: trace");
+            assert_eq!(flat.report.events, sharded.report.events, "{tag}: event count");
+            // The flat configuration has no cross-shard traffic by
+            // definition, and exactly one all-sites shard.
+            assert_eq!(sharded.cross_shard.submitted, 0, "{tag}");
+            assert_eq!(sharded.shards.len(), 1, "{tag}");
+        }
+    }
+}
+
+#[test]
+fn one_shard_equivalence_holds_per_txn_construction_too() {
+    let mut rng = SmallRng::seed_from_u64(0xBEEF);
+    for i in 0..10 {
+        let spec = WorkloadSpec::random(&mut rng);
+        let flat = spec.build_flat(CommitProtocol::HuangLi).construct_per_txn().run();
+        let sharded = spec.build_sharded(CommitProtocol::HuangLi).construct_per_txn().run();
+        assert_eq!(flat.metrics, sharded.metrics, "run #{i}: metrics");
+        assert_eq!(flat.wals, sharded.wals, "run #{i}: WALs");
+        assert_eq!(
+            flat.participants_constructed, sharded.participants_constructed,
+            "run #{i}: construction counts"
+        );
+    }
+}
