@@ -16,7 +16,7 @@
 //! criterion shim), so the CI smoke run finishes in milliseconds while a
 //! real baseline run samples enough rounds for a stable median.
 
-use ptp_bench::json_escape;
+use ptp_bench::{host_fields, json_escape};
 use ptp_core::ddb::cluster::{CommitProtocol, DbCluster, DbRun};
 use ptp_core::ddb::site::TxnSpec;
 use ptp_core::ddb::value::{Key, TxnId, Value, WriteOp};
@@ -144,6 +144,7 @@ fn render_json(measurements: &[Measurement]) -> String {
     let mut out = String::new();
     out.push_str("{\n");
     let _ = writeln!(out, "  \"benchmark\": \"{}\",", json_escape("ddb_txn_throughput"));
+    let _ = writeln!(out, "  {},", host_fields());
     let _ = writeln!(out, "  \"sites\": {SITES},");
     let _ = writeln!(out, "  \"txns\": {TXNS},");
     out.push_str("  \"protocols\": [\n");

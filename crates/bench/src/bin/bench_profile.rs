@@ -1,0 +1,171 @@
+//! Per-phase / per-kind / per-actor attribution of simulator work.
+//!
+//! `BENCH_schedule.json` says *how long* each protocol takes per schedule
+//! family; this binary says *where that time goes*. It sweeps every
+//! protocol over the same per-family grid as `exp_multi_partition` with the
+//! [`ProfSink`](ptp_simnet::ProfSink) recording, attributing each
+//! dispatched event (delivery, undeliverable return, timer expiry, start
+//! callback) to the acting site, the message kind or timer tag, and the
+//! protocol phase the actor was in — with wall-clock nanoseconds per
+//! handler.
+//!
+//! This is the measurement that justified the Quorum hot-path rewrite (see
+//! `crates/protocols/src/quorum.rs`): the naive rendition spent the bulk of
+//! its samples on `state-req`/`state-rep`/`quorum-collect` rounds issued by
+//! blocked minorities.
+//!
+//! Profiled sweeps are serial on purpose — one actor set, stable
+//! attribution, no cross-thread merge noise. Writes `BENCH_profile.json`;
+//! CI regenerates it in the bench smoke step.
+
+use ptp_bench::{host_fields, json_escape};
+use ptp_core::{sweep_profiled, ProtocolKind, ScheduleShape, SweepGrid};
+use ptp_simnet::{DelayModel, Profile, ScheduleBuilder};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+const N: usize = 4;
+
+/// The `exp_multi_partition` protocol set: the paper's variants, the
+/// blocking baseline and the quorum reference.
+const KINDS: [ProtocolKind; 5] = [
+    ProtocolKind::Plain2pc,
+    ProtocolKind::HuangLi3pc,
+    ProtocolKind::HuangLi3pcStatic,
+    ProtocolKind::HuangLi4pc,
+    ProtocolKind::QuorumMajority,
+];
+
+/// One family's grid, identical to `exp_multi_partition`'s.
+fn family_grid(shape: ScheduleShape) -> SweepGrid {
+    let mut grid = SweepGrid::standard(N).with_shapes(vec![shape]);
+    grid.heals = vec![None, Some(3000)];
+    grid.delays = vec![
+        DelayModel::Fixed(1000),
+        DelayModel::Uniform { seed: 11, min: 1, max: 1000 },
+        ScheduleBuilder::with_default(1000).outbound(7, 400).build(),
+    ];
+    grid
+}
+
+struct Row {
+    kind: ProtocolKind,
+    scenarios: usize,
+    wall_ms: f64,
+    profile: Profile,
+}
+
+fn rollup_json(out: &mut String, label: &str, rows: &[(&'static str, ptp_simnet::ProfEntry)]) {
+    let _ = write!(out, "        \"{label}\": [");
+    for (i, (name, e)) in rows.iter().enumerate() {
+        let _ = write!(
+            out,
+            "{}{{\"key\": \"{}\", \"count\": {}, \"nanos\": {}}}",
+            if i == 0 { "" } else { ", " },
+            json_escape(name),
+            e.count,
+            e.nanos
+        );
+    }
+    out.push_str("],\n");
+}
+
+fn render_json(families: &[(ScheduleShape, Vec<Row>)]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"benchmark\": \"profile\",");
+    let _ = writeln!(out, "  \"n\": {N},");
+    let _ = writeln!(out, "  \"threads\": 1,");
+    let _ = writeln!(out, "  {},", host_fields());
+    out.push_str("  \"families\": [\n");
+    for (fi, (shape, rows)) in families.iter().enumerate() {
+        let _ = writeln!(out, "    {{");
+        let _ = writeln!(out, "      \"family\": \"{}\",", json_escape(shape.name()));
+        out.push_str("      \"protocols\": [\n");
+        for (ri, row) in rows.iter().enumerate() {
+            let total = row.profile.total();
+            let _ = writeln!(out, "      {{");
+            let _ = writeln!(
+                out,
+                "        \"protocol\": \"{}\", \"scenarios\": {}, \"wall_ms\": {:.3},",
+                json_escape(row.kind.name()),
+                row.scenarios,
+                row.wall_ms
+            );
+            let _ = writeln!(
+                out,
+                "        \"events\": {}, \"handler_nanos\": {},",
+                total.count, total.nanos
+            );
+            rollup_json(&mut out, "by_event", &row.profile.by_event());
+            rollup_json(&mut out, "by_kind", &row.profile.by_kind());
+            rollup_json(&mut out, "by_phase", &row.profile.by_phase());
+            let _ = write!(out, "        \"by_site\": [");
+            for (i, (site, e)) in row.profile.by_site().iter().enumerate() {
+                let _ = write!(
+                    out,
+                    "{}{{\"site\": {}, \"count\": {}, \"nanos\": {}}}",
+                    if i == 0 { "" } else { ", " },
+                    site.0,
+                    e.count,
+                    e.nanos
+                );
+            }
+            out.push_str("]\n");
+            out.push_str(if ri + 1 == rows.len() { "      }\n" } else { "      },\n" });
+        }
+        out.push_str("      ]\n");
+        out.push_str(if fi + 1 == families.len() { "    }\n" } else { "    },\n" });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn main() {
+    println!("== bench_profile: event attribution across schedule families ==");
+    println!("n = {N}, serial profiled sweeps (profiling forces one worker)\n");
+
+    let families: Vec<(ScheduleShape, Vec<Row>)> = ScheduleShape::FAMILIES
+        .iter()
+        .map(|&shape| {
+            let grid = family_grid(shape);
+            let rows = KINDS
+                .iter()
+                .map(|&kind| {
+                    let started = Instant::now();
+                    let (report, profile) = sweep_profiled(kind, &grid);
+                    let wall_ms = started.elapsed().as_secs_f64() * 1000.0;
+                    assert_eq!(report.total, grid.size());
+                    assert!(!profile.is_empty(), "profiled sweep recorded nothing");
+                    Row { kind, scenarios: report.total, wall_ms, profile }
+                })
+                .collect();
+            (shape, rows)
+        })
+        .collect();
+
+    for (shape, rows) in &families {
+        println!("family {}:", shape.name());
+        for row in rows {
+            let total = row.profile.total();
+            let top_kind = row
+                .profile
+                .by_kind()
+                .first()
+                .map(|(k, e)| format!("{k} ({} events)", e.count))
+                .unwrap_or_default();
+            println!(
+                "  {:<16} {:>9} events  {:>8.3} ms handlers  hottest kind: {}",
+                row.kind.name(),
+                total.count,
+                total.nanos as f64 / 1e6,
+                top_kind
+            );
+        }
+    }
+
+    let json = render_json(&families);
+    let path = "BENCH_profile.json";
+    std::fs::write(path, &json).expect("write BENCH_profile.json");
+    println!("\nwrote {path}");
+}

@@ -12,7 +12,7 @@
 //! `CRITERION_BUDGET_MS` caps the per-measurement sampling time, as in the
 //! sibling benches.
 
-use ptp_bench::json_escape;
+use ptp_bench::{host_fields, json_escape};
 use ptp_core::ddb::cluster::CommitProtocol;
 use ptp_core::ddb::value::{TxnId, Value, WriteOp};
 use ptp_core::report::Table;
@@ -118,6 +118,7 @@ fn render_json(measurements: &[Measurement]) -> String {
     let mut out = String::new();
     out.push_str("{\n");
     let _ = writeln!(out, "  \"benchmark\": \"{}\",", json_escape("shard_txn_throughput"));
+    let _ = writeln!(out, "  {},", host_fields());
     let _ = writeln!(out, "  \"sites\": {SITES},");
     let _ = writeln!(out, "  \"shards\": {SHARDS},");
     let _ = writeln!(out, "  \"replication\": {REPLICATION},");

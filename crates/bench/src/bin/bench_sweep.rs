@@ -14,7 +14,7 @@
 //!   serial full-trace sweep equivalent to the pre-refactor engine (one
 //!   recorded trace per cell), yielding the speedup columns.
 
-use ptp_bench::{dense_grid, json_escape};
+use ptp_bench::{dense_grid, host_fields, json_escape};
 use ptp_core::report::Table;
 use ptp_core::{
     run_scenario_opts, sweep_serial, sweep_threads, sweep_with_threads, ProtocolKind, RunOptions,
@@ -111,6 +111,7 @@ fn render_json(measurements: &[Measurement]) -> String {
     let _ = writeln!(out, "  \"benchmark\": \"{}\",", json_escape("sweep"));
     let _ = writeln!(out, "  \"protocol\": \"{}\",", json_escape(PROTOCOL.name()));
     let _ = writeln!(out, "  \"threads\": {threads},");
+    let _ = writeln!(out, "  {},", host_fields());
     let _ = writeln!(out, "  \"peak_grid_scenarios\": {peak},");
     let _ = writeln!(out, "  \"total_scenarios\": {total},");
     let _ = writeln!(out, "  \"total_wall_ms\": {total_ms:.3},");

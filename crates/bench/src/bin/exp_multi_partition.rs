@@ -19,7 +19,7 @@
 //! next to `BENCH_sweep.json` and `BENCH_ddb.json`); CI regenerates it in
 //! the bench smoke step.
 
-use ptp_bench::json_escape;
+use ptp_bench::{host_fields, json_escape};
 use ptp_core::report::Table;
 use ptp_core::{
     sweep_threads, sweep_with_threads, ProtocolKind, ScheduleShape, SweepGrid, SweepReport,
@@ -84,6 +84,7 @@ fn render_json(families: &[(ScheduleShape, SweepGrid, Vec<Cell>)]) -> String {
     let _ = writeln!(out, "  \"benchmark\": \"{}\",", json_escape("schedule"));
     let _ = writeln!(out, "  \"n\": {N},");
     let _ = writeln!(out, "  \"threads\": {},", sweep_threads());
+    let _ = writeln!(out, "  {},", host_fields());
     let _ = writeln!(out, "  \"protocols\": {},", KINDS.len());
     out.push_str("  \"families\": [\n");
     for (fi, (shape, grid, cells)) in families.iter().enumerate() {

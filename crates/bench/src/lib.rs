@@ -91,6 +91,34 @@ pub fn shard_key_pool(
     pools
 }
 
+/// Logical CPUs visible to this process — recorded in every committed
+/// `BENCH_*.json` so cross-PR comparisons can tell a faster protocol from
+/// a bigger container.
+pub fn nproc() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Coarse host/container class for bench records: the first CPU `model
+/// name` from `/proc/cpuinfo`, or `"unknown"` off Linux.
+pub fn host_class() -> String {
+    std::fs::read_to_string("/proc/cpuinfo")
+        .ok()
+        .and_then(|s| {
+            s.lines()
+                .find(|l| l.starts_with("model name"))
+                .and_then(|l| l.split(':').nth(1))
+                .map(|m| m.trim().to_string())
+        })
+        .filter(|m| !m.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// The `"nproc": …, "host": …` fragment every bench emitter embeds (no
+/// trailing comma or newline).
+pub fn host_fields() -> String {
+    format!("\"nproc\": {}, \"host\": \"{}\"", nproc(), json_escape(&host_class()))
+}
+
 /// Minimal JSON string escaping for the hand-rolled benchmark reports
 /// (no serde in this offline workspace).
 pub fn json_escape(s: &str) -> String {

@@ -106,6 +106,19 @@ impl Session {
         &mut self.runner
     }
 
+    /// Switches event-attribution profiling on or off for subsequent runs
+    /// (see [`ptp_simnet::ProfSink`]). Off by default; while on, samples
+    /// accumulate across runs until [`Session::take_profile`].
+    pub fn set_profiling(&mut self, on: bool) {
+        self.runner.set_profiling(on);
+    }
+
+    /// Drains the profile accumulated since profiling was switched on (or
+    /// last drained). Empty unless [`Session::set_profiling`] is on.
+    pub fn take_profile(&mut self) -> ptp_simnet::Profile {
+        self.runner.take_profile()
+    }
+
     /// Runs `scenario` with default options (counters-only tracing — the
     /// fast path; [`ScenarioResult::trace`] comes back empty). Use
     /// [`Session::run_with`] and [`RunOptions::recording`] when the trace

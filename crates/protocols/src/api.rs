@@ -25,8 +25,14 @@ pub enum CommitMsg {
         /// The probing slave.
         slave: u16,
     },
-    /// Quorum-termination state request (Skeen 1982 baseline).
-    StateReq,
+    /// Quorum-termination state request (Skeen 1982 baseline). Carries the
+    /// requester's own state class so responders already collecting can
+    /// absorb it as a free report (piggybacking); the baseline tuning
+    /// ignores the field.
+    StateReq {
+        /// Encoded local state class of the *requester*.
+        state: u8,
+    },
     /// Quorum-termination state report: the responder's current local state
     /// class (see [`crate::quorum`]).
     StateRep {
@@ -40,7 +46,7 @@ impl Payload for CommitMsg {
         match self {
             CommitMsg::Kind(k) => k,
             CommitMsg::Probe { .. } => "probe",
-            CommitMsg::StateReq => "state-req",
+            CommitMsg::StateReq { .. } => "state-req",
             CommitMsg::StateRep { .. } => "state-rep",
         }
     }
@@ -80,6 +86,17 @@ impl TimerTag {
             TimerTag::Collect => 3,
             TimerTag::PWait => 4,
             TimerTag::QuorumCollect => 5,
+        }
+    }
+
+    /// Stable human-readable name — profiling attribution for timer events.
+    pub fn name(self) -> &'static str {
+        match self {
+            TimerTag::Proto => "proto",
+            TimerTag::WWait => "w-wait",
+            TimerTag::Collect => "collect",
+            TimerTag::PWait => "p-wait",
+            TimerTag::QuorumCollect => "quorum-collect",
         }
     }
 
@@ -213,7 +230,7 @@ mod tests {
     fn payload_kinds() {
         assert_eq!(CommitMsg::Kind("prepare").kind(), "prepare");
         assert_eq!(CommitMsg::Probe { slave: 2 }.kind(), "probe");
-        assert_eq!(CommitMsg::StateReq.kind(), "state-req");
+        assert_eq!(CommitMsg::StateReq { state: 0 }.kind(), "state-req");
         assert_eq!(CommitMsg::StateRep { state: 1 }.kind(), "state-rep");
     }
 
@@ -227,6 +244,7 @@ mod tests {
             TimerTag::QuorumCollect,
         ] {
             assert_eq!(TimerTag::decode(tag.encode()), Some(tag));
+            assert!(!tag.name().is_empty());
             // COUNT sizes the runner's dense timer table; a tag whose
             // index falls outside it would panic at runtime.
             assert!(tag.index() < TimerTag::COUNT, "{tag:?} index out of table");

@@ -68,5 +68,6 @@ pub use api::{Action, CommitMsg, Participant, TimerTag, Vote};
 pub use dispatch::AnyParticipant;
 pub use options::{RunOptions, TraceMode};
 pub use outcome::{SiteOutcome, Verdict};
+pub use quorum::{QuorumConfig, QuorumTuning};
 pub use runner::{run_protocol, run_protocol_opts, ClusterRunner, ProtocolRun};
 pub use termination::{PhasePlan, TerminationMaster, TerminationSlave, TerminationVariant};

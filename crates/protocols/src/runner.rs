@@ -17,8 +17,8 @@ use crate::options::{RunOptions, TraceMode};
 use crate::outcome::SiteOutcome;
 use ptp_model::Decision;
 use ptp_simnet::{
-    Actor, Ctx, DelayModel, Envelope, FailureSpec, NetConfig, PartitionEngine, RunReport,
-    SimScratch, Simulation, SiteId, TimerHandle, Trace,
+    Actor, Ctx, DelayModel, Envelope, FailureSpec, NetConfig, PartitionEngine, ProfKey, ProfSink,
+    Profile, RunReport, SimScratch, Simulation, SiteId, TimerHandle, Trace,
 };
 use std::sync::Arc;
 
@@ -34,6 +34,11 @@ struct ProtocolActor<P> {
     outcome: SiteOutcome,
     timers: [Option<TimerHandle>; TimerTag::COUNT],
     pending: Vec<Action>,
+    /// Event-attribution sink. [`ProfSink::Null`] by default; *not* cleared
+    /// by [`ProtocolActor::begin_run`], so a recording sink accumulates
+    /// attribution across every run until [`ClusterRunner::take_profile`]
+    /// drains it — sweep-wide breakdowns come from exactly this.
+    prof: ProfSink,
 }
 
 impl<P: Participant> ProtocolActor<P> {
@@ -44,6 +49,7 @@ impl<P: Participant> ProtocolActor<P> {
             outcome: SiteOutcome::default(),
             timers: [None; TimerTag::COUNT],
             pending: Vec::new(),
+            prof: ProfSink::Null,
         }
     }
 
@@ -58,9 +64,29 @@ impl<P: Participant> ProtocolActor<P> {
 
     /// Runs one participant handler through the reusable action buffer and
     /// applies the resulting effects.
-    fn dispatch(&mut self, ctx: &mut Ctx<'_, CommitMsg>, f: impl FnOnce(&mut P, &mut Vec<Action>)) {
+    ///
+    /// `event`/`kind` attribute the handler for profiling; with the null
+    /// sink (the sweep default) the only overhead is one branch — no clock
+    /// reads, no allocation.
+    fn dispatch(
+        &mut self,
+        ctx: &mut Ctx<'_, CommitMsg>,
+        event: &'static str,
+        kind: &'static str,
+        f: impl FnOnce(&mut P, &mut Vec<Action>),
+    ) {
         let mut out = std::mem::take(&mut self.pending);
-        f(&mut self.inner, &mut out);
+        if self.prof.is_recording() {
+            // Phase is sampled *before* the handler runs: the cost of an
+            // event belongs to the state that had to process it.
+            let phase = self.inner.state_name();
+            let begun = std::time::Instant::now();
+            f(&mut self.inner, &mut out);
+            let nanos = begun.elapsed().as_nanos() as u64;
+            self.prof.record(ProfKey { event, kind, phase, site: ctx.me() }, nanos);
+        } else {
+            f(&mut self.inner, &mut out);
+        }
         self.apply(&mut out, ctx);
         self.pending = out;
     }
@@ -113,21 +139,23 @@ impl<P: Participant> ProtocolActor<P> {
 
 impl<P: Participant> Actor<CommitMsg> for ProtocolActor<P> {
     fn on_start(&mut self, ctx: &mut Ctx<'_, CommitMsg>) {
-        self.dispatch(ctx, |p, out| p.start(out));
+        self.dispatch(ctx, "start", "-", |p, out| p.start(out));
     }
 
     fn on_message(&mut self, env: Envelope<CommitMsg>, ctx: &mut Ctx<'_, CommitMsg>) {
-        self.dispatch(ctx, |p, out| p.on_msg(env.src, &env.payload, out));
+        let kind = ptp_simnet::Payload::kind(&env.payload);
+        self.dispatch(ctx, "deliver", kind, |p, out| p.on_msg(env.src, &env.payload, out));
     }
 
     fn on_undeliverable(&mut self, env: Envelope<CommitMsg>, ctx: &mut Ctx<'_, CommitMsg>) {
-        self.dispatch(ctx, |p, out| p.on_ud(env.dst, &env.payload, out));
+        let kind = ptp_simnet::Payload::kind(&env.payload);
+        self.dispatch(ctx, "ud", kind, |p, out| p.on_ud(env.dst, &env.payload, out));
     }
 
     fn on_timer(&mut self, tag: u64, ctx: &mut Ctx<'_, CommitMsg>) {
         let Some(tag) = TimerTag::decode(tag) else { return };
         self.timers[tag.index()] = None;
-        self.dispatch(ctx, |p, out| p.on_timer(tag, out));
+        self.dispatch(ctx, "timer", tag.name(), |p, out| p.on_timer(tag, out));
     }
 }
 
@@ -232,6 +260,32 @@ impl<P: Participant> ClusterRunner<P> {
     /// The outcomes of the most recent run (empty defaults before any run).
     pub fn last_outcomes(&self) -> &[SiteOutcome] {
         &self.outcomes
+    }
+
+    /// Switches event-attribution profiling on or off for subsequent runs.
+    ///
+    /// While on, every actor's [`ProfSink`] records across runs (profiles
+    /// are *not* cleared between scenarios) until drained by
+    /// [`ClusterRunner::take_profile`].
+    pub fn set_profiling(&mut self, on: bool) {
+        for actor in &mut self.actors {
+            actor.prof = if on { ProfSink::recording() } else { ProfSink::Null };
+        }
+    }
+
+    /// Drains and merges every actor's accumulated profile. Profiling stays
+    /// on (with fresh, empty sinks) if it was on.
+    pub fn take_profile(&mut self) -> Profile {
+        let mut merged = Profile::default();
+        for actor in &mut self.actors {
+            let was_recording = actor.prof.is_recording();
+            let sink = std::mem::take(&mut actor.prof);
+            merged.merge(&sink.into_profile());
+            if was_recording {
+                actor.prof = ProfSink::recording();
+            }
+        }
+        merged
     }
 
     /// Runs the cluster once with everything explicit, returning the
@@ -464,6 +518,43 @@ mod tests {
             // never lies).
             assert!(Verdict::judge(&reused.outcomes).is_atomic());
         }
+    }
+
+    #[test]
+    fn profiling_attributes_events_and_leaves_outcomes_alone() {
+        let mut base = ClusterRunner::new(two_pc_parts(&[Vote::Yes, Vote::Yes]));
+        base.reset(&[Vote::Yes, Vote::Yes]);
+        base.partition_mut().clear();
+        let plain = base.run(NetConfig::default(), &DelayModel::Fixed(300), &RunOptions::new());
+
+        let mut prof = ClusterRunner::new(two_pc_parts(&[Vote::Yes, Vote::Yes]));
+        prof.set_profiling(true);
+        prof.reset(&[Vote::Yes, Vote::Yes]);
+        prof.partition_mut().clear();
+        let profiled = prof.run(NetConfig::default(), &DelayModel::Fixed(300), &RunOptions::new());
+        assert_eq!(plain.outcomes, profiled.outcomes, "profiling must not perturb the run");
+
+        let profile = prof.take_profile();
+        assert!(!profile.is_empty());
+        // Every network delivery the report counted is attributed.
+        let delivers: u64 =
+            profile.entries().filter(|(k, _)| k.event == "deliver").map(|(_, e)| e.count).sum();
+        assert_eq!(delivers, profiled.report.counters.delivered);
+        // Kinds come from the payload tags; phases from state names.
+        assert!(profile.by_kind().iter().any(|(k, _)| *k == "yes"));
+        assert!(profile.entries().all(|(k, _)| !k.phase.is_empty()));
+
+        // take_profile drains but keeps recording; a second run refills it.
+        assert!(prof.take_profile().is_empty());
+        prof.reset(&[Vote::Yes, Vote::Yes]);
+        prof.run(NetConfig::default(), &DelayModel::Fixed(300), &RunOptions::new());
+        assert!(!prof.take_profile().is_empty());
+
+        // Turning profiling off leaves the null sink in place.
+        prof.set_profiling(false);
+        prof.reset(&[Vote::Yes, Vote::Yes]);
+        prof.run(NetConfig::default(), &DelayModel::Fixed(300), &RunOptions::new());
+        assert!(prof.take_profile().is_empty());
     }
 
     #[test]

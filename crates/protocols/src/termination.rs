@@ -46,7 +46,6 @@ use crate::timing::{
 };
 use ptp_model::Decision;
 use ptp_simnet::SiteId;
-use std::collections::BTreeSet;
 
 /// One request/reply round of a master–slave commit protocol.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -169,17 +168,53 @@ enum MState {
     Done(Decision),
 }
 
+/// A set of slave ids as a bitmask with a maintained cardinality.
+///
+/// The master's three sets (`replies`, `UD`, `PB`) sat on the sweep hot
+/// path as `BTreeSet<u16>`s — every `insert` a tree walk, every round a
+/// `clear`, and the Sec. 5.3 collection decision allocated two fresh sets
+/// per run. A bitmask makes all of that branch-free integer arithmetic;
+/// [`TerminationMaster::with_timing`] caps clusters at 64 sites to match.
+/// Set semantics are preserved exactly (duplicate inserts don't change the
+/// cardinality).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+struct SlaveSet {
+    bits: u64,
+    len: u32,
+}
+
+impl SlaveSet {
+    fn insert(&mut self, site: u16) {
+        let bit = 1u64 << site;
+        if self.bits & bit == 0 {
+            self.bits |= bit;
+            self.len += 1;
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    fn clear(&mut self) {
+        self.bits = 0;
+        self.len = 0;
+    }
+}
+
 /// The termination-protocol master (the paper's site 1).
 pub struct TerminationMaster {
     plan: PhasePlan,
     n: usize,
     timing: ProtocolTiming,
     state: MState,
-    replies: BTreeSet<u16>,
+    replies: SlaveSet,
     /// Slaves whose decisive message bounced (the paper's `UD`).
-    ud: BTreeSet<u16>,
+    ud: SlaveSet,
     /// Slaves that probed (the paper's `PB`).
-    pb: BTreeSet<u16>,
+    pb: SlaveSet,
+    /// All slave ids — precomputed once; `N` in the Sec. 5.3 rule.
+    slaves_bits: u64,
     decided: Option<Decision>,
 }
 
@@ -193,20 +228,19 @@ impl TerminationMaster {
     pub fn with_timing(plan: PhasePlan, n: usize, timing: ProtocolTiming) -> Self {
         plan.validate();
         assert!(n >= 2);
+        assert!(n <= 64, "slave bookkeeping is a 64-bit mask");
         TerminationMaster {
             plan,
             n,
             timing,
             state: MState::Round(0),
-            replies: BTreeSet::new(),
-            ud: BTreeSet::new(),
-            pb: BTreeSet::new(),
+            replies: SlaveSet::default(),
+            ud: SlaveSet::default(),
+            pb: SlaveSet::default(),
+            // Bits 1..n — site 0 is the master itself.
+            slaves_bits: (u64::MAX >> (64 - n)) & !1,
             decided: None,
         }
-    }
-
-    fn slaves(&self) -> BTreeSet<u16> {
-        (1..self.n as u16).collect()
     }
 
     fn decide(&mut self, d: Decision, broadcast: bool, out: &mut Vec<Action>) {
@@ -334,8 +368,7 @@ impl Participant for TerminationMaster {
             }
             (MState::Collecting, TimerTag::Collect) => {
                 // if (N − UD = PB) then abort_1-n else commit_1-n.
-                let expected: BTreeSet<u16> = self.slaves().difference(&self.ud).copied().collect();
-                let no_prepare_crossed = expected == self.pb;
+                let no_prepare_crossed = self.slaves_bits & !self.ud.bits == self.pb.bits;
                 out.push(Action::Note("master-collect-decision", u64::from(!no_prepare_crossed)));
                 if no_prepare_crossed {
                     self.decide(Decision::Abort, true, out);

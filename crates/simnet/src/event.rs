@@ -49,6 +49,10 @@ impl<P> EventKind<P> {
 pub(crate) struct QueuedEvent<P> {
     pub at: SimTime,
     pub seq: u64,
+    /// [`EventKind::class`], precomputed at push time: heap sifts compare
+    /// each element O(log n) times, and resolving the class through a match
+    /// on every comparison was measurable on the sweep hot path.
+    class: u8,
     pub kind: EventKind<P>,
 }
 
@@ -65,7 +69,7 @@ impl<P> Ord for QueuedEvent<P> {
         other
             .at
             .cmp(&self.at)
-            .then_with(|| other.kind.class().cmp(&self.kind.class()))
+            .then_with(|| other.class.cmp(&self.class))
             .then_with(|| other.seq.cmp(&self.seq))
     }
 }
@@ -113,7 +117,7 @@ impl<P> EventQueue<P> {
     pub fn push(&mut self, at: SimTime, kind: EventKind<P>) {
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(QueuedEvent { at, seq, kind });
+        self.heap.push(QueuedEvent { at, seq, class: kind.class(), kind });
     }
 
     pub fn pop(&mut self) -> Option<QueuedEvent<P>> {

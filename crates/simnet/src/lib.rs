@@ -21,6 +21,7 @@
 //! * [`event`] — the deterministic event queue.
 //! * [`net`] — the [`Simulation`] engine, [`Actor`] trait and [`Ctx`] handle.
 //! * [`trace`] — complete execution logs and measurement helpers.
+//! * [`prof`] — event-attribution profiling ([`ProfSink`], [`Profile`]).
 //!
 //! ## Example
 //!
@@ -62,6 +63,7 @@ pub mod failure;
 pub mod message;
 pub mod net;
 pub mod partition;
+pub mod prof;
 pub mod rng;
 pub mod time;
 mod timers;
@@ -74,5 +76,6 @@ pub use net::{
     Actor, Ctx, NetConfig, Payload, RunReport, SimScratch, Simulation, StopReason, TimerHandle,
 };
 pub use partition::{PartitionEngine, PartitionMode, PartitionSpec};
+pub use prof::{ProfEntry, ProfKey, ProfSink, Profile};
 pub use time::{SimDuration, SimTime};
 pub use trace::{Trace, TraceCounters, TraceEvent, TraceSink};

@@ -199,7 +199,7 @@ impl<P: Payload> Ctx<'_, P> {
     pub fn note(&mut self, label: &'static str, detail: u64) {
         let at = self.core.now;
         let site = self.me;
-        self.core.trace(TraceEvent::Note { at, site, label, detail });
+        self.core.trace(|c| c.notes += 1, || TraceEvent::Note { at, site, label, detail });
     }
 }
 
@@ -220,10 +220,18 @@ struct Core<P: Payload> {
 
 impl<P: Payload> Core<P> {
     /// Routes one event to the counters and the configured sink.
+    ///
+    /// The counter bump and the trace record are split so the event struct
+    /// is only *built* when a recording sink will keep it: the sweep hot
+    /// path runs under [`TraceSink::Null`], where assembling a
+    /// [`TraceEvent`] per send/delivery/timer just to discard it was
+    /// measurable in the event-dispatch profile (`bench_profile`).
     #[inline]
-    fn trace(&mut self, ev: TraceEvent) {
-        self.counters.record(&ev);
-        self.sink.push(ev);
+    fn trace(&mut self, bump: impl FnOnce(&mut TraceCounters), ev: impl FnOnce() -> TraceEvent) {
+        bump(&mut self.counters);
+        if let TraceSink::Recording(trace) = &mut self.sink {
+            trace.push(ev());
+        }
     }
 
     fn send(&mut self, src: SiteId, dst: SiteId, payload: P) {
@@ -231,73 +239,66 @@ impl<P: Payload> Core<P> {
         self.next_msg += 1;
         let kind = payload.kind();
         let env = Envelope { id, src, dst, sent_at: self.now, payload };
-        self.trace(TraceEvent::Sent { at: self.now, id, src, dst, kind });
+        let at = self.now;
+        self.trace(|c| c.sent += 1, || TraceEvent::Sent { at, id, src, dst, kind });
 
         let out = self.sampler.sample(id, src, dst, Leg::Outbound).clamp(1, self.config.t_unit);
         let delivery_at = self.now + SimDuration(out);
 
-        let fate = self.classify(src, dst, self.now, delivery_at);
-        match fate {
-            Fate::Deliver => {
+        // Does the message cross a partition boundary, and if so when does
+        // it bounce?
+        //
+        // * Disconnected already at send time: the message travels out and
+        //   bounces at the boundary — bounce instant is the scheduled
+        //   delivery instant (it spent its outbound delay reaching the wall).
+        // * Partition starts mid-flight: it was "outstanding ... at the time
+        //   partitioning occurs" (Lemma 3's setup) and bounces at the
+        //   partition instant.
+        //
+        // Either way the return leg adds at most `T`, so an undeliverable
+        // message is back at its sender within `2T` of sending — the bound
+        // the Fig. 6 timing analysis uses.
+        match self.partition.bounce_instant(src, dst, self.now, delivery_at) {
+            None => {
                 self.queue.push(delivery_at, EventKind::Deliver(env));
             }
-            Fate::Bounce(bounce_at) => match self.config.mode {
+            Some(bounce_at) => match self.config.mode {
                 PartitionMode::Optimistic => {
                     let ret =
                         self.sampler.sample(id, src, dst, Leg::Return).clamp(1, self.config.t_unit);
                     self.queue.push(bounce_at + SimDuration(ret), EventKind::ReturnUd(env));
                 }
                 PartitionMode::Pessimistic => {
-                    self.trace(TraceEvent::Dropped { at: self.now, id, src, dst, kind });
+                    self.trace(
+                        |c| c.dropped += 1,
+                        || TraceEvent::Dropped { at, id, src, dst, kind },
+                    );
                 }
             },
-        }
-    }
-
-    /// Decides whether a message sent at `sent_at` with scheduled delivery at
-    /// `delivery_at` crosses a partition boundary, and if so when it bounces.
-    ///
-    /// * Disconnected already at send time: the message travels out and
-    ///   bounces at the boundary — bounce instant is the scheduled delivery
-    ///   instant (it spent its outbound delay reaching the wall).
-    /// * Partition starts mid-flight: it was "outstanding ... at the time
-    ///   partitioning occurs" (Lemma 3's setup) and bounces at the partition
-    ///   instant.
-    ///
-    /// Either way the return leg adds at most `T`, so an undeliverable
-    /// message is back at its sender within `2T` of sending — the bound the
-    /// Fig. 6 timing analysis uses.
-    fn classify(&self, src: SiteId, dst: SiteId, sent_at: SimTime, delivery_at: SimTime) -> Fate {
-        if src == dst {
-            return Fate::Deliver;
-        }
-        if !self.partition.connected(src, dst, sent_at) {
-            return Fate::Bounce(delivery_at);
-        }
-        match self.partition.disconnect_time(src, dst, sent_at, delivery_at) {
-            Some(tp) => Fate::Bounce(tp),
-            None => Fate::Deliver,
         }
     }
 
     fn set_timer(&mut self, site: SiteId, after: SimDuration, tag: u64) -> TimerHandle {
         let timer = self.timers.arm();
         let fire_at = self.now + after;
-        self.trace(TraceEvent::TimerSet { at: self.now, site, timer, tag, fire_at });
+        let at = self.now;
+        self.trace(
+            |c| c.timers_set += 1,
+            || TraceEvent::TimerSet { at, site, timer, tag, fire_at },
+        );
         self.queue.push(fire_at, EventKind::Timer { site, timer, tag });
         TimerHandle(timer)
     }
 
     fn cancel_timer(&mut self, site: SiteId, handle: TimerHandle) {
         if self.timers.cancel(handle.0) {
-            self.trace(TraceEvent::TimerCancelled { at: self.now, site, timer: handle.0 });
+            let at = self.now;
+            self.trace(
+                |c| c.timers_cancelled += 1,
+                || TraceEvent::TimerCancelled { at, site, timer: handle.0 },
+            );
         }
     }
-}
-
-enum Fate {
-    Deliver,
-    Bounce(SimTime),
 }
 
 /// The simulator's reusable buffers: event heap, timer slab, crash flags,
@@ -373,7 +374,7 @@ pub struct RunReport {
 /// uses on the sweep hot path.
 pub struct Simulation<P: Payload, A: Actor<P> = Box<dyn Actor<P>>> {
     core: Core<P>,
-    actors: Vec<Option<A>>,
+    actors: Vec<A>,
 }
 
 impl<P: Payload, A: Actor<P>> Simulation<P, A> {
@@ -451,7 +452,7 @@ impl<P: Payload, A: Actor<P>> Simulation<P, A> {
                 sink,
                 counters: TraceCounters::default(),
             },
-            actors: actors.into_iter().map(Some).collect(),
+            actors,
         }
     }
 
@@ -502,88 +503,84 @@ impl<P: Payload, A: Actor<P>> Simulation<P, A> {
             match ev.kind {
                 EventKind::Deliver(env) => {
                     let dst = env.dst;
+                    let (at, id, src, kind) = (ev.at, env.id, env.src, env.payload.kind());
                     if self.core.crashed[dst.index()] {
-                        self.core.trace(TraceEvent::Dropped {
-                            at: ev.at,
-                            id: env.id,
-                            src: env.src,
-                            dst,
-                            kind: env.payload.kind(),
-                        });
+                        self.core.trace(
+                            |c| c.dropped += 1,
+                            || TraceEvent::Dropped { at, id, src, dst, kind },
+                        );
                         continue;
                     }
-                    self.core.trace(TraceEvent::Delivered {
-                        at: ev.at,
-                        id: env.id,
-                        src: env.src,
-                        dst,
-                        kind: env.payload.kind(),
-                    });
+                    self.core.trace(
+                        |c| c.delivered += 1,
+                        || TraceEvent::Delivered { at, id, src, dst, kind },
+                    );
                     self.with_actor(dst.index(), |actor, ctx| actor.on_message(env, ctx));
                 }
                 EventKind::ReturnUd(env) => {
                     let src = env.src;
+                    let (at, id, dst, kind) = (ev.at, env.id, env.dst, env.payload.kind());
                     if self.core.crashed[src.index()] {
-                        self.core.trace(TraceEvent::Dropped {
-                            at: ev.at,
-                            id: env.id,
-                            src,
-                            dst: env.dst,
-                            kind: env.payload.kind(),
-                        });
+                        self.core.trace(
+                            |c| c.dropped += 1,
+                            || TraceEvent::Dropped { at, id, src, dst, kind },
+                        );
                         continue;
                     }
-                    self.core.trace(TraceEvent::Returned {
-                        at: ev.at,
-                        id: env.id,
-                        src,
-                        dst: env.dst,
-                        kind: env.payload.kind(),
-                    });
+                    self.core.trace(
+                        |c| c.returned += 1,
+                        || TraceEvent::Returned { at, id, src, dst, kind },
+                    );
                     self.with_actor(src.index(), |actor, ctx| actor.on_undeliverable(env, ctx));
                 }
                 EventKind::Timer { site, timer, tag } => {
                     // Consume the slot either way; a handle never fires twice.
+                    let at = ev.at;
                     let live = self.core.timers.fire(timer);
                     if !live || self.core.crashed[site.index()] {
-                        self.core.trace(TraceEvent::TimerSuppressed {
-                            at: ev.at,
-                            site,
-                            timer,
-                            tag,
-                        });
+                        self.core.trace(
+                            |c| c.timers_suppressed += 1,
+                            || TraceEvent::TimerSuppressed { at, site, timer, tag },
+                        );
                         continue;
                     }
-                    self.core.trace(TraceEvent::TimerFired { at: ev.at, site, timer, tag });
+                    self.core.trace(
+                        |c| c.timers_fired += 1,
+                        || TraceEvent::TimerFired { at, site, timer, tag },
+                    );
                     self.with_actor(site.index(), |actor, ctx| actor.on_timer(tag, ctx));
                 }
                 EventKind::Crash(site) => {
                     self.core.crashed[site.index()] = true;
-                    self.core.trace(TraceEvent::Crashed { at: ev.at, site });
+                    let at = ev.at;
+                    self.core.trace(|c| c.crashes += 1, || TraceEvent::Crashed { at, site });
                     self.with_actor(site.index(), |actor, ctx| actor.on_crash(ctx));
                 }
                 EventKind::Recover(site) => {
                     self.core.crashed[site.index()] = false;
-                    self.core.trace(TraceEvent::Recovered { at: ev.at, site });
+                    let at = ev.at;
+                    self.core.trace(|c| c.recoveries += 1, || TraceEvent::Recovered { at, site });
                     self.with_actor(site.index(), |actor, ctx| actor.on_recover(ctx));
                 }
             }
         };
 
         let report = RunReport { stop, ended_at, events, counters: self.core.counters };
-        let actors = self.actors.into_iter().map(|a| a.expect("actor present")).collect();
-        let mut core = self.core;
+        let Simulation { mut core, actors } = self;
         let sink = std::mem::replace(&mut core.sink, TraceSink::Null);
         (actors, sink.into_trace(), report, core)
     }
 
-    /// Take-and-put-back dispatch so the handler can borrow the core mutably
-    /// while owning the actor.
+    /// Dispatch through disjoint borrows: the handler gets the actor and a
+    /// `Ctx` over the core simultaneously (separate fields of `self`), so
+    /// no per-event move of the actor is needed. The old take-and-put-back
+    /// scheme copied the full actor struct — several hundred bytes for an
+    /// enum-dispatched protocol site — twice per dispatched event, which
+    /// the event profile (`bench_profile`) showed as pure overhead.
+    #[inline]
     fn with_actor(&mut self, idx: usize, f: impl FnOnce(&mut A, &mut Ctx<'_, P>)) {
-        let mut actor = self.actors[idx].take().expect("actor re-entrancy");
         let mut ctx = Ctx { core: &mut self.core, me: SiteId(idx as u16) };
-        f(&mut actor, &mut ctx);
-        self.actors[idx] = Some(actor);
+        f(&mut self.actors[idx], &mut ctx);
     }
 }
 

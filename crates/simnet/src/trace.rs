@@ -95,23 +95,6 @@ pub struct TraceCounters {
 }
 
 impl TraceCounters {
-    /// Tallies one event.
-    pub(crate) fn record(&mut self, ev: &TraceEvent) {
-        match ev {
-            TraceEvent::Sent { .. } => self.sent += 1,
-            TraceEvent::Delivered { .. } => self.delivered += 1,
-            TraceEvent::Returned { .. } => self.returned += 1,
-            TraceEvent::Dropped { .. } => self.dropped += 1,
-            TraceEvent::TimerSet { .. } => self.timers_set += 1,
-            TraceEvent::TimerFired { .. } => self.timers_fired += 1,
-            TraceEvent::TimerCancelled { .. } => self.timers_cancelled += 1,
-            TraceEvent::TimerSuppressed { .. } => self.timers_suppressed += 1,
-            TraceEvent::Crashed { .. } => self.crashes += 1,
-            TraceEvent::Recovered { .. } => self.recoveries += 1,
-            TraceEvent::Note { .. } => self.notes += 1,
-        }
-    }
-
     /// Total events tallied.
     pub fn total(&self) -> u64 {
         self.sent
@@ -161,14 +144,6 @@ impl TraceSink {
         match self {
             TraceSink::Recording(trace) => trace,
             TraceSink::Null => Trace::default(),
-        }
-    }
-
-    #[inline]
-    pub(crate) fn push(&mut self, ev: TraceEvent) {
-        match self {
-            TraceSink::Recording(trace) => trace.push(ev),
-            TraceSink::Null => {}
         }
     }
 }
