@@ -16,7 +16,7 @@
 //! criterion shim), so the CI smoke run finishes in milliseconds while a
 //! real baseline run samples enough rounds for a stable median.
 
-use ptp_bench::{host_fields, json_escape};
+use ptp_bench::{criterion_budget_ms, host_fields, json_escape, median_of, write_record};
 use ptp_core::ddb::cluster::{CommitProtocol, DbCluster, DbRun};
 use ptp_core::ddb::site::TxnSpec;
 use ptp_core::ddb::value::{Key, TxnId, Value, WriteOp};
@@ -80,11 +80,6 @@ fn run_block(protocol: CommitProtocol, pooled: bool) -> (f64, DbRun) {
     (wall, run)
 }
 
-fn median(walls: &mut [f64]) -> f64 {
-    walls.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
-    walls[walls.len() / 2]
-}
-
 /// Samples pooled (and, in compare mode, per-txn) wall times within the
 /// budget.
 ///
@@ -121,8 +116,8 @@ fn sample(
             ratios.push(per_txn_walls.last().unwrap() / wall.max(f64::MIN_POSITIVE));
         }
     }
-    let per_txn = compare.then(|| (median(&mut per_txn_walls), median(&mut ratios)));
-    (median(&mut pooled_walls), per_txn, last.expect("at least one round"))
+    let per_txn = compare.then(|| (median_of(&mut per_txn_walls), median_of(&mut ratios)));
+    (median_of(&mut pooled_walls), per_txn, last.expect("at least one round"))
 }
 
 struct Measurement {
@@ -174,8 +169,7 @@ fn render_json(measurements: &[Measurement]) -> String {
 
 fn main() {
     let compare = std::env::args().any(|a| a == "--compare");
-    let budget_ms =
-        std::env::var("CRITERION_BUDGET_MS").ok().and_then(|v| v.parse().ok()).unwrap_or(2_000u64);
+    let budget_ms = criterion_budget_ms(2_000);
     println!("== bench_ddb: {TXNS}-txn workload throughput, n = {SITES} ==");
     println!(
         "budget {budget_ms} ms per measurement{}\n",
@@ -219,8 +213,5 @@ fn main() {
     }
     println!("{}", table.render());
 
-    let json = render_json(&measurements);
-    let path = "BENCH_ddb.json";
-    std::fs::write(path, &json).expect("write BENCH_ddb.json");
-    println!("wrote {path}");
+    write_record("BENCH_ddb.json", &render_json(&measurements));
 }

@@ -18,7 +18,7 @@
 //! attribution, no cross-thread merge noise. Writes `BENCH_profile.json`;
 //! CI regenerates it in the bench smoke step.
 
-use ptp_bench::{host_fields, json_escape};
+use ptp_bench::{host_fields, json_escape, write_record};
 use ptp_core::{sweep_profiled, ProtocolKind, ScheduleShape, SweepGrid};
 use ptp_simnet::{DelayModel, Profile, ScheduleBuilder};
 use std::fmt::Write as _;
@@ -164,8 +164,5 @@ fn main() {
         }
     }
 
-    let json = render_json(&families);
-    let path = "BENCH_profile.json";
-    std::fs::write(path, &json).expect("write BENCH_profile.json");
-    println!("\nwrote {path}");
+    write_record("BENCH_profile.json", &render_json(&families));
 }

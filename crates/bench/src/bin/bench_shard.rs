@@ -12,7 +12,7 @@
 //! `CRITERION_BUDGET_MS` caps the per-measurement sampling time, as in the
 //! sibling benches.
 
-use ptp_bench::{host_fields, json_escape};
+use ptp_bench::{criterion_budget_ms, host_fields, json_escape, median_of, write_record};
 use ptp_core::ddb::cluster::CommitProtocol;
 use ptp_core::ddb::value::{TxnId, Value, WriteOp};
 use ptp_core::report::Table;
@@ -78,11 +78,6 @@ fn run_block(protocol: CommitProtocol) -> (f64, ShardRun) {
     (wall, run)
 }
 
-fn median(walls: &mut [f64]) -> f64 {
-    walls.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
-    walls[walls.len() / 2]
-}
-
 fn sample(protocol: CommitProtocol, budget_ms: u64) -> (f64, ShardRun) {
     let _ = run_block(protocol); // warmup
     let mut walls = Vec::new();
@@ -95,7 +90,7 @@ fn sample(protocol: CommitProtocol, budget_ms: u64) -> (f64, ShardRun) {
         walls.push(wall);
         last = Some(run);
     }
-    (median(&mut walls), last.expect("at least one round"))
+    (median_of(&mut walls), last.expect("at least one round"))
 }
 
 struct Measurement {
@@ -153,8 +148,7 @@ fn render_json(measurements: &[Measurement]) -> String {
 }
 
 fn main() {
-    let budget_ms =
-        std::env::var("CRITERION_BUDGET_MS").ok().and_then(|v| v.parse().ok()).unwrap_or(2_000u64);
+    let budget_ms = criterion_budget_ms(2_000);
     println!(
         "== bench_shard: {TXNS}-txn mixed workload, {SHARDS} shards x {REPLICATION} replicas \
          over {SITES} sites =="
@@ -197,8 +191,5 @@ fn main() {
     }
     println!("{}", table.render());
 
-    let json = render_json(&measurements);
-    let path = "BENCH_shard.json";
-    std::fs::write(path, &json).expect("write BENCH_shard.json");
-    println!("wrote {path}");
+    write_record("BENCH_shard.json", &render_json(&measurements));
 }

@@ -14,7 +14,7 @@
 //!   serial full-trace sweep equivalent to the pre-refactor engine (one
 //!   recorded trace per cell), yielding the speedup columns.
 
-use ptp_bench::{dense_grid, host_fields, json_escape};
+use ptp_bench::{dense_grid, host_fields, json_escape, write_record};
 use ptp_core::report::Table;
 use ptp_core::{
     run_scenario_opts, sweep_serial, sweep_threads, sweep_with_threads, ProtocolKind, RunOptions,
@@ -177,8 +177,5 @@ fn main() {
     }
     println!("{}", table.render());
 
-    let json = render_json(&measurements);
-    let path = "BENCH_sweep.json";
-    std::fs::write(path, &json).expect("write BENCH_sweep.json");
-    println!("wrote {path}");
+    write_record("BENCH_sweep.json", &render_json(&measurements));
 }

@@ -19,7 +19,7 @@
 //! next to `BENCH_sweep.json` and `BENCH_ddb.json`); CI regenerates it in
 //! the bench smoke step.
 
-use ptp_bench::{host_fields, json_escape};
+use ptp_bench::{host_fields, json_escape, write_record};
 use ptp_core::report::Table;
 use ptp_core::{
     sweep_threads, sweep_with_threads, ProtocolKind, ScheduleShape, SweepGrid, SweepReport,
@@ -186,8 +186,5 @@ fn main() {
         }
     }
 
-    let json = render_json(&families);
-    let path = "BENCH_schedule.json";
-    std::fs::write(path, &json).expect("write BENCH_schedule.json");
-    println!("wrote {path}");
+    write_record("BENCH_schedule.json", &render_json(&families));
 }

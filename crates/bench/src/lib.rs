@@ -78,17 +78,38 @@ pub fn shard_key_pool(
     topo: &ptp_shard::ShardTopology,
     per_shard: usize,
 ) -> Vec<Vec<ptp_core::ddb::Key>> {
-    let mut pools: Vec<Vec<ptp_core::ddb::Key>> = vec![Vec::new(); topo.shards()];
-    let mut i = 0u64;
-    while pools.iter().any(|p| p.len() < per_shard) {
-        let key = ptp_core::ddb::Key::from(format!("key-{i}"));
-        let shard = topo.shard_of(&key);
-        if pools[shard].len() < per_shard {
-            pools[shard].push(key);
-        }
-        i += 1;
+    topo.key_pool(per_shard)
+}
+
+/// The measurement budget in milliseconds: `CRITERION_BUDGET_MS` if set
+/// (the CI smoke runs set 20), else `default`. Every bench emitter scales
+/// its sample counts from this one knob.
+pub fn criterion_budget_ms(default: u64) -> u64 {
+    std::env::var("CRITERION_BUDGET_MS").ok().and_then(|s| s.parse().ok()).unwrap_or(default)
+}
+
+/// Median of the samples (sorts in place; mean of the middle two when even).
+///
+/// # Panics
+///
+/// Panics on an empty slice.
+pub fn median_of(samples: &mut [f64]) -> f64 {
+    assert!(!samples.is_empty(), "median of no samples");
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let mid = samples.len() / 2;
+    if samples.len() % 2 == 1 {
+        samples[mid]
+    } else {
+        (samples[mid - 1] + samples[mid]) / 2.0
     }
-    pools
+}
+
+/// Writes a `BENCH_*.json` record to the repo root (the directory `cargo
+/// run` executes from) and prints where it went — the shared tail of every
+/// bench emitter.
+pub fn write_record(path: &str, json: &str) {
+    std::fs::write(path, json).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+    println!("\nwrote {path}");
 }
 
 /// Logical CPUs visible to this process — recorded in every committed
@@ -214,5 +235,20 @@ mod tests {
     fn sweep_row_shape() {
         let report = SweepReport::default();
         assert_eq!(sweep_row(ProtocolKind::Plain2pc, &report).len(), 7);
+    }
+
+    #[test]
+    fn median_of_odd_and_even() {
+        assert_eq!(median_of(&mut [3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median_of(&mut [4.0, 1.0, 2.0, 3.0]), 2.5);
+        assert_eq!(median_of(&mut [7.0]), 7.0);
+    }
+
+    #[test]
+    fn host_fields_is_valid_fragment() {
+        let f = host_fields();
+        assert!(f.starts_with("\"nproc\": "));
+        assert!(f.contains("\"host\": \""));
+        assert!(!f.ends_with(','));
     }
 }

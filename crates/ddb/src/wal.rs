@@ -116,6 +116,19 @@ impl Wal {
         &self.records[..self.flushed]
     }
 
+    /// Records appended but not yet flushed — what a group-commit batcher
+    /// inspects to decide whether a window flush has work to do.
+    pub fn unflushed(&self) -> usize {
+        self.records.len() - self.flushed
+    }
+
+    /// The durable watermark: records `< watermark()` are on stable
+    /// storage. Group commit acks a transaction once its commit record's
+    /// index falls below this.
+    pub fn watermark(&self) -> usize {
+        self.flushed
+    }
+
     /// Total records including volatile ones (for tests).
     pub fn len(&self) -> usize {
         self.records.len()
@@ -226,6 +239,25 @@ mod tests {
         wal.append(Record::Commit { txn: TxnId(1) });
         assert_eq!(wal.flush(), 2);
         assert_eq!(wal.flush(), 0);
+    }
+
+    #[test]
+    fn unflushed_and_watermark_track_group_commit_state() {
+        let mut wal = Wal::new();
+        assert_eq!(wal.unflushed(), 0);
+        assert_eq!(wal.watermark(), 0);
+        wal.append(Record::Begin { txn: TxnId(1), writes: vec![] });
+        wal.append(Record::Commit { txn: TxnId(1) });
+        assert_eq!(wal.unflushed(), 2);
+        assert_eq!(wal.watermark(), 0);
+        wal.flush();
+        assert_eq!(wal.unflushed(), 0);
+        assert_eq!(wal.watermark(), 2);
+        wal.append(Record::Applied { txn: TxnId(1) });
+        assert_eq!(wal.unflushed(), 1);
+        wal.crash(); // volatile tail vanishes; watermark holds
+        assert_eq!(wal.unflushed(), 0);
+        assert_eq!(wal.watermark(), 2);
     }
 
     #[test]

@@ -1,0 +1,196 @@
+//! A log-bucketed latency histogram (hdr-lite, hand-rolled — this workspace
+//! builds offline, so no external histogram crate).
+//!
+//! Values are recorded in integer units (the live harness uses
+//! microseconds). Buckets are exact for values `< 32`; above that, each
+//! power-of-two octave is split into 16 sub-buckets, so the relative
+//! quantile error is bounded by 1/16 ≈ 6.25% while the whole table stays a
+//! few hundred `u64`s regardless of range. The true maximum is tracked
+//! exactly.
+
+/// Sub-buckets per octave: 2^5 = 32 exact low values, 16 per octave above.
+const SUB_BITS: u32 = 4;
+const SUB: u64 = 1 << SUB_BITS; // 16
+const EXACT: u64 = SUB * 2; // values < 32 get their own bucket
+
+/// A log-linear histogram of `u64` samples.
+#[derive(Debug, Clone, Default)]
+pub struct LogHistogram {
+    buckets: Vec<u64>,
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+fn bucket_of(v: u64) -> usize {
+    if v < EXACT {
+        return v as usize;
+    }
+    // Octave o = position of the highest set bit; sub-index = the next
+    // SUB_BITS bits below it. Values < 32 were handled above, so o >= 5.
+    let o = 63 - v.leading_zeros();
+    let sub = (v >> (o - SUB_BITS)) & (SUB - 1);
+    EXACT as usize + (o - SUB_BITS - 1) as usize * SUB as usize + sub as usize
+}
+
+/// The (inclusive) upper edge of bucket `idx` — what quantile queries
+/// report, so reported quantiles never understate the true sample.
+fn bucket_upper(idx: usize) -> u64 {
+    if (idx as u64) < EXACT {
+        return idx as u64;
+    }
+    let rel = idx as u64 - EXACT;
+    let o = rel / SUB + SUB_BITS as u64 + 1;
+    let sub = rel % SUB;
+    (1u64 << o) + (sub + 1) * (1u64 << (o - SUB_BITS as u64)) - 1
+}
+
+impl LogHistogram {
+    /// An empty histogram.
+    pub fn new() -> LogHistogram {
+        LogHistogram::default()
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, v: u64) {
+        let idx = bucket_of(v);
+        if idx >= self.buckets.len() {
+            self.buckets.resize(idx + 1, 0);
+        }
+        self.buckets[idx] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// The exact maximum sample (0 if empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean of all samples (0.0 if empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The value at quantile `q` in `[0, 1]`: an upper bound within one
+    /// bucket (≤ 6.25% relative error), with `quantile(1.0)` the exact max.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        if q >= 1.0 {
+            return self.max;
+        }
+        let rank = (q * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (idx, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                // The top bucket's upper edge can overshoot the true max.
+                return bucket_upper(idx).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Folds another histogram into this one.
+    pub fn merge(&mut self, other: &LogHistogram) {
+        if other.buckets.len() > self.buckets.len() {
+            self.buckets.resize(other.buckets.len(), 0);
+        }
+        for (idx, &c) in other.buckets.iter().enumerate() {
+            self.buckets[idx] += c;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.max = self.max.max(other.max);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_values_are_exact() {
+        let mut h = LogHistogram::new();
+        for v in 0..EXACT {
+            h.record(v);
+        }
+        for q in [0.1, 0.5, 0.9] {
+            let want = (q * EXACT as f64).ceil() as u64 - 1;
+            assert_eq!(h.quantile(q), want, "q={q}");
+        }
+    }
+
+    #[test]
+    fn bucket_upper_bounds_its_members() {
+        // Every value maps to a bucket whose upper edge is >= it and within
+        // 1/16 relative error.
+        let mut v = 1u64;
+        while v < u64::MAX / 3 {
+            for probe in [v, v + v / 3, v * 2 - 1] {
+                let upper = bucket_upper(bucket_of(probe));
+                assert!(upper >= probe, "upper {upper} < probe {probe}");
+                assert!(
+                    (upper - probe) as f64 <= probe as f64 / 16.0 + 1.0,
+                    "probe {probe} upper {upper} overshoots"
+                );
+            }
+            v *= 2;
+        }
+    }
+
+    #[test]
+    fn quantiles_of_a_uniform_ramp() {
+        let mut h = LogHistogram::new();
+        for v in 1..=10_000u64 {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 10_000);
+        assert_eq!(h.max(), 10_000);
+        let p50 = h.quantile(0.5);
+        assert!((4_700..=5_300).contains(&p50), "p50={p50}");
+        let p99 = h.quantile(0.99);
+        assert!((9_800..=10_000).contains(&p99), "p99={p99}");
+        assert_eq!(h.quantile(1.0), 10_000);
+        let mean = h.mean();
+        assert!((4_900.0..=5_100.0).contains(&mean), "mean={mean}");
+    }
+
+    #[test]
+    fn merge_equals_combined_recording() {
+        let mut a = LogHistogram::new();
+        let mut b = LogHistogram::new();
+        let mut all = LogHistogram::new();
+        for v in 0..1000u64 {
+            let sample = v * 37 % 50_000;
+            if v % 2 == 0 { &mut a } else { &mut b }.record(sample);
+            all.record(sample);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), all.count());
+        assert_eq!(a.max(), all.max());
+        for q in [0.5, 0.9, 0.99] {
+            assert_eq!(a.quantile(q), all.quantile(q));
+        }
+    }
+
+    #[test]
+    fn empty_histogram_is_quiet() {
+        let h = LogHistogram::new();
+        assert_eq!(h.quantile(0.5), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.mean(), 0.0);
+    }
+}

@@ -1,0 +1,557 @@
+//! # ptp-live — sustained-traffic shard serving over real threads
+//!
+//! Every workload in this workspace so far ran under the discrete-event
+//! simulator. This crate is the serving path the north star asks for: a
+//! **long-running, multi-threaded shard server** hosting the `ptp-shard`
+//! planning machinery and the `ptp-ddb` storage stack (WAL, strict-2PL
+//! locks, pooled protocol participants) on one OS thread per site, with
+//! messages delayed by the generic `ptp-livenet` router — bounded-delay
+//! delivery, live partition episodes, optimistic undeliverable bounces.
+//!
+//! Load comes from an **open-loop driver** ([`driver`]): arrivals follow a
+//! precomputed exponential schedule at a configured offered rate, with
+//! uniform or hot-key skew and a read/write mix, injected on the wall clock
+//! regardless of completions — so queueing delay lands in the recorded
+//! latency instead of silently stretching the run. Latency percentiles come
+//! from a hand-rolled log-bucketed histogram ([`hist`]).
+//!
+//! Two server-side optimizations are switchable per run ([`BatchConfig`]):
+//! **group-commit WAL batching** (one simulated-fsync per batch window,
+//! acked per transaction after its commit record's flush) and
+//! **protocol-message coalescing** (all envelopes to one destination in a
+//! window ride one channel send). `bench_live` records both modes at equal
+//! offered load in `BENCH_live.json`.
+//!
+//! Live runs are nondeterministic (real threads, real clocks), so
+//! correctness is asserted as **invariants**, not replay equality: the
+//! post-run [`audit`](LiveReport::audit) checks atomicity (all sites agree
+//! on every decision), durability (exactly one durable commit record per
+//! committed transaction per involved replica), no lost or phantom writes
+//! (every surviving value traces to a committed writer; committed writers'
+//! effects survive), read legitimacy, and a clean drain on shutdown.
+//!
+//! ```
+//! use ptp_live::{run_server, LiveOptions};
+//! use std::time::Duration;
+//!
+//! let report = run_server(&LiveOptions::small(150.0, Duration::from_millis(300)));
+//! assert!(report.audit.ok, "{:?}", report.audit.violations);
+//! assert!(report.clean_drain);
+//! assert_eq!(report.completed_writes, report.issued_writes);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod driver;
+pub mod hist;
+pub mod node;
+
+pub use config::{BatchConfig, KeySkew, LiveOptions};
+pub use hist::LogHistogram;
+pub use node::{Completion, LiveNode, NodeReport, Packet, WireMsg};
+
+use driver::{OpKind, Schedule};
+use ptp_ddb::site::ParticipantFactory;
+use ptp_ddb::value::{Key, TxnId, Value};
+use ptp_ddb::wal::Record;
+use ptp_livenet::{Inbound, LiveConfig, Outbound, Router};
+use ptp_model::Decision;
+use ptp_shard::plan::PlanTable;
+use ptp_shard::ShardTopology;
+use ptp_simnet::SiteId;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Percentiles of one latency population, in microseconds (measured from
+/// each operation's *scheduled* arrival — see [`driver`]).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LatencySummary {
+    /// Samples recorded.
+    pub count: u64,
+    /// Median.
+    pub p50_us: u64,
+    /// 90th percentile.
+    pub p90_us: u64,
+    /// 99th percentile.
+    pub p99_us: u64,
+    /// Exact maximum.
+    pub max_us: u64,
+    /// Mean.
+    pub mean_us: f64,
+}
+
+impl LatencySummary {
+    fn from_hist(h: &LogHistogram) -> LatencySummary {
+        LatencySummary {
+            count: h.count(),
+            p50_us: h.quantile(0.50),
+            p90_us: h.quantile(0.90),
+            p99_us: h.quantile(0.99),
+            max_us: h.max(),
+            mean_us: h.mean(),
+        }
+    }
+}
+
+/// The post-run storage audit: the driver's issue log checked against every
+/// node's storage, WAL, and decision record.
+#[derive(Debug, Clone)]
+pub struct AuditReport {
+    /// No invariant violated.
+    pub ok: bool,
+    /// `true` when the run had no partition (every invariant checked);
+    /// partition runs skip replica-convergence checks (a ship bounced at a
+    /// partition boundary legitimately leaves a replica stale).
+    pub strict: bool,
+    /// Write transactions checked.
+    pub checked_writes: usize,
+    /// Reads checked.
+    pub checked_reads: usize,
+    /// Human-readable violations (capped at 20).
+    pub violations: Vec<String>,
+}
+
+/// Everything a live serving run produced.
+#[derive(Debug)]
+pub struct LiveReport {
+    /// The configured offered load (ops/sec).
+    pub offered_rate: f64,
+    /// *Committed* writes over the span from run start to the last commit
+    /// ack — the goodput the cluster actually sustained (aborts complete
+    /// fast; counting them would flatter a saturated run).
+    pub achieved_rate: f64,
+    /// Writes the driver injected.
+    pub issued_writes: usize,
+    /// Reads the driver injected.
+    pub issued_reads: usize,
+    /// Writes that reached a decision and were acked.
+    pub completed_writes: usize,
+    /// Acked commits.
+    pub committed: usize,
+    /// Acked aborts.
+    pub aborted: usize,
+    /// Reads answered.
+    pub completed_reads: usize,
+    /// Write latency percentiles.
+    pub writes: LatencySummary,
+    /// Read latency percentiles.
+    pub reads: LatencySummary,
+    /// Every operation completed and no node held in-flight state at
+    /// shutdown.
+    pub clean_drain: bool,
+    /// The storage audit.
+    pub audit: AuditReport,
+    /// Wall-clock span of the whole run (load + drain + shutdown).
+    pub elapsed: Duration,
+    /// Stable-storage flushes across all sites.
+    pub flushes: u64,
+    /// Channel sends to the router across all sites.
+    pub channel_sends: u64,
+    /// Protocol messages carried (> `channel_sends` means coalescing
+    /// squeezed multiple messages into one send).
+    pub protocol_messages: u64,
+    /// Whether group commit + coalescing were on.
+    pub batching: bool,
+}
+
+/// Runs the full live pipeline: compile plans, spawn router + one thread
+/// per site + the open-loop driver, serve the offered load, drain, shut
+/// down, and audit. See the crate docs for what the report asserts.
+pub fn run_server(opts: &LiveOptions) -> LiveReport {
+    opts.validate();
+    let topo = ShardTopology::uniform(opts.sites, opts.shards, opts.replication);
+    let pools = topo.key_pool(opts.keys_per_shard);
+    let schedule = driver::generate(opts, &topo, &pools);
+    let plans = Arc::new(PlanTable::compile(topo.clone(), &schedule.specs));
+    let n = opts.sites;
+
+    let (router_tx, router_rx) = mpsc::channel::<Outbound<Packet>>();
+    let (completions_tx, completions_rx) = mpsc::channel::<Completion>();
+    let mut site_txs = Vec::with_capacity(n);
+    let mut site_rxs = Vec::with_capacity(n);
+    for _ in 0..n {
+        let (tx, rx) = mpsc::channel::<Inbound<Packet>>();
+        site_txs.push(tx);
+        site_rxs.push(rx);
+    }
+
+    let start = Instant::now();
+    let live_config =
+        LiveConfig { t: opts.t, run_timeout: opts.duration + opts.drain_timeout, seed: opts.seed };
+    let router: Router<Packet> =
+        Router::new(live_config, opts.partition.clone(), Vec::new(), site_txs.clone(), start);
+    let router_handle = std::thread::spawn(move || router.run(router_rx));
+
+    let mut node_handles = Vec::with_capacity(n);
+    for (i, rx) in site_rxs.into_iter().enumerate() {
+        let plans = plans.clone();
+        let router_tx = router_tx.clone();
+        let completions_tx = completions_tx.clone();
+        let (protocol, t, batch, flush_cost) = (opts.protocol, opts.t, opts.batch, opts.flush_cost);
+        node_handles.push(std::thread::spawn(move || {
+            // Participant builders are Rc-based: construct inside the thread.
+            let factory = ParticipantFactory::pooled(protocol.participant_builder());
+            let node = LiveNode::new(
+                SiteId(i as u16),
+                plans,
+                factory,
+                t,
+                batch,
+                flush_cost,
+                router_tx,
+                completions_tx,
+            );
+            node.run(rx)
+        }));
+    }
+    drop(router_tx);
+    drop(completions_tx);
+
+    let driver_ops = schedule.ops.clone();
+    let driver_txs = site_txs.clone();
+    let driver_handle =
+        std::thread::spawn(move || driver::run_driver(driver_ops, driver_txs, start));
+
+    // Collect acks until every scheduled op completed or the drain deadline
+    // passes (open loop: the driver never waits, so backlog drains here).
+    let expected = schedule.ops.len();
+    let deadline = start + opts.duration + opts.drain_timeout;
+    let mut completions: HashMap<u32, (Decision, Option<Value>, Instant)> = HashMap::new();
+    let mut duplicate_acks = 0usize;
+    while completions.len() < expected {
+        let now = Instant::now();
+        if now >= deadline {
+            break;
+        }
+        match completions_rx.recv_timeout(deadline - now) {
+            Ok(c) => {
+                if completions.insert(c.txn.0, (c.decision, c.value, c.at)).is_some() {
+                    duplicate_acks += 1;
+                }
+            }
+            Err(mpsc::RecvTimeoutError::Timeout) => break,
+            Err(mpsc::RecvTimeoutError::Disconnected) => break,
+        }
+    }
+
+    // Grace: client acks are all in, but cross-shard ships and group-commit
+    // finalizations may still be crossing the router; let replicas settle
+    // before pulling the plug (a few delay bounds + batch windows).
+    let grace = opts.t * 5 + opts.batch.window * 5 + Duration::from_millis(30);
+    let grace_deadline = Instant::now() + grace;
+    loop {
+        let now = Instant::now();
+        if now >= grace_deadline {
+            break;
+        }
+        match completions_rx.recv_timeout(grace_deadline - now) {
+            Ok(c) => {
+                if completions.insert(c.txn.0, (c.decision, c.value, c.at)).is_some() {
+                    duplicate_acks += 1;
+                }
+            }
+            Err(_) => break,
+        }
+    }
+
+    for tx in &site_txs {
+        let _ = tx.send(Inbound::Shutdown);
+    }
+    let _ = driver_handle.join();
+    let mut reports: Vec<NodeReport> = Vec::with_capacity(n);
+    for h in node_handles {
+        reports.push(h.join().expect("site threads do not panic"));
+    }
+    drop(site_txs);
+    let _ = router_handle.join();
+    let elapsed = start.elapsed();
+
+    // Latency, measured from each op's scheduled arrival.
+    let mut write_hist = LogHistogram::new();
+    let mut read_hist = LogHistogram::new();
+    let mut committed = 0usize;
+    let mut aborted = 0usize;
+    let mut completed_writes = 0usize;
+    let mut completed_reads = 0usize;
+    let mut last_write_done: Option<Instant> = None;
+    for op in &schedule.ops {
+        let Some((decision, _, at)) = completions.get(&op.txn.0) else { continue };
+        let latency = at.saturating_duration_since(start + op.at).as_micros() as u64;
+        match op.kind {
+            OpKind::Write => {
+                write_hist.record(latency);
+                completed_writes += 1;
+                match decision {
+                    Decision::Commit => {
+                        committed += 1;
+                        last_write_done =
+                            Some(last_write_done.map_or(*at, |prev: Instant| prev.max(*at)));
+                    }
+                    Decision::Abort => aborted += 1,
+                }
+            }
+            OpKind::Read(_) => {
+                read_hist.record(latency);
+                completed_reads += 1;
+            }
+        }
+    }
+    let achieved_rate = match last_write_done {
+        Some(done) if committed > 0 => {
+            committed as f64 / done.duration_since(start).as_secs_f64().max(1e-9)
+        }
+        _ => 0.0,
+    };
+
+    let clean_drain =
+        completions.len() == expected && reports.iter().all(|r| r.in_flight_at_shutdown == 0);
+    let strict = opts.partition.is_none();
+    let audit = audit(&schedule, &plans, &pools, &completions, duplicate_acks, &reports, strict);
+
+    LiveReport {
+        offered_rate: opts.offered_rate,
+        achieved_rate,
+        issued_writes: schedule.writes,
+        issued_reads: schedule.reads,
+        completed_writes,
+        committed,
+        aborted,
+        completed_reads,
+        writes: LatencySummary::from_hist(&write_hist),
+        reads: LatencySummary::from_hist(&read_hist),
+        clean_drain,
+        audit,
+        elapsed,
+        flushes: reports.iter().map(|r| r.flushes).sum(),
+        channel_sends: reports.iter().map(|r| r.channel_sends).sum(),
+        protocol_messages: reports.iter().map(|r| r.protocol_messages).sum(),
+        batching: opts.batch.enabled,
+    }
+}
+
+/// The storage audit: checks the invariants listed in the crate docs
+/// against the driver's issue log. Strict mode (no partition) additionally
+/// requires full replica convergence.
+fn audit(
+    schedule: &Schedule,
+    plans: &PlanTable,
+    pools: &[Vec<Key>],
+    completions: &HashMap<u32, (Decision, Option<Value>, Instant)>,
+    duplicate_acks: usize,
+    reports: &[NodeReport],
+    strict: bool,
+) -> AuditReport {
+    let mut violations: Vec<String> = Vec::new();
+    let mut violate = |msg: String| {
+        if violations.len() < 20 {
+            violations.push(msg);
+        }
+    };
+    let topo = &plans.topology;
+
+    if duplicate_acks > 0 {
+        violate(format!("{duplicate_acks} operations were acknowledged more than once"));
+    }
+
+    // Issued-id sets.
+    let issued: std::collections::HashSet<u32> = schedule.ops.iter().map(|o| o.txn.0).collect();
+    for id in completions.keys() {
+        if !issued.contains(id) {
+            violate(format!("txn{id} was acked but never issued"));
+        }
+    }
+
+    // Durable commit-record counts per (site, txn).
+    let mut durable_commits: Vec<BTreeMap<TxnId, usize>> = Vec::with_capacity(reports.len());
+    for r in reports {
+        let mut per: BTreeMap<TxnId, usize> = BTreeMap::new();
+        for rec in r.wal.durable() {
+            if let Record::Commit { txn } = rec {
+                *per.entry(*txn).or_default() += 1;
+            }
+        }
+        durable_commits.push(per);
+    }
+
+    // Per-write-transaction checks.
+    let mut checked_writes = 0usize;
+    let mut committed_writers_of: HashMap<Key, Vec<TxnId>> = HashMap::new();
+    for spec in &schedule.specs {
+        checked_writes += 1;
+        let txn = spec.id;
+        let plan = plans.get(txn).expect("audited transactions are planned");
+        let ack = completions.get(&txn.0).map(|(d, _, _)| *d);
+
+        // Atomicity: every decision recorded anywhere (including the ack)
+        // agrees.
+        let mut seen: Option<(Decision, String)> = None;
+        let mut check = |d: Decision, whom: String, violate: &mut dyn FnMut(String)| {
+            match &seen {
+                Some((prev, prev_whom)) if *prev != d => {
+                    violate(format!("{txn}: {whom} decided {d:?} but {prev_whom} decided {prev:?}"))
+                }
+                _ => {}
+            }
+            if seen.is_none() {
+                seen = Some((d, whom));
+            }
+        };
+        if let Some(d) = ack {
+            check(d, "client ack".to_string(), &mut violate);
+        }
+        for r in reports {
+            if let Some(d) = r.finished.get(&txn) {
+                check(*d, format!("site {}", r.site), &mut violate);
+            }
+        }
+
+        // Duplicated commit records are a violation everywhere; commit
+        // records for an aborted transaction too.
+        for (r, per) in reports.iter().zip(&durable_commits) {
+            let count = per.get(&txn).copied().unwrap_or(0);
+            if count > 1 {
+                violate(format!("{txn}: {count} durable commit records at site {}", r.site));
+            }
+            if count > 0 && ack == Some(Decision::Abort) {
+                violate(format!(
+                    "{txn}: durable commit record at site {} despite abort ack",
+                    r.site
+                ));
+            }
+        }
+
+        if ack == Some(Decision::Commit) {
+            for w in &spec.writes {
+                committed_writers_of.entry(w.key.clone()).or_default().push(txn);
+            }
+            if strict {
+                // Durability: every replica of every involved shard holds
+                // exactly one durable commit record and recorded the commit.
+                for &shard in &plan.shards {
+                    for &site in topo.group(shard) {
+                        let r = &reports[site.index()];
+                        let count = durable_commits[site.index()].get(&txn).copied().unwrap_or(0);
+                        if count != 1 {
+                            violate(format!(
+                                "{txn}: committed but site {site} holds {count} durable commit records"
+                            ));
+                        }
+                        if r.finished.get(&txn) != Some(&Decision::Commit) {
+                            violate(format!("{txn}: committed but site {site} never recorded it"));
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // Per-key value checks: every surviving value traces to a committed
+    // writer (no phantom/lost writes); replicas agree in strict mode.
+    for (shard, pool) in pools.iter().enumerate() {
+        for key in pool {
+            let group = topo.group(shard);
+            let legitimate = committed_writers_of.get(key);
+            let mut first: Option<(SiteId, Option<Value>)> = None;
+            for &site in group {
+                let value = reports[site.index()].storage.get(key).cloned();
+                if let Some(v) = &value {
+                    let writer = v.as_u64().map(|id| TxnId(id as u32));
+                    let ok = writer.is_some_and(|w| legitimate.is_some_and(|ws| ws.contains(&w)));
+                    if !ok {
+                        violate(format!(
+                            "key {key} at site {site} holds a value from no committed writer"
+                        ));
+                    }
+                }
+                if strict {
+                    match &first {
+                        None => first = Some((site, value)),
+                        Some((first_site, fv)) if *fv != value => violate(format!(
+                            "key {key}: site {site} and site {first_site} disagree on the value"
+                        )),
+                        _ => {}
+                    }
+                }
+            }
+            if strict && legitimate.is_some_and(|ws| !ws.is_empty()) {
+                if let Some((_, None)) = &first {
+                    violate(format!("key {key}: committed writes were lost (no value survives)"));
+                }
+            }
+        }
+    }
+
+    // Read legitimacy: a returned value must come from an issued write to
+    // that key (reads of never-written keys legitimately return nothing).
+    let mut checked_reads = 0usize;
+    let mut writers_of: HashMap<Key, Vec<TxnId>> = HashMap::new();
+    for spec in &schedule.specs {
+        for w in &spec.writes {
+            writers_of.entry(w.key.clone()).or_default().push(spec.id);
+        }
+    }
+    for op in &schedule.ops {
+        let OpKind::Read(key) = &op.kind else { continue };
+        let Some((_, value, _)) = completions.get(&op.txn.0) else { continue };
+        checked_reads += 1;
+        if let Some(v) = value {
+            let ok = v
+                .as_u64()
+                .map(|id| TxnId(id as u32))
+                .is_some_and(|w| writers_of.get(key).is_some_and(|ws| ws.contains(&w)));
+            if !ok {
+                violate(format!("read of key {key} returned a value from no issued writer"));
+            }
+        }
+    }
+
+    AuditReport { ok: violations.is_empty(), strict, checked_writes, checked_reads, violations }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_run_without_batching_is_clean() {
+        let mut opts = LiveOptions::small(200.0, Duration::from_millis(400));
+        opts.flush_cost = Duration::from_micros(50);
+        let report = run_server(&opts);
+        assert!(report.audit.ok, "audit: {:?}", report.audit.violations);
+        assert!(report.clean_drain, "unclean drain: {report:?}");
+        assert_eq!(report.completed_writes, report.issued_writes);
+        assert_eq!(report.completed_reads, report.issued_reads);
+        assert!(report.committed > 0, "some writes should commit");
+        // Without coalescing, every protocol message is its own send.
+        assert_eq!(report.channel_sends, report.protocol_messages);
+        assert!(report.writes.p50_us > 0);
+    }
+
+    #[test]
+    fn small_run_with_batching_is_clean() {
+        let mut opts = LiveOptions::small(200.0, Duration::from_millis(400));
+        opts.flush_cost = Duration::from_micros(50);
+        opts.batch = BatchConfig::on(Duration::from_millis(4));
+        let report = run_server(&opts);
+        assert!(report.audit.ok, "audit: {:?}", report.audit.violations);
+        assert!(report.clean_drain, "unclean drain: {report:?}");
+        assert_eq!(report.completed_writes, report.issued_writes);
+        assert!(report.committed > 0);
+        assert!(report.batching);
+        assert!(report.flushes > 0);
+    }
+
+    #[test]
+    fn hot_key_contention_still_audits_clean() {
+        let mut opts = LiveOptions::small(150.0, Duration::from_millis(400));
+        opts.skew = KeySkew::HotKey { hot_fraction: 0.5 };
+        opts.flush_cost = Duration::ZERO;
+        let report = run_server(&opts);
+        assert!(report.audit.ok, "audit: {:?}", report.audit.violations);
+        assert!(report.clean_drain, "unclean drain: {report:?}");
+    }
+}

@@ -6,7 +6,12 @@
 //! messages travel through **mpsc channels** via a router thread that
 //! imposes wall-clock delays bounded by a configurable `T`, and the paper's
 //! optimistic partition semantics (undeliverable messages bounce back to
-//! their senders) are enforced against the actual system clock.
+//! their senders) are enforced against the actual system clock. Partition
+//! schedules are multi-episode ([`LivePartition`] covers the same families
+//! as the simulator's `ScheduleShape`: simple, split→heal→re-split,
+//! multi-way, nested secession) and sites can crash mid-run
+//! ([`LiveCrash`]). The delivery core ([`Router`]) is generic over the
+//! payload, so `ptp-live`'s long-running shard server reuses it unchanged.
 //!
 //! Nothing in the protocol code changes between the two runtimes — which is
 //! itself a useful validation: the termination protocol's guarantees follow
@@ -27,11 +32,7 @@
 //! let outcome = run_live(
 //!     parts,
 //!     LiveConfig::with_t(Duration::from_millis(10)),
-//!     Some(LivePartition {
-//!         after: Duration::from_millis(25),
-//!         g2: vec![SiteId(2)],
-//!         heal_after: None,
-//!     }),
+//!     Some(LivePartition::simple(Duration::from_millis(25), vec![SiteId(2)], None)),
 //! );
 //! assert!(outcome.consistent(), "{outcome:?}");
 //! assert!(outcome.all_decided());
@@ -43,12 +44,11 @@
 mod router;
 mod site;
 
-pub use router::{LiveConfig, LivePartition};
+pub use router::{Inbound, LiveConfig, LiveCrash, LiveEpisode, LivePartition, Outbound, Router};
 
 use ptp_model::Decision;
-use ptp_protocols::api::Participant;
+use ptp_protocols::api::{CommitMsg, Participant};
 use ptp_simnet::SiteId;
-use router::Router;
 use std::sync::mpsc;
 use std::time::{Duration, Instant};
 
@@ -75,6 +75,14 @@ impl LiveOutcome {
     pub fn all_decided(&self) -> bool {
         self.decisions.iter().all(Option::is_some)
     }
+
+    /// Every site except the listed ones decided.
+    pub fn all_decided_except(&self, exempt: &[SiteId]) -> bool {
+        self.decisions
+            .iter()
+            .enumerate()
+            .all(|(i, d)| d.is_some() || exempt.contains(&SiteId(i as u16)))
+    }
 }
 
 /// Runs the participants (site `i` = `participants[i]`, site 0 the master)
@@ -87,6 +95,20 @@ pub fn run_live<P: Participant + 'static>(
     participants: Vec<P>,
     config: LiveConfig,
     partition: Option<LivePartition>,
+) -> LiveOutcome {
+    run_live_faulty(participants, config, partition, Vec::new())
+}
+
+/// [`run_live`] with site crashes: the full fault vocabulary of the live
+/// harness. A crashed site stops processing messages and timers; with
+/// [`LiveCrash::crash_recover`] it resumes (its protocol state intact —
+/// the livenet harness models the network-level message loss, not WAL
+/// recovery, which lives in `ptp-live`).
+pub fn run_live_faulty<P: Participant + 'static>(
+    participants: Vec<P>,
+    config: LiveConfig,
+    partition: Option<LivePartition>,
+    crashes: Vec<LiveCrash>,
 ) -> LiveOutcome {
     let n = participants.len();
     assert!(n >= 2);
@@ -103,7 +125,8 @@ pub fn run_live<P: Participant + 'static>(
     }
     let (done_tx, done_rx) = mpsc::channel();
 
-    let router = Router::new(config, partition, site_txs.clone(), started);
+    let router: Router<CommitMsg> =
+        Router::new(config, partition, crashes, site_txs.clone(), started);
     let router_handle = std::thread::spawn(move || router.run(router_rx));
 
     let mut handles = Vec::with_capacity(n);
@@ -146,7 +169,7 @@ pub fn run_live<P: Participant + 'static>(
     // Shut everything down: tell every site to exit; their router senders
     // drop, the router's inbox disconnects, and the router drains out.
     for tx in &site_txs {
-        let _ = tx.send(router::Inbound::Shutdown);
+        let _ = tx.send(Inbound::Shutdown);
     }
     for h in handles {
         let _ = h.join().map_err(|_| ()); // a panicked site is reported as undecided
@@ -187,11 +210,7 @@ mod tests {
         let outcome = run_live(
             hl_cluster(3),
             cfg(),
-            Some(LivePartition {
-                after: Duration::from_millis(20),
-                g2: vec![SiteId(2)],
-                heal_after: None,
-            }),
+            Some(LivePartition::simple(Duration::from_millis(20), vec![SiteId(2)], None)),
         );
         assert!(outcome.all_decided(), "{outcome:?}");
         assert!(outcome.consistent(), "{outcome:?}");
@@ -202,13 +221,25 @@ mod tests {
         let outcome = run_live(
             hl_cluster(3),
             cfg(),
-            Some(LivePartition {
-                after: Duration::from_millis(16),
-                g2: vec![SiteId(1), SiteId(2)],
-                heal_after: Some(Duration::from_millis(40)),
-            }),
+            Some(LivePartition::simple(
+                Duration::from_millis(16),
+                vec![SiteId(1), SiteId(2)],
+                Some(Duration::from_millis(40)),
+            )),
         );
         assert!(outcome.all_decided(), "{outcome:?}");
         assert!(outcome.consistent(), "{outcome:?}");
+    }
+
+    #[test]
+    fn crashed_slave_does_not_block_the_rest() {
+        let outcome = run_live_faulty(
+            hl_cluster(4),
+            cfg(),
+            None,
+            vec![LiveCrash::crash(SiteId(3), Duration::from_millis(10))],
+        );
+        assert!(outcome.consistent(), "{outcome:?}");
+        assert!(outcome.all_decided_except(&[SiteId(3)]), "{outcome:?}");
     }
 }

@@ -1,7 +1,11 @@
-//! The router thread: wall-clock message delays, partitions, and the
-//! optimistic undeliverable-message return.
+//! The router thread: wall-clock message delays, partition episodes, site
+//! crashes, and the optimistic undeliverable-message return.
+//!
+//! The delivery core is generic over the payload type `M`: the protocol
+//! harness in this crate routes bare [`ptp_protocols::api::CommitMsg`]s,
+//! while `ptp-live` routes coalesced multi-message envelopes through the
+//! *same* router — one delay-queue implementation serves both runtimes.
 
-use ptp_protocols::api::CommitMsg;
 use ptp_simnet::rng::SmallRng;
 use ptp_simnet::SiteId;
 use std::cmp::Reverse;
@@ -29,97 +33,246 @@ impl LiveConfig {
     }
 }
 
-/// A simple partition applied during the run: `g2` splits from the rest
-/// `after` the start, healing after `heal_after` (from the start) if given.
+/// One connectivity episode of a live partition schedule: from `from` until
+/// `until` (forever if `None`), the listed `groups` can only talk within
+/// themselves. Sites not listed in any group form one implicit extra group
+/// together.
 #[derive(Debug, Clone)]
-pub struct LivePartition {
-    /// When the partition begins, relative to run start.
-    pub after: Duration,
-    /// The non-master group.
-    pub g2: Vec<SiteId>,
-    /// When connectivity returns, relative to run start.
-    pub heal_after: Option<Duration>,
+pub struct LiveEpisode {
+    /// When the episode begins, relative to run start.
+    pub from: Duration,
+    /// When it ends (exclusive), or `None` for "until the run ends".
+    pub until: Option<Duration>,
+    /// The severed groups. One group splits it from the unlisted rest;
+    /// several groups make a multi-way split.
+    pub groups: Vec<Vec<SiteId>>,
 }
 
-impl LivePartition {
-    fn severed(&self, a: SiteId, b: SiteId, at: Duration) -> bool {
-        if at < self.after {
-            return false;
-        }
-        if let Some(heal) = self.heal_after {
-            if at >= heal {
-                return false;
-            }
-        }
-        self.g2.contains(&a) != self.g2.contains(&b)
+impl LiveEpisode {
+    fn active(&self, at: Duration) -> bool {
+        at >= self.from && self.until.is_none_or(|u| at < u)
+    }
+
+    /// The group index of `site` (listed group position, or `usize::MAX`
+    /// for the implicit rest-group).
+    fn group_of(&self, site: SiteId) -> usize {
+        self.groups.iter().position(|g| g.contains(&site)).unwrap_or(usize::MAX)
     }
 }
 
-/// A message handed to the router by a site.
-#[derive(Debug)]
-pub(crate) struct Outbound {
-    pub src: SiteId,
-    pub dst: SiteId,
-    pub msg: CommitMsg,
+/// A wall-clock partition schedule: ordered, non-overlapping episodes —
+/// the live counterpart of the simulator's multi-episode
+/// `PartitionSchedule`, covering the same `ScheduleShape` families
+/// (simple split, split→heal→re-split, multi-way, nested secession).
+#[derive(Debug, Clone)]
+pub struct LivePartition {
+    episodes: Vec<LiveEpisode>,
 }
 
-/// What sites receive from the router (or the coordinator).
+impl LivePartition {
+    /// A schedule from explicit episodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `episodes` is empty, out of order, or overlapping (every
+    /// episode but the last must end, at or before its successor starts).
+    pub fn new(episodes: Vec<LiveEpisode>) -> LivePartition {
+        assert!(!episodes.is_empty(), "a partition schedule needs at least one episode");
+        for pair in episodes.windows(2) {
+            let end = pair[0].until.expect("only the last episode may be open-ended");
+            assert!(pair[0].from <= end, "episode ends before it starts");
+            assert!(end <= pair[1].from, "episodes must be ordered and non-overlapping");
+        }
+        LivePartition { episodes }
+    }
+
+    /// The single-episode schedule of the original harness: `g2` splits
+    /// from the rest `after` the start, healing at `heal_after` (from the
+    /// start) if given.
+    pub fn simple(after: Duration, g2: Vec<SiteId>, heal_after: Option<Duration>) -> LivePartition {
+        LivePartition::new(vec![LiveEpisode { from: after, until: heal_after, groups: vec![g2] }])
+    }
+
+    /// Split→heal→re-split: `first` secedes during `[split_at, heal_at)`,
+    /// connectivity returns, then `second` secedes from `resplit_at` on.
+    pub fn split_heal_resplit(
+        first: Vec<SiteId>,
+        split_at: Duration,
+        heal_at: Duration,
+        second: Vec<SiteId>,
+        resplit_at: Duration,
+    ) -> LivePartition {
+        LivePartition::new(vec![
+            LiveEpisode { from: split_at, until: Some(heal_at), groups: vec![first] },
+            LiveEpisode { from: resplit_at, until: None, groups: vec![second] },
+        ])
+    }
+
+    /// A single multi-way split: from `at` on, each listed group (plus the
+    /// implicit rest) can only talk within itself.
+    pub fn multi_way(at: Duration, groups: Vec<Vec<SiteId>>) -> LivePartition {
+        LivePartition::new(vec![LiveEpisode { from: at, until: None, groups }])
+    }
+
+    /// Nested secession: `g2` secedes at `at`; at `then_at` a `splinter`
+    /// (a subset of `g2`) secedes *again*, leaving three groups.
+    pub fn nested_secession(
+        at: Duration,
+        g2: Vec<SiteId>,
+        then_at: Duration,
+        splinter: Vec<SiteId>,
+    ) -> LivePartition {
+        let remainder: Vec<SiteId> = g2.iter().copied().filter(|s| !splinter.contains(s)).collect();
+        LivePartition::new(vec![
+            LiveEpisode { from: at, until: Some(then_at), groups: vec![g2] },
+            LiveEpisode { from: then_at, until: None, groups: vec![remainder, splinter] },
+        ])
+    }
+
+    /// The schedule's episodes, in order.
+    pub fn episodes(&self) -> &[LiveEpisode] {
+        &self.episodes
+    }
+
+    /// True if `a` and `b` cannot talk at instant `at` (relative to start).
+    pub fn severed(&self, a: SiteId, b: SiteId, at: Duration) -> bool {
+        self.episodes.iter().find(|e| e.active(at)).is_some_and(|e| e.group_of(a) != e.group_of(b))
+    }
+}
+
+/// Crash (and optionally recover) one site at wall-clock instants — the
+/// live counterpart of `ptp_simnet::FailureSpec`. While crashed, messages
+/// to and from the site are dropped (the message-loss effect of Sec. 7)
+/// and its timers are suppressed.
+#[derive(Debug, Clone)]
+pub struct LiveCrash {
+    /// The site to crash.
+    pub site: SiteId,
+    /// When it halts, relative to run start.
+    pub after: Duration,
+    /// When it comes back, if ever.
+    pub recover_after: Option<Duration>,
+}
+
+impl LiveCrash {
+    /// A permanent crash.
+    pub fn crash(site: SiteId, after: Duration) -> LiveCrash {
+        LiveCrash { site, after, recover_after: None }
+    }
+
+    /// A crash followed by recovery.
+    pub fn crash_recover(site: SiteId, after: Duration, recover_after: Duration) -> LiveCrash {
+        assert!(recover_after > after, "recovery must come after the crash");
+        LiveCrash { site, after, recover_after: Some(recover_after) }
+    }
+
+    fn down(&self, site: SiteId, at: Duration) -> bool {
+        self.site == site && at >= self.after && self.recover_after.is_none_or(|r| at < r)
+    }
+}
+
+/// A message handed to the router by a site (or an injecting client).
 #[derive(Debug)]
-pub(crate) enum Inbound {
+pub struct Outbound<M> {
+    /// Sending site.
+    pub src: SiteId,
+    /// Destination site.
+    pub dst: SiteId,
+    /// The payload.
+    pub msg: M,
+}
+
+/// What sites receive from the router (or the run harness).
+#[derive(Debug)]
+pub enum Inbound<M> {
     /// A delivered message.
-    Deliver { src: SiteId, msg: CommitMsg },
+    Deliver {
+        /// The sender.
+        src: SiteId,
+        /// The payload.
+        msg: M,
+    },
     /// One of the site's own messages came back undeliverable.
-    Undeliverable { original_dst: SiteId, msg: CommitMsg },
+    Undeliverable {
+        /// Where the message was headed.
+        original_dst: SiteId,
+        /// The payload.
+        msg: M,
+    },
+    /// The site just crashed: drop volatile state, go silent.
+    Crash,
+    /// The site recovered and may process traffic again.
+    Recover,
     /// The run is over: exit the site thread.
     Shutdown,
 }
 
 #[derive(Debug)]
-struct Scheduled {
-    due: Instant,
-    seq: u64,
-    out: Outbound,
-    /// True if this entry is the bounced return leg.
-    returning: bool,
+enum Sched<M> {
+    /// The forward leg of a message.
+    Deliver(Outbound<M>),
+    /// The bounced return leg of an undeliverable message.
+    Bounce(Outbound<M>),
+    /// Tell a site it crashed.
+    Crash(SiteId),
+    /// Tell a site it recovered.
+    Recover(SiteId),
 }
 
-impl PartialEq for Scheduled {
+#[derive(Debug)]
+struct Scheduled<M> {
+    due: Instant,
+    seq: u64,
+    what: Sched<M>,
+}
+
+impl<M> PartialEq for Scheduled<M> {
     fn eq(&self, other: &Self) -> bool {
         self.due == other.due && self.seq == other.seq
     }
 }
-impl Eq for Scheduled {}
-impl Ord for Scheduled {
+impl<M> Eq for Scheduled<M> {}
+impl<M> Ord for Scheduled<M> {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
         self.due.cmp(&other.due).then(self.seq.cmp(&other.seq))
     }
 }
-impl PartialOrd for Scheduled {
+impl<M> PartialOrd for Scheduled<M> {
     fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
         Some(self.cmp(other))
     }
 }
 
-/// The router: owns the delay queue and the partition schedule.
-pub(crate) struct Router {
+/// The router: owns the delay queue, the partition schedule, and the crash
+/// schedule. Generic over the payload type — see the module docs.
+pub struct Router<M> {
     config: LiveConfig,
     partition: Option<LivePartition>,
-    site_txs: Vec<Sender<Inbound>>,
+    crashes: Vec<LiveCrash>,
+    site_txs: Vec<Sender<Inbound<M>>>,
     started: Instant,
 }
 
-impl Router {
-    pub(crate) fn new(
+impl<M: Send> Router<M> {
+    /// A router delivering through `site_txs`, with delays and schedules
+    /// measured from `started`.
+    pub fn new(
         config: LiveConfig,
         partition: Option<LivePartition>,
-        site_txs: Vec<Sender<Inbound>>,
+        crashes: Vec<LiveCrash>,
+        site_txs: Vec<Sender<Inbound<M>>>,
         started: Instant,
-    ) -> Router {
-        Router { config, partition, site_txs, started }
+    ) -> Router<M> {
+        Router { config, partition, crashes, site_txs, started }
     }
 
     fn severed(&self, a: SiteId, b: SiteId, now: Instant) -> bool {
         self.partition.as_ref().is_some_and(|p| p.severed(a, b, now.duration_since(self.started)))
+    }
+
+    fn crashed(&self, site: SiteId, now: Instant) -> bool {
+        let at = now.duration_since(self.started);
+        self.crashes.iter().any(|c| c.down(site, at))
     }
 
     fn sample_delay(&self, rng: &mut SmallRng) -> Duration {
@@ -128,29 +281,66 @@ impl Router {
     }
 
     /// Runs until every sender hangs up and the queue drains.
-    pub(crate) fn run(self, inbox: Receiver<Outbound>) {
+    pub fn run(self, inbox: Receiver<Outbound<M>>) {
         let mut rng = SmallRng::seed_from_u64(self.config.seed);
-        let mut queue: BinaryHeap<Reverse<Scheduled>> = BinaryHeap::new();
+        let mut queue: BinaryHeap<Reverse<Scheduled<M>>> = BinaryHeap::new();
         let mut seq = 0u64;
         let mut open = true;
+
+        // Crash/recover control messages are ordinary queue entries with
+        // exact (unsampled) due instants.
+        for c in &self.crashes {
+            seq += 1;
+            queue.push(Reverse(Scheduled {
+                due: self.started + c.after,
+                seq,
+                what: Sched::Crash(c.site),
+            }));
+            if let Some(r) = c.recover_after {
+                seq += 1;
+                queue.push(Reverse(Scheduled {
+                    due: self.started + r,
+                    seq,
+                    what: Sched::Recover(c.site),
+                }));
+            }
+        }
 
         loop {
             // Drain whatever is due.
             let now = Instant::now();
             while queue.peek().is_some_and(|Reverse(s)| s.due <= now) {
                 let Reverse(s) = queue.pop().expect("peeked");
-                if s.returning {
-                    // The bounced leg: hand the message back to its sender.
-                    let _ = self.site_txs[s.out.src.index()]
-                        .send(Inbound::Undeliverable { original_dst: s.out.dst, msg: s.out.msg });
-                } else if self.severed(s.out.src, s.out.dst, s.due) {
-                    // Hit the boundary: schedule the return leg.
-                    let due = s.due + self.sample_delay(&mut rng);
-                    seq += 1;
-                    queue.push(Reverse(Scheduled { due, seq, out: s.out, returning: true }));
-                } else {
-                    let _ = self.site_txs[s.out.dst.index()]
-                        .send(Inbound::Deliver { src: s.out.src, msg: s.out.msg });
+                match s.what {
+                    Sched::Deliver(out) => {
+                        if self.crashed(out.src, s.due) || self.crashed(out.dst, s.due) {
+                            // Message loss: a crashed endpoint neither sends
+                            // nor receives (mirrors the simulator).
+                        } else if self.severed(out.src, out.dst, s.due) {
+                            // Hit the partition boundary: schedule the
+                            // optimistic return leg.
+                            let due = s.due + self.sample_delay(&mut rng);
+                            seq += 1;
+                            queue.push(Reverse(Scheduled { due, seq, what: Sched::Bounce(out) }));
+                        } else {
+                            let _ = self.site_txs[out.dst.index()]
+                                .send(Inbound::Deliver { src: out.src, msg: out.msg });
+                        }
+                    }
+                    Sched::Bounce(out) => {
+                        if !self.crashed(out.src, s.due) {
+                            let _ = self.site_txs[out.src.index()].send(Inbound::Undeliverable {
+                                original_dst: out.dst,
+                                msg: out.msg,
+                            });
+                        }
+                    }
+                    Sched::Crash(site) => {
+                        let _ = self.site_txs[site.index()].send(Inbound::Crash);
+                    }
+                    Sched::Recover(site) => {
+                        let _ = self.site_txs[site.index()].send(Inbound::Recover);
+                    }
                 }
             }
 
@@ -158,7 +348,7 @@ impl Router {
                 return;
             }
 
-            // Wait for new traffic or the next due message.
+            // Wait for new traffic or the next due entry.
             let timeout = queue
                 .peek()
                 .map(|Reverse(s)| s.due.saturating_duration_since(Instant::now()))
@@ -167,7 +357,7 @@ impl Router {
                 Ok(out) => {
                     let due = Instant::now() + self.sample_delay(&mut rng);
                     seq += 1;
-                    queue.push(Reverse(Scheduled { due, seq, out, returning: false }));
+                    queue.push(Reverse(Scheduled { due, seq, what: Sched::Deliver(out) }));
                 }
                 Err(RecvTimeoutError::Timeout) => {}
                 Err(RecvTimeoutError::Disconnected) => open = false,
@@ -180,20 +370,93 @@ impl Router {
 mod tests {
     use super::*;
 
+    fn ms(v: u64) -> Duration {
+        Duration::from_millis(v)
+    }
+
     #[test]
-    fn partition_windows() {
-        let p = LivePartition {
-            after: Duration::from_millis(10),
-            g2: vec![SiteId(2)],
-            heal_after: Some(Duration::from_millis(30)),
-        };
+    fn simple_partition_windows() {
+        let p = LivePartition::simple(ms(10), vec![SiteId(2)], Some(ms(30)));
         let a = SiteId(0);
         let b = SiteId(2);
-        assert!(!p.severed(a, b, Duration::from_millis(5)));
-        assert!(p.severed(a, b, Duration::from_millis(15)));
-        assert!(!p.severed(a, b, Duration::from_millis(35)));
+        assert!(!p.severed(a, b, ms(5)));
+        assert!(p.severed(a, b, ms(15)));
+        assert!(!p.severed(a, b, ms(35)));
         // Same side: never severed.
-        assert!(!p.severed(SiteId(0), SiteId(1), Duration::from_millis(15)));
+        assert!(!p.severed(SiteId(0), SiteId(1), ms(15)));
+    }
+
+    #[test]
+    fn split_heal_resplit_schedule() {
+        let p = LivePartition::split_heal_resplit(
+            vec![SiteId(2), SiteId(3)],
+            ms(10),
+            ms(30),
+            vec![SiteId(1)],
+            ms(50),
+        );
+        assert_eq!(p.episodes().len(), 2);
+        assert!(p.severed(SiteId(0), SiteId(2), ms(15)));
+        assert!(!p.severed(SiteId(0), SiteId(2), ms(40)), "healed between episodes");
+        assert!(p.severed(SiteId(0), SiteId(1), ms(60)));
+        assert!(!p.severed(SiteId(0), SiteId(2), ms(60)), "second split severs g2 only");
+    }
+
+    #[test]
+    fn multi_way_severs_across_groups() {
+        let p = LivePartition::multi_way(ms(10), vec![vec![SiteId(1)], vec![SiteId(2)]]);
+        assert!(p.severed(SiteId(1), SiteId(2), ms(20)));
+        assert!(p.severed(SiteId(0), SiteId(1), ms(20)));
+        // Unlisted sites share the implicit rest-group.
+        assert!(!p.severed(SiteId(0), SiteId(3), ms(20)));
+    }
+
+    #[test]
+    fn nested_secession_splits_the_splinter() {
+        let p = LivePartition::nested_secession(
+            ms(10),
+            vec![SiteId(2), SiteId(3)],
+            ms(30),
+            vec![SiteId(3)],
+        );
+        assert!(!p.severed(SiteId(2), SiteId(3), ms(20)), "still one seceded group");
+        assert!(p.severed(SiteId(2), SiteId(3), ms(40)), "splinter seceded again");
+        assert!(p.severed(SiteId(0), SiteId(2), ms(40)));
+    }
+
+    #[test]
+    #[should_panic(expected = "ordered and non-overlapping")]
+    fn overlapping_episodes_rejected() {
+        let _ = LivePartition::new(vec![
+            LiveEpisode { from: ms(10), until: Some(ms(40)), groups: vec![vec![SiteId(1)]] },
+            LiveEpisode { from: ms(30), until: None, groups: vec![vec![SiteId(2)]] },
+        ]);
+    }
+
+    #[test]
+    #[should_panic(expected = "open-ended")]
+    fn open_ended_middle_episode_rejected() {
+        let _ = LivePartition::new(vec![
+            LiveEpisode { from: ms(10), until: None, groups: vec![vec![SiteId(1)]] },
+            LiveEpisode { from: ms(30), until: None, groups: vec![vec![SiteId(2)]] },
+        ]);
+    }
+
+    #[test]
+    fn crash_windows() {
+        let c = LiveCrash::crash_recover(SiteId(1), ms(10), ms(30));
+        assert!(!c.down(SiteId(1), ms(5)));
+        assert!(c.down(SiteId(1), ms(15)));
+        assert!(!c.down(SiteId(1), ms(35)));
+        assert!(!c.down(SiteId(2), ms(15)));
+        let p = LiveCrash::crash(SiteId(1), ms(10));
+        assert!(p.down(SiteId(1), ms(1000)));
+    }
+
+    #[test]
+    #[should_panic(expected = "recovery must come after")]
+    fn recovery_before_crash_rejected() {
+        let _ = LiveCrash::crash_recover(SiteId(1), ms(30), ms(10));
     }
 
     #[test]

@@ -3,7 +3,7 @@
 
 use crate::router::{Inbound, LiveConfig, Outbound};
 use ptp_model::Decision;
-use ptp_protocols::api::{Action, Participant, TimerTag};
+use ptp_protocols::api::{Action, CommitMsg, Participant, TimerTag};
 use ptp_simnet::SiteId;
 use std::collections::HashMap;
 use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender};
@@ -13,8 +13,8 @@ pub(crate) struct SiteRunner<P: Participant> {
     me: SiteId,
     n: usize,
     participant: P,
-    inbox: Receiver<Inbound>,
-    router: Sender<Outbound>,
+    inbox: Receiver<Inbound<CommitMsg>>,
+    router: Sender<Outbound<CommitMsg>>,
     done: Sender<(SiteId, Decision)>,
     config: LiveConfig,
     /// Armed timers: tag -> (deadline, generation). Re-arming bumps the
@@ -23,6 +23,9 @@ pub(crate) struct SiteRunner<P: Participant> {
     timers: HashMap<TimerTag, (Instant, u64)>,
     generation: u64,
     decided: Option<Decision>,
+    /// Down right now: ignore traffic, discard due timers (the router
+    /// drops this site's messages too — see `Router::run`).
+    crashed: bool,
 }
 
 impl<P: Participant> SiteRunner<P> {
@@ -30,8 +33,8 @@ impl<P: Participant> SiteRunner<P> {
         me: SiteId,
         n: usize,
         participant: P,
-        inbox: Receiver<Inbound>,
-        router: Sender<Outbound>,
+        inbox: Receiver<Inbound<CommitMsg>>,
+        router: Sender<Outbound<CommitMsg>>,
         done: Sender<(SiteId, Decision)>,
         config: LiveConfig,
     ) -> SiteRunner<P> {
@@ -46,6 +49,7 @@ impl<P: Participant> SiteRunner<P> {
             timers: HashMap::new(),
             generation: 0,
             decided: None,
+            crashed: false,
         }
     }
 
@@ -103,19 +107,29 @@ impl<P: Participant> SiteRunner<P> {
             };
             match self.inbox.recv_timeout(wait) {
                 Ok(Inbound::Deliver { src, msg }) => {
+                    if self.crashed {
+                        continue;
+                    }
                     let mut actions = Vec::new();
                     self.participant.on_msg(src, &msg, &mut actions);
                     self.apply(actions);
                 }
                 Ok(Inbound::Undeliverable { original_dst, msg }) => {
+                    if self.crashed {
+                        continue;
+                    }
                     let mut actions = Vec::new();
                     self.participant.on_ud(original_dst, &msg, &mut actions);
                     self.apply(actions);
                 }
+                Ok(Inbound::Crash) => self.crashed = true,
+                Ok(Inbound::Recover) => self.crashed = false,
                 Ok(Inbound::Shutdown) => return,
                 Err(RecvTimeoutError::Timeout) => {
                     // Fire every timer whose deadline has passed (check the
                     // generation so a re-armed tag does not double-fire).
+                    // While crashed, due timers are discarded unfired —
+                    // the simulator's suppression semantics.
                     let now = Instant::now();
                     let due: Vec<(TimerTag, u64)> = self
                         .timers
@@ -126,6 +140,9 @@ impl<P: Participant> SiteRunner<P> {
                     for (tag, generation) in due {
                         if self.timers.get(&tag).is_some_and(|(_, g)| *g == generation) {
                             self.timers.remove(&tag);
+                            if self.crashed {
+                                continue;
+                            }
                             let mut actions = Vec::new();
                             self.participant.on_timer(tag, &mut actions);
                             self.apply(actions);

@@ -110,6 +110,24 @@ impl ShardTopology {
     pub fn shards_of_site(&self, site: SiteId) -> Vec<usize> {
         (0..self.shards()).filter(|&s| self.groups[s].contains(&site)).collect()
     }
+
+    /// `per_shard` keys per shard, found by probing the router with
+    /// `key-{i}` names: a deterministic workload vocabulary shared by the
+    /// bench binaries and the live load driver. `pools[s]` holds keys that
+    /// route to shard `s`, in discovery order.
+    pub fn key_pool(&self, per_shard: usize) -> Vec<Vec<Key>> {
+        let mut pools: Vec<Vec<Key>> = vec![Vec::new(); self.shards()];
+        let mut i = 0u64;
+        while pools.iter().any(|p| p.len() < per_shard) {
+            let key = Key::from(format!("key-{i}"));
+            let shard = self.shard_of(&key);
+            if pools[shard].len() < per_shard {
+                pools[shard].push(key);
+            }
+            i += 1;
+        }
+        pools
+    }
 }
 
 #[cfg(test)]
@@ -152,6 +170,19 @@ mod tests {
             hit[s] = true;
         }
         assert!(hit.iter().all(|h| *h), "32 keys should touch all 3 shards: {hit:?}");
+    }
+
+    #[test]
+    fn key_pool_routes_back_to_its_shard() {
+        let topo = ShardTopology::uniform(6, 3, 2);
+        let pools = topo.key_pool(4);
+        assert_eq!(pools.len(), 3);
+        for (shard, pool) in pools.iter().enumerate() {
+            assert_eq!(pool.len(), 4);
+            for key in pool {
+                assert_eq!(topo.shard_of(key), shard);
+            }
+        }
     }
 
     #[test]
