@@ -1,0 +1,147 @@
+//! Chaos-campaign throughput and shrinking baseline.
+//!
+//! Measures the reproduction's own machinery, like `bench_sweep`: how fast
+//! the seeded campaign runner samples, executes, and audits scenario
+//! timelines against the Huang–Li protocol, and how hard the shrinker works
+//! when a campaign does find a counterexample (plain 2PC under the
+//! resilience audit — the paper's own motivating failure). It prints a
+//! table and writes `BENCH_campaign.json` so future performance work has a
+//! recorded trajectory to beat.
+//!
+//! Honors `CRITERION_BUDGET_MS`: the green-campaign phase keeps adding
+//! batches of timelines until the budget is spent.
+
+use ptp_bench::{criterion_budget_ms, host_fields, json_escape, write_record};
+use ptp_core::report::Table;
+use ptp_core::{Campaign, CampaignConfig, ProtocolKind};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+const PROTOCOL: ProtocolKind = ProtocolKind::HuangLi3pc;
+const BATCH: usize = 100;
+const SEED: u64 = 0xBE_2026;
+
+/// One timed green-campaign batch.
+struct GreenRun {
+    timelines: usize,
+    wall_ms: f64,
+}
+
+/// The shrink-demo phase: a blocking protocol under the resilience audit.
+struct ShrinkRun {
+    timelines: usize,
+    faults: usize,
+    shrink_steps: usize,
+    shrink_tested: usize,
+    original_weight: usize,
+    minimal_weight: usize,
+    wall_ms: f64,
+}
+
+fn green_phase(budget_ms: u64) -> GreenRun {
+    let started = Instant::now();
+    let mut timelines = 0usize;
+    let mut batch = 0u64;
+    loop {
+        let config = CampaignConfig::safe(PROTOCOL, 4, BATCH, SEED.wrapping_add(batch));
+        let report = Campaign::new(config).run();
+        assert!(
+            report.all_green(),
+            "the safe family must stay green while we benchmark: {:?}",
+            report.failures.first()
+        );
+        timelines += report.executed;
+        batch += 1;
+        if started.elapsed().as_millis() as u64 >= budget_ms {
+            break;
+        }
+    }
+    GreenRun { timelines, wall_ms: started.elapsed().as_secs_f64() * 1000.0 }
+}
+
+fn shrink_phase() -> ShrinkRun {
+    let started = Instant::now();
+    let config = CampaignConfig::safe(ProtocolKind::Plain2pc, 4, 40, SEED);
+    let campaign = Campaign::new(config);
+    let report = campaign.run_with(|result| {
+        (!result.verdict.is_resilient()).then(|| format!("2PC not resilient: {:?}", result.verdict))
+    });
+    assert!(
+        !report.all_green(),
+        "plain 2PC must block under some sampled partition (Sec. 2 of the paper)"
+    );
+    let weight = |t: &ptp_core::Timeline| t.events.len() + t.env_faults.len();
+    let first = &report.failures[0];
+    ShrinkRun {
+        timelines: report.executed,
+        faults: report.faults_found(),
+        shrink_steps: report.failures.iter().map(|f| f.shrink_steps).sum(),
+        shrink_tested: report.failures.iter().map(|f| f.shrink_tested).sum(),
+        original_weight: weight(&first.original),
+        minimal_weight: weight(&first.minimal),
+        wall_ms: started.elapsed().as_secs_f64() * 1000.0,
+    }
+}
+
+fn render_json(green: &GreenRun, shrink: &ShrinkRun) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"benchmark\": \"{}\",", json_escape("campaign"));
+    let _ = writeln!(out, "  \"protocol\": \"{}\",", json_escape(PROTOCOL.name()));
+    let _ = writeln!(out, "  {},", host_fields());
+    let _ = writeln!(out, "  \"green_timelines\": {},", green.timelines);
+    let _ = writeln!(out, "  \"green_wall_ms\": {:.3},", green.wall_ms);
+    let _ = writeln!(
+        out,
+        "  \"timelines_per_sec\": {:.1},",
+        green.timelines as f64 * 1000.0 / green.wall_ms.max(f64::MIN_POSITIVE)
+    );
+    let _ = writeln!(out, "  \"shrink_demo\": {{");
+    let _ = writeln!(out, "    \"protocol\": \"{}\",", json_escape(ProtocolKind::Plain2pc.name()));
+    let _ = writeln!(out, "    \"timelines\": {},", shrink.timelines);
+    let _ = writeln!(out, "    \"faults_found\": {},", shrink.faults);
+    let _ = writeln!(out, "    \"shrink_steps\": {},", shrink.shrink_steps);
+    let _ = writeln!(out, "    \"shrink_candidates_tested\": {},", shrink.shrink_tested);
+    let _ = writeln!(out, "    \"first_original_weight\": {},", shrink.original_weight);
+    let _ = writeln!(out, "    \"first_minimal_weight\": {},", shrink.minimal_weight);
+    let _ = writeln!(out, "    \"wall_ms\": {:.3}", shrink.wall_ms);
+    out.push_str("  }\n}\n");
+    out
+}
+
+fn main() {
+    let budget_ms = criterion_budget_ms(2_000);
+    println!("== bench_campaign: seeded chaos campaigns, {budget_ms} ms budget ==");
+    println!("safe family (partitions + degrades + duplicates), n = 4, {BATCH}-timeline batches\n");
+
+    let green = green_phase(budget_ms);
+    let shrink = shrink_phase();
+    assert!(
+        shrink.minimal_weight <= shrink.original_weight,
+        "shrinking must never grow a counterexample"
+    );
+
+    let mut table = Table::new(vec!["phase", "timelines", "wall ms", "timelines/s", "faults"]);
+    table.row(vec![
+        format!("green ({})", PROTOCOL.name()),
+        green.timelines.to_string(),
+        format!("{:.1}", green.wall_ms),
+        format!("{:.0}", green.timelines as f64 * 1000.0 / green.wall_ms.max(f64::MIN_POSITIVE)),
+        "0".into(),
+    ]);
+    table.row(vec![
+        "shrink (2PC, resilience audit)".into(),
+        shrink.timelines.to_string(),
+        format!("{:.1}", shrink.wall_ms),
+        format!("{:.0}", shrink.timelines as f64 * 1000.0 / shrink.wall_ms.max(f64::MIN_POSITIVE)),
+        shrink.faults.to_string(),
+    ]);
+    println!("{}", table.render());
+    println!(
+        "first counterexample shrank {} -> {} fault events over {} accepted step(s) \
+         ({} candidates executed)",
+        shrink.original_weight, shrink.minimal_weight, shrink.shrink_steps, shrink.shrink_tested
+    );
+
+    write_record("BENCH_campaign.json", &render_json(&green, &shrink));
+}

@@ -54,13 +54,16 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod campaign;
 pub mod cases;
 pub mod report;
 pub mod run;
 pub mod scenario;
 pub mod session;
 pub mod sweep;
+pub mod timeline;
 
+pub use campaign::{Campaign, CampaignConfig, CampaignFailure, CampaignReport};
 pub use run::{run_scenario, run_scenario_opts, ScenarioResult};
 pub use scenario::{PartitionEpisode, PartitionSchedule, PartitionShape, ProtocolKind, Scenario};
 pub use session::{build_cluster_any, Session, SessionPool};
@@ -69,6 +72,7 @@ pub use sweep::{
     sweep_with_session, sweep_with_threads, ScenarioDesc, ScenarioSpec, ScheduleShape, SweepGrid,
     SweepReport,
 };
+pub use timeline::{ScenarioBuilder, TimedEvent, Timeline, TimelineEvent};
 
 // The typed execution options, re-exported from `ptp-protocols` so most
 // callers need only this crate.

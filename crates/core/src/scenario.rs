@@ -1,9 +1,14 @@
 //! Scenario description: which protocol, which network conditions.
 
+// The timeline DSL is the fault-model front door; re-exported here so
+// `ptp_core::scenario::ScenarioBuilder` is the canonical path.
+pub use crate::timeline::{At, ScenarioBuilder, TimedEvent, Timeline, TimelineEvent};
+
 use ptp_protocols::api::Vote;
 use ptp_protocols::quorum::QuorumConfig;
 use ptp_simnet::{
-    DelayModel, FailureSpec, NetConfig, PartitionEngine, PartitionMode, SimTime, SiteId,
+    DegradeWindow, DelayModel, EnvelopeFault, FailureSpec, NetConfig, PartitionEngine,
+    PartitionMode, SimTime, SiteId,
 };
 
 /// Which commit protocol to run.
@@ -292,6 +297,10 @@ pub struct Scenario {
     /// Site failures to inject (experiment E13 only; the paper's protocol
     /// assumes none).
     pub failures: Vec<FailureSpec>,
+    /// Envelope-level faults (duplicate / reorder / drop) to arm.
+    pub env_faults: Vec<EnvelopeFault>,
+    /// Degraded-network delay windows to arm.
+    pub degrades: Vec<DegradeWindow>,
     /// Simulation horizon in units of `T`.
     pub horizon_t: u64,
 }
@@ -308,6 +317,8 @@ impl Scenario {
             t_unit: 1000,
             mode: PartitionMode::Optimistic,
             failures: Vec::new(),
+            env_faults: Vec::new(),
+            degrades: Vec::new(),
             horizon_t: 100,
         }
     }
@@ -359,6 +370,18 @@ impl Scenario {
     /// Injects a site failure.
     pub fn fail(mut self, spec: FailureSpec) -> Scenario {
         self.failures.push(spec);
+        self
+    }
+
+    /// Arms an envelope-level fault (duplicate / reorder / drop).
+    pub fn env_fault(mut self, fault: EnvelopeFault) -> Scenario {
+        self.env_faults.push(fault);
+        self
+    }
+
+    /// Arms a degraded-network delay window.
+    pub fn degrade(mut self, window: DegradeWindow) -> Scenario {
+        self.degrades.push(window);
         self
     }
 

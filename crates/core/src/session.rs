@@ -23,7 +23,23 @@ use ptp_protocols::quorum::quorum_cluster_any;
 use ptp_protocols::runner::ClusterRunner;
 use ptp_protocols::termination::TerminationVariant;
 use ptp_protocols::{AnyParticipant, RunOptions, Verdict, Vote};
-use ptp_simnet::FailureSpec;
+use ptp_simnet::{DegradeWindow, EnvelopeFault, FailureSpec};
+
+/// Picks the effective slice for a per-run fault list that exists both on
+/// the scenario and the options: borrow whichever side is alone non-empty,
+/// concatenate into `scratch` only when both contribute.
+fn merged<'a, T: Copy>(scenario: &'a [T], options: &'a [T], scratch: &'a mut Vec<T>) -> &'a [T] {
+    match (scenario.is_empty(), options.is_empty()) {
+        (true, _) => options,
+        (false, true) => scenario,
+        (false, false) => {
+            scratch.clear();
+            scratch.extend_from_slice(scenario);
+            scratch.extend_from_slice(options);
+            scratch
+        }
+    }
+}
 
 /// Builds the enum-dispatched participant vector for a protocol kind.
 pub fn build_cluster_any(kind: ProtocolKind, n: usize, votes: &[Vote]) -> Vec<AnyParticipant> {
@@ -74,6 +90,10 @@ pub struct Session {
     /// Concatenation buffer for scenario + option failures (rarely needed;
     /// kept to avoid allocating when it is).
     failures_scratch: Vec<FailureSpec>,
+    /// Same, for envelope faults.
+    env_scratch: Vec<EnvelopeFault>,
+    /// Same, for degrade windows.
+    degrade_scratch: Vec<DegradeWindow>,
 }
 
 impl Session {
@@ -87,6 +107,8 @@ impl Session {
             n,
             runner: ClusterRunner::new(build_cluster_any(kind, n, &votes)),
             failures_scratch: Vec::new(),
+            env_scratch: Vec::new(),
+            degrade_scratch: Vec::new(),
         }
     }
 
@@ -162,19 +184,17 @@ impl Session {
         self.runner.reset(&scenario.votes);
         scenario.configure_partition(self.runner.partition_mut());
         let config = options.apply_horizon(scenario.net_config());
-        let failures: &[FailureSpec] =
-            match (scenario.failures.is_empty(), options.failures.is_empty()) {
-                (true, _) => &options.failures,
-                (false, true) => &scenario.failures,
-                (false, false) => {
-                    self.failures_scratch.clear();
-                    self.failures_scratch.extend_from_slice(&scenario.failures);
-                    self.failures_scratch.extend_from_slice(&options.failures);
-                    &self.failures_scratch
-                }
-            };
-        let (_, trace, report) =
-            self.runner.run_borrowed(config, &scenario.delay, options.trace, failures);
+        let failures = merged(&scenario.failures, &options.failures, &mut self.failures_scratch);
+        let env_faults = merged(&scenario.env_faults, &options.env_faults, &mut self.env_scratch);
+        let degrades = merged(&scenario.degrades, &options.degrades, &mut self.degrade_scratch);
+        let (_, trace, report) = self.runner.run_borrowed_faulty(
+            config,
+            &scenario.delay,
+            options.trace,
+            failures,
+            env_faults,
+            degrades,
+        );
         (trace, report)
     }
 }

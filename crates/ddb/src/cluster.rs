@@ -146,6 +146,10 @@ pub struct DbCluster {
     pub config: NetConfig,
     /// Site failures to inject (crash / crash-recover).
     pub failures: Vec<ptp_simnet::FailureSpec>,
+    /// Envelope-level faults (duplicate / reorder / drop) to arm.
+    pub env_faults: Vec<ptp_simnet::EnvelopeFault>,
+    /// Degraded-network delay windows to arm.
+    pub degrades: Vec<ptp_simnet::DegradeWindow>,
     /// Recycle protocol participants through per-site free-lists (the
     /// default). `false` constructs one participant per transaction — the
     /// pre-pool behaviour, kept as the equivalence/bench baseline.
@@ -184,6 +188,8 @@ impl DbCluster {
             delay: DelayModel::Fixed(700),
             config: NetConfig::default(),
             failures: Vec::new(),
+            env_faults: Vec::new(),
+            degrades: Vec::new(),
             reuse_participants: true,
         }
     }
@@ -227,6 +233,19 @@ impl DbCluster {
         self
     }
 
+    /// Arms an envelope-level fault (duplicate / reorder / drop) matched
+    /// against the multiplexed `DbMsg` traffic by wire-kind and endpoints.
+    pub fn env_fault(mut self, fault: ptp_simnet::EnvelopeFault) -> DbCluster {
+        self.env_faults.push(fault);
+        self
+    }
+
+    /// Arms a degraded-network delay window.
+    pub fn degrade(mut self, window: ptp_simnet::DegradeWindow) -> DbCluster {
+        self.degrades.push(window);
+        self
+    }
+
     /// Runs the cluster to quiescence (or the horizon).
     pub fn run(self) -> DbRun {
         let metrics = Rc::new(RefCell::new(Metrics::default()));
@@ -256,7 +275,14 @@ impl DbCluster {
             })
             .collect();
 
-        let sim = Simulation::new(self.config, actors, self.partition, &self.delay, self.failures);
+        let mut sim =
+            Simulation::new(self.config, actors, self.partition, &self.delay, self.failures);
+        if !self.env_faults.is_empty() {
+            sim.set_envelope_faults(&self.env_faults);
+        }
+        if !self.degrades.is_empty() {
+            sim.set_degrades(&self.degrades);
+        }
         let (actors, trace, report) = sim.run();
 
         let mut storages = Vec::with_capacity(self.n);
@@ -339,6 +365,39 @@ mod tests {
             assert_eq!(run.storages[2].get(&Key::from("acct-b")).unwrap().as_u64(), Some(30));
             assert!(run.blocked.iter().all(|b| b.is_empty()));
         }
+    }
+
+    #[test]
+    fn duplicated_xact_envelopes_leave_the_workload_clean() {
+        // The PR-3 duplicate-delivery class, reproduced through the armed
+        // envelope-fault path instead of a hand-scripted driver (see
+        // `site::tests::duplicate_xact_for_parked_txn_is_ignored`): the
+        // network duplicates every xact send; parked and fresh transactions
+        // alike must absorb the replays without double-acquiring locks.
+        let run = seeded(3, CommitProtocol::HuangLi)
+            .submit(0, transfer_spec(1, 30))
+            .submit(10_000, transfer_spec(2, 55))
+            .env_fault(ptp_simnet::EnvelopeFault::duplicate(
+                ptp_simnet::EnvelopeMatch::kind("xact"),
+                ptp_simnet::SimDuration(350),
+            ))
+            .run();
+        assert!(run.metrics.atomicity_violations().is_empty());
+        assert!(run.blocked.iter().all(|b| b.is_empty()), "{:?}", run.blocked);
+        // The last committed transfer's values survive on both shards.
+        assert_eq!(run.storages[1].get(&Key::from("acct-a")).unwrap().as_u64(), Some(45));
+        assert_eq!(run.storages[2].get(&Key::from("acct-b")).unwrap().as_u64(), Some(55));
+    }
+
+    #[test]
+    fn degraded_windows_only_slow_the_run() {
+        let slow = seeded(3, CommitProtocol::HuangLi)
+            .submit(0, transfer_spec(1, 30))
+            .degrade(ptp_simnet::DegradeWindow::new(SimTime(0), Some(SimTime(20_000)), 900, 1000))
+            .run();
+        assert!(slow.metrics.atomicity_violations().is_empty());
+        assert_eq!(slow.storages[1].get(&Key::from("acct-a")).unwrap().as_u64(), Some(70));
+        assert!(slow.blocked.iter().all(|b| b.is_empty()));
     }
 
     #[test]

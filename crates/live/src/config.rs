@@ -1,7 +1,7 @@
 //! Configuration of a live serving run: topology, offered load, batching.
 
 use ptp_ddb::CommitProtocol;
-use ptp_livenet::LivePartition;
+use ptp_livenet::{LiveCrash, LiveDegrade, LiveEnvFault, LivePartition};
 use std::time::Duration;
 
 /// How the driver picks keys.
@@ -82,6 +82,12 @@ pub struct LiveOptions {
     pub seed: u64,
     /// Optional partition episodes injected mid-run.
     pub partition: Option<LivePartition>,
+    /// Site crashes (and recoveries) injected mid-run.
+    pub crashes: Vec<LiveCrash>,
+    /// Degraded-delay windows injected mid-run.
+    pub degrades: Vec<LiveDegrade>,
+    /// Envelope-level faults (duplicate / reorder / drop) to arm.
+    pub env_faults: Vec<LiveEnvFault>,
     /// After the load window, how long to wait for in-flight transactions
     /// to decide before declaring the drain unclean.
     pub drain_timeout: Duration,
@@ -107,8 +113,22 @@ impl LiveOptions {
             flush_cost: Duration::from_micros(400),
             seed: 7,
             partition: None,
+            crashes: Vec::new(),
+            degrades: Vec::new(),
+            env_faults: Vec::new(),
             drain_timeout: Duration::from_secs(10),
         }
+    }
+
+    /// Installs a compiled [`ptp_livenet::LiveFaults`] bundle — the
+    /// lowering target of `ptp_core`'s scenario timeline — replacing this
+    /// run's partition, crash, degrade, and envelope-fault schedules.
+    pub fn with_faults(mut self, faults: ptp_livenet::LiveFaults) -> LiveOptions {
+        self.partition = faults.partition;
+        self.crashes = faults.crashes;
+        self.degrades = faults.degrades;
+        self.env_faults = faults.env_faults;
+        self
     }
 
     /// Validates the knobs that have hard domains.

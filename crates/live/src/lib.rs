@@ -56,7 +56,7 @@ use driver::{OpKind, Schedule};
 use ptp_ddb::site::ParticipantFactory;
 use ptp_ddb::value::{Key, TxnId, Value};
 use ptp_ddb::wal::Record;
-use ptp_livenet::{Inbound, LiveConfig, Outbound, Router};
+use ptp_livenet::{Inbound, LiveConfig, LiveFaults, Outbound, Router};
 use ptp_model::Decision;
 use ptp_shard::plan::PlanTable;
 use ptp_shard::ShardTopology;
@@ -182,8 +182,13 @@ pub fn run_server(opts: &LiveOptions) -> LiveReport {
     let start = Instant::now();
     let live_config =
         LiveConfig { t: opts.t, run_timeout: opts.duration + opts.drain_timeout, seed: opts.seed };
-    let router: Router<Packet> =
-        Router::new(live_config, opts.partition.clone(), Vec::new(), site_txs.clone(), start);
+    let faults = LiveFaults {
+        partition: opts.partition.clone(),
+        crashes: opts.crashes.clone(),
+        degrades: opts.degrades.clone(),
+        env_faults: opts.env_faults.clone(),
+    };
+    let router: Router<Packet> = Router::with_faults(live_config, faults, site_txs.clone(), start);
     let router_handle = std::thread::spawn(move || router.run(router_rx));
 
     let mut node_handles = Vec::with_capacity(n);
@@ -309,7 +314,10 @@ pub fn run_server(opts: &LiveOptions) -> LiveReport {
 
     let clean_drain =
         completions.len() == expected && reports.iter().all(|r| r.in_flight_at_shutdown == 0);
-    let strict = opts.partition.is_none();
+    // Partitions, crashes, and envelope faults all legitimately leave
+    // replicas stale; only degrades (which merely slow delivery) keep the
+    // full replica-convergence checks on.
+    let strict = opts.partition.is_none() && opts.crashes.is_empty() && opts.env_faults.is_empty();
     let audit = audit(&schedule, &plans, &pools, &completions, duplicate_acks, &reports, strict);
 
     LiveReport {

@@ -47,7 +47,7 @@ pub const CLIENT_READ: &str = "client-read";
 pub const READ_BASE: u32 = 0x8000_0000;
 
 /// One protocol-or-control message between sites.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct WireMsg {
     /// Which transaction this belongs to.
     pub txn: TxnId,
@@ -66,8 +66,17 @@ pub struct WireMsg {
 /// What rides the router between live sites: one or more [`WireMsg`]s to
 /// the same destination, coalesced into a single channel send with a single
 /// sampled delay.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Packet(pub Vec<WireMsg>);
+
+impl ptp_livenet::Tagged for Packet {
+    /// A coalesced packet is matched by its first inner message's kind —
+    /// with coalescing off (the fault-injection configuration), every
+    /// packet carries exactly one message and this is exact.
+    fn tag(&self) -> &'static str {
+        self.0.first().map_or("empty", |m| ptp_simnet::Payload::kind(&m.inner))
+    }
+}
 
 /// A client-visible operation outcome, sent to the harness as it happens.
 #[derive(Debug)]

@@ -44,13 +44,22 @@
 mod router;
 mod site;
 
-pub use router::{Inbound, LiveConfig, LiveCrash, LiveEpisode, LivePartition, Outbound, Router};
+pub use router::{
+    Inbound, LiveConfig, LiveCrash, LiveDegrade, LiveEnvAction, LiveEnvFault, LiveEpisode,
+    LiveFaults, LivePartition, Outbound, Router, Tagged,
+};
 
 use ptp_model::Decision;
 use ptp_protocols::api::{CommitMsg, Participant};
-use ptp_simnet::SiteId;
+use ptp_simnet::{Payload, SiteId};
 use std::sync::mpsc;
 use std::time::{Duration, Instant};
+
+impl Tagged for CommitMsg {
+    fn tag(&self) -> &'static str {
+        self.kind()
+    }
+}
 
 /// What a live run produced.
 #[derive(Debug, Clone)]
@@ -110,6 +119,17 @@ pub fn run_live_faulty<P: Participant + 'static>(
     partition: Option<LivePartition>,
     crashes: Vec<LiveCrash>,
 ) -> LiveOutcome {
+    run_live_with(participants, config, LiveFaults { partition, crashes, ..LiveFaults::default() })
+}
+
+/// [`run_live`] with the full [`LiveFaults`] vocabulary: partition
+/// episodes, site crashes, degraded-delay windows, and envelope-level
+/// faults — the lowering target of `ptp_core`'s scenario timeline.
+pub fn run_live_with<P: Participant + 'static>(
+    participants: Vec<P>,
+    config: LiveConfig,
+    faults: LiveFaults,
+) -> LiveOutcome {
     let n = participants.len();
     assert!(n >= 2);
     let started = Instant::now();
@@ -125,8 +145,7 @@ pub fn run_live_faulty<P: Participant + 'static>(
     }
     let (done_tx, done_rx) = mpsc::channel();
 
-    let router: Router<CommitMsg> =
-        Router::new(config, partition, crashes, site_txs.clone(), started);
+    let router: Router<CommitMsg> = Router::with_faults(config, faults, site_txs.clone(), started);
     let router_handle = std::thread::spawn(move || router.run(router_rx));
 
     let mut handles = Vec::with_capacity(n);

@@ -7,7 +7,7 @@
 //! *same* router — one delay-queue implementation serves both runtimes.
 
 use ptp_simnet::rng::SmallRng;
-use ptp_simnet::SiteId;
+use ptp_simnet::{EnvelopeMatch, SiteId};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender};
@@ -171,6 +171,126 @@ impl LiveCrash {
     }
 }
 
+/// Message-kind tagging for envelope-fault matching.
+///
+/// The router matches [`LiveEnvFault`]s by the same `&'static str` kind
+/// tags the simulator uses (`"xact"`, `"prepare"`, ...). Payload types
+/// implement this explicitly: `ptp-livenet` tags bare `CommitMsg`s,
+/// `ptp-live` tags its coalesced `Packet`s by their first inner message.
+pub trait Tagged {
+    /// The kind tag envelope faults match against.
+    fn tag(&self) -> &'static str;
+}
+
+/// A wall-clock degraded-network window: while active, sampled delays come
+/// from `min..=max` instead of the healthy `(T/10, T]` band — the live
+/// counterpart of `ptp_simnet::DegradeWindow`.
+#[derive(Debug, Clone, Copy)]
+pub struct LiveDegrade {
+    /// When the window opens, relative to run start.
+    pub from: Duration,
+    /// When it closes (exclusive), or `None` for "until the run ends".
+    pub until: Option<Duration>,
+    /// Slowest-band lower bound for each leg's delay.
+    pub min: Duration,
+    /// Slowest-band upper bound.
+    pub max: Duration,
+}
+
+impl LiveDegrade {
+    /// A window degrading delays to `min..=max` during `[from, until)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the band is empty or inverted, or the window never opens.
+    pub fn new(from: Duration, until: Option<Duration>, min: Duration, max: Duration) -> Self {
+        assert!(min <= max, "degraded band is inverted");
+        assert!(!max.is_zero(), "degraded band must allow positive delays");
+        assert!(until.is_none_or(|u| from < u), "degrade window never opens");
+        LiveDegrade { from, until, min, max }
+    }
+
+    fn active(&self, at: Duration) -> bool {
+        at >= self.from && self.until.is_none_or(|u| at < u)
+    }
+}
+
+/// What happens to a matched message — the wall-clock counterpart of
+/// `ptp_simnet::EnvelopeAction`.
+#[derive(Debug, Clone, Copy)]
+pub enum LiveEnvAction {
+    /// Silently lose the forward leg (no undeliverable bounce).
+    Drop,
+    /// Deliver the original and a clone `after` later.
+    Duplicate {
+        /// Extra delay of the duplicate past the original's delivery.
+        after: Duration,
+    },
+    /// Postpone delivery by `by` past the sampled delay (reordering).
+    Delay {
+        /// The extra delay.
+        by: Duration,
+    },
+}
+
+/// One armed envelope-level fault: messages matching `matches` (by kind
+/// tag, endpoints, and per-fault ordinal — the same [`EnvelopeMatch`] the
+/// simulator uses) suffer `action`.
+#[derive(Debug, Clone, Copy)]
+pub struct LiveEnvFault {
+    /// Which sends this fault applies to.
+    pub matches: EnvelopeMatch,
+    /// What happens to them.
+    pub action: LiveEnvAction,
+}
+
+impl LiveEnvFault {
+    /// A fault silently dropping every matched send.
+    pub fn drop(matches: EnvelopeMatch) -> LiveEnvFault {
+        LiveEnvFault { matches, action: LiveEnvAction::Drop }
+    }
+
+    /// A fault duplicating matched sends, the clone landing `after` later.
+    pub fn duplicate(matches: EnvelopeMatch, after: Duration) -> LiveEnvFault {
+        LiveEnvFault { matches, action: LiveEnvAction::Duplicate { after } }
+    }
+
+    /// A fault delaying matched sends by `by` past their sampled delay.
+    pub fn delay(matches: EnvelopeMatch, by: Duration) -> LiveEnvFault {
+        LiveEnvFault { matches, action: LiveEnvAction::Delay { by } }
+    }
+}
+
+/// The full fault vocabulary of a live run, bundled: partition episodes,
+/// site crashes, degraded-delay windows, and envelope-level faults. This is
+/// what `ptp_core`'s timeline compiler lowers to.
+#[derive(Debug, Clone, Default)]
+pub struct LiveFaults {
+    /// Partition episodes, if any.
+    pub partition: Option<LivePartition>,
+    /// Site crash (and recovery) schedule.
+    pub crashes: Vec<LiveCrash>,
+    /// Degraded-delay windows.
+    pub degrades: Vec<LiveDegrade>,
+    /// Envelope-level faults.
+    pub env_faults: Vec<LiveEnvFault>,
+}
+
+impl LiveFaults {
+    /// No faults at all.
+    pub fn none() -> LiveFaults {
+        LiveFaults::default()
+    }
+
+    /// True when nothing is armed.
+    pub fn is_empty(&self) -> bool {
+        self.partition.is_none()
+            && self.crashes.is_empty()
+            && self.degrades.is_empty()
+            && self.env_faults.is_empty()
+    }
+}
+
 /// A message handed to the router by a site (or an injecting client).
 #[derive(Debug)]
 pub struct Outbound<M> {
@@ -209,8 +329,12 @@ pub enum Inbound<M> {
 
 #[derive(Debug)]
 enum Sched<M> {
-    /// The forward leg of a message.
-    Deliver(Outbound<M>),
+    /// The forward leg of a message. The flag marks a network-fabricated
+    /// duplicate: a ghost copy that hits the partition boundary vanishes
+    /// instead of bouncing, because the return-undeliverable service is
+    /// per *send* — a fabricated bounce would tell the sender its message
+    /// never arrived when the original was in fact delivered.
+    Deliver(Outbound<M>, bool),
     /// The bounced return leg of an undeliverable message.
     Bounce(Outbound<M>),
     /// Tell a site it crashed.
@@ -247,13 +371,12 @@ impl<M> PartialOrd for Scheduled<M> {
 /// schedule. Generic over the payload type — see the module docs.
 pub struct Router<M> {
     config: LiveConfig,
-    partition: Option<LivePartition>,
-    crashes: Vec<LiveCrash>,
+    faults: LiveFaults,
     site_txs: Vec<Sender<Inbound<M>>>,
     started: Instant,
 }
 
-impl<M: Send> Router<M> {
+impl<M: Send + Clone + Tagged> Router<M> {
     /// A router delivering through `site_txs`, with delays and schedules
     /// measured from `started`.
     pub fn new(
@@ -263,19 +386,37 @@ impl<M: Send> Router<M> {
         site_txs: Vec<Sender<Inbound<M>>>,
         started: Instant,
     ) -> Router<M> {
-        Router { config, partition, crashes, site_txs, started }
+        let faults = LiveFaults { partition, crashes, ..LiveFaults::default() };
+        Router::with_faults(config, faults, site_txs, started)
+    }
+
+    /// A router armed with the full [`LiveFaults`] vocabulary.
+    pub fn with_faults(
+        config: LiveConfig,
+        faults: LiveFaults,
+        site_txs: Vec<Sender<Inbound<M>>>,
+        started: Instant,
+    ) -> Router<M> {
+        Router { config, faults, site_txs, started }
     }
 
     fn severed(&self, a: SiteId, b: SiteId, now: Instant) -> bool {
-        self.partition.as_ref().is_some_and(|p| p.severed(a, b, now.duration_since(self.started)))
+        self.faults
+            .partition
+            .as_ref()
+            .is_some_and(|p| p.severed(a, b, now.duration_since(self.started)))
     }
 
     fn crashed(&self, site: SiteId, now: Instant) -> bool {
         let at = now.duration_since(self.started);
-        self.crashes.iter().any(|c| c.down(site, at))
+        self.faults.crashes.iter().any(|c| c.down(site, at))
     }
 
-    fn sample_delay(&self, rng: &mut SmallRng) -> Duration {
+    fn sample_delay(&self, rng: &mut SmallRng, at: Duration) -> Duration {
+        if let Some(w) = self.faults.degrades.iter().find(|w| w.active(at)) {
+            let (lo, hi) = (w.min.as_micros() as u64, w.max.as_micros() as u64);
+            return Duration::from_micros(rng.gen_range(lo..=hi).max(1));
+        }
         let t = self.config.t.as_micros() as u64;
         Duration::from_micros(rng.gen_range(t / 10..=t).max(1))
     }
@@ -286,10 +427,12 @@ impl<M: Send> Router<M> {
         let mut queue: BinaryHeap<Reverse<Scheduled<M>>> = BinaryHeap::new();
         let mut seq = 0u64;
         let mut open = true;
+        // Per-fault match ordinals for `EnvelopeMatch::nth`.
+        let mut env_hits = vec![0u32; self.faults.env_faults.len()];
 
         // Crash/recover control messages are ordinary queue entries with
         // exact (unsampled) due instants.
-        for c in &self.crashes {
+        for c in &self.faults.crashes {
             seq += 1;
             queue.push(Reverse(Scheduled {
                 due: self.started + c.after,
@@ -312,16 +455,25 @@ impl<M: Send> Router<M> {
             while queue.peek().is_some_and(|Reverse(s)| s.due <= now) {
                 let Reverse(s) = queue.pop().expect("peeked");
                 match s.what {
-                    Sched::Deliver(out) => {
+                    Sched::Deliver(out, ghost) => {
                         if self.crashed(out.src, s.due) || self.crashed(out.dst, s.due) {
                             // Message loss: a crashed endpoint neither sends
                             // nor receives (mirrors the simulator).
                         } else if self.severed(out.src, out.dst, s.due) {
                             // Hit the partition boundary: schedule the
-                            // optimistic return leg.
-                            let due = s.due + self.sample_delay(&mut rng);
-                            seq += 1;
-                            queue.push(Reverse(Scheduled { due, seq, what: Sched::Bounce(out) }));
+                            // optimistic return leg — unless this copy is a
+                            // ghost duplicate, which the network silently
+                            // loses (mirrors the simulator).
+                            if !ghost {
+                                let rel = s.due.duration_since(self.started);
+                                let due = s.due + self.sample_delay(&mut rng, rel);
+                                seq += 1;
+                                queue.push(Reverse(Scheduled {
+                                    due,
+                                    seq,
+                                    what: Sched::Bounce(out),
+                                }));
+                            }
                         } else {
                             let _ = self.site_txs[out.dst.index()]
                                 .send(Inbound::Deliver { src: out.src, msg: out.msg });
@@ -355,9 +507,44 @@ impl<M: Send> Router<M> {
                 .unwrap_or(Duration::from_millis(50));
             match inbox.recv_timeout(timeout) {
                 Ok(out) => {
-                    let due = Instant::now() + self.sample_delay(&mut rng);
+                    let now = Instant::now();
+                    let rel = now.duration_since(self.started);
+                    let mut due = now + self.sample_delay(&mut rng, rel);
+                    // Envelope faults are matched at send time, like the
+                    // simulator's `Core::send` hook.
+                    let mut dropped = false;
+                    let mut duplicate_at: Option<Instant> = None;
+                    for (i, fault) in self.faults.env_faults.iter().enumerate() {
+                        if !fault.matches.covers(out.msg.tag(), out.src, out.dst) {
+                            continue;
+                        }
+                        let ordinal = env_hits[i];
+                        env_hits[i] += 1;
+                        if fault.matches.nth.is_some_and(|n| n != ordinal) {
+                            continue;
+                        }
+                        match fault.action {
+                            LiveEnvAction::Drop => dropped = true,
+                            LiveEnvAction::Duplicate { after } => {
+                                duplicate_at = Some(due + after);
+                            }
+                            LiveEnvAction::Delay { by } => due += by,
+                        }
+                    }
+                    if dropped {
+                        continue;
+                    }
+                    if let Some(dup_due) = duplicate_at {
+                        let clone = Outbound { src: out.src, dst: out.dst, msg: out.msg.clone() };
+                        seq += 1;
+                        queue.push(Reverse(Scheduled {
+                            due: dup_due,
+                            seq,
+                            what: Sched::Deliver(clone, true),
+                        }));
+                    }
                     seq += 1;
-                    queue.push(Reverse(Scheduled { due, seq, what: Sched::Deliver(out) }));
+                    queue.push(Reverse(Scheduled { due, seq, what: Sched::Deliver(out, false) }));
                 }
                 Err(RecvTimeoutError::Timeout) => {}
                 Err(RecvTimeoutError::Disconnected) => open = false,

@@ -6,9 +6,13 @@
 //! The build environment has no network access, so the real crate cannot be
 //! fetched. Differences from upstream, by design:
 //!
-//! * **No shrinking.** A failing case panics with the sampled inputs
-//!   rendered in the message; rerunning reproduces it exactly because the
-//!   RNG seed is derived deterministically from the test name.
+//! * **Simple shrinking.** A failing case is shrunk by a bounded
+//!   greedy loop ([`shrink_failure`]): scalars halve toward their range
+//!   start, collections drop elements, `Option`s collapse to `None`, and
+//!   every improvement restarts the pass. The panic message reports both
+//!   the originally sampled inputs and the minimal shrunk counterexample;
+//!   rerunning reproduces both exactly because the RNG seed is derived
+//!   deterministically from the test name.
 //! * **Rejection handling** (`prop_assume!`) retries with fresh samples, up
 //!   to 16× the configured case count, mirroring upstream's global reject
 //!   budget in spirit.
@@ -48,6 +52,75 @@ pub enum TestCaseError {
     Fail(String),
 }
 
+/// The result of shrinking one falsifying input (see [`shrink_failure`]).
+#[derive(Debug)]
+pub struct Shrunk<V> {
+    /// The minimal counterexample found (the original input if no smaller
+    /// candidate still failed).
+    pub minimal: V,
+    /// Improvements adopted — 0 means the original was already minimal.
+    pub steps: usize,
+    /// Candidates executed (bounded by the shrink budget).
+    pub tested: usize,
+    /// The failure message produced by `minimal`.
+    pub message: String,
+}
+
+/// Pins a case closure's argument type to a strategy's value type so the
+/// `proptest!` macro can write the closure without naming the tuple type.
+#[doc(hidden)]
+pub fn bind_case<S, F>(_strategy: &S, case: F) -> F
+where
+    S: Strategy,
+    F: FnMut(S::Value) -> Result<(), TestCaseError>,
+{
+    case
+}
+
+/// Greedily shrinks a falsifying input to a smaller counterexample.
+///
+/// Each pass asks `strategy` for smaller candidates of the current
+/// counterexample ([`Strategy::shrink`]) and re-runs the property on each;
+/// the first candidate that still fails is adopted and the pass restarts
+/// from it. Candidates that pass or reject are discarded. The loop is
+/// bounded (1024 candidate executions) so pathological properties cannot
+/// hang the test run. Used by the [`proptest!`] macro on every failure;
+/// exposed for harnesses (like `ptp_core`'s campaign runner) that drive
+/// their own sampling.
+pub fn shrink_failure<S, F>(
+    strategy: &S,
+    original: S::Value,
+    message: String,
+    case: &mut F,
+) -> Shrunk<S::Value>
+where
+    S: Strategy,
+    S::Value: Clone,
+    F: FnMut(S::Value) -> Result<(), TestCaseError>,
+{
+    const BUDGET: usize = 1024;
+    let mut shrunk = Shrunk { minimal: original, steps: 0, tested: 0, message };
+    let mut candidates = Vec::new();
+    'passes: while shrunk.tested < BUDGET {
+        candidates.clear();
+        strategy.shrink(&shrunk.minimal, &mut candidates);
+        for candidate in candidates.drain(..) {
+            if shrunk.tested >= BUDGET {
+                break 'passes;
+            }
+            shrunk.tested += 1;
+            if let Err(TestCaseError::Fail(msg)) = case(candidate.clone()) {
+                shrunk.minimal = candidate;
+                shrunk.message = msg;
+                shrunk.steps += 1;
+                continue 'passes;
+            }
+        }
+        break; // no candidate improved: minimal under this strategy
+    }
+    shrunk
+}
+
 /// Strategy namespace mirroring `proptest::prelude::prop`.
 pub mod prop {
     /// Boolean strategies.
@@ -84,7 +157,7 @@ pub mod prelude {
     pub use crate::strategy::{any, Arbitrary, BoxedStrategy, Just, Strategy};
     pub use crate::{
         prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
-        ProptestConfig, TestCaseError,
+        shrink_failure, ProptestConfig, Shrunk, TestCaseError,
     };
 }
 
@@ -192,6 +265,15 @@ macro_rules! __proptest_impl {
                 let mut attempts: u32 = 0;
                 let max_attempts =
                     config.cases.saturating_mul(config.max_reject_factor).max(16);
+                // One tuple strategy for all arguments: sampling it draws
+                // elementwise in declaration order, i.e. the exact RNG
+                // stream the per-argument sampling of older versions used,
+                // and shrinking it shrinks the arguments jointly.
+                let strategy = ($(($strategy),)*);
+                let mut case = $crate::bind_case(&strategy, |($($arg,)*)| {
+                    $body
+                    ::std::result::Result::Ok(())
+                });
                 while accepted < config.cases {
                     attempts += 1;
                     assert!(
@@ -200,19 +282,24 @@ macro_rules! __proptest_impl {
                         attempts,
                         accepted
                     );
-                    $(let $arg = $crate::Strategy::sample(&($strategy), &mut rng);)*
-                    let outcome: ::std::result::Result<(), $crate::TestCaseError> =
-                        (|| { $body ::std::result::Result::Ok(()) })();
+                    let inputs = $crate::Strategy::sample(&strategy, &mut rng);
+                    let outcome = case(::std::clone::Clone::clone(&inputs));
                     match outcome {
                         Ok(()) => accepted += 1,
                         Err($crate::TestCaseError::Reject) => continue,
                         Err($crate::TestCaseError::Fail(message)) => {
+                            let original = ::std::clone::Clone::clone(&inputs);
+                            let shrunk =
+                                $crate::shrink_failure(&strategy, inputs, message, &mut case);
                             panic!(
-                                "property `{}` falsified after {} cases\n  inputs: {:?}\n  {}",
+                                "property `{}` falsified after {} cases\n  inputs: {:?}\n  shrunk ({} steps, {} tried): {:?}\n  {}",
                                 stringify!($name),
                                 accepted,
-                                ($(&$arg,)*),
-                                message
+                                original,
+                                shrunk.steps,
+                                shrunk.tested,
+                                shrunk.minimal,
+                                shrunk.message
                             );
                         }
                     }
@@ -279,5 +366,93 @@ mod tests {
             }
         }
         always_fails();
+    }
+
+    #[test]
+    fn shrink_finds_the_boundary_scalar() {
+        // Property "x < 57" over 0..1000: every failing sample must shrink
+        // to exactly 57, the minimal counterexample.
+        let strategy = (0u64..1000,);
+        let mut case = |(x,): (u64,)| {
+            prop_assert!(x < 57);
+            Ok(())
+        };
+        let shrunk = shrink_failure(&strategy, (986,), "seed".into(), &mut case);
+        assert_eq!(shrunk.minimal, (57,));
+        assert!(shrunk.steps > 0 && shrunk.tested >= shrunk.steps);
+    }
+
+    #[test]
+    fn shrink_minimizes_vectors_jointly_with_scalars() {
+        // Fails whenever the vector holds any element >= 3 while the flag
+        // is set, so the minimal counterexample is ([3], true): the flag
+        // cannot shrink to false without the property passing.
+        let strategy = (prop::collection::vec(0u8..10, 0..8), crate::strategy::AnyBool);
+        let mut case = |(v, flag): (Vec<u8>, bool)| {
+            prop_assert!(!(flag && v.iter().any(|x| *x >= 3)));
+            Ok(())
+        };
+        let shrunk =
+            shrink_failure(&strategy, (vec![9, 1, 7, 4, 8], true), "seed".into(), &mut case);
+        assert_eq!(shrunk.minimal, (vec![3], true));
+    }
+
+    #[test]
+    fn shrink_collapses_options() {
+        let strategy = (prop::option::of(0u32..100),);
+        let mut case = |(o,): (Option<u32>,)| {
+            prop_assert!(o.is_none());
+            Ok(())
+        };
+        let shrunk = shrink_failure(&strategy, (Some(63),), "seed".into(), &mut case);
+        assert_eq!(shrunk.minimal, (Some(0),));
+    }
+
+    #[test]
+    fn shrink_keeps_the_original_when_already_minimal() {
+        let strategy = (5u8..9,);
+        let mut case = |(_x,): (u8,)| {
+            prop_assert!(false, "always");
+            Ok(())
+        };
+        let shrunk = shrink_failure(&strategy, (5,), "seed".into(), &mut case);
+        assert_eq!(shrunk.minimal, (5,));
+        assert_eq!(shrunk.steps, 0);
+    }
+
+    #[test]
+    fn shrink_budget_bounds_pathological_strategies() {
+        // A property that fails for every candidate over a huge range still
+        // terminates within the candidate budget.
+        let strategy = (0u64..=u64::MAX,);
+        let mut case = |(_x,): (u64,)| {
+            prop_assert!(false, "always");
+            Ok(())
+        };
+        let shrunk = shrink_failure(&strategy, (u64::MAX,), "seed".into(), &mut case);
+        assert!(shrunk.tested <= 1024);
+        assert_eq!(shrunk.minimal, (0,)); // floor reached: first candidate each pass
+    }
+
+    #[test]
+    fn zero_argument_properties_still_run() {
+        proptest! {
+            #![proptest_config(ProptestConfig { cases: 3, ..ProptestConfig::default() })]
+            fn no_args() {
+                prop_assert!(true);
+            }
+        }
+        no_args();
+    }
+
+    #[test]
+    #[should_panic(expected = "shrunk")]
+    fn failure_reports_shrunk_inputs() {
+        proptest! {
+            fn shrinks_on_failure(x in 0u64..100000) {
+                prop_assert!(x < 3, "x was {}", x);
+            }
+        }
+        shrinks_on_failure();
     }
 }

@@ -1,4 +1,4 @@
-//! Value-generation strategies (no shrinking).
+//! Value-generation strategies with simple shrinking.
 
 use crate::test_runner::TestRng;
 use std::ops::{Range, RangeInclusive};
@@ -13,6 +13,18 @@ pub trait Strategy {
 
     /// Draws one value.
     fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Pushes strictly "smaller" candidate values derived from `value`.
+    ///
+    /// The default produces nothing (not every strategy can shrink — e.g.
+    /// [`Map`] cannot invert its closure). Implementations follow the
+    /// upstream spirit: scalars halve toward the range start, collections
+    /// drop elements, `Option`s collapse to `None`. The candidates need not
+    /// be exhaustive — the shrink loop in `proptest!` restarts from every
+    /// improvement, so repeated passes compound.
+    fn shrink(&self, value: &Self::Value, out: &mut Vec<Self::Value>) {
+        let _ = (value, out);
+    }
 
     /// Maps generated values through `f`.
     fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
@@ -40,6 +52,10 @@ impl<T> Strategy for BoxedStrategy<T> {
     fn sample(&self, rng: &mut TestRng) -> T {
         (**self).sample(rng)
     }
+
+    fn shrink(&self, value: &T, out: &mut Vec<T>) {
+        (**self).shrink(value, out)
+    }
 }
 
 impl<S: Strategy + ?Sized> Strategy for &S {
@@ -47,6 +63,10 @@ impl<S: Strategy + ?Sized> Strategy for &S {
 
     fn sample(&self, rng: &mut TestRng) -> S::Value {
         (**self).sample(rng)
+    }
+
+    fn shrink(&self, value: &S::Value, out: &mut Vec<S::Value>) {
+        (**self).shrink(value, out)
     }
 }
 
@@ -66,6 +86,11 @@ impl<T: Clone> Strategy for Just<T> {
 pub trait Arbitrary: Sized {
     /// Draws an unconstrained value.
     fn arbitrary(rng: &mut TestRng) -> Self;
+
+    /// Pushes smaller candidates for `value` (defaults to none).
+    fn arbitrary_shrink(value: &Self, out: &mut Vec<Self>) {
+        let _ = (value, out);
+    }
 }
 
 /// Strategy for [`Arbitrary`] types; construct via [`any`].
@@ -83,6 +108,10 @@ impl<T: Arbitrary> Strategy for Any<T> {
     fn sample(&self, rng: &mut TestRng) -> T {
         T::arbitrary(rng)
     }
+
+    fn shrink(&self, value: &T, out: &mut Vec<T>) {
+        T::arbitrary_shrink(value, out)
+    }
 }
 
 /// Uniform booleans (`prop::bool::ANY`).
@@ -95,6 +124,28 @@ impl Strategy for AnyBool {
     fn sample(&self, rng: &mut TestRng) -> bool {
         rng.next_u64() & 1 == 1
     }
+
+    fn shrink(&self, value: &bool, out: &mut Vec<bool>) {
+        if *value {
+            out.push(false);
+        }
+    }
+}
+
+/// Shrink an integer toward `floor`: the floor itself, the midpoint, and the
+/// predecessor — enough for the restarting shrink loop to binary-search.
+macro_rules! int_shrink_toward {
+    ($value:expr, $floor:expr, $out:expr) => {{
+        let (v, lo) = ($value, $floor);
+        if v > lo {
+            $out.push(lo);
+            let mid = lo + (v - lo) / 2;
+            if mid != lo {
+                $out.push(mid);
+            }
+            $out.push(v - 1);
+        }
+    }};
 }
 
 macro_rules! int_arbitrary_and_ranges {
@@ -102,6 +153,10 @@ macro_rules! int_arbitrary_and_ranges {
         impl Arbitrary for $ty {
             fn arbitrary(rng: &mut TestRng) -> $ty {
                 rng.next_u64() as $ty
+            }
+
+            fn arbitrary_shrink(value: &$ty, out: &mut Vec<$ty>) {
+                int_shrink_toward!(*value, 0, out);
             }
         }
 
@@ -113,6 +168,10 @@ macro_rules! int_arbitrary_and_ranges {
                 let span = (self.end - self.start) as u64;
                 self.start + rng.below(span) as $ty
             }
+
+            fn shrink(&self, value: &$ty, out: &mut Vec<$ty>) {
+                int_shrink_toward!(*value, self.start, out);
+            }
         }
 
         impl Strategy for RangeInclusive<$ty> {
@@ -123,6 +182,10 @@ macro_rules! int_arbitrary_and_ranges {
                 let span = (*self.end() - *self.start()) as u64;
                 *self.start() + rng.below(span + 1) as $ty
             }
+
+            fn shrink(&self, value: &$ty, out: &mut Vec<$ty>) {
+                int_shrink_toward!(*value, *self.start(), out);
+            }
         }
     )*};
 }
@@ -132,6 +195,12 @@ int_arbitrary_and_ranges!(u8, u16, u32, u64, usize);
 impl Arbitrary for bool {
     fn arbitrary(rng: &mut TestRng) -> bool {
         rng.next_u64() & 1 == 1
+    }
+
+    fn arbitrary_shrink(value: &bool, out: &mut Vec<bool>) {
+        if *value {
+            out.push(false);
+        }
     }
 }
 
@@ -169,6 +238,9 @@ impl<T> Strategy for Union<T> {
         let arm = rng.below(self.arms.len() as u64) as usize;
         self.arms[arm].sample(rng)
     }
+
+    // No `shrink`: the generating arm is not recorded, and another arm's
+    // candidates could fall outside the union's domain.
 }
 
 /// `prop::option::of` strategy: ~25% `None`.
@@ -187,6 +259,15 @@ impl<S: Strategy> Strategy for OptionStrategy<S> {
             Some(self.inner.sample(rng))
         }
     }
+
+    fn shrink(&self, value: &Option<S::Value>, out: &mut Vec<Option<S::Value>>) {
+        if let Some(inner) = value {
+            out.push(None);
+            let mut smaller = Vec::new();
+            self.inner.shrink(inner, &mut smaller);
+            out.extend(smaller.into_iter().map(Some));
+        }
+    }
 }
 
 /// `prop::collection::vec` strategy.
@@ -196,36 +277,90 @@ pub struct VecStrategy<S> {
     pub(crate) len: Range<usize>,
 }
 
-impl<S: Strategy> Strategy for VecStrategy<S> {
+impl<S: Strategy> Strategy for VecStrategy<S>
+where
+    S::Value: Clone,
+{
     type Value = Vec<S::Value>;
 
     fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
         let len = Strategy::sample(&self.len, rng);
         (0..len).map(|_| self.element.sample(rng)).collect()
     }
+
+    fn shrink(&self, value: &Vec<S::Value>, out: &mut Vec<Vec<S::Value>>) {
+        let min = self.len.start;
+        // Big bites first: halve toward the minimum length.
+        if value.len() > min {
+            let half = min.max(value.len() / 2);
+            if half < value.len() {
+                out.push(value[..half].to_vec());
+            }
+            // Then single-element removals, front to back.
+            for i in 0..value.len() {
+                let mut smaller = value.clone();
+                smaller.remove(i);
+                out.push(smaller);
+            }
+        }
+        // Finally shrink elements in place, one position at a time.
+        for (i, elem) in value.iter().enumerate() {
+            let mut smaller = Vec::new();
+            self.element.shrink(elem, &mut smaller);
+            for candidate in smaller {
+                let mut next = value.clone();
+                next[i] = candidate;
+                out.push(next);
+            }
+        }
+    }
+}
+
+/// The empty strategy: `proptest!` samples zero-argument properties
+/// through it so every property goes through one code path.
+impl Strategy for () {
+    type Value = ();
+
+    fn sample(&self, _rng: &mut TestRng) {}
 }
 
 macro_rules! tuple_strategy {
-    ($(($($name:ident),+);)*) => {$(
+    ($(($($name:ident : $idx:tt),+);)*) => {$(
         #[allow(non_snake_case)]
-        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+)
+        where
+            $($name::Value: Clone,)+
+        {
             type Value = ($($name::Value,)+);
 
             fn sample(&self, rng: &mut TestRng) -> Self::Value {
                 let ($($name,)+) = self;
                 ($($name.sample(rng),)+)
             }
+
+            fn shrink(&self, value: &Self::Value, out: &mut Vec<Self::Value>) {
+                let ($($name,)+) = self;
+                $(
+                    let mut smaller = Vec::new();
+                    $name.shrink(&value.$idx, &mut smaller);
+                    for candidate in smaller {
+                        let mut next = value.clone();
+                        next.$idx = candidate;
+                        out.push(next);
+                    }
+                )+
+            }
         }
     )*};
 }
 
 tuple_strategy! {
-    (A);
-    (A, B);
-    (A, B, C);
-    (A, B, C, D);
-    (A, B, C, D, E);
-    (A, B, C, D, E, F);
+    (A: 0);
+    (A: 0, B: 1);
+    (A: 0, B: 1, C: 2);
+    (A: 0, B: 1, C: 2, D: 3);
+    (A: 0, B: 1, C: 2, D: 3, E: 4);
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5);
 }
 
 #[cfg(test)]

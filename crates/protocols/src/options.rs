@@ -6,7 +6,7 @@
 //! [`crate::runner::ClusterRunner`], `ptp_core::Session`, `run_scenario`,
 //! `sweep` — shares.
 
-use ptp_simnet::{FailureSpec, NetConfig, SimTime, TraceSink};
+use ptp_simnet::{DegradeWindow, EnvelopeFault, FailureSpec, NetConfig, SimTime, TraceSink};
 
 /// What the simulator should retain about a run's events.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -58,6 +58,12 @@ pub struct RunOptions {
     /// none). At the scenario layer these are *added to* the scenario's own
     /// failure list.
     pub failures: Vec<FailureSpec>,
+    /// Envelope-level faults (duplicate / reorder / drop) to arm for the
+    /// run. Added to the scenario's own list at the scenario layer.
+    pub env_faults: Vec<EnvelopeFault>,
+    /// Degraded-network windows to arm for the run. Added to the scenario's
+    /// own list at the scenario layer.
+    pub degrades: Vec<DegradeWindow>,
     /// Horizon override in units of `T`; `None` keeps the configured
     /// horizon.
     pub horizon_t: Option<u64>,
@@ -89,6 +95,18 @@ impl RunOptions {
     /// Replaces the failure list.
     pub fn failures(mut self, failures: Vec<FailureSpec>) -> RunOptions {
         self.failures = failures;
+        self
+    }
+
+    /// Arms one envelope-level fault.
+    pub fn env_fault(mut self, fault: EnvelopeFault) -> RunOptions {
+        self.env_faults.push(fault);
+        self
+    }
+
+    /// Arms one degraded-network window.
+    pub fn degrade(mut self, window: DegradeWindow) -> RunOptions {
+        self.degrades.push(window);
         self
     }
 

@@ -17,8 +17,9 @@ use crate::options::{RunOptions, TraceMode};
 use crate::outcome::SiteOutcome;
 use ptp_model::Decision;
 use ptp_simnet::{
-    Actor, Ctx, DelayModel, Envelope, FailureSpec, NetConfig, PartitionEngine, ProfKey, ProfSink,
-    Profile, RunReport, SimScratch, Simulation, SiteId, TimerHandle, Trace,
+    Actor, Ctx, DegradeWindow, DelayModel, Envelope, EnvelopeFault, FailureSpec, NetConfig,
+    PartitionEngine, ProfKey, ProfSink, Profile, RunReport, SimScratch, Simulation, SiteId,
+    TimerHandle, Trace,
 };
 use std::sync::Arc;
 
@@ -302,12 +303,35 @@ impl<P: Participant> ClusterRunner<P> {
         trace: TraceMode,
         failures: &[FailureSpec],
     ) -> (&[SiteOutcome], Trace, RunReport) {
+        self.run_borrowed_faulty(config, delay, trace, failures, &[], &[])
+    }
+
+    /// [`ClusterRunner::run_borrowed`] plus envelope faults and degrade
+    /// windows — the full fault surface a compiled scenario timeline
+    /// carries. Empty slices keep the behaviour (and the hot path)
+    /// identical to `run_borrowed`.
+    pub fn run_borrowed_faulty(
+        &mut self,
+        config: NetConfig,
+        delay: &DelayModel,
+        trace: TraceMode,
+        failures: &[FailureSpec],
+        env_faults: &[EnvelopeFault],
+        degrades: &[DegradeWindow],
+    ) -> (&[SiteOutcome], Trace, RunReport) {
         for actor in &mut self.actors {
             actor.begin_run();
         }
         let actors = std::mem::take(&mut self.actors);
         let scratch = self.scratch.take().expect("scratch present between runs");
-        let sim = Simulation::with_scratch(config, actors, delay, failures, trace.sink(), scratch);
+        let mut sim =
+            Simulation::with_scratch(config, actors, delay, failures, trace.sink(), scratch);
+        if !env_faults.is_empty() {
+            sim.set_envelope_faults(env_faults);
+        }
+        if !degrades.is_empty() {
+            sim.set_degrades(degrades);
+        }
         let (actors, trace, report, scratch) = sim.run_recycling();
         self.actors = actors;
         self.scratch = Some(scratch);
@@ -326,8 +350,14 @@ impl<P: Participant> ClusterRunner<P> {
         options: &RunOptions,
     ) -> ProtocolRun {
         let config = options.apply_horizon(config);
-        let (outcomes, trace, report) =
-            self.run_borrowed(config, delay, options.trace, &options.failures);
+        let (outcomes, trace, report) = self.run_borrowed_faulty(
+            config,
+            delay,
+            options.trace,
+            &options.failures,
+            &options.env_faults,
+            &options.degrades,
+        );
         ProtocolRun { outcomes: outcomes.to_vec(), trace, report }
     }
 }

@@ -1,0 +1,220 @@
+//! Envelope-level fault injection and degraded-network windows.
+//!
+//! The partition and crash machinery ([`crate::partition`],
+//! [`crate::failure`]) models the paper's fault classes; real networks add
+//! a third: *per-message* misbehaviour — duplicated, delayed (reordered) or
+//! silently dropped envelopes. The rvi_sota_client 3PC test list exercises
+//! exactly these, and the PR 3 duplicate-delivery bug showed they find real
+//! bugs in this codebase. An [`EnvelopeFault`] pairs a match predicate
+//! ([`EnvelopeMatch`]) with an action ([`EnvelopeAction`]) and is applied
+//! at send time by the simulation core; a [`DegradeWindow`] remaps sampled
+//! delays inside a wall-clock interval without disturbing the delay
+//! sampler's stream (a degraded run consumes exactly the random values an
+//! undegraded one would).
+//!
+//! Everything here is `Copy` and deterministic: the duplicate/delay/drop
+//! decision is a pure function of the send's `(kind, src, dst)` and the
+//! per-fault match ordinal, and degrade remapping mixes only the message id
+//! and the raw sample.
+
+use crate::message::SiteId;
+use crate::time::{SimDuration, SimTime};
+
+/// Selects envelopes at send time by kind, endpoints, and match ordinal.
+///
+/// Every field is optional; an unset field matches anything. `nth` narrows
+/// the fault to the *n-th* (0-based) send matching the other fields, which
+/// is how a timeline says "duplicate the second prepare" rather than "every
+/// prepare".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct EnvelopeMatch {
+    /// Payload kind tag (see [`crate::net::Payload::kind`]); `None` matches
+    /// every kind.
+    pub kind: Option<&'static str>,
+    /// Sender filter.
+    pub src: Option<SiteId>,
+    /// Receiver filter.
+    pub dst: Option<SiteId>,
+    /// 0-based ordinal among matching sends; `None` hits every match.
+    pub nth: Option<u32>,
+}
+
+impl EnvelopeMatch {
+    /// Matches every envelope.
+    pub fn any() -> EnvelopeMatch {
+        EnvelopeMatch::default()
+    }
+
+    /// Matches envelopes whose payload kind is `kind`.
+    pub fn kind(kind: &'static str) -> EnvelopeMatch {
+        EnvelopeMatch { kind: Some(kind), ..EnvelopeMatch::default() }
+    }
+
+    /// Restricts the sender.
+    pub fn from(mut self, src: SiteId) -> EnvelopeMatch {
+        self.src = Some(src);
+        self
+    }
+
+    /// Restricts the receiver.
+    pub fn to(mut self, dst: SiteId) -> EnvelopeMatch {
+        self.dst = Some(dst);
+        self
+    }
+
+    /// Restricts to the `n`-th (0-based) matching send.
+    pub fn nth(mut self, n: u32) -> EnvelopeMatch {
+        self.nth = Some(n);
+        self
+    }
+
+    /// Does a send with this `(kind, src, dst)` satisfy the field filters
+    /// (ordinal excluded — the core tracks ordinals per fault)?
+    pub fn covers(&self, kind: &'static str, src: SiteId, dst: SiteId) -> bool {
+        self.kind.is_none_or(|k| k == kind)
+            && self.src.is_none_or(|s| s == src)
+            && self.dst.is_none_or(|d| d == dst)
+    }
+}
+
+/// What happens to a matched envelope.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EnvelopeAction {
+    /// The envelope vanishes at the network: no delivery, no bounce — a
+    /// fault *outside* the paper's optimistic model, which is the point.
+    Drop,
+    /// The envelope is delivered normally **and** a second copy arrives
+    /// `after` later (same message id: the network, not the sender,
+    /// duplicated it). The copy still respects partitions and crashes.
+    Duplicate {
+        /// Extra delay of the duplicate relative to the first copy.
+        after: SimDuration,
+    },
+    /// Delivery is postponed by `by` beyond the sampled delay, letting
+    /// later sends overtake this one (reordering).
+    Delay {
+        /// Additional in-flight time.
+        by: SimDuration,
+    },
+}
+
+/// One envelope-level fault: a predicate plus an action.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EnvelopeFault {
+    /// Which sends the fault applies to.
+    pub matches: EnvelopeMatch,
+    /// What happens to matched envelopes.
+    pub action: EnvelopeAction,
+}
+
+impl EnvelopeFault {
+    /// Drops every send matching `matches`.
+    pub fn drop(matches: EnvelopeMatch) -> EnvelopeFault {
+        EnvelopeFault { matches, action: EnvelopeAction::Drop }
+    }
+
+    /// Duplicates matching sends, the copy arriving `after` later.
+    pub fn duplicate(matches: EnvelopeMatch, after: SimDuration) -> EnvelopeFault {
+        EnvelopeFault { matches, action: EnvelopeAction::Duplicate { after } }
+    }
+
+    /// Delays matching sends by an extra `by` (reordering them past
+    /// faster later traffic).
+    pub fn delay(matches: EnvelopeMatch, by: SimDuration) -> EnvelopeFault {
+        EnvelopeFault { matches, action: EnvelopeAction::Delay { by } }
+    }
+}
+
+/// A wall-clock window during which the network runs degraded: sampled
+/// outbound/return delays are remapped into `[min, max]` ticks (then
+/// clamped to the simulation's `T` bound like any other delay).
+///
+/// The remap replaces the sampled value with a deterministic mix of the
+/// message id and the raw sample, so the delay sampler advances exactly as
+/// in an undegraded run — adding or removing a degrade window never shifts
+/// the random stream seen by the rest of the timeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DegradeWindow {
+    /// First instant (inclusive) at which sends are degraded.
+    pub from: SimTime,
+    /// End of the window (exclusive); `None` means degraded forever.
+    pub until: Option<SimTime>,
+    /// Smallest remapped delay, in ticks.
+    pub min: u64,
+    /// Largest remapped delay, in ticks.
+    pub max: u64,
+}
+
+impl DegradeWindow {
+    /// A window from `from` until `until` (exclusive; `None` = open-ended)
+    /// remapping delays into `min..=max` ticks.
+    pub fn new(from: SimTime, until: Option<SimTime>, min: u64, max: u64) -> DegradeWindow {
+        assert!(min <= max, "degrade window needs min <= max");
+        assert!(min >= 1, "delays are at least one tick");
+        if let Some(u) = until {
+            assert!(from < u, "degrade window must not be empty");
+        }
+        DegradeWindow { from, until, min, max }
+    }
+
+    /// Is `now` inside the window?
+    #[inline]
+    pub fn covers(&self, now: SimTime) -> bool {
+        now >= self.from && self.until.is_none_or(|u| now < u)
+    }
+
+    /// Remaps a raw sampled delay into the window's band, deterministically
+    /// in `(salt, raw)` — the salt is the message id, so concurrent sends
+    /// inside one window still spread over the band.
+    #[inline]
+    pub fn remap(&self, salt: u64, raw: u64) -> u64 {
+        let span = self.max - self.min + 1;
+        // splitmix64 finalizer over the salt/raw pair.
+        let mut z = salt.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(raw);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^= z >> 31;
+        self.min + ((u128::from(z) * u128::from(span)) >> 64) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn match_fields_filter_independently() {
+        let m = EnvelopeMatch::kind("prepare").from(SiteId(0)).to(SiteId(2));
+        assert!(m.covers("prepare", SiteId(0), SiteId(2)));
+        assert!(!m.covers("commit", SiteId(0), SiteId(2)));
+        assert!(!m.covers("prepare", SiteId(1), SiteId(2)));
+        assert!(!m.covers("prepare", SiteId(0), SiteId(1)));
+        assert!(EnvelopeMatch::any().covers("anything", SiteId(5), SiteId(6)));
+    }
+
+    #[test]
+    fn degrade_window_bounds_and_determinism() {
+        let w = DegradeWindow::new(SimTime(100), Some(SimTime(200)), 400, 900);
+        assert!(w.covers(SimTime(100)));
+        assert!(w.covers(SimTime(199)));
+        assert!(!w.covers(SimTime(99)));
+        assert!(!w.covers(SimTime(200)));
+        for id in 0..200u64 {
+            let d = w.remap(id, 17);
+            assert!((400..=900).contains(&d), "remap out of band: {d}");
+            assert_eq!(d, w.remap(id, 17), "remap must be deterministic");
+        }
+    }
+
+    #[test]
+    fn open_ended_window_never_closes() {
+        let w = DegradeWindow::new(SimTime(5), None, 1, 3);
+        assert!(w.covers(SimTime(u64::MAX)));
+    }
+
+    #[test]
+    #[should_panic(expected = "min <= max")]
+    fn inverted_band_rejected() {
+        DegradeWindow::new(SimTime(0), None, 9, 3);
+    }
+}

@@ -18,6 +18,8 @@
 //!   uniform / per-link / adversarial schedules).
 //! * [`partition`] — partition episodes and the connectivity oracle.
 //! * [`failure`] — crash/recover injection (for the Sec. 7 counterexamples).
+//! * [`envfault`] — envelope-level faults (duplicate / reorder / drop by
+//!   match predicate) and degraded-network delay windows.
 //! * [`event`] — the deterministic event queue.
 //! * [`net`] — the [`Simulation`] engine, [`Actor`] trait and [`Ctx`] handle.
 //! * [`trace`] — complete execution logs and measurement helpers.
@@ -58,6 +60,7 @@
 #![warn(missing_docs)]
 
 pub mod delay;
+pub mod envfault;
 pub mod event;
 pub mod failure;
 pub mod message;
@@ -70,6 +73,7 @@ mod timers;
 pub mod trace;
 
 pub use delay::{DelayModel, Leg, ScheduleBuilder};
+pub use envfault::{DegradeWindow, EnvelopeAction, EnvelopeFault, EnvelopeMatch};
 pub use failure::FailureSpec;
 pub use message::{Disposition, Envelope, MsgId, SiteId};
 pub use net::{

@@ -1,6 +1,7 @@
 //! The simulation engine: actors, contexts, and the event loop.
 
 use crate::delay::{DelayModel, DelaySampler, Leg};
+use crate::envfault::{DegradeWindow, EnvelopeAction, EnvelopeFault};
 use crate::event::{EventKind, EventQueue};
 use crate::failure::FailureSpec;
 use crate::message::{Envelope, MsgId, SiteId};
@@ -216,6 +217,15 @@ struct Core<P: Payload> {
     sampler: DelaySampler,
     sink: TraceSink,
     counters: TraceCounters,
+    /// Envelope-level faults, applied at send time (usually empty; see
+    /// [`Simulation::set_envelope_faults`]).
+    env_faults: Vec<EnvelopeFault>,
+    /// Per-fault count of sends matching the fault's field filters, for
+    /// `nth` ordinals. Parallel to `env_faults`.
+    env_hits: Vec<u32>,
+    /// Degraded-network windows (usually empty; see
+    /// [`Simulation::set_degrades`]).
+    degrades: Vec<DegradeWindow>,
 }
 
 impl<P: Payload> Core<P> {
@@ -234,6 +244,19 @@ impl<P: Payload> Core<P> {
         }
     }
 
+    /// Remaps a sampled delay when `now` falls inside a degrade window.
+    /// The sampler has already advanced either way, so adding or removing
+    /// windows never shifts the random stream the rest of the run sees.
+    #[inline]
+    fn degraded(&self, id: MsgId, raw: u64) -> u64 {
+        for w in &self.degrades {
+            if w.covers(self.now) {
+                return w.remap(id.0, raw);
+            }
+        }
+        raw
+    }
+
     fn send(&mut self, src: SiteId, dst: SiteId, payload: P) {
         let id = MsgId(self.next_msg);
         self.next_msg += 1;
@@ -242,9 +265,61 @@ impl<P: Payload> Core<P> {
         let at = self.now;
         self.trace(|c| c.sent += 1, || TraceEvent::Sent { at, id, src, dst, kind });
 
-        let out = self.sampler.sample(id, src, dst, Leg::Outbound).clamp(1, self.config.t_unit);
-        let delivery_at = self.now + SimDuration(out);
+        let raw = self.sampler.sample(id, src, dst, Leg::Outbound);
+        let out = self.degraded(id, raw).clamp(1, self.config.t_unit);
+        let mut delivery_at = self.now + SimDuration(out);
 
+        // Envelope faults, matched at send time. A `Drop` wins outright;
+        // `Delay` pushes the delivery instant; `Duplicate` schedules a
+        // second copy (same message id — the *network* duplicated it).
+        let mut duplicate_after = None;
+        if !self.env_faults.is_empty() {
+            for i in 0..self.env_faults.len() {
+                let fault = self.env_faults[i];
+                if !fault.matches.covers(kind, src, dst) {
+                    continue;
+                }
+                let ordinal = self.env_hits[i];
+                self.env_hits[i] += 1;
+                if fault.matches.nth.is_some_and(|n| n != ordinal) {
+                    continue;
+                }
+                match fault.action {
+                    EnvelopeAction::Drop => {
+                        self.trace(
+                            |c| c.dropped += 1,
+                            || TraceEvent::Dropped { at, id, src, dst, kind },
+                        );
+                        return;
+                    }
+                    EnvelopeAction::Duplicate { after } => duplicate_after = Some(after),
+                    EnvelopeAction::Delay { by } => delivery_at += by,
+                }
+            }
+        }
+
+        match duplicate_after {
+            None => self.route(env, delivery_at, false),
+            Some(after) => {
+                let dup_at = delivery_at + after;
+                self.route(env.clone(), delivery_at, false);
+                self.route(env, dup_at, true);
+            }
+        }
+    }
+
+    /// Hands one in-flight envelope to the partition oracle and schedules
+    /// its delivery, bounce, or drop.
+    ///
+    /// `ghost` marks a network-fabricated duplicate. The paper's
+    /// return-undeliverable service is sound only per *send*: a slave that
+    /// sees its yes vote bounce may unilaterally abort because the master
+    /// cannot have received it. A ghost copy bouncing off a partition must
+    /// therefore vanish silently — returning it would fabricate exactly the
+    /// signal that rule relies on, after the original was delivered.
+    fn route(&mut self, env: Envelope<P>, delivery_at: SimTime, ghost: bool) {
+        let (id, src, dst, kind) = (env.id, env.src, env.dst, env.payload.kind());
+        let at = self.now;
         // Does the message cross a partition boundary, and if so when does
         // it bounce?
         //
@@ -263,12 +338,12 @@ impl<P: Payload> Core<P> {
                 self.queue.push(delivery_at, EventKind::Deliver(env));
             }
             Some(bounce_at) => match self.config.mode {
-                PartitionMode::Optimistic => {
-                    let ret =
-                        self.sampler.sample(id, src, dst, Leg::Return).clamp(1, self.config.t_unit);
+                PartitionMode::Optimistic if !ghost => {
+                    let raw = self.sampler.sample(id, src, dst, Leg::Return);
+                    let ret = self.degraded(id, raw).clamp(1, self.config.t_unit);
                     self.queue.push(bounce_at + SimDuration(ret), EventKind::ReturnUd(env));
                 }
-                PartitionMode::Pessimistic => {
+                _ => {
                     self.trace(
                         |c| c.dropped += 1,
                         || TraceEvent::Dropped { at, id, src, dst, kind },
@@ -451,9 +526,59 @@ impl<P: Payload, A: Actor<P>> Simulation<P, A> {
                 sampler: delay.sampler(),
                 sink,
                 counters: TraceCounters::default(),
+                env_faults: Vec::new(),
+                env_hits: Vec::new(),
+                degrades: Vec::new(),
             },
             actors,
         }
+    }
+
+    /// Arms envelope-level faults (duplicate / reorder / drop by match
+    /// predicate) for this run. Call before [`Simulation::run`]; the
+    /// default is none, leaving the hot path untouched.
+    ///
+    /// ```
+    /// use ptp_simnet::{
+    ///     DelayModel, EnvelopeFault, EnvelopeMatch, NetConfig, PartitionEngine, SimDuration,
+    ///     Simulation,
+    /// };
+    /// # use ptp_simnet::{Actor, Ctx, Envelope, SiteId};
+    /// # struct Pinger;
+    /// # impl Actor<&'static str> for Pinger {
+    /// #     fn on_start(&mut self, ctx: &mut Ctx<'_, &'static str>) {
+    /// #         if ctx.me() == SiteId(0) { ctx.send(SiteId(1), "ping"); }
+    /// #     }
+    /// #     fn on_message(&mut self, _: Envelope<&'static str>, _: &mut Ctx<'_, &'static str>) {}
+    /// # }
+    /// let mut sim = Simulation::new(
+    ///     NetConfig::default(),
+    ///     vec![Box::new(Pinger), Box::new(Pinger)],
+    ///     PartitionEngine::always_connected(),
+    ///     &DelayModel::Fixed(500),
+    ///     vec![],
+    /// );
+    /// // Deliver every "ping" twice, the copy 100 ticks later.
+    /// sim.set_envelope_faults(&[EnvelopeFault::duplicate(
+    ///     EnvelopeMatch::kind("ping"),
+    ///     SimDuration(100),
+    /// )]);
+    /// let (_, trace, _) = sim.run();
+    /// assert_eq!(trace.deliveries_to(SiteId(1), "ping").count(), 2);
+    /// ```
+    pub fn set_envelope_faults(&mut self, faults: &[EnvelopeFault]) {
+        self.core.env_faults.clear();
+        self.core.env_faults.extend_from_slice(faults);
+        self.core.env_hits.clear();
+        self.core.env_hits.resize(faults.len(), 0);
+    }
+
+    /// Arms degraded-network windows for this run: while a window covers
+    /// the send instant, sampled delays are remapped into its band (see
+    /// [`DegradeWindow`]). Default: none.
+    pub fn set_degrades(&mut self, windows: &[DegradeWindow]) {
+        self.core.degrades.clear();
+        self.core.degrades.extend_from_slice(windows);
     }
 
     /// Number of sites.
@@ -593,7 +718,7 @@ mod tests {
 
     /// Test actor: replies "pong" to "ping", records everything it sees on a
     /// shared board.
-    #[derive(Debug, Default, Clone)]
+    #[derive(Debug, Default, Clone, PartialEq)]
     struct Board {
         delivered: Vec<(u16, &'static str, u64)>, // (to, kind, at)
         ud: Vec<(u16, &'static str, u64)>,        // (sender, kind, at)
@@ -886,6 +1011,102 @@ mod tests {
         let (warm_trace, warm_events, _) = run_once(scratch);
         assert_eq!(cold_trace.events(), warm_trace.events());
         assert_eq!(cold_events, warm_events);
+    }
+
+    fn faulted_two_site(
+        faults: &[crate::envfault::EnvelopeFault],
+        degrades: &[crate::envfault::DegradeWindow],
+    ) -> (Rc<RefCell<Board>>, Trace, RunReport) {
+        let board = Rc::new(RefCell::new(Board::default()));
+        let a = Echo { board: board.clone(), peer: Some(SiteId(1)), starts_ping: true };
+        let b = Echo { board: board.clone(), peer: None, starts_ping: false };
+        let mut sim = Simulation::new(
+            NetConfig::default(),
+            vec![Box::new(a), Box::new(b)],
+            PartitionEngine::always_connected(),
+            &DelayModel::Fixed(100),
+            vec![],
+        );
+        sim.set_envelope_faults(faults);
+        sim.set_degrades(degrades);
+        let (_, trace, report) = sim.run();
+        (board, trace, report)
+    }
+
+    #[test]
+    fn envelope_drop_loses_the_message_silently() {
+        use crate::envfault::{EnvelopeFault, EnvelopeMatch};
+        let (board, trace, _) =
+            faulted_two_site(&[EnvelopeFault::drop(EnvelopeMatch::kind("ping"))], &[]);
+        let b = board.borrow();
+        // Unlike a partition bounce, nothing comes back to the sender.
+        assert!(b.delivered.is_empty());
+        assert!(b.ud.is_empty());
+        assert!(trace.events().iter().any(|e| matches!(e, TraceEvent::Dropped { .. })));
+    }
+
+    #[test]
+    fn envelope_duplicate_delivers_twice_with_the_same_id() {
+        use crate::envfault::{EnvelopeFault, EnvelopeMatch};
+        let (board, trace, _) = faulted_two_site(
+            &[EnvelopeFault::duplicate(EnvelopeMatch::kind("ping"), SimDuration(40))],
+            &[],
+        );
+        let b = board.borrow();
+        // Original at 100, copy at 140; site 1 answers each ping.
+        assert_eq!(b.delivered[0], (1, "ping", 100));
+        assert_eq!(b.delivered[1], (1, "ping", 140));
+        let ids: Vec<_> = trace
+            .events()
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::Delivered { id, dst, .. } if *dst == SiteId(1) => Some(*id),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(ids.len(), 2);
+        assert_eq!(ids[0], ids[1], "the network duplicated one message");
+    }
+
+    #[test]
+    fn envelope_delay_reorders_past_later_traffic() {
+        use crate::envfault::{EnvelopeFault, EnvelopeMatch};
+        // Delay the ping by 500: the pong reply (sent at 600, delivered at
+        // 700) lands after it, but a second undelayed ping would overtake.
+        let (board, _, _) = faulted_two_site(
+            &[EnvelopeFault::delay(EnvelopeMatch::kind("ping"), SimDuration(500))],
+            &[],
+        );
+        assert_eq!(board.borrow().delivered, vec![(1, "ping", 600), (0, "pong", 700)]);
+    }
+
+    #[test]
+    fn nth_ordinal_hits_only_that_match() {
+        use crate::envfault::{EnvelopeFault, EnvelopeMatch};
+        // Only the 1st (0-based) "ping" would be dropped; the ping-pong
+        // exchange sends exactly one ping, so nothing is lost.
+        let (board, _, _) =
+            faulted_two_site(&[EnvelopeFault::drop(EnvelopeMatch::kind("ping").nth(1))], &[]);
+        assert_eq!(board.borrow().delivered, vec![(1, "ping", 100), (0, "pong", 200)]);
+    }
+
+    #[test]
+    fn degrade_window_slows_covered_sends_only() {
+        use crate::envfault::DegradeWindow;
+        // Window covers t=0 (the ping) but not t>=50 (the pong at 100):
+        // ping is remapped into [900, 900], pong keeps its sampled 100.
+        let (board, _, _) =
+            faulted_two_site(&[], &[DegradeWindow::new(SimTime(0), Some(SimTime(50)), 900, 900)]);
+        assert_eq!(board.borrow().delivered, vec![(1, "ping", 900), (0, "pong", 1000)]);
+    }
+
+    #[test]
+    fn no_faults_armed_is_byte_identical_to_default_construction() {
+        let (plain_board, plain_trace, _) =
+            two_site(PartitionEngine::always_connected(), PartitionMode::Optimistic);
+        let (armed_board, armed_trace, _) = faulted_two_site(&[], &[]);
+        assert_eq!(*plain_board.borrow(), *armed_board.borrow());
+        assert_eq!(plain_trace.events(), armed_trace.events());
     }
 
     #[test]

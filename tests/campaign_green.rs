@@ -1,0 +1,62 @@
+//! Seeded chaos-campaign gate for CI.
+//!
+//! Samples a safe-family campaign — partitions, degraded-delay windows, and
+//! duplicate envelopes, but no crash-during-partition overlap (the Sec. 7
+//! impossibility territory) — and requires every timeline to leave the
+//! paper's protocol atomic. The seed is pinned, so a red run here names a
+//! timeline index that `Campaign::timeline(index)` reproduces exactly.
+
+use ptp_core::scenario::ScenarioBuilder;
+use ptp_core::{run_scenario_opts, Campaign, CampaignConfig, ProtocolKind, RunOptions};
+use ptp_simnet::{EnvelopeMatch, SiteId, TraceEvent};
+
+#[test]
+fn fifty_timeline_safe_campaign_is_green_for_huang_li_3pc() {
+    let config = CampaignConfig::safe(ProtocolKind::HuangLi3pc, 4, 50, 0xC1_2026);
+    let report = Campaign::new(config).run();
+    assert_eq!(report.executed, 50);
+    assert!(
+        report.all_green(),
+        "campaign found {} failure(s); first: {:?}",
+        report.failures.len(),
+        report.failures.first()
+    );
+}
+
+/// Regression for a counterexample an early campaign run surfaced (seed
+/// 92694865751786356, shrunk by the campaign itself to this timeline): a
+/// duplicated "yes" vote whose ghost copy crossed the partition boundary
+/// used to *bounce back to its sender*, fabricating the undeliverable-vote
+/// signal the paper's unilateral-abort rule relies on — slave 2 aborted
+/// while the master (holding the original vote) committed. Ghost duplicates
+/// now vanish at the boundary instead of bouncing; the run must stay atomic.
+#[test]
+fn ghost_duplicate_of_a_yes_vote_must_not_fabricate_an_undeliverable_bounce() {
+    let timeline = ScenarioBuilder::new(4)
+        .at(3143)
+        .partition(vec![vec![SiteId(0), SiteId(1)], vec![SiteId(2), SiteId(3)]])
+        .duplicate(EnvelopeMatch::kind("yes"), 1191)
+        .build();
+    let result =
+        run_scenario_opts(ProtocolKind::HuangLi3pc, &timeline.scenario(), &RunOptions::recording());
+    assert!(result.verdict.is_atomic(), "verdict: {:?}", result.verdict);
+    let ghost_dropped =
+        result.trace.events().iter().any(|e| matches!(e, TraceEvent::Dropped { kind: "yes", .. }));
+    let yes_returned =
+        result.trace.events().iter().any(|e| matches!(e, TraceEvent::Returned { kind: "yes", .. }));
+    assert!(ghost_dropped, "the partition-blocked ghost copy must be silently dropped");
+    assert!(!yes_returned, "no yes vote may come back undeliverable in this timeline");
+}
+
+#[test]
+fn fifty_timeline_safe_campaign_is_green_for_the_quorum_protocol() {
+    let config = CampaignConfig::safe(ProtocolKind::QuorumMajority, 5, 50, 0xC2_2026);
+    let report = Campaign::new(config).run();
+    assert_eq!(report.executed, 50);
+    assert!(
+        report.all_green(),
+        "campaign found {} failure(s); first: {:?}",
+        report.failures.len(),
+        report.failures.first()
+    );
+}

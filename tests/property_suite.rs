@@ -9,6 +9,11 @@
 //!   exclusive holders on one key, and waiters are promoted FIFO-compatibly.
 //! * **Model determinism**: exploration, concurrency sets and rule
 //!   derivation are pure functions of the spec.
+//!
+//! On failure the harness shrinks the drawn inputs (element removal, then
+//! halving toward each range's lower bound) and reports the minimal
+//! counterexample it still fails on, so a red run here names the smallest
+//! partition instant / schedule seed that breaks the property.
 
 use proptest::prelude::*;
 use ptp_core::{run_scenario_opts, PartitionShape, ProtocolKind, RunOptions, Scenario};

@@ -109,7 +109,9 @@ proptest! {
 
     /// Cross-check with independently drawn proptest inputs: warm session
     /// verdicts equal one-shot verdicts for the paper's protocol, and the
-    /// verdict-only fast path agrees with the full result.
+    /// verdict-only fast path agrees with the full result. A mismatch is
+    /// reported with the shrunk (minimal) instant/seed pair, not the raw
+    /// draw.
     #[test]
     fn warm_session_verdict_equals_one_shot(
         at in 0u64..9000,
