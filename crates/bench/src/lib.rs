@@ -26,6 +26,7 @@
 //! | `bench_sweep` | sweep-engine throughput baseline (`BENCH_sweep.json`) |
 //! | `bench_ddb` | database workload throughput baseline (`BENCH_ddb.json`) |
 //! | `bench_shard` | sharded-store throughput baseline (`BENCH_shard.json`) |
+//! | `bench_read` | read-path throughput: lease / lock-local / commit-round (`BENCH_read.json`) |
 //!
 //! ## Sweep-engine performance baseline
 //!

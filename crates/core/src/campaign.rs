@@ -290,8 +290,9 @@ where
 
 /// Strictly-smaller mutations of `timeline`, invalid ones discarded via
 /// [`Timeline::try_new`]: drop one envelope fault, drop one event, halve
-/// every event instant.
-fn candidates(timeline: &Timeline) -> Vec<Timeline> {
+/// every event instant. Shared with the database-backend read audit
+/// (`crate::read_audit`), which shrinks over the same candidate space.
+pub(crate) fn candidates(timeline: &Timeline) -> Vec<Timeline> {
     let mut out = Vec::new();
     let mut push = |events: Vec<TimedEvent>, env_faults| {
         if let Ok(t) =

@@ -56,6 +56,7 @@
 
 pub mod campaign;
 pub mod cases;
+pub mod read_audit;
 pub mod report;
 pub mod run;
 pub mod scenario;
@@ -64,6 +65,7 @@ pub mod sweep;
 pub mod timeline;
 
 pub use campaign::{Campaign, CampaignConfig, CampaignFailure, CampaignReport};
+pub use read_audit::{ReadAuditFailure, ReadAuditReport, ReadWorkload};
 pub use run::{run_scenario, run_scenario_opts, ScenarioResult};
 pub use scenario::{PartitionEpisode, PartitionSchedule, PartitionShape, ProtocolKind, Scenario};
 pub use session::{build_cluster_any, Session, SessionPool};
@@ -72,7 +74,7 @@ pub use sweep::{
     sweep_with_session, sweep_with_threads, ScenarioDesc, ScenarioSpec, ScheduleShape, SweepGrid,
     SweepReport,
 };
-pub use timeline::{ScenarioBuilder, TimedEvent, Timeline, TimelineEvent};
+pub use timeline::{DbFaults, ScenarioBuilder, TimedEvent, Timeline, TimelineEvent};
 
 // The typed execution options, re-exported from `ptp-protocols` so most
 // callers need only this crate.

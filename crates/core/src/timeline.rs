@@ -45,9 +45,22 @@ use ptp_livenet::{
 };
 use ptp_simnet::{
     DegradeWindow, DelayModel, EnvelopeAction, EnvelopeFault, EnvelopeMatch, FailureSpec,
-    SimDuration, SimTime, SiteId,
+    PartitionEngine, PartitionSpec, SimDuration, SimTime, SiteId,
 };
 use std::time::Duration;
+
+/// A timeline lowered for the `ptp-ddb` database backend: the fault inputs
+/// a `DbCluster` (or `ShardCluster`) accepts. Degrade windows and envelope
+/// faults have no database-cluster counterpart and are dropped by the
+/// lowering — campaign configs that audit at this backend should sample
+/// partitions and crashes only.
+#[derive(Debug, Clone, Default)]
+pub struct DbFaults {
+    /// The partition episode schedule, if any partition events exist.
+    pub partition: Option<PartitionEngine>,
+    /// Crash (and crash/recover) specs.
+    pub failures: Vec<FailureSpec>,
+}
 
 /// One kind of instantaneous fault transition on a [`Timeline`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -565,6 +578,67 @@ impl Timeline {
             crashes,
             degrades,
             env_faults,
+        }
+    }
+
+    /// Compiles the timeline to [`DbFaults`] for the database clusters
+    /// (`ptp_ddb::DbCluster`, `ptp_shard::ShardCluster`): partition events
+    /// become a [`PartitionEngine`] episode schedule and crash/recover
+    /// pairs become [`FailureSpec`]s. Degrade windows and envelope faults
+    /// are dropped (see [`DbFaults`]).
+    pub fn db_faults(&self) -> DbFaults {
+        let mut episodes: Vec<PartitionSpec> = Vec::new();
+        let mut open_partition: Option<(u64, Vec<Vec<SiteId>>)> = None;
+        let mut open_crashes: Vec<(SiteId, u64)> = Vec::new();
+        let mut failures: Vec<FailureSpec> = Vec::new();
+
+        for TimedEvent { at, event } in &self.events {
+            match event {
+                TimelineEvent::Crash(site) => open_crashes.push((*site, *at)),
+                TimelineEvent::Recover(site) => {
+                    let pos = open_crashes
+                        .iter()
+                        .position(|(s, _)| s == site)
+                        .expect("validated: recover pairs with a crash");
+                    let (site, crashed_at) = open_crashes.remove(pos);
+                    failures.push(FailureSpec::crash_recover(
+                        site,
+                        SimTime(crashed_at),
+                        SimTime(*at),
+                    ));
+                }
+                TimelineEvent::Partition(groups) => {
+                    if let Some((start, prev)) = open_partition.take() {
+                        episodes.push(PartitionSpec {
+                            at: SimTime(start),
+                            groups: prev,
+                            heal_at: Some(SimTime(*at)),
+                        });
+                    }
+                    open_partition = Some((*at, groups.clone()));
+                }
+                TimelineEvent::Heal => {
+                    if let Some((start, prev)) = open_partition.take() {
+                        episodes.push(PartitionSpec {
+                            at: SimTime(start),
+                            groups: prev,
+                            heal_at: Some(SimTime(*at)),
+                        });
+                    }
+                }
+                TimelineEvent::Degrade { .. } => {}
+            }
+        }
+        if let Some((start, groups)) = open_partition {
+            episodes.push(PartitionSpec { at: SimTime(start), groups, heal_at: None });
+        }
+        for (site, at) in open_crashes {
+            failures.push(FailureSpec::crash(site, SimTime(at)));
+        }
+
+        DbFaults {
+            partition: (!episodes.is_empty()).then(|| PartitionEngine::new(episodes)),
+            failures,
         }
     }
 }

@@ -5,7 +5,9 @@
 //! storage and WAL — the harness behind experiment E14 and the banking
 //! example.
 
-use crate::site::{DbMsg, Metrics, ParticipantBuilder, ParticipantFactory, SiteNode, TxnSpec};
+use crate::site::{
+    DbMsg, Metrics, ParticipantBuilder, ParticipantFactory, ReadSpec, SiteNode, TxnSpec,
+};
 use crate::storage::Storage;
 use crate::value::{Key, TxnId, Value};
 use ptp_protocols::api::Vote;
@@ -138,6 +140,9 @@ pub struct DbCluster {
     pub seed: Vec<(u16, Key, Value)>,
     /// Client workload: `(submit tick, spec)`, submitted at the master.
     pub workload: Vec<(u64, TxnSpec)>,
+    /// Read-only workload: `(submit tick, spec)`, served at the master
+    /// under shared locks without a commit round.
+    pub read_workload: Vec<(u64, ReadSpec)>,
     /// Network partition schedule.
     pub partition: PartitionEngine,
     /// Message delays.
@@ -184,6 +189,7 @@ impl DbCluster {
             protocol,
             seed: Vec::new(),
             workload: Vec::new(),
+            read_workload: Vec::new(),
             partition: PartitionEngine::always_connected(),
             delay: DelayModel::Fixed(700),
             config: NetConfig::default(),
@@ -210,6 +216,13 @@ impl DbCluster {
     /// Adds a transaction submitted at tick `at`.
     pub fn submit(mut self, at: u64, spec: TxnSpec) -> DbCluster {
         self.workload.push((at, spec));
+        self
+    }
+
+    /// Adds a read-only transaction submitted at tick `at`. Read ids must
+    /// be disjoint from write-transaction ids.
+    pub fn submit_read(mut self, at: u64, spec: ReadSpec) -> DbCluster {
+        self.read_workload.push((at, spec));
         self
     }
 
@@ -264,14 +277,18 @@ impl DbCluster {
         let actors: Vec<Box<dyn Actor<DbMsg>>> = (0..self.n as u16)
             .map(|i| {
                 let workload = if i == 0 { self.workload.clone() } else { Vec::new() };
-                Box::new(SiteNode::new(
-                    SiteId(i),
-                    self.n,
-                    &factory,
-                    metrics.clone(),
-                    workload,
-                    seeds.remove(&i).unwrap_or_default(),
-                )) as Box<dyn Actor<DbMsg>>
+                let reads = if i == 0 { self.read_workload.clone() } else { Vec::new() };
+                Box::new(
+                    SiteNode::new(
+                        SiteId(i),
+                        self.n,
+                        &factory,
+                        metrics.clone(),
+                        workload,
+                        seeds.remove(&i).unwrap_or_default(),
+                    )
+                    .with_reads(reads),
+                ) as Box<dyn Actor<DbMsg>>
             })
             .collect();
 

@@ -49,8 +49,8 @@ pub mod wal;
 
 pub use cluster::{CommitProtocol, DbCluster, DbRun};
 pub use site::{
-    DbMsg, LockHold, Metrics, ParticipantBuilder, ParticipantFactory, ParticipantPool, SiteNode,
-    TxnSpec,
+    DbMsg, LockHold, Metrics, ParticipantBuilder, ParticipantFactory, ParticipantPool, ReadPath,
+    ReadRecord, ReadSpec, SiteNode, SyncPayload, TxnSpec,
 };
 pub use storage::Storage;
 pub use value::{Key, TxnId, Value, WriteOp};

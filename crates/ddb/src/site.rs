@@ -25,7 +25,7 @@
 
 use crate::locks::{LockGrant, LockMode, LockTable};
 use crate::storage::Storage;
-use crate::value::{TxnId, WriteOp};
+use crate::value::{Key, TxnId, Value, WriteOp};
 use crate::wal::{Record, Wal};
 use ptp_model::Decision;
 use ptp_protocols::api::{Action, CommitMsg, Participant, TimerTag, Vote};
@@ -43,14 +43,73 @@ pub struct DbMsg {
     pub txn: TxnId,
     /// The commit-protocol message.
     pub inner: CommitMsg,
-    /// On `xact` only: the destination site's write set.
+    /// On `xact` only: the destination site's write set. Anti-entropy
+    /// `sync-resp` reuses the field for its key/value delta.
     pub writes: Option<Vec<WriteOp>>,
+    /// Anti-entropy payload (`sync-req`/`sync-resp` only). Boxed so the
+    /// common protocol messages don't pay for its size.
+    pub sync: Option<Box<SyncPayload>>,
 }
 
 impl Payload for DbMsg {
     fn kind(&self) -> &'static str {
         self.inner.kind()
     }
+}
+
+/// Anti-entropy exchange body. A stranded replica sends its per-key version
+/// stamps plus its undecided/decided transaction ids (`sync-req`); the
+/// master answers with the decisions the replica is missing and a
+/// version-stamped key/value delta (`sync-resp`, delta in [`DbMsg::writes`],
+/// stamps aligned index-wise in `versions`).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct SyncPayload {
+    /// Per-key version stamps (replica's view in a request, the master's
+    /// authoritative stamps for the delta in a response).
+    pub versions: Vec<(Key, u64)>,
+    /// Request only: transactions the replica has in flight (undecided).
+    pub pending: Vec<TxnId>,
+    /// Request only: transactions the replica already finished, so the
+    /// master does not repeat decisions the replica has.
+    pub known: Vec<TxnId>,
+    /// Response only: the `(txn, decision)` pairs the replica is missing.
+    pub decisions: Vec<(TxnId, Decision)>,
+}
+
+/// A read-only transaction: a set of keys snapshotted together.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReadSpec {
+    /// Globally unique id (disjoint from write-transaction ids).
+    pub id: TxnId,
+    /// Keys to read.
+    pub keys: Vec<Key>,
+}
+
+/// Which path served a read.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReadPath {
+    /// Master-lease fast path: lease valid and keys unlocked — served
+    /// straight from committed storage with zero lock-table work.
+    Lease,
+    /// Shared locks acquired locally at the master; no protocol round.
+    LockLocal,
+    /// Cross-shard read through a top-level commit-protocol instance.
+    Protocol,
+}
+
+/// One served read, reported to metrics by the serving site.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReadRecord {
+    /// The read transaction.
+    pub id: TxnId,
+    /// The serving site.
+    pub site: SiteId,
+    /// When the values were snapshotted.
+    pub at: SimTime,
+    /// Which path served it.
+    pub path: ReadPath,
+    /// The observed values (`None` = key absent).
+    pub values: Vec<(Key, Option<Value>)>,
 }
 
 /// Builder producing a fresh protocol participant for a site.
@@ -202,7 +261,7 @@ pub struct LockHold {
 }
 
 /// Shared run metrics, written by all sites.
-#[derive(Debug, Default, PartialEq)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Metrics {
     /// Per transaction, per site: decision and its instant.
     pub decisions: BTreeMap<TxnId, BTreeMap<u16, (Decision, SimTime)>>,
@@ -210,6 +269,13 @@ pub struct Metrics {
     pub submitted: BTreeMap<TxnId, SimTime>,
     /// All lock-hold intervals.
     pub lock_holds: Vec<LockHold>,
+    /// Served read-only transactions (write metrics above stay untouched by
+    /// reads — the read-equivalence suite pins that).
+    pub reads: Vec<ReadRecord>,
+    /// Read submission instants (serving-master side).
+    pub reads_submitted: BTreeMap<TxnId, SimTime>,
+    /// Reads whose protocol round aborted (cross-shard reads only).
+    pub read_aborts: BTreeMap<TxnId, SimTime>,
 }
 
 impl Metrics {
@@ -271,11 +337,20 @@ pub struct SiteNode {
     /// (xact write sets, client submissions) cost O(log T) instead of a
     /// linear scan of the whole workload.
     workload_index: HashMap<TxnId, usize>,
+    /// Master only: read-only transactions to submit, as (tick, spec).
+    read_workload: Vec<(u64, ReadSpec)>,
+    /// Index into `read_workload` by transaction id.
+    read_index: HashMap<TxnId, usize>,
+    /// Reads waiting for shared locks, by txn → remaining key set.
+    parked_reads: BTreeMap<TxnId, Vec<Key>>,
 }
 
 /// Timer-tag encoding: protocol timers are `(txn + 1) << 8 | tag`; client
-/// submission timers are `index << 8 | 0xfe`.
+/// submission timers are `(txn + 1) << 8 | 0xfe` (writes) / `0xfd` (reads).
 const CLIENT_TAG: u64 = 0xfe;
+
+/// Client read-submission timer tag (see [`CLIENT_TAG`]).
+const READ_TAG: u64 = 0xfd;
 
 impl SiteNode {
     /// Creates a site. Only the master (`me == 0`) uses `workload`.
@@ -304,7 +379,19 @@ impl SiteNode {
             finished: BTreeMap::new(),
             workload,
             workload_index,
+            read_workload: Vec::new(),
+            read_index: HashMap::new(),
+            parked_reads: BTreeMap::new(),
         }
+    }
+
+    /// Installs the master's read-only workload (builder form so the write
+    /// path's constructor signature stays put).
+    pub fn with_reads(mut self, reads: Vec<(u64, ReadSpec)>) -> SiteNode {
+        assert!(self.me == SiteId(0) || reads.is_empty(), "only the master submits reads");
+        self.read_index = reads.iter().enumerate().map(|(i, (_, spec))| (spec.id, i)).collect();
+        self.read_workload = reads;
+        self
     }
 
     /// Read access to the committed store (post-run inspection).
@@ -332,13 +419,13 @@ impl SiteNode {
             match action {
                 Action::Send { to, msg } => {
                     let writes = self.xact_writes_for(txn, &msg, to);
-                    ctx.send(to, DbMsg { txn, inner: msg, writes });
+                    ctx.send(to, DbMsg { txn, inner: msg, writes, sync: None });
                 }
                 Action::Broadcast { msg } => {
                     for dst in (0..self.n as u16).map(SiteId) {
                         if dst != self.me {
                             let writes = self.xact_writes_for(txn, &msg, dst);
-                            ctx.send(dst, DbMsg { txn, inner: msg, writes });
+                            ctx.send(dst, DbMsg { txn, inner: msg, writes, sync: None });
                         }
                     }
                 }
@@ -408,8 +495,18 @@ impl SiteNode {
         }
     }
 
-    /// Attempts to start a parked xact whose locks may now be available.
+    /// Attempts to start a parked xact (or serve a parked read) whose locks
+    /// may now be available.
     fn try_unpark(&mut self, txn: TxnId, ctx: &mut Ctx<'_, DbMsg>) {
+        if let Some(keys) = self.parked_reads.get(&txn) {
+            let all_held = keys.iter().all(|k| self.locks.holds(txn, k, LockMode::Shared));
+            if all_held {
+                let keys = self.parked_reads.remove(&txn).expect("checked");
+                self.serve_read(txn, &keys, ReadPath::LockLocal, ctx);
+                self.release_read(txn, ctx);
+            }
+            return;
+        }
         let Some(parked) = self.parked.remove(&txn) else { return };
         // Its queued requests were just granted by release_all; verify.
         let all_held =
@@ -482,6 +579,50 @@ impl SiteNode {
             self.parked.insert(txn, ParkedXact { from, writes });
         }
     }
+
+    /// Admits a read-only transaction: acquire shared locks on every key and
+    /// serve immediately, or park until writers drain. Reads never touch the
+    /// WAL, storage, or lock-hold metrics.
+    fn admit_read(&mut self, txn: TxnId, keys: Vec<Key>, ctx: &mut Ctx<'_, DbMsg>) {
+        if self.finished.contains_key(&txn) || self.parked_reads.contains_key(&txn) {
+            return;
+        }
+        let mut all = true;
+        for key in &keys {
+            if self.locks.acquire(txn, key.clone(), LockMode::Shared) == LockGrant::Waiting {
+                all = false;
+            }
+        }
+        if all {
+            self.serve_read(txn, &keys, ReadPath::LockLocal, ctx);
+            self.release_read(txn, ctx);
+        } else {
+            ctx.note("read-wait", txn.0 as u64);
+            self.parked_reads.insert(txn, keys);
+        }
+    }
+
+    /// Snapshots `keys` from committed storage and reports the read.
+    fn serve_read(&mut self, txn: TxnId, keys: &[Key], path: ReadPath, ctx: &mut Ctx<'_, DbMsg>) {
+        let values = keys.iter().map(|k| (k.clone(), self.storage.get(k).cloned())).collect();
+        self.metrics.borrow_mut().reads.push(ReadRecord {
+            id: txn,
+            site: self.me,
+            at: ctx.now(),
+            path,
+            values,
+        });
+        ctx.note("read-served", txn.0 as u64);
+        self.finished.insert(txn, Decision::Commit);
+    }
+
+    /// Drops a read's shared locks and restarts whatever that promoted.
+    fn release_read(&mut self, txn: TxnId, ctx: &mut Ctx<'_, DbMsg>) {
+        let promoted = self.locks.release_all(txn);
+        for t in promoted {
+            self.try_unpark(t, ctx);
+        }
+    }
 }
 
 impl Actor<DbMsg> for SiteNode {
@@ -492,10 +633,16 @@ impl Actor<DbMsg> for SiteNode {
             let raw = ((txn.0 as u64 + 1) << 8) | CLIENT_TAG;
             ctx.set_timer(ptp_simnet::SimDuration(at), raw);
         }
+        let reads: Vec<(u64, TxnId)> =
+            self.read_workload.iter().map(|(at, spec)| (*at, spec.id)).collect();
+        for (at, txn) in reads {
+            let raw = ((txn.0 as u64 + 1) << 8) | READ_TAG;
+            ctx.set_timer(ptp_simnet::SimDuration(at), raw);
+        }
     }
 
     fn on_message(&mut self, env: Envelope<DbMsg>, ctx: &mut Ctx<'_, DbMsg>) {
-        let DbMsg { txn, inner, writes } = env.payload;
+        let DbMsg { txn, inner, writes, .. } = env.payload;
         if matches!(inner, CommitMsg::Kind("xact")) {
             let writes = writes.unwrap_or_default();
             self.admit_xact(txn, env.src, writes, ctx);
@@ -555,6 +702,17 @@ impl Actor<DbMsg> for SiteNode {
             self.admit_xact(spec.id, self.me, local, ctx);
             return;
         }
+        if low == READ_TAG {
+            // Client read submission at the master.
+            let Some(spec) = self.read_index.get(&txn).map(|&i| self.read_workload[i].1.clone())
+            else {
+                return;
+            };
+            self.metrics.borrow_mut().reads_submitted.insert(spec.id, ctx.now());
+            ctx.note("read-submitted", spec.id.0 as u64);
+            self.admit_read(spec.id, spec.keys, ctx);
+            return;
+        }
         let Some(tag) = TimerTag::decode(low) else { return };
         if let Some(slot) = self.slots.get_mut(&txn) {
             slot.timers.remove(&tag);
@@ -591,6 +749,7 @@ impl Actor<DbMsg> for SiteNode {
             self.pool.release(slot.participant);
         }
         self.parked.clear();
+        self.parked_reads.clear();
         self.locks = LockTable::new();
         self.storage.crash();
         self.wal.crash();
@@ -640,6 +799,7 @@ mod tests {
             txn: TxnId(txn),
             inner: CommitMsg::Kind("xact"),
             writes: Some(vec![WriteOp { key: Key::from(key), value: Value::from_u64(1) }]),
+            sync: None,
         }
     }
 
@@ -723,8 +883,10 @@ mod tests {
                 WriteOp { key: Key::from("k1"), value: Value::from_u64(2) },
                 WriteOp { key: Key::from("k2"), value: Value::from_u64(2) },
             ]),
+            sync: None,
         };
-        let abort_two = DbMsg { txn: TxnId(2), inner: CommitMsg::Kind("abort"), writes: None };
+        let abort_two =
+            DbMsg { txn: TxnId(2), inner: CommitMsg::Kind("abort"), writes: None, sync: None };
         let driver = ScriptedMaster(vec![xact(1, "k1"), two, xact(3, "k2"), abort_two]);
         let actors: Vec<Box<dyn Actor<DbMsg>>> = vec![Box::new(driver), Box::new(slave)];
         // Deliver in script order: msg i arrives at (i + 1) * 100.
@@ -793,7 +955,8 @@ mod tests {
 
     #[test]
     fn db_msg_kind_delegates() {
-        let m = DbMsg { txn: TxnId(1), inner: CommitMsg::Kind("prepare"), writes: None };
+        let m =
+            DbMsg { txn: TxnId(1), inner: CommitMsg::Kind("prepare"), writes: None, sync: None };
         assert_eq!(m.kind(), "prepare");
     }
 

@@ -42,6 +42,34 @@ impl BatchConfig {
     }
 }
 
+/// Master-lease configuration for the wall-clock linearizable read fast
+/// path: every `period`, each shard master sends a renewal to its group
+/// replicas; an ack arms a grant lasting `duration` from the renewal's
+/// *send* instant (the conservative anchor: the master never counts time
+/// the replica did not promise). While every replica's grant is live and
+/// the key is unlocked, the master serves reads from committed storage
+/// without any lock or protocol round.
+#[derive(Debug, Clone, Copy)]
+pub struct LeaseConfig {
+    /// Renewal cadence.
+    pub period: Duration,
+    /// Grant lifetime from each renewal's send instant.
+    pub duration: Duration,
+}
+
+impl LeaseConfig {
+    /// A lease renewed every `period`, valid for `duration` per renewal.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `ZERO < period < duration` — a lease that expires
+    /// before its next renewal can never stay continuously valid.
+    pub fn new(period: Duration, duration: Duration) -> LeaseConfig {
+        assert!(!period.is_zero() && period < duration, "lease needs 0 < period < duration");
+        LeaseConfig { period, duration }
+    }
+}
+
 /// Everything a live serving run needs to know.
 #[derive(Debug, Clone)]
 pub struct LiveOptions {
@@ -91,6 +119,13 @@ pub struct LiveOptions {
     /// After the load window, how long to wait for in-flight transactions
     /// to decide before declaring the drain unclean.
     pub drain_timeout: Duration,
+    /// Master leases for the linearizable read fast path (`None` = every
+    /// read takes the shared-lock path).
+    pub lease: Option<LeaseConfig>,
+    /// Anti-entropy polling cadence: each replica asks its shard master
+    /// for a version-stamped delta this often (`None` = stranded replicas
+    /// only catch up through later commit shipping).
+    pub anti_entropy: Option<Duration>,
 }
 
 impl LiveOptions {
@@ -117,6 +152,8 @@ impl LiveOptions {
             degrades: Vec::new(),
             env_faults: Vec::new(),
             drain_timeout: Duration::from_secs(10),
+            lease: None,
+            anti_entropy: None,
         }
     }
 
@@ -145,6 +182,15 @@ impl LiveOptions {
         if self.batch.enabled {
             assert!(!self.batch.window.is_zero());
         }
+        if let Some(lease) = self.lease {
+            assert!(
+                !lease.period.is_zero() && lease.period < lease.duration,
+                "lease needs 0 < period < duration"
+            );
+        }
+        if let Some(period) = self.anti_entropy {
+            assert!(!period.is_zero(), "anti-entropy period must be positive");
+        }
     }
 }
 
@@ -169,5 +215,11 @@ mod tests {
         let mut o = LiveOptions::small(100.0, Duration::from_millis(500));
         o.offered_rate = 0.0;
         o.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "period < duration")]
+    fn lease_expiring_before_renewal_rejected() {
+        let _ = LeaseConfig::new(Duration::from_millis(50), Duration::from_millis(50));
     }
 }

@@ -258,6 +258,24 @@ mod tests {
     }
 
     #[test]
+    fn read_mix_matches_configured_fraction() {
+        let mut o = LiveOptions::small(2_000.0, Duration::from_millis(500));
+        o.read_fraction = 0.3;
+        let topo = ShardTopology::uniform(o.sites, o.shards, o.replication);
+        let pools = topo.key_pool(o.keys_per_shard);
+        let s = generate(&o, &topo, &pools);
+        let fraction = s.reads as f64 / s.ops.len() as f64;
+        assert!((0.25..=0.35).contains(&fraction), "read fraction {fraction} far from 0.3");
+        // Every read targets its key's shard master — the site that serves
+        // it (lease or shared-lock path), not a synthesized placeholder.
+        for op in &s.ops {
+            if let OpKind::Read(key) = &op.kind {
+                assert_eq!(op.target, topo.master(topo.shard_of(key)));
+            }
+        }
+    }
+
+    #[test]
     fn read_ids_stay_in_their_namespace() {
         let o = opts();
         let topo = ShardTopology::uniform(o.sites, o.shards, o.replication);

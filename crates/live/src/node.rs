@@ -19,7 +19,7 @@
 //!   buffers drain, so no vote or decision physically leaves the site
 //!   before the log records that precede it are durable.
 
-use crate::config::BatchConfig;
+use crate::config::{BatchConfig, LeaseConfig};
 use ptp_ddb::locks::{LockGrant, LockMode, LockTable};
 use ptp_ddb::site::{ParticipantFactory, ParticipantPool};
 use ptp_ddb::value::{Key, TxnId, Value, WriteOp};
@@ -29,7 +29,7 @@ use ptp_livenet::{Inbound, Outbound};
 use ptp_model::Decision;
 use ptp_protocols::api::{Action, CommitMsg, Participant, TimerTag, Vote};
 use ptp_shard::plan::PlanTable;
-use ptp_shard::{SHARD_ABORT, SHARD_APPLY};
+use ptp_shard::{LEASE_ACK, LEASE_RENEW, SHARD_ABORT, SHARD_APPLY, SYNC_REQ, SYNC_RESP};
 use ptp_simnet::SiteId;
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender};
@@ -45,6 +45,15 @@ pub const CLIENT_READ: &str = "client-read";
 /// Read operations use transaction ids at or above this; write plans never
 /// do, so the two namespaces cannot collide.
 pub const READ_BASE: u32 = 0x8000_0000;
+/// Synthetic transaction ids for anti-entropy installs: each delta a
+/// replica accepts lands in its WAL under a fresh id from this range.
+pub const SYNC_APPLY_BASE: u32 = 0xC000_0000;
+/// Lease-renewal control ids: `LEASE_CTRL_BASE | round << 8 | shard`. The
+/// round byte lets the master discard acks of superseded renewals, so a
+/// grant is never anchored later than the renewal its replica answered.
+pub const LEASE_CTRL_BASE: u32 = 0xFFFE_0000;
+/// Anti-entropy control ids: `SYNC_CTRL_BASE | shard`.
+pub const SYNC_CTRL_BASE: u32 = 0xFFFF_0000;
 
 /// One protocol-or-control message between sites.
 #[derive(Debug, Clone)]
@@ -110,6 +119,12 @@ pub struct NodeReport {
     pub channel_sends: u64,
     /// Protocol messages carried (≥ `channel_sends` when coalescing).
     pub protocol_messages: u64,
+    /// Reads served on the master-lease fast path (no lock round).
+    pub reads_lease: u64,
+    /// Reads served under a shared lock from committed storage.
+    pub reads_local: u64,
+    /// Anti-entropy deltas this site installed as a replica.
+    pub sync_installs: u64,
 }
 
 /// Per-transaction protocol state: which pool slot runs it.
@@ -120,8 +135,19 @@ struct TxnSlot {
 
 /// A transaction waiting for locks (mirrors `ShardNode`).
 enum Parked {
-    Xact { from: SiteId, writes: Vec<WriteOp> },
-    Apply { writes: Vec<WriteOp>, versions: Option<Vec<(Key, u64)>> },
+    Xact {
+        from: SiteId,
+        writes: Vec<WriteOp>,
+    },
+    Apply {
+        writes: Vec<WriteOp>,
+        versions: Option<Vec<(Key, u64)>>,
+    },
+    /// A client read queued behind a conflicting exclusive holder; served
+    /// (and acked) the moment its shared grant arrives.
+    Read {
+        key: Key,
+    },
 }
 
 /// A decided transaction waiting for the group-commit flush that makes its
@@ -178,6 +204,26 @@ pub struct LiveNode {
     flushes: u64,
     channel_sends: u64,
     protocol_messages: u64,
+    /// Master-lease configuration (`None` = no read fast path).
+    lease: Option<LeaseConfig>,
+    /// Anti-entropy polling period (`None` = no replica catch-up chain).
+    anti_entropy: Option<Duration>,
+    /// As master: per-(shard, replica) grant expiry. The fast path needs
+    /// every replica's grant live *now* — a lapsed grant (partition,
+    /// crash, or sheer delay) silently demotes reads to the lock path.
+    lease_grants: HashMap<(usize, u16), Instant>,
+    /// As master: send instants of recent renewal rounds, keyed by
+    /// `(shard, round)`. An ack arms a grant anchored at the instant *its*
+    /// round went out — a slow ack arms a correspondingly shorter grant,
+    /// never one extended past what the replica promised. Rounds older
+    /// than a grant lifetime are pruned (their grants would be dead).
+    lease_rounds: HashMap<(usize, u8), Instant>,
+    lease_round_seq: u8,
+    /// As replica: fresh ids for anti-entropy installs.
+    sync_seq: u32,
+    reads_lease: u64,
+    reads_local: u64,
+    sync_installs: u64,
 }
 
 impl LiveNode {
@@ -192,6 +238,8 @@ impl LiveNode {
         t: Duration,
         batch: BatchConfig,
         flush_cost: Duration,
+        lease: Option<LeaseConfig>,
+        anti_entropy: Option<Duration>,
         router: Sender<Outbound<Packet>>,
         completions: Sender<Completion>,
     ) -> LiveNode {
@@ -226,6 +274,15 @@ impl LiveNode {
             flushes: 0,
             channel_sends: 0,
             protocol_messages: 0,
+            lease,
+            anti_entropy,
+            lease_grants: HashMap::new(),
+            lease_rounds: HashMap::new(),
+            lease_round_seq: 0,
+            sync_seq: 0,
+            reads_lease: 0,
+            reads_local: 0,
+            sync_installs: 0,
         }
     }
 
@@ -506,10 +563,12 @@ impl LiveNode {
 
     fn try_unpark(&mut self, txn: TxnId) {
         let Some(parked) = self.parked.remove(&txn) else { return };
-        let writes = match &parked {
-            Parked::Xact { writes, .. } | Parked::Apply { writes, .. } => writes,
+        let all_held = match &parked {
+            Parked::Xact { writes, .. } | Parked::Apply { writes, .. } => {
+                writes.iter().all(|w| self.locks.holds(txn, &w.key, LockMode::Exclusive))
+            }
+            Parked::Read { key } => self.locks.holds(txn, key, LockMode::Shared),
         };
-        let all_held = writes.iter().all(|w| self.locks.holds(txn, &w.key, LockMode::Exclusive));
         if !all_held {
             self.parked.insert(txn, parked);
             return;
@@ -517,6 +576,12 @@ impl LiveNode {
         match parked {
             Parked::Xact { from, writes } => self.begin_local(txn, from, writes),
             Parked::Apply { writes, versions } => self.do_apply(txn, writes, versions),
+            Parked::Read { key } => {
+                self.reads_local += 1;
+                self.serve_read(txn, &key);
+                self.finished.insert(txn, Decision::Commit);
+                self.release_and_unpark(txn);
+            }
         }
     }
 
@@ -646,6 +711,189 @@ impl LiveNode {
         self.finished.insert(txn, Decision::Abort);
     }
 
+    // ---- the elastic read path ----
+
+    /// Answers a client read from committed storage.
+    fn serve_read(&mut self, txn: TxnId, key: &Key) {
+        let value = self.storage.get(key).cloned();
+        let _ = self.completions.send(Completion {
+            txn,
+            decision: Decision::Commit,
+            value,
+            at: Instant::now(),
+        });
+    }
+
+    /// Is this site's lease over `shard` live right now? True only at the
+    /// shard's master, and only while *every* replica's grant covers the
+    /// present instant (an empty replica set is trivially covered,
+    /// mirroring `ptp_shard::LeaseTable`).
+    fn lease_valid(&self, shard: usize, now: Instant) -> bool {
+        let topo = &self.plans.topology;
+        topo.master(shard) == self.me
+            && topo.group(shard)[1..]
+                .iter()
+                .all(|r| self.lease_grants.get(&(shard, r.0)).is_some_and(|exp| *exp >= now))
+    }
+
+    /// A client read: lease fast path when the shard lease is live and the
+    /// key unlocked (no in-flight commit round), otherwise the shared-lock
+    /// path — granted reads serve immediately, conflicting ones park until
+    /// the exclusive holder finishes.
+    fn admit_read(&mut self, txn: TxnId, key: Key) {
+        if self.guard_duplicate(txn) {
+            return;
+        }
+        let shard = self.plans.topology.shard_of(&key);
+        if self.lease.is_some()
+            && self.lease_valid(shard, Instant::now())
+            && !self.locks.is_locked(&key)
+        {
+            self.reads_lease += 1;
+            self.serve_read(txn, &key);
+            self.finished.insert(txn, Decision::Commit);
+            return;
+        }
+        if self.locks.acquire(txn, key.clone(), LockMode::Shared) == LockGrant::Granted {
+            self.reads_local += 1;
+            self.serve_read(txn, &key);
+            self.finished.insert(txn, Decision::Commit);
+            self.release_and_unpark(txn);
+        } else {
+            self.parked.insert(txn, Parked::Read { key });
+        }
+    }
+
+    // ---- wall-clock lease + anti-entropy chains ----
+
+    /// One renewal round: each shard this site masters gets a fresh round
+    /// id, and every group replica a `LEASE_RENEW`. Acks of superseded
+    /// rounds are discarded, so grants anchor at the instant recorded here.
+    fn lease_tick(&mut self, now: Instant) {
+        let plans = self.plans.clone();
+        let topo = &plans.topology;
+        self.lease_round_seq = self.lease_round_seq.wrapping_add(1);
+        let round = self.lease_round_seq;
+        if let Some(cfg) = self.lease {
+            self.lease_rounds.retain(|_, sent| *sent + cfg.duration >= now);
+        }
+        for shard in 0..topo.shards() {
+            let group = topo.group(shard);
+            if group[0] != self.me || group.len() == 1 {
+                continue;
+            }
+            self.lease_rounds.insert((shard, round), now);
+            for &replica in &group[1..] {
+                self.send_wire(
+                    replica,
+                    WireMsg {
+                        txn: TxnId(LEASE_CTRL_BASE | (round as u32) << 8 | shard as u32),
+                        inner: CommitMsg::Kind(LEASE_RENEW),
+                        writes: None,
+                        versions: None,
+                    },
+                );
+            }
+        }
+    }
+
+    /// An ack from `src`: arm its grant, anchored at the acked round's
+    /// send instant. Grants only move forward — a reordered older ack must
+    /// not shorten a grant a newer ack already armed.
+    fn lease_ack(&mut self, src: SiteId, txn: TxnId) {
+        let (round, shard) = (((txn.0 >> 8) & 0xFF) as u8, (txn.0 & 0xFF) as usize);
+        let Some(cfg) = self.lease else { return };
+        if let Some(&sent) = self.lease_rounds.get(&(shard, round)) {
+            let expiry = sent + cfg.duration;
+            let slot = self.lease_grants.entry((shard, src.0)).or_insert(expiry);
+            *slot = (*slot).max(expiry);
+        }
+    }
+
+    /// One anti-entropy round: for every shard this site replicates (but
+    /// does not master), poll the master with this site's version vector
+    /// for the shard's keys. A partitioned request bounces; a converged
+    /// master answers with silence.
+    fn sync_tick(&mut self) {
+        let plans = self.plans.clone();
+        let topo = &plans.topology;
+        for shard in 0..topo.shards() {
+            let group = topo.group(shard);
+            if group[0] == self.me || !group.contains(&self.me) {
+                continue;
+            }
+            let versions: Vec<(Key, u64)> = self
+                .key_version
+                .iter()
+                .filter(|(k, _)| topo.shard_of(k) == shard)
+                .map(|(k, v)| (k.clone(), *v))
+                .collect();
+            self.send_wire(
+                group[0],
+                WireMsg {
+                    txn: TxnId(SYNC_CTRL_BASE | shard as u32),
+                    inner: CommitMsg::Kind(SYNC_REQ),
+                    writes: None,
+                    versions: Some(versions),
+                },
+            );
+        }
+    }
+
+    /// The master's side: answer `src`'s version vector with the committed
+    /// values it is missing, stamped with their current versions — or with
+    /// nothing at all once the replica has caught up. Keys under an
+    /// exclusive lock are skipped: their version was assigned but the
+    /// commit has not applied yet, so value and stamp would disagree (the
+    /// next round picks them up).
+    fn handle_sync_req(&mut self, src: SiteId, txn: TxnId, versions: Option<Vec<(Key, u64)>>) {
+        let shard = (txn.0 & 0xFFFF) as usize;
+        let plans = self.plans.clone();
+        let topo = &plans.topology;
+        if topo.master(shard) != self.me {
+            return;
+        }
+        let theirs: HashMap<&Key, u64> =
+            versions.as_deref().unwrap_or(&[]).iter().map(|(k, v)| (k, *v)).collect();
+        let mut delta = Vec::new();
+        let mut stamps = Vec::new();
+        for (key, &version) in &self.key_version {
+            if topo.shard_of(key) != shard
+                || version <= theirs.get(key).copied().unwrap_or(0)
+                || self.locks.is_locked(key)
+            {
+                continue;
+            }
+            if let Some(value) = self.storage.get(key) {
+                delta.push(WriteOp { key: key.clone(), value: value.clone() });
+                stamps.push((key.clone(), version));
+            }
+        }
+        if delta.is_empty() {
+            return; // post-convergence silence
+        }
+        self.send_wire(
+            src,
+            WireMsg {
+                txn,
+                inner: CommitMsg::Kind(SYNC_RESP),
+                writes: Some(delta),
+                versions: Some(stamps),
+            },
+        );
+    }
+
+    /// The replica's side: install the delta under a fresh synthetic
+    /// transaction id, through the ordinary apply discipline — locks, WAL,
+    /// and the stale-ship version filter (a delta that lost a race to a
+    /// newer ship installs nothing for the keys it lost).
+    fn handle_sync_resp(&mut self, writes: Vec<WriteOp>, versions: Option<Vec<(Key, u64)>>) {
+        let txn = TxnId(SYNC_APPLY_BASE + self.sync_seq);
+        self.sync_seq += 1;
+        self.sync_installs += 1;
+        self.admit_apply(txn, writes, versions);
+    }
+
     // ---- inbound dispatch ----
 
     fn handle(&mut self, src: SiteId, wire: WireMsg) {
@@ -661,16 +909,35 @@ impl LiveNode {
                 return;
             }
             CommitMsg::Kind(CLIENT_READ) => {
-                let value = writes
-                    .as_deref()
-                    .and_then(|ws| ws.first())
-                    .and_then(|w| self.storage.get(&w.key).cloned());
-                let _ = self.completions.send(Completion {
-                    txn,
-                    decision: Decision::Commit,
-                    value,
-                    at: Instant::now(),
-                });
+                if let Some(w) = writes.as_deref().and_then(|ws| ws.first()) {
+                    self.admit_read(txn, w.key.clone());
+                }
+                return;
+            }
+            CommitMsg::Kind(LEASE_RENEW) => {
+                // Echo the round back; the master anchors the grant at its
+                // own send instant.
+                self.send_wire(
+                    src,
+                    WireMsg {
+                        txn,
+                        inner: CommitMsg::Kind(LEASE_ACK),
+                        writes: None,
+                        versions: None,
+                    },
+                );
+                return;
+            }
+            CommitMsg::Kind(LEASE_ACK) => {
+                self.lease_ack(src, txn);
+                return;
+            }
+            CommitMsg::Kind(SYNC_REQ) => {
+                self.handle_sync_req(src, txn, versions);
+                return;
+            }
+            CommitMsg::Kind(SYNC_RESP) => {
+                self.handle_sync_resp(writes.unwrap_or_default(), versions);
                 return;
             }
             CommitMsg::Kind("xact") => {
@@ -780,6 +1047,10 @@ impl LiveNode {
         self.pending_set.clear();
         self.in_stamps.clear();
         self.timers.clear();
+        // Grants are volatile: a recovering master re-earns its lease
+        // through fresh renewal rounds before fast-path reads resume.
+        self.lease_grants.clear();
+        self.lease_rounds.clear();
         for buf in &mut self.outbuf {
             buf.clear();
         }
@@ -801,6 +1072,10 @@ impl LiveNode {
     /// commits that already decided are finalized rather than stranded.
     pub fn run(mut self, inbox: Receiver<Inbound<Packet>>) -> NodeReport {
         let mut next_tick = Instant::now() + self.batch.window;
+        // Periodic chains fire from the start: the first renewal round goes
+        // out immediately so grants arm before the first reads arrive.
+        let mut next_lease = self.lease.map(|_| Instant::now());
+        let mut next_sync = self.anti_entropy.map(|p| Instant::now() + p);
         loop {
             let now = Instant::now();
             self.fire_due_timers(now);
@@ -809,6 +1084,22 @@ impl LiveNode {
                     self.window_tick();
                 }
                 next_tick = now + self.batch.window;
+            }
+            if let (Some(cfg), Some(due)) = (self.lease, next_lease) {
+                if now >= due {
+                    if !self.crashed {
+                        self.lease_tick(now);
+                    }
+                    next_lease = Some(now + cfg.period);
+                }
+            }
+            if let (Some(period), Some(due)) = (self.anti_entropy, next_sync) {
+                if now >= due {
+                    if !self.crashed {
+                        self.sync_tick();
+                    }
+                    next_sync = Some(now + period);
+                }
             }
 
             let mut wait = self
@@ -820,6 +1111,9 @@ impl LiveNode {
                 .unwrap_or(Duration::from_millis(20));
             if self.batch.enabled {
                 wait = wait.min(next_tick.saturating_duration_since(now));
+            }
+            for due in [next_lease, next_sync].into_iter().flatten() {
+                wait = wait.min(due.saturating_duration_since(now));
             }
 
             match inbox.recv_timeout(wait) {
@@ -857,6 +1151,9 @@ impl LiveNode {
             flushes: self.flushes,
             channel_sends: self.channel_sends,
             protocol_messages: self.protocol_messages,
+            reads_lease: self.reads_lease,
+            reads_local: self.reads_local,
+            sync_installs: self.sync_installs,
         }
     }
 }

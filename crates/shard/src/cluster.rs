@@ -4,11 +4,12 @@
 //! across every replica group deterministically — and aggregates global
 //! plus per-shard metrics.
 
-use crate::node::ShardNode;
-use crate::plan::{PlanTable, ShardTxnSpec};
+use crate::lease::LeaseConfig;
+use crate::node::{ShardNode, ShardNodeOpts};
+use crate::plan::{PlanTable, ShardReadSpec, ShardTxnSpec};
 use crate::topology::ShardTopology;
 use ptp_ddb::cluster::CommitProtocol;
-use ptp_ddb::site::{DbMsg, Metrics, ParticipantFactory};
+use ptp_ddb::site::{DbMsg, Metrics, ParticipantFactory, ReadPath};
 use ptp_ddb::storage::Storage;
 use ptp_ddb::value::{Key, TxnId, Value};
 use ptp_ddb::wal::Wal;
@@ -62,6 +63,9 @@ pub struct ShardCluster {
     /// Client workload: `(submit tick, spec)`; each transaction is
     /// submitted at its plan's master.
     pub workload: Vec<(u64, ShardTxnSpec)>,
+    /// Read-only workload: `(submit tick, spec)`; each read is submitted
+    /// at its plan's serving master.
+    pub read_workload: Vec<(u64, ShardReadSpec)>,
     /// Network partition schedule (cuts across all groups).
     pub partition: PartitionEngine,
     /// Message delays.
@@ -73,6 +77,10 @@ pub struct ShardCluster {
     /// Recycle protocol participants through per-site pools (default), or
     /// construct per transaction (the equivalence/bench baseline).
     pub reuse_participants: bool,
+    /// Master-lease fast path for local reads (off by default).
+    pub lease: Option<LeaseConfig>,
+    /// Anti-entropy catch-up period in ticks (off by default).
+    pub anti_entropy: Option<u64>,
 }
 
 /// Per-shard outcome accounting, derived from the shared [`Metrics`] after
@@ -145,6 +153,41 @@ impl CrossShardReport {
     }
 }
 
+/// Read-path accounting, judged at each read plan's serving master.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ReadReport {
+    /// Read-only transactions actually submitted (a crashed master never
+    /// submits its queued reads).
+    pub submitted: usize,
+    /// Served on the master-lease fast path (no locks, no protocol).
+    pub lease: usize,
+    /// Served locally under shared locks (no protocol round).
+    pub lock_local: usize,
+    /// Served through a top-level cross-shard protocol round.
+    pub protocol: usize,
+    /// Aborted by the protocol round.
+    pub aborted: usize,
+    /// Submitted but never served nor aborted (parked or blocked at the
+    /// horizon).
+    pub blocked: usize,
+}
+
+impl ReadReport {
+    /// Total reads served, on any path.
+    pub fn served(&self) -> usize {
+        self.lease + self.lock_local + self.protocol
+    }
+
+    /// Fraction of served reads that skipped the commit protocol entirely.
+    pub fn fast_fraction(&self) -> f64 {
+        let served = self.served();
+        if served == 0 {
+            return 0.0;
+        }
+        (self.lease + self.lock_local) as f64 / served as f64
+    }
+}
+
 /// Everything a sharded run produces.
 pub struct ShardRun {
     /// Global decisions, submissions, lock-hold intervals (all sites).
@@ -153,6 +196,8 @@ pub struct ShardRun {
     pub shards: Vec<ShardMetrics>,
     /// Cross-shard traffic accounting.
     pub cross_shard: CrossShardReport,
+    /// Read-path accounting.
+    pub reads: ReadReport,
     /// Full network trace.
     pub trace: Trace,
     /// Simulator report.
@@ -177,11 +222,14 @@ impl ShardCluster {
             protocol,
             seed: Vec::new(),
             workload: Vec::new(),
+            read_workload: Vec::new(),
             partition: PartitionEngine::always_connected(),
             delay: DelayModel::Fixed(700),
             config: NetConfig::default(),
             failures: Vec::new(),
             reuse_participants: true,
+            lease: None,
+            anti_entropy: None,
         }
     }
 
@@ -200,6 +248,28 @@ impl ShardCluster {
     /// Adds a transaction submitted at tick `at` (at its plan's master).
     pub fn submit(mut self, at: u64, spec: ShardTxnSpec) -> ShardCluster {
         self.workload.push((at, spec));
+        self
+    }
+
+    /// Adds a read-only transaction submitted at tick `at` (at its plan's
+    /// serving master). Read ids must be disjoint from write ids.
+    pub fn submit_read(mut self, at: u64, spec: ShardReadSpec) -> ShardCluster {
+        self.read_workload.push((at, spec));
+        self
+    }
+
+    /// Enables the master-lease fast path: masters renew replica grants
+    /// every `period` ticks, each ack arming a `duration`-tick grant.
+    pub fn leases(mut self, period: u64, duration: u64) -> ShardCluster {
+        self.lease = Some(LeaseConfig::new(period, duration));
+        self
+    }
+
+    /// Enables anti-entropy catch-up: replicas poll their shard master
+    /// every `period` ticks for missed decisions and a version-stamped
+    /// delta.
+    pub fn anti_entropy(mut self, period: u64) -> ShardCluster {
+        self.anti_entropy = Some(period);
         self
     }
 
@@ -225,7 +295,10 @@ impl ShardCluster {
     pub fn run(self) -> ShardRun {
         let n = self.topology.sites();
         let specs: Vec<ShardTxnSpec> = self.workload.iter().map(|(_, spec)| spec.clone()).collect();
-        let plans = Rc::new(PlanTable::compile(self.topology.clone(), &specs));
+        let read_specs: Vec<ShardReadSpec> =
+            self.read_workload.iter().map(|(_, spec)| spec.clone()).collect();
+        let plans =
+            Rc::new(PlanTable::compile(self.topology.clone(), &specs).with_reads(&read_specs));
 
         // Route seeds: every replica of the key's shard holds it.
         let mut seeds: BTreeMap<u16, Storage> = BTreeMap::new();
@@ -236,10 +309,15 @@ impl ShardCluster {
             }
         }
 
-        // Route submissions to each plan's master, preserving order.
+        // Route submissions to each plan's master, preserving order
+        // (reads after writes at each site, each in submission order).
         let mut workloads: Vec<Vec<(u64, TxnId)>> = vec![Vec::new(); n];
         for (at, spec) in &self.workload {
             let master = plans.get(spec.id).expect("just compiled").master();
+            workloads[master.index()].push((*at, spec.id));
+        }
+        for (at, spec) in &self.read_workload {
+            let master = plans.get_read(spec.id).expect("just compiled").master();
             workloads[master.index()].push((*at, spec.id));
         }
 
@@ -251,6 +329,7 @@ impl ShardCluster {
             ParticipantFactory::construct_per_txn(builder)
         };
 
+        let opts = ShardNodeOpts { lease: self.lease, anti_entropy: self.anti_entropy };
         let actors: Vec<Box<dyn Actor<DbMsg>>> = (0..n as u16)
             .map(|i| {
                 Box::new(ShardNode::new(
@@ -260,6 +339,7 @@ impl ShardCluster {
                     metrics.clone(),
                     std::mem::take(&mut workloads[i as usize]),
                     seeds.remove(&i).unwrap_or_default(),
+                    opts,
                 )) as Box<dyn Actor<DbMsg>>
             })
             .collect();
@@ -288,10 +368,12 @@ impl ShardCluster {
         let metrics = Rc::try_unwrap(metrics).expect("metrics uniquely owned").into_inner();
 
         let (shards, cross_shard) = aggregate(&plans, &metrics, horizon);
+        let reads = aggregate_reads(&plans, &metrics);
         ShardRun {
             metrics,
             shards,
             cross_shard,
+            reads,
             trace,
             report,
             storages,
@@ -372,4 +454,28 @@ fn aggregate(
     }
 
     (shards, cross)
+}
+
+/// Folds per-read outcomes into a [`ReadReport`], judging each read at its
+/// plan's serving master (cross-shard commits snapshot at every member, but
+/// only the coordinator's record counts the read as served).
+fn aggregate_reads(plans: &PlanTable, metrics: &Metrics) -> ReadReport {
+    let mut report = ReadReport::default();
+    for (id, plan) in plans.iter_reads() {
+        let submitted = metrics.reads_submitted.contains_key(id);
+        if submitted {
+            report.submitted += 1;
+        }
+        let master = plan.master();
+        let record = metrics.reads.iter().find(|r| r.id == *id && r.site == master);
+        match record.map(|r| r.path) {
+            Some(ReadPath::Lease) => report.lease += 1,
+            Some(ReadPath::LockLocal) => report.lock_local += 1,
+            Some(ReadPath::Protocol) => report.protocol += 1,
+            None if metrics.read_aborts.contains_key(id) => report.aborted += 1,
+            None if submitted => report.blocked += 1,
+            None => {}
+        }
+    }
+    report
 }

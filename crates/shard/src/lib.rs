@@ -48,13 +48,19 @@
 #![warn(missing_docs)]
 
 pub mod cluster;
+pub mod lease;
+pub mod lineariz;
 pub mod node;
 pub mod plan;
 pub mod topology;
 
-pub use cluster::{CrossShardReport, ShardCluster, ShardMetrics, ShardRun};
-pub use node::{ShardNode, SHARD_ABORT, SHARD_APPLY};
-pub use plan::{PlanTable, ShardTxnSpec, TxnPlan};
+pub use cluster::{CrossShardReport, ReadReport, ShardCluster, ShardMetrics, ShardRun};
+pub use lease::{LeaseConfig, LeaseTable};
+pub use lineariz::{check_read_history, ReadViolation};
+pub use node::{
+    ShardNode, ShardNodeOpts, LEASE_ACK, LEASE_RENEW, SHARD_ABORT, SHARD_APPLY, SYNC_REQ, SYNC_RESP,
+};
+pub use plan::{PlanTable, ReadPlan, ShardReadSpec, ShardTxnSpec, TxnPlan};
 pub use topology::ShardTopology;
 
 // Re-exported so downstream code can name the shared metrics type without

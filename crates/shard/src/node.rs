@@ -19,15 +19,19 @@
 //! outcome under their own locks and WAL discipline — committed log
 //! shipping, the primary-copy half of the two-level design.
 
+use crate::lease::{LeaseConfig, LeaseTable};
 use crate::plan::PlanTable;
 use ptp_ddb::locks::{LockGrant, LockMode, LockTable};
-use ptp_ddb::site::{DbMsg, LockHold, Metrics, ParticipantFactory, ParticipantPool};
+use ptp_ddb::site::{
+    DbMsg, LockHold, Metrics, ParticipantFactory, ParticipantPool, ReadPath, ReadRecord,
+    SyncPayload,
+};
 use ptp_ddb::storage::Storage;
-use ptp_ddb::value::{TxnId, WriteOp};
+use ptp_ddb::value::{Key, TxnId, WriteOp};
 use ptp_ddb::wal::{Record, Wal};
 use ptp_model::Decision;
 use ptp_protocols::api::{Action, CommitMsg, Participant, TimerTag, Vote};
-use ptp_simnet::{Actor, Ctx, Envelope, SiteId, TimerHandle};
+use ptp_simnet::{Actor, Ctx, Envelope, SimDuration, SimTime, SiteId, TimerHandle};
 use std::cell::RefCell;
 use std::collections::{BTreeMap, HashMap};
 use std::rc::Rc;
@@ -38,10 +42,50 @@ pub const SHARD_APPLY: &str = "shard-apply";
 /// Message kind shipped on a cross-shard abort (no writes; the replica
 /// only records the outcome).
 pub const SHARD_ABORT: &str = "shard-abort";
+/// Lease renewal solicitation, master → replica (per shard).
+pub const LEASE_RENEW: &str = "lease-renew";
+/// Lease renewal ack, replica → master: arms the replica's grant.
+pub const LEASE_ACK: &str = "lease-ack";
+/// Anti-entropy request, stranded replica → shard master: carries the
+/// replica's per-key version stamps and pending/known transaction ids.
+pub const SYNC_REQ: &str = "sync-req";
+/// Anti-entropy response, master → replica: missing decisions plus a
+/// version-stamped key/value delta.
+pub const SYNC_RESP: &str = "sync-resp";
 
 /// Timer-tag encoding, identical to `ptp_ddb::site`: protocol timers are
 /// `(txn + 1) << 8 | tag`; client submission timers use this low byte.
 const CLIENT_TAG: u64 = 0xfe;
+
+/// Client read-submission timers use this low byte (txn-encoded like
+/// [`CLIENT_TAG`]).
+const READ_TAG: u64 = 0xfd;
+
+/// Lease-renewal chain timers: `(shard + 1) << 8 | LEASE_TAG`.
+const LEASE_TAG: u64 = 0xfc;
+
+/// Anti-entropy chain timers: `(shard + 1) << 8 | SYNC_TAG`.
+const SYNC_TAG: u64 = 0xfb;
+
+/// Transaction-id namespace for control traffic (lease renewals and
+/// anti-entropy, keyed `CTRL_BASE + shard`). Disjoint from any workload id.
+const CTRL_BASE: u32 = 0xFFFF_0000;
+
+/// Transaction-id namespace for synthetic anti-entropy install batches
+/// (`SYNC_BASE + per-node counter`), so delta installs run the normal WAL
+/// discipline without colliding with planned transactions.
+const SYNC_BASE: u32 = 0xFF00_0000;
+
+/// Opt-in per-node feature knobs (all default off — a default run is
+/// byte-identical to the pre-read-path cluster).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ShardNodeOpts {
+    /// Master-lease fast path for local reads.
+    pub lease: Option<LeaseConfig>,
+    /// Anti-entropy catch-up: replicas poll their shard master every this
+    /// many ticks for missed decisions and a version-stamped delta.
+    pub anti_entropy: Option<u64>,
+}
 
 /// Per-transaction protocol state at one site. The participant lives in one
 /// of the node's per-`(virtual id, group size)` pools; this records where.
@@ -61,6 +105,8 @@ enum Parked {
     /// apply as soon as the locks free up (the decision is already durable
     /// at the master — there is nothing left to vote on).
     Apply { writes: Vec<WriteOp> },
+    /// A read-only transaction waiting for shared locks on its local keys.
+    Read { from: SiteId, keys: Vec<Key> },
 }
 
 /// A sharded database site.
@@ -80,13 +126,29 @@ pub struct ShardNode {
     parked: BTreeMap<TxnId, Parked>,
     finished: BTreeMap<TxnId, Decision>,
     /// Transactions this site submits (it is their plan's master): `(tick,
-    /// txn)` in submission order.
+    /// txn)` in submission order. Includes read-only transactions — the
+    /// plan table tells them apart.
     workload: Vec<(u64, TxnId)>,
+    /// Feature knobs (lease fast path, anti-entropy).
+    opts: ShardNodeOpts,
+    /// Master-side lease grants per (shard, replica).
+    lease: LeaseTable,
+    /// Per-key version stamps: bumped on every committed apply. Strict 2PL
+    /// serializes each key's applies identically at every group member, so
+    /// the counters are comparable across sites; anti-entropy installs
+    /// adopt the master's stamps directly.
+    versions: BTreeMap<Key, u64>,
+    /// Synthetic ids handed to anti-entropy install batches.
+    sync_installs: u32,
+    /// Expected next fire time per maintenance chain (`raw` timer key), so
+    /// a chain re-armed after crash recovery deterministically orphans any
+    /// still-pending pre-crash timer.
+    chain_next: HashMap<u64, SimTime>,
 }
 
 impl ShardNode {
     /// Creates a site. `workload` holds the submissions whose plans name
-    /// this site as master/coordinator.
+    /// this site as master/coordinator (reads included).
     pub fn new(
         me: SiteId,
         plans: Rc<PlanTable>,
@@ -94,11 +156,15 @@ impl ShardNode {
         metrics: Rc<RefCell<Metrics>>,
         workload: Vec<(u64, TxnId)>,
         storage: Storage,
+        opts: ShardNodeOpts,
     ) -> ShardNode {
         assert!(me.index() < plans.topology.sites());
         for (_, txn) in &workload {
-            let plan = plans.get(*txn).expect("workload transactions are planned");
-            assert_eq!(plan.master(), me, "{txn} submitted away from its master");
+            let master = match plans.get(*txn) {
+                Some(plan) => plan.master(),
+                None => plans.get_read(*txn).expect("workload transactions are planned").master(),
+            };
+            assert_eq!(master, me, "{txn} submitted away from its master");
         }
         ShardNode {
             me,
@@ -113,6 +179,11 @@ impl ShardNode {
             parked: BTreeMap::new(),
             finished: BTreeMap::new(),
             workload,
+            opts,
+            lease: LeaseTable::new(),
+            versions: BTreeMap::new(),
+            sync_installs: 0,
+            chain_next: HashMap::new(),
         }
     }
 
@@ -143,20 +214,28 @@ impl ShardNode {
 
     fn apply_actions(&mut self, txn: TxnId, actions: Vec<Action>, ctx: &mut Ctx<'_, DbMsg>) {
         let plans = self.plans.clone();
-        let Some(plan) = plans.get(txn) else { return };
-        let my_v = plan.virtual_of(self.me);
+        // Write plans and read plans both route protocol actions through
+        // their group vector; only write plans attach xact write sets.
+        let (group, write_plan) = match (plans.get(txn), plans.get_read(txn)) {
+            (Some(plan), _) => (&plan.group, Some(plan)),
+            (None, Some(read)) => (&read.group, None),
+            (None, None) => return,
+        };
+        let my_v = group.iter().position(|&s| s == self.me);
         for action in actions {
             match action {
                 Action::Send { to, msg } => {
-                    let dst = plan.group[to.index()];
-                    let writes = self.xact_writes_for(plan, &msg, dst, my_v);
-                    ctx.send(dst, DbMsg { txn, inner: msg, writes });
+                    let dst = group[to.index()];
+                    let writes =
+                        write_plan.and_then(|plan| self.xact_writes_for(plan, &msg, dst, my_v));
+                    ctx.send(dst, DbMsg { txn, inner: msg, writes, sync: None });
                 }
                 Action::Broadcast { msg } => {
-                    for (v, &dst) in plan.group.iter().enumerate() {
+                    for (v, &dst) in group.iter().enumerate() {
                         if Some(v) != my_v {
-                            let writes = self.xact_writes_for(plan, &msg, dst, my_v);
-                            ctx.send(dst, DbMsg { txn, inner: msg, writes });
+                            let writes = write_plan
+                                .and_then(|plan| self.xact_writes_for(plan, &msg, dst, my_v));
+                            ctx.send(dst, DbMsg { txn, inner: msg, writes, sync: None });
                         }
                     }
                 }
@@ -201,15 +280,25 @@ impl ShardNode {
     /// metrics — then ships the outcome to any out-of-group replicas this
     /// site masters for.
     fn finish(&mut self, txn: TxnId, decision: Decision, ctx: &mut Ctx<'_, DbMsg>) {
+        if self.plans.get_read(txn).is_some() {
+            self.finish_read(txn, decision, ctx);
+            return;
+        }
         let Some(mut slot) = self.slots.remove(&txn) else { return };
         for (_, handle) in slot.timers.drain() {
             ctx.cancel_timer(handle);
         }
         match decision {
             Decision::Commit => {
+                let staged: Vec<Key> = self
+                    .storage
+                    .staged_writes(txn)
+                    .map(|ws| ws.iter().map(|w| w.key.clone()).collect())
+                    .unwrap_or_default();
                 self.wal.append_durable(Record::Commit { txn });
                 self.storage.apply(txn);
                 self.wal.append_durable(Record::Applied { txn });
+                self.bump_versions(&staged);
             }
             Decision::Abort => {
                 self.wal.append_durable(Record::Abort { txn });
@@ -248,17 +337,21 @@ impl ShardNode {
                 Decision::Commit => (SHARD_APPLY, plan.replica_writes.get(&replica.0).cloned()),
                 Decision::Abort => (SHARD_ABORT, None),
             };
-            ctx.send(*replica, DbMsg { txn, inner: CommitMsg::Kind(kind), writes });
+            ctx.send(*replica, DbMsg { txn, inner: CommitMsg::Kind(kind), writes, sync: None });
         }
     }
 
     /// Attempts to restart a parked transaction whose locks may now be free.
     fn try_unpark(&mut self, txn: TxnId, ctx: &mut Ctx<'_, DbMsg>) {
         let Some(parked) = self.parked.remove(&txn) else { return };
-        let writes = match &parked {
-            Parked::Xact { writes, .. } | Parked::Apply { writes } => writes,
+        let all_held = match &parked {
+            Parked::Xact { writes, .. } | Parked::Apply { writes } => {
+                writes.iter().all(|w| self.locks.holds(txn, &w.key, LockMode::Exclusive))
+            }
+            Parked::Read { keys, .. } => {
+                keys.iter().all(|k| self.locks.holds(txn, k, LockMode::Shared))
+            }
         };
-        let all_held = writes.iter().all(|w| self.locks.holds(txn, &w.key, LockMode::Exclusive));
         if !all_held {
             self.parked.insert(txn, parked);
             return;
@@ -266,6 +359,7 @@ impl ShardNode {
         match parked {
             Parked::Xact { from, writes } => self.begin_local(txn, from, writes, ctx),
             Parked::Apply { writes } => self.do_apply(txn, writes, ctx),
+            Parked::Read { from, keys } => self.begin_read(txn, from, keys, ctx),
         }
     }
 
@@ -322,9 +416,15 @@ impl ShardNode {
 
     /// Commits a staged transaction whose protocol group is this site alone.
     fn complete_sole(&mut self, txn: TxnId, hold_index: Option<usize>, ctx: &mut Ctx<'_, DbMsg>) {
+        let staged: Vec<Key> = self
+            .storage
+            .staged_writes(txn)
+            .map(|ws| ws.iter().map(|w| w.key.clone()).collect())
+            .unwrap_or_default();
         self.wal.append_durable(Record::Commit { txn });
         self.storage.apply(txn);
         self.wal.append_durable(Record::Applied { txn });
+        self.bump_versions(&staged);
         let now = ctx.now();
         {
             let mut m = self.metrics.borrow_mut();
@@ -400,12 +500,14 @@ impl ShardNode {
 
     /// Installs a shipped commit: full WAL discipline, momentary lock hold.
     fn do_apply(&mut self, txn: TxnId, writes: Vec<WriteOp>, ctx: &mut Ctx<'_, DbMsg>) {
+        let keys: Vec<Key> = writes.iter().map(|w| w.key.clone()).collect();
         self.wal.append(Record::Begin { txn, writes: writes.clone() });
         self.wal.flush();
         self.storage.stage(txn, writes);
         self.wal.append_durable(Record::Commit { txn });
         self.storage.apply(txn);
         self.wal.append_durable(Record::Applied { txn });
+        self.bump_versions(&keys);
         let now = ctx.now();
         {
             let mut m = self.metrics.borrow_mut();
@@ -440,21 +542,405 @@ impl ShardNode {
         self.finished.insert(txn, Decision::Abort);
         ctx.note("shard-aborted", txn.0 as u64);
     }
+
+    /// Bumps the per-key version stamp for each committed write.
+    fn bump_versions(&mut self, keys: &[Key]) {
+        for k in keys {
+            *self.versions.entry(k.clone()).or_insert(0) += 1;
+        }
+    }
+
+    /// This master submits a read-only transaction: lease fast path when it
+    /// holds, the shared-lock (and, cross-shard, protocol) path otherwise.
+    fn submit_read(&mut self, txn: TxnId, ctx: &mut Ctx<'_, DbMsg>) {
+        let plans = self.plans.clone();
+        let Some(read) = plans.get_read(txn) else { return };
+        self.metrics.borrow_mut().reads_submitted.insert(txn, ctx.now());
+        ctx.note("read-submitted", txn.0 as u64);
+        if !read.is_cross_shard() && self.opts.lease.is_some() {
+            let now = ctx.now();
+            let keys = read.keys.get(&self.me.0).cloned().unwrap_or_default();
+            let leased = read.shards.iter().all(|&s| {
+                let group = plans.topology.group(s);
+                self.lease.valid(s, &group[1..], now)
+            });
+            // The lease proves no *remote* commit is missing; a locked
+            // key means a local commit round is mid-flight, so probe —
+            // read-only, no queueing — and fall back if anything is
+            // held.
+            if leased && keys.iter().all(|k| !self.locks.is_locked(k)) {
+                self.serve_read(txn, &keys, ReadPath::Lease, ctx);
+                self.finished.insert(txn, Decision::Commit);
+                return;
+            }
+        }
+        self.admit_read(txn, self.me, ctx);
+    }
+
+    /// Admits a read at a serving master (self-submission or a cross-shard
+    /// coordinator's xact): acquire shared locks on the local keys, then
+    /// serve (single-shard) or join the top-level protocol round.
+    fn admit_read(&mut self, txn: TxnId, from: SiteId, ctx: &mut Ctx<'_, DbMsg>) {
+        if self.finished.contains_key(&txn)
+            || self.slots.contains_key(&txn)
+            || self.parked.contains_key(&txn)
+        {
+            return;
+        }
+        let plans = self.plans.clone();
+        let Some(read) = plans.get_read(txn) else { return };
+        if read.virtual_of(self.me).is_none() {
+            return;
+        }
+        let keys = read.keys.get(&self.me.0).cloned().unwrap_or_default();
+        let mut all = true;
+        for k in &keys {
+            if self.locks.acquire(txn, k.clone(), LockMode::Shared) == LockGrant::Waiting {
+                all = false;
+            }
+        }
+        if all {
+            self.begin_read(txn, from, keys, ctx);
+        } else {
+            ctx.note("read-wait", txn.0 as u64);
+            self.parked.insert(txn, Parked::Read { from, keys });
+        }
+    }
+
+    /// Shared locks held: serve a single-shard read on the spot, or start
+    /// the top-level protocol participant for a cross-shard snapshot.
+    fn begin_read(&mut self, txn: TxnId, from: SiteId, keys: Vec<Key>, ctx: &mut Ctx<'_, DbMsg>) {
+        let plans = self.plans.clone();
+        let read = plans.get_read(txn).expect("admitted reads are planned");
+        let k = read.group.len();
+        if k == 1 {
+            self.serve_read(txn, &keys, ReadPath::LockLocal, ctx);
+            self.finished.insert(txn, Decision::Commit);
+            let promoted = self.locks.release_all(txn);
+            for t in promoted {
+                self.try_unpark(t, ctx);
+            }
+            return;
+        }
+        let my_v = read.virtual_of(self.me).expect("serving masters are group members");
+        let pool_key = (my_v as u16, k as u16);
+        let factory = self.factory.clone();
+        let pool =
+            self.pools.entry(pool_key).or_insert_with(|| factory.pool(SiteId(my_v as u16), k));
+        let slot = pool.acquire(Vote::Yes);
+        let mut out = Vec::new();
+        let participant = pool.get_mut(slot);
+        participant.start(&mut out);
+        if my_v != 0 {
+            let from_v = read.virtual_of(from).unwrap_or(0);
+            participant.on_msg(SiteId(from_v as u16), &CommitMsg::Kind("xact"), &mut out);
+        }
+        self.slots.insert(
+            txn,
+            TxnSlot { pool: pool_key, participant: slot, timers: HashMap::new(), hold_index: None },
+        );
+        self.apply_actions(txn, out, ctx);
+    }
+
+    /// Snapshots `keys` from committed storage and reports the read.
+    fn serve_read(&mut self, txn: TxnId, keys: &[Key], path: ReadPath, ctx: &mut Ctx<'_, DbMsg>) {
+        let values = keys.iter().map(|k| (k.clone(), self.storage.get(k).cloned())).collect();
+        self.metrics.borrow_mut().reads.push(ReadRecord {
+            id: txn,
+            site: self.me,
+            at: ctx.now(),
+            path,
+            values,
+        });
+        ctx.note("read-served", txn.0 as u64);
+    }
+
+    /// Terminates a cross-shard protocol read at this member: snapshot on
+    /// commit, record the abort at the coordinator — never any WAL,
+    /// storage, or lock-hold-metric traffic.
+    fn finish_read(&mut self, txn: TxnId, decision: Decision, ctx: &mut Ctx<'_, DbMsg>) {
+        let Some(mut slot) = self.slots.remove(&txn) else { return };
+        for (_, handle) in slot.timers.drain() {
+            ctx.cancel_timer(handle);
+        }
+        self.pools.get_mut(&slot.pool).expect("slot pool exists").release(slot.participant);
+        let plans = self.plans.clone();
+        let read = plans.get_read(txn).expect("read slots are planned");
+        match decision {
+            Decision::Commit => {
+                let keys = read.keys.get(&self.me.0).cloned().unwrap_or_default();
+                self.serve_read(txn, &keys, ReadPath::Protocol, ctx);
+            }
+            Decision::Abort => {
+                if read.master() == self.me {
+                    self.metrics.borrow_mut().read_aborts.insert(txn, ctx.now());
+                }
+                ctx.note("read-aborted", txn.0 as u64);
+            }
+        }
+        self.finished.insert(txn, decision);
+        let promoted = self.locks.release_all(txn);
+        for t in promoted {
+            self.try_unpark(t, ctx);
+        }
+    }
+
+    /// Arms (or re-arms) a maintenance chain timer and records its expected
+    /// fire instant; [`ShardNode::chain_fire`] drops orphaned chains.
+    fn arm_chain(&mut self, raw: u64, after: u64, ctx: &mut Ctx<'_, DbMsg>) {
+        self.chain_next.insert(raw, SimTime(ctx.now().ticks() + after));
+        ctx.set_timer(SimDuration(after), raw);
+    }
+
+    /// True if a firing chain timer is the live chain (and consumes the
+    /// expectation — a duplicate chain landing on the same tick dies).
+    fn chain_fire(&mut self, raw: u64, ctx: &mut Ctx<'_, DbMsg>) -> bool {
+        self.chain_next.remove(&raw) == Some(ctx.now())
+    }
+
+    /// Master side of a lease period: solicit acks from every replica of
+    /// `shard` and re-arm the chain.
+    fn lease_tick(&mut self, shard: usize, ctx: &mut Ctx<'_, DbMsg>) {
+        let Some(cfg) = self.opts.lease else { return };
+        let plans = self.plans.clone();
+        let txn = TxnId(CTRL_BASE + shard as u32);
+        for &replica in &plans.topology.group(shard)[1..] {
+            ctx.send(
+                replica,
+                DbMsg { txn, inner: CommitMsg::Kind(LEASE_RENEW), writes: None, sync: None },
+            );
+        }
+        self.arm_chain(((shard as u64 + 1) << 8) | LEASE_TAG, cfg.period, ctx);
+    }
+
+    /// Replica side of anti-entropy: report version stamps and transaction
+    /// ids to the shard master, and re-arm the chain.
+    fn sync_tick(&mut self, shard: usize, ctx: &mut Ctx<'_, DbMsg>) {
+        let Some(period) = self.opts.anti_entropy else { return };
+        let plans = self.plans.clone();
+        let master = plans.topology.master(shard);
+        let versions: Vec<(Key, u64)> = self
+            .versions
+            .iter()
+            .filter(|(k, _)| plans.topology.shard_of(k) == shard)
+            .map(|(k, v)| (k.clone(), *v))
+            .collect();
+        let pending: Vec<TxnId> = self.slots.keys().chain(self.parked.keys()).copied().collect();
+        let known: Vec<TxnId> = self.finished.keys().copied().collect();
+        let payload = SyncPayload { versions, pending, known, decisions: Vec::new() };
+        ctx.send(
+            master,
+            DbMsg {
+                txn: TxnId(CTRL_BASE + shard as u32),
+                inner: CommitMsg::Kind(SYNC_REQ),
+                writes: None,
+                sync: Some(Box::new(payload)),
+            },
+        );
+        self.arm_chain(((shard as u64 + 1) << 8) | SYNC_TAG, period, ctx);
+    }
+
+    /// Master side of anti-entropy: answer a replica's request with the
+    /// decisions it is missing and a version-stamped delta of `shard`'s
+    /// keys. Nothing is sent when the replica is already converged.
+    fn handle_sync_req(
+        &mut self,
+        shard: usize,
+        from: SiteId,
+        req: &SyncPayload,
+        ctx: &mut Ctx<'_, DbMsg>,
+    ) {
+        let plans = self.plans.clone();
+        if plans.topology.master(shard) != self.me {
+            return;
+        }
+        let replica_versions: BTreeMap<&Key, u64> =
+            req.versions.iter().map(|(k, v)| (k, *v)).collect();
+        let mut delta = Vec::new();
+        let mut stamps = Vec::new();
+        for (k, v) in self.storage.iter() {
+            if plans.topology.shard_of(k) != shard {
+                continue;
+            }
+            let mine = self.versions.get(k).copied().unwrap_or(0);
+            if mine > replica_versions.get(k).copied().unwrap_or(0) {
+                delta.push(WriteOp { key: k.clone(), value: v.clone() });
+                stamps.push((k.clone(), mine));
+            }
+        }
+        let mut decisions: Vec<(TxnId, Decision)> = Vec::new();
+        for t in &req.pending {
+            if let Some(d) = self.finished.get(t) {
+                decisions.push((*t, *d));
+            }
+        }
+        // Decisions the replica never even saw (its ship bounced off the
+        // partition): any finished transaction of this shard that planned
+        // the replica in, minus what it already knows.
+        for (t, d) in &self.finished {
+            if req.pending.contains(t)
+                || req.known.contains(t)
+                || decisions.iter().any(|(x, _)| x == t)
+            {
+                continue;
+            }
+            let Some(plan) = plans.get(*t) else { continue };
+            if !plan.shards.contains(&shard) {
+                continue;
+            }
+            if plan.writes.contains_key(&from.0) || plan.replica_writes.contains_key(&from.0) {
+                decisions.push((*t, *d));
+            }
+        }
+        if delta.is_empty() && decisions.is_empty() {
+            return;
+        }
+        let payload =
+            SyncPayload { versions: stamps, pending: Vec::new(), known: Vec::new(), decisions };
+        ctx.send(
+            from,
+            DbMsg {
+                txn: TxnId(CTRL_BASE + shard as u32),
+                inner: CommitMsg::Kind(SYNC_RESP),
+                writes: Some(delta),
+                sync: Some(Box::new(payload)),
+            },
+        );
+    }
+
+    /// Replica side of a sync response: replay missed decisions first (they
+    /// unblock parked state and credit availability), then install the
+    /// still-newer delta under a synthetic transaction with full WAL
+    /// discipline, adopting the master's stamps.
+    fn handle_sync_resp(
+        &mut self,
+        writes: Option<Vec<WriteOp>>,
+        payload: &SyncPayload,
+        ctx: &mut Ctx<'_, DbMsg>,
+    ) {
+        for (t, d) in &payload.decisions {
+            self.apply_sync_decision(*t, *d, ctx);
+        }
+        let delta = writes.unwrap_or_default();
+        let mut install = Vec::new();
+        let mut stamps = Vec::new();
+        for (w, (k, v)) in delta.iter().zip(payload.versions.iter()) {
+            debug_assert_eq!(&w.key, k, "delta and stamps are index-aligned");
+            if self.versions.get(k).copied().unwrap_or(0) >= *v {
+                continue; // a decision replay or racing ship already caught up
+            }
+            if self.locks.is_locked(&w.key) {
+                continue; // an in-flight transaction owns it; next round
+            }
+            install.push(w.clone());
+            stamps.push((k.clone(), *v));
+        }
+        if install.is_empty() {
+            return;
+        }
+        let txn = TxnId(SYNC_BASE + self.sync_installs);
+        self.sync_installs += 1;
+        self.wal.append(Record::Begin { txn, writes: install.clone() });
+        self.wal.flush();
+        self.storage.stage(txn, install);
+        self.wal.append_durable(Record::Commit { txn });
+        self.storage.apply(txn);
+        self.wal.append_durable(Record::Applied { txn });
+        for (k, v) in stamps {
+            self.versions.insert(k, v);
+        }
+        ctx.note("sync-installed", txn.0 as u64);
+    }
+
+    /// Installs one master-reported decision for a transaction this replica
+    /// missed: force-terminate an in-flight slot, unblock a parked entry,
+    /// or install/record an outcome it never saw.
+    fn apply_sync_decision(&mut self, txn: TxnId, decision: Decision, ctx: &mut Ctx<'_, DbMsg>) {
+        if self.finished.contains_key(&txn) {
+            return;
+        }
+        if self.slots.contains_key(&txn) {
+            // The master's durable outcome is authoritative; finish the
+            // local participant with it.
+            self.finish(txn, decision, ctx);
+            return;
+        }
+        let plans = self.plans.clone();
+        let me = self.me.0;
+        let local_writes = move |plan: &crate::plan::TxnPlan| {
+            plan.writes.get(&me).cloned().or_else(|| plan.replica_writes.get(&me).cloned())
+        };
+        if let Some(parked) = self.parked.remove(&txn) {
+            let promoted = self.locks.release_all(txn);
+            for t in promoted {
+                self.try_unpark(t, ctx);
+            }
+            match (parked, decision) {
+                (Parked::Read { .. }, _) => {
+                    // A parked read the master somehow decided: nothing was
+                    // snapshotted here; just close it out.
+                    self.finished.insert(txn, decision);
+                }
+                (_, Decision::Abort) => self.admit_abort_ship(txn, ctx),
+                (Parked::Xact { .. } | Parked::Apply { .. }, Decision::Commit) => {
+                    let writes = plans.get(txn).and_then(local_writes).unwrap_or_default();
+                    self.admit_apply(txn, writes, ctx);
+                }
+            }
+            return;
+        }
+        let Some(plan) = plans.get(txn) else { return };
+        match decision {
+            Decision::Commit => {
+                if let Some(writes) = local_writes(plan) {
+                    self.admit_apply(txn, writes, ctx);
+                }
+            }
+            Decision::Abort => self.admit_abort_ship(txn, ctx),
+        }
+    }
 }
 
 impl Actor<DbMsg> for ShardNode {
     fn on_start(&mut self, ctx: &mut Ctx<'_, DbMsg>) {
+        let plans = self.plans.clone();
         for &(at, txn) in &self.workload {
-            let raw = ((txn.0 as u64 + 1) << 8) | CLIENT_TAG;
+            let tag = if plans.get_read(txn).is_some() { READ_TAG } else { CLIENT_TAG };
+            let raw = ((txn.0 as u64 + 1) << 8) | tag;
             ctx.set_timer(ptp_simnet::SimDuration(at), raw);
+        }
+        if let Some(cfg) = self.opts.lease {
+            let _ = cfg;
+            for shard in 0..plans.topology.shards() {
+                if plans.topology.master(shard) == self.me && plans.topology.group(shard).len() > 1
+                {
+                    // First solicitation right away; the chain re-arms
+                    // itself every period.
+                    self.lease_tick(shard, ctx);
+                }
+            }
+        }
+        if self.opts.anti_entropy.is_some() {
+            for shard in 0..plans.topology.shards() {
+                let group = plans.topology.group(shard);
+                if group.contains(&self.me) && plans.topology.master(shard) != self.me {
+                    let raw = ((shard as u64 + 1) << 8) | SYNC_TAG;
+                    let period = self.opts.anti_entropy.expect("checked");
+                    self.arm_chain(raw, period, ctx);
+                }
+            }
         }
     }
 
     fn on_message(&mut self, env: Envelope<DbMsg>, ctx: &mut Ctx<'_, DbMsg>) {
-        let DbMsg { txn, inner, writes } = env.payload;
+        let DbMsg { txn, inner, writes, sync } = env.payload;
         match inner {
             CommitMsg::Kind("xact") => {
-                self.admit_xact(txn, env.src, writes.unwrap_or_default(), ctx);
+                if self.plans.get_read(txn).is_some() {
+                    self.admit_read(txn, env.src, ctx);
+                } else {
+                    self.admit_xact(txn, env.src, writes.unwrap_or_default(), ctx);
+                }
                 return;
             }
             CommitMsg::Kind(SHARD_APPLY) => {
@@ -465,12 +951,45 @@ impl Actor<DbMsg> for ShardNode {
                 self.admit_abort_ship(txn, ctx);
                 return;
             }
+            CommitMsg::Kind(LEASE_RENEW) => {
+                // Replica side: ack the solicitation straight back.
+                ctx.send(
+                    env.src,
+                    DbMsg { txn, inner: CommitMsg::Kind(LEASE_ACK), writes: None, sync: None },
+                );
+                return;
+            }
+            CommitMsg::Kind(LEASE_ACK) => {
+                if let Some(cfg) = self.opts.lease {
+                    let shard = (txn.0 - CTRL_BASE) as usize;
+                    let expiry = SimTime(ctx.now().ticks() + cfg.duration);
+                    self.lease.grant(shard, env.src, expiry);
+                }
+                return;
+            }
+            CommitMsg::Kind(SYNC_REQ) => {
+                if let Some(req) = sync {
+                    let shard = (txn.0 - CTRL_BASE) as usize;
+                    self.handle_sync_req(shard, env.src, &req, ctx);
+                }
+                return;
+            }
+            CommitMsg::Kind(SYNC_RESP) => {
+                if let Some(payload) = sync {
+                    self.handle_sync_resp(writes, &payload, ctx);
+                }
+                return;
+            }
             _ => {}
         }
         if let Some(slot) = self.slots.get(&txn) {
             let (pool_key, participant) = (slot.pool, slot.participant);
             let plans = self.plans.clone();
-            let Some(from_v) = plans.get(txn).and_then(|p| p.virtual_of(env.src)) else {
+            let from_v = plans
+                .get(txn)
+                .and_then(|p| p.virtual_of(env.src))
+                .or_else(|| plans.get_read(txn).and_then(|r| r.virtual_of(env.src)));
+            let Some(from_v) = from_v else {
                 return; // not a member of this transaction's group
             };
             let mut out = Vec::new();
@@ -482,22 +1001,26 @@ impl Actor<DbMsg> for ShardNode {
             self.apply_actions(txn, out, ctx);
         } else if self.parked.contains_key(&txn) {
             // Decision for a transaction still waiting on locks: only an
-            // abort is possible for a parked xact (the master gave up on
-            // us); shipped applies never race their own decision.
-            if matches!(inner, CommitMsg::Kind("abort"))
-                && matches!(self.parked.get(&txn), Some(Parked::Xact { .. }))
-            {
+            // abort is possible for a parked xact or read (the coordinator
+            // gave up on us); shipped applies never race their own decision.
+            if matches!(inner, CommitMsg::Kind("abort")) {
+                let is_read = matches!(self.parked.get(&txn), Some(Parked::Read { .. }));
+                if !is_read && !matches!(self.parked.get(&txn), Some(Parked::Xact { .. })) {
+                    return;
+                }
                 self.parked.remove(&txn);
                 let promoted = self.locks.release_all(txn);
                 self.finished.insert(txn, Decision::Abort);
                 let now = ctx.now();
-                self.metrics
-                    .borrow_mut()
-                    .decisions
-                    .entry(txn)
-                    .or_default()
-                    .insert(self.me.0, (Decision::Abort, now));
-                ctx.note("parked-abort", txn.0 as u64);
+                if !is_read {
+                    self.metrics
+                        .borrow_mut()
+                        .decisions
+                        .entry(txn)
+                        .or_default()
+                        .insert(self.me.0, (Decision::Abort, now));
+                }
+                ctx.note(if is_read { "read-parked-abort" } else { "parked-abort" }, txn.0 as u64);
                 // The parked txn may have held granted locks other waiters
                 // queued behind; restart whatever its release promoted
                 // (mirrors every other release_all site in this file).
@@ -536,6 +1059,22 @@ impl Actor<DbMsg> for ShardNode {
             ctx.note("txn-submitted", txn.0 as u64);
             let local = plan.writes.get(&self.me.0).cloned().unwrap_or_default();
             self.admit_xact(txn, self.me, local, ctx);
+            return;
+        }
+        if low == READ_TAG {
+            self.submit_read(txn, ctx);
+            return;
+        }
+        if low == LEASE_TAG || low == SYNC_TAG {
+            if !self.chain_fire(raw, ctx) {
+                return; // orphaned chain (superseded across a recovery)
+            }
+            let shard = ((raw >> 8) - 1) as usize;
+            if low == LEASE_TAG {
+                self.lease_tick(shard, ctx);
+            } else {
+                self.sync_tick(shard, ctx);
+            }
             return;
         }
         let Some(tag) = TimerTag::decode(low) else { return };
@@ -577,9 +1116,54 @@ impl Actor<DbMsg> for ShardNode {
         }
         self.parked.clear();
         self.locks = LockTable::new();
+        self.lease.clear();
         self.storage.crash();
         self.wal.crash();
         let summary = ptp_ddb::recovery::recover(&mut self.storage, &mut self.wal);
+        // Version stamps are volatile: recount them from the durable log
+        // (committed transactions' Begin keys). A post-crash under-count
+        // only costs a redundant — idempotent — anti-entropy transfer.
+        self.versions.clear();
+        self.sync_installs = 0;
+        let mut begin_keys: BTreeMap<TxnId, Vec<Key>> = BTreeMap::new();
+        let records: Vec<Record> = self.wal.durable().to_vec();
+        for rec in &records {
+            match rec {
+                Record::Begin { txn, writes } => {
+                    if txn.0 >= SYNC_BASE && txn.0 < CTRL_BASE {
+                        self.sync_installs = self.sync_installs.max(txn.0 - SYNC_BASE + 1);
+                    }
+                    begin_keys.insert(*txn, writes.iter().map(|w| w.key.clone()).collect());
+                }
+                Record::Commit { txn } => {
+                    if let Some(keys) = begin_keys.get(txn) {
+                        for k in keys {
+                            *self.versions.entry(k.clone()).or_insert(0) += 1;
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+        // Maintenance chains may have been suppressed while down: re-arm
+        // them all (chain_next orphans any pre-crash timer still pending).
+        let plans = self.plans.clone();
+        if let Some(cfg) = self.opts.lease {
+            for shard in 0..plans.topology.shards() {
+                if plans.topology.master(shard) == self.me && plans.topology.group(shard).len() > 1
+                {
+                    self.arm_chain(((shard as u64 + 1) << 8) | LEASE_TAG, cfg.period, ctx);
+                }
+            }
+        }
+        if let Some(period) = self.opts.anti_entropy {
+            for shard in 0..plans.topology.shards() {
+                let group = plans.topology.group(shard);
+                if group.contains(&self.me) && plans.topology.master(shard) != self.me {
+                    self.arm_chain(((shard as u64 + 1) << 8) | SYNC_TAG, period, ctx);
+                }
+            }
+        }
         for txn in &summary.redone {
             let now = ctx.now();
             self.metrics

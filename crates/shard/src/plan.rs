@@ -16,7 +16,7 @@
 //!   that were not part of the top-level group.
 
 use crate::topology::ShardTopology;
-use ptp_ddb::value::{TxnId, WriteOp};
+use ptp_ddb::value::{Key, TxnId, WriteOp};
 use ptp_simnet::SiteId;
 use std::collections::BTreeMap;
 
@@ -151,6 +151,88 @@ impl TxnPlan {
     }
 }
 
+/// A read-only transaction addressed by key, before routing.
+#[derive(Debug, Clone)]
+pub struct ShardReadSpec {
+    /// Globally unique id — disjoint from write-transaction ids.
+    pub id: TxnId,
+    /// Keys to read, routed per key by [`ShardTopology::shard_of`].
+    pub keys: Vec<Key>,
+}
+
+/// One read-only transaction's compiled routing. Single-shard reads are
+/// served at the shard master under shared locks with **no protocol
+/// round** (group = the master alone); cross-shard reads run a top-level
+/// instance of the commit protocol over the involved masters so the
+/// snapshot is atomic across shards. Replicas never serve reads — only a
+/// master's store is guaranteed current (the LARK master-lease argument).
+#[derive(Debug, Clone)]
+pub struct ReadPlan {
+    /// The read transaction.
+    pub id: TxnId,
+    /// Involved shards, ascending.
+    pub shards: Vec<usize>,
+    /// The serving group: involved masters, coordinator first. A
+    /// single-shard read's group is just its master — no protocol runs.
+    pub group: Vec<SiteId>,
+    /// Per serving site: the keys it snapshots (the keys of every involved
+    /// shard that site masters).
+    pub keys: BTreeMap<u16, Vec<Key>>,
+}
+
+impl ReadPlan {
+    /// Routes `spec` through `topology`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the key set is empty (nothing to read).
+    pub fn compile(topology: &ShardTopology, spec: &ShardReadSpec) -> ReadPlan {
+        assert!(!spec.keys.is_empty(), "{} has an empty key set", spec.id);
+        let mut shard_keys: BTreeMap<usize, Vec<Key>> = BTreeMap::new();
+        for k in &spec.keys {
+            shard_keys.entry(topology.shard_of(k)).or_default().push(k.clone());
+        }
+        let shards: Vec<usize> = shard_keys.keys().copied().collect();
+
+        let mut group = Vec::new();
+        for &s in &shards {
+            let m = topology.master(s);
+            if !group.contains(&m) {
+                group.push(m);
+            }
+        }
+
+        let mut keys: BTreeMap<u16, Vec<Key>> = BTreeMap::new();
+        for &site in &group {
+            let mut local = Vec::new();
+            for &s in &shards {
+                if topology.master(s) == site {
+                    local.extend(shard_keys[&s].iter().cloned());
+                }
+            }
+            keys.insert(site.0, local);
+        }
+
+        ReadPlan { id: spec.id, shards, group, keys }
+    }
+
+    /// True if the read spans more than one shard master.
+    pub fn is_cross_shard(&self) -> bool {
+        self.group.len() > 1
+    }
+
+    /// The serving master (the top-level coordinator for cross-shard
+    /// reads).
+    pub fn master(&self) -> SiteId {
+        self.group[0]
+    }
+
+    /// `site`'s virtual id within the serving group, if it participates.
+    pub fn virtual_of(&self, site: SiteId) -> Option<usize> {
+        self.group.iter().position(|&s| s == site)
+    }
+}
+
 /// The compiled routing of a whole workload, shared read-only by every
 /// site actor of the cluster.
 #[derive(Debug)]
@@ -158,6 +240,7 @@ pub struct PlanTable {
     /// The shard map the plans were compiled against.
     pub topology: ShardTopology,
     plans: BTreeMap<TxnId, TxnPlan>,
+    reads: BTreeMap<TxnId, ReadPlan>,
 }
 
 impl PlanTable {
@@ -168,7 +251,18 @@ impl PlanTable {
             let plan = TxnPlan::compile(&topology, spec);
             assert!(plans.insert(spec.id, plan).is_none(), "duplicate {}", spec.id);
         }
-        PlanTable { topology, plans }
+        PlanTable { topology, plans, reads: BTreeMap::new() }
+    }
+
+    /// Compiles and installs a read-only workload. Read ids must not
+    /// collide with each other or with write-transaction ids.
+    pub fn with_reads(mut self, specs: &[ShardReadSpec]) -> PlanTable {
+        for spec in specs {
+            assert!(!self.plans.contains_key(&spec.id), "read id collides with write {}", spec.id);
+            let plan = ReadPlan::compile(&self.topology, spec);
+            assert!(self.reads.insert(spec.id, plan).is_none(), "duplicate read {}", spec.id);
+        }
+        self
     }
 
     /// The plan of `txn`, if the workload contains it.
@@ -179,6 +273,16 @@ impl PlanTable {
     /// All plans, by transaction id.
     pub fn iter(&self) -> impl Iterator<Item = (&TxnId, &TxnPlan)> {
         self.plans.iter()
+    }
+
+    /// The read plan of `txn`, if the read workload contains it.
+    pub fn get_read(&self, txn: TxnId) -> Option<&ReadPlan> {
+        self.reads.get(&txn)
+    }
+
+    /// All read plans, by transaction id.
+    pub fn iter_reads(&self) -> impl Iterator<Item = (&TxnId, &ReadPlan)> {
+        self.reads.iter()
     }
 }
 
@@ -301,6 +405,41 @@ mod tests {
         assert!(table.get(TxnId(1)).is_some());
         assert!(table.get(TxnId(9)).is_none());
         assert_eq!(table.iter().count(), 2);
+    }
+
+    #[test]
+    fn single_shard_read_is_served_by_its_master_alone() {
+        let topo = ShardTopology::uniform(6, 3, 2);
+        let probe = key_in(&topo, 1).key;
+        let spec = ShardReadSpec { id: TxnId(10), keys: vec![probe.clone()] };
+        let plan = ReadPlan::compile(&topo, &spec);
+        assert!(!plan.is_cross_shard());
+        assert_eq!(plan.group, vec![SiteId(2)], "master only — no protocol round");
+        assert_eq!(plan.keys[&2], vec![probe]);
+    }
+
+    #[test]
+    fn cross_shard_read_coordinates_over_involved_masters() {
+        let topo = ShardTopology::uniform(6, 3, 2);
+        let k0 = key_in(&topo, 0).key;
+        let k2 = key_in(&topo, 2).key;
+        let spec = ShardReadSpec { id: TxnId(11), keys: vec![k0.clone(), k2.clone()] };
+        let plan = ReadPlan::compile(&topo, &spec);
+        assert!(plan.is_cross_shard());
+        assert_eq!(plan.group, vec![SiteId(0), SiteId(4)]);
+        assert_eq!(plan.master(), SiteId(0));
+        assert_eq!(plan.keys[&0], vec![k0]);
+        assert_eq!(plan.keys[&4], vec![k2]);
+        assert_eq!(plan.virtual_of(SiteId(4)), Some(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "collides")]
+    fn read_id_colliding_with_write_id_rejected() {
+        let topo = ShardTopology::uniform(4, 2, 2);
+        let write = ShardTxnSpec { id: TxnId(1), writes: vec![key_in(&topo, 0)] };
+        let read = ShardReadSpec { id: TxnId(1), keys: vec![key_in(&topo, 0).key] };
+        let _ = PlanTable::compile(topo, &[write]).with_reads(&[read]);
     }
 
     #[test]
