@@ -35,6 +35,9 @@ struct ShrinkRun {
     shrink_tested: usize,
     original_weight: usize,
     minimal_weight: usize,
+    /// Rendered first counterexample: minimal timeline + flight-recorder
+    /// event tail of its replay.
+    first_rendered: String,
     wall_ms: f64,
 }
 
@@ -79,6 +82,7 @@ fn shrink_phase() -> ShrinkRun {
         shrink_tested: report.failures.iter().map(|f| f.shrink_tested).sum(),
         original_weight: weight(&first.original),
         minimal_weight: weight(&first.minimal),
+        first_rendered: first.render(),
         wall_ms: started.elapsed().as_secs_f64() * 1000.0,
     }
 }
@@ -142,6 +146,8 @@ fn main() {
          ({} candidates executed)",
         shrink.original_weight, shrink.minimal_weight, shrink.shrink_steps, shrink.shrink_tested
     );
+    println!("\nfirst counterexample, minimal timeline + flight-recorder tail:");
+    println!("{}", shrink.first_rendered);
 
     write_record("BENCH_campaign.json", &render_json(&green, &shrink));
 }

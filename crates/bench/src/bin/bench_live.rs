@@ -18,7 +18,7 @@
 //! (the CI smoke run only checks the invariants, not the ordering — a
 //! 300 ms window on a loaded runner is not a measurement).
 
-use ptp_bench::{criterion_budget_ms, host_fields, json_escape, write_record};
+use ptp_bench::{criterion_budget_ms, host_fields, json_escape, nproc, write_record};
 use ptp_core::report::Table;
 use ptp_live::{run_server, BatchConfig, KeySkew, LiveOptions, LiveReport};
 use std::fmt::Write as _;
@@ -101,6 +101,48 @@ fn summarize(mode: &str, r: &LiveReport, table: &mut Table) {
     ]);
 }
 
+/// Pins the Null-sink goodput against the committed record. These runs
+/// leave `LiveOptions::obs` at its off default, so the measured goodput
+/// *is* the observability-disabled number: at full budget on a container
+/// of the same width, batched goodput must stay within 5% of the last
+/// committed `BENCH_live.json` (one-sided — faster is never a regression).
+fn assert_null_sink_goodput(on: &LiveReport, full_budget: bool) {
+    let Ok(prior) = std::fs::read_to_string("BENCH_live.json") else {
+        println!("no committed BENCH_live.json; skipping the goodput pin");
+        return;
+    };
+    let field = |from: &str, key: &str| -> Option<f64> {
+        let rest = &from[from.find(key)? + key.len()..];
+        rest.split([',', '}', '\n']).next()?.trim().parse().ok()
+    };
+    let prior_nproc = field(&prior, "\"nproc\": ");
+    let prior_rate = prior
+        .find("\"mode\": \"batching_on\"")
+        .and_then(|i| field(&prior[i..], "\"achieved_commits_per_sec\": "));
+    let (Some(prior_nproc), Some(prior_rate)) = (prior_nproc, prior_rate) else {
+        println!("committed BENCH_live.json predates the goodput pin; skipping");
+        return;
+    };
+    if !full_budget || prior_nproc as usize != nproc() {
+        println!(
+            "goodput pin skipped (full budget: {full_budget}, recorded nproc {prior_nproc} \
+             vs {} here); committed record: {prior_rate:.1} commits/s batched",
+            nproc()
+        );
+        return;
+    }
+    assert!(
+        on.achieved_rate >= prior_rate * 0.95,
+        "Null-sink goodput regressed beyond noise: {:.1} commits/s batched vs \
+         {prior_rate:.1} committed in BENCH_live.json (tolerance 5%)",
+        on.achieved_rate
+    );
+    println!(
+        "Null-sink goodput pin: {:.1} commits/s batched vs {prior_rate:.1} committed (within 5%)",
+        on.achieved_rate
+    );
+}
+
 fn main() {
     let budget_ms = criterion_budget_ms(2_000);
     // A live run needs real wall time regardless of budget: at least 300 ms
@@ -161,6 +203,9 @@ fn main() {
             off.achieved_rate
         );
     }
+
+    // Compare against the committed record *before* overwriting it.
+    assert_null_sink_goodput(&on, full_budget);
 
     write_record("BENCH_live.json", &render_json(duration, &off, &on));
 }

@@ -27,6 +27,10 @@
 //! | `bench_ddb` | database workload throughput baseline (`BENCH_ddb.json`) |
 //! | `bench_shard` | sharded-store throughput baseline (`BENCH_shard.json`) |
 //! | `bench_read` | read-path throughput: lease / lock-local / commit-round (`BENCH_read.json`) |
+//! | `bench_profile` | simulator hot-path profile (`BENCH_profile.json`) |
+//! | `bench_live` | threaded shard serving, batching off vs on (`BENCH_live.json`) |
+//! | `bench_campaign` | chaos-campaign throughput + shrink demo (`BENCH_campaign.json`) |
+//! | `bench_obs` | stage-attributed live latency + flight recorder (`BENCH_obs.json`) |
 //!
 //! ## Sweep-engine performance baseline
 //!
@@ -113,51 +117,12 @@ pub fn write_record(path: &str, json: &str) {
     println!("\nwrote {path}");
 }
 
-/// Logical CPUs visible to this process — recorded in every committed
-/// `BENCH_*.json` so cross-PR comparisons can tell a faster protocol from
-/// a bigger container.
-pub fn nproc() -> usize {
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
-}
-
-/// Coarse host/container class for bench records: the first CPU `model
-/// name` from `/proc/cpuinfo`, or `"unknown"` off Linux.
-pub fn host_class() -> String {
-    std::fs::read_to_string("/proc/cpuinfo")
-        .ok()
-        .and_then(|s| {
-            s.lines()
-                .find(|l| l.starts_with("model name"))
-                .and_then(|l| l.split(':').nth(1))
-                .map(|m| m.trim().to_string())
-        })
-        .filter(|m| !m.is_empty())
-        .unwrap_or_else(|| "unknown".to_string())
-}
-
-/// The `"nproc": …, "host": …` fragment every bench emitter embeds (no
-/// trailing comma or newline).
-pub fn host_fields() -> String {
-    format!("\"nproc\": {}, \"host\": \"{}\"", nproc(), json_escape(&host_class()))
-}
-
-/// Minimal JSON string escaping for the hand-rolled benchmark reports
-/// (no serde in this offline workspace).
-pub fn json_escape(s: &str) -> String {
-    let mut out = String::with_capacity(s.len());
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\t' => out.push_str("\\t"),
-            '\r' => out.push_str("\\r"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out
-}
+// The host/JSON helpers every emitter embeds (`nproc`, `host_class`,
+// `host_fields`, `json_escape`) now live in `ptp-obs`, the one crate with
+// no workspace dependencies, so bench records and observability snapshots
+// stamp identical headers. Re-exported here so `use ptp_bench::…` keeps
+// working across every binary.
+pub use ptp_obs::{host_class, host_fields, json_escape, nproc};
 
 /// Renders a sweep report as one table row.
 pub fn sweep_row(kind: ProtocolKind, report: &SweepReport) -> Vec<String> {

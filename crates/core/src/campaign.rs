@@ -32,8 +32,10 @@ use crate::run::ScenarioResult;
 use crate::scenario::ProtocolKind;
 use crate::session::Session;
 use crate::timeline::{ScenarioBuilder, TimedEvent, Timeline};
+use ptp_obs::{FlightEvent, FlightRecorder};
+use ptp_protocols::RunOptions;
 use ptp_simnet::rng::SmallRng;
-use ptp_simnet::{EnvelopeMatch, SiteId};
+use ptp_simnet::{EnvelopeMatch, SiteId, TraceEvent};
 
 /// What a [`Campaign`] samples and how much of it.
 #[derive(Debug, Clone)]
@@ -96,6 +98,31 @@ pub struct CampaignFailure {
     pub shrink_steps: usize,
     /// Candidate executions the shrinker spent.
     pub shrink_tested: usize,
+    /// Flight-recorder dump of the minimal counterexample's event tail:
+    /// the minimal timeline is replayed once in recording mode and the
+    /// last [`FLIGHT_TAIL`] network/fault events are rendered in the same
+    /// JSON dump format the live stack emits on audit failure.
+    pub flight: String,
+}
+
+impl CampaignFailure {
+    /// Renders the failure for a human: the violation, the minimal
+    /// counterexample timeline, and the flight-recorder tail of its
+    /// replay — everything needed to understand the finding without
+    /// re-running the campaign.
+    pub fn render(&self) -> String {
+        format!(
+            "timeline {} (seed {:#x}): {}\nminimal counterexample ({} shrink step(s), \
+             {} candidate(s) tested):\n{:#?}\nflight recorder:\n{}",
+            self.index,
+            self.seed,
+            self.message,
+            self.shrink_steps,
+            self.shrink_tested,
+            self.minimal,
+            self.flight,
+        )
+    }
 }
 
 /// What a [`Campaign::run`] produced.
@@ -121,6 +148,10 @@ impl CampaignReport {
 
 /// Shrinker budget: candidate executions per failing timeline.
 const SHRINK_BUDGET: usize = 256;
+
+/// How many trailing events of the minimal counterexample's replay the
+/// flight dump keeps.
+pub const FLIGHT_TAIL: usize = 64;
 
 /// A seeded chaos campaign. See the module docs.
 #[derive(Debug, Clone)]
@@ -232,6 +263,11 @@ impl Campaign {
             if let Some(message) = audit(&result) {
                 let (minimal, shrink_steps, shrink_tested) =
                     shrink(&mut session, &mut audit, timeline.clone());
+                let reason = format!(
+                    "campaign counterexample (timeline {index}, seed {:#x}): {message}",
+                    self.timeline_seed(index)
+                );
+                let flight = counterexample_flight(&mut session, &minimal, &reason);
                 failures.push(CampaignFailure {
                     index,
                     seed: self.timeline_seed(index),
@@ -240,6 +276,7 @@ impl Campaign {
                     minimal,
                     shrink_steps,
                     shrink_tested,
+                    flight,
                 });
             }
         }
@@ -257,6 +294,54 @@ impl Campaign {
         }
         let g1 = (0..n).map(SiteId).filter(|s| !g2.contains(s)).collect();
         vec![g1, g2]
+    }
+}
+
+/// Replays the minimal counterexample with a recording trace and renders
+/// the last [`FLIGHT_TAIL`] network/fault events as a flight-recorder
+/// dump — the same format the live stack prints on audit failure, so one
+/// set of eyes (and one set of parsing scripts) reads both.
+fn counterexample_flight(session: &mut Session, minimal: &Timeline, reason: &str) -> String {
+    let result = session.run_with(&minimal.scenario(), &RunOptions::recording());
+    let events: Vec<FlightEvent> = result.trace.events().iter().filter_map(flight_event).collect();
+    let keep = events.len().min(FLIGHT_TAIL);
+    let dropped = (events.len() - keep) as u64;
+    FlightRecorder::render_dump(reason, dropped, &events[events.len() - keep..])
+}
+
+/// Projects a simulator [`TraceEvent`] onto the flight-recorder event
+/// shape. Timer bookkeeping (set / cancel / suppress) is elided — the
+/// tail exists to show *what the network did*, and timer arms would crowd
+/// out the deliveries that explain a verdict. `at_us` carries simulated
+/// time units (the simulator's tick), not wall-clock microseconds.
+fn flight_event(e: &TraceEvent) -> Option<FlightEvent> {
+    let ev = |at: ptp_simnet::SimTime, site: u64, kind, tag, a, b| {
+        Some(FlightEvent { at_us: at.0, site, kind, tag, a, b })
+    };
+    match *e {
+        TraceEvent::Sent { at, id, src, dst, kind } => {
+            ev(at, src.0 as u64, "send", kind, id.0, dst.0 as u64)
+        }
+        TraceEvent::Delivered { at, id, src, dst, kind } => {
+            ev(at, dst.0 as u64, "recv", kind, id.0, src.0 as u64)
+        }
+        TraceEvent::Returned { at, id, src, dst, kind } => {
+            ev(at, src.0 as u64, "return", kind, id.0, dst.0 as u64)
+        }
+        TraceEvent::Dropped { at, id, src, dst, kind } => {
+            ev(at, dst.0 as u64, "drop", kind, id.0, src.0 as u64)
+        }
+        TraceEvent::TimerFired { at, site, timer, tag } => {
+            ev(at, site.0 as u64, "timer", "fire", timer, tag)
+        }
+        TraceEvent::Crashed { at, site } => ev(at, site.0 as u64, "fault", "crash", 0, 0),
+        TraceEvent::Recovered { at, site } => ev(at, site.0 as u64, "fault", "recover", 0, 0),
+        TraceEvent::Note { at, site, label, detail } => {
+            ev(at, site.0 as u64, "note", label, detail, 0)
+        }
+        TraceEvent::TimerSet { .. }
+        | TraceEvent::TimerCancelled { .. }
+        | TraceEvent::TimerSuppressed { .. } => None,
     }
 }
 
@@ -379,6 +464,35 @@ mod tests {
         // The minimal counterexample still fails its own audit.
         let result = crate::run::run_scenario(ProtocolKind::Plain2pc, &f.minimal.scenario());
         assert!(!result.verdict.is_resilient(), "{:?}", result.verdict);
+    }
+
+    #[test]
+    fn counterexample_carries_a_flight_dump() {
+        // Every shrunk counterexample replays its minimal timeline and
+        // keeps the event tail — the campaign-side half of the "both
+        // failure paths produce a flight dump" guarantee (the live stack's
+        // audit/drain path is pinned in `ptp-live`).
+        let config = CampaignConfig::safe(ProtocolKind::Plain2pc, 4, 30, 7);
+        let report = Campaign::new(config)
+            .run_with(|r| (!r.verdict.is_resilient()).then(|| format!("{:?}", r.verdict)));
+        assert!(!report.all_green(), "2PC must block somewhere in 30 timelines");
+        for f in &report.failures {
+            assert!(
+                f.flight.contains("\"reason\": \"campaign counterexample (timeline"),
+                "{}",
+                f.flight
+            );
+            assert!(f.flight.contains("\"events\": ["), "{}", f.flight);
+            assert!(
+                f.flight.contains("\"kind\": \"send\"") && f.flight.contains("\"kind\": \"recv\""),
+                "a blocked run must still have sent and received something: {}",
+                f.flight
+            );
+        }
+        let rendered = report.failures[0].render();
+        for needle in ["minimal counterexample", "flight recorder:", "\"events\": ["] {
+            assert!(rendered.contains(needle), "{rendered}");
+        }
     }
 
     #[test]

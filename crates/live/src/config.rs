@@ -126,6 +126,10 @@ pub struct LiveOptions {
     /// for a version-stamped delta this often (`None` = stranded replicas
     /// only catch up through later commit shipping).
     pub anti_entropy: Option<Duration>,
+    /// What to observe: stage spans, flight-recorder capacity, time-series
+    /// bins. Defaults to [`ptp_obs::ObsConfig::off`] — the Null path, with
+    /// near-zero overhead on the serving threads.
+    pub obs: ptp_obs::ObsConfig,
 }
 
 impl LiveOptions {
@@ -154,6 +158,7 @@ impl LiveOptions {
             drain_timeout: Duration::from_secs(10),
             lease: None,
             anti_entropy: None,
+            obs: ptp_obs::ObsConfig::off(),
         }
     }
 
@@ -201,6 +206,12 @@ mod tests {
     #[test]
     fn small_options_validate() {
         LiveOptions::small(100.0, Duration::from_millis(500)).validate();
+    }
+
+    #[test]
+    fn obs_defaults_to_the_null_path() {
+        let o = LiveOptions::small(100.0, Duration::from_millis(500));
+        assert!(!o.obs.enabled(), "observability must be off unless asked for");
     }
 
     #[test]

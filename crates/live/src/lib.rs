@@ -45,12 +45,17 @@
 
 pub mod config;
 pub mod driver;
-pub mod hist;
 pub mod node;
 
 pub use config::{BatchConfig, KeySkew, LeaseConfig, LiveOptions};
-pub use hist::LogHistogram;
 pub use node::{Completion, LiveNode, NodeReport, Packet, WireMsg};
+// The histogram moved to `ptp-obs` in PR 10; these re-exports keep the old
+// `ptp_live::hist::LogHistogram` / `ptp_live::LatencySummary` paths alive.
+pub use ptp_obs::hist;
+pub use ptp_obs::{
+    FlightEvent, FlightRecorder, LatencySummary, LogHistogram, ObsConfig, Registry, Series,
+    StageTable, TxnSpan,
+};
 
 use driver::{OpKind, Schedule};
 use ptp_ddb::site::ParticipantFactory;
@@ -58,6 +63,9 @@ use ptp_ddb::value::{Key, TxnId, Value};
 use ptp_ddb::wal::Record;
 use ptp_livenet::{Inbound, LiveConfig, LiveFaults, Outbound, Router};
 use ptp_model::Decision;
+use ptp_obs::{
+    STAGE_COMMIT_WAIT, STAGE_LOCK_WAIT, STAGE_PROTOCOL, STAGE_QUEUE, STAGE_ROUNDS, STAGE_SERVE,
+};
 use ptp_shard::plan::PlanTable;
 use ptp_shard::ShardTopology;
 use ptp_simnet::SiteId;
@@ -66,36 +74,9 @@ use std::sync::mpsc;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-/// Percentiles of one latency population, in microseconds (measured from
-/// each operation's *scheduled* arrival — see [`driver`]).
-#[derive(Debug, Clone, Copy, Default)]
-pub struct LatencySummary {
-    /// Samples recorded.
-    pub count: u64,
-    /// Median.
-    pub p50_us: u64,
-    /// 90th percentile.
-    pub p90_us: u64,
-    /// 99th percentile.
-    pub p99_us: u64,
-    /// Exact maximum.
-    pub max_us: u64,
-    /// Mean.
-    pub mean_us: f64,
-}
-
-impl LatencySummary {
-    fn from_hist(h: &LogHistogram) -> LatencySummary {
-        LatencySummary {
-            count: h.count(),
-            p50_us: h.quantile(0.50),
-            p90_us: h.quantile(0.90),
-            p99_us: h.quantile(0.99),
-            max_us: h.max(),
-            mean_us: h.mean(),
-        }
-    }
-}
+/// One acked operation: decision, read value, ack instant, and the stage
+/// span the serving master attached (recording runs only).
+type CompletionEntry = (Decision, Option<Value>, Instant, Option<TxnSpan>);
 
 /// The post-run storage audit: the driver's issue log checked against every
 /// node's storage, WAL, and decision record.
@@ -167,6 +148,19 @@ pub struct LiveReport {
     pub lock_reads: u64,
     /// Anti-entropy deltas installed across all sites.
     pub sync_installs: u64,
+    /// The merged cluster-wide metrics registry (always built — counters
+    /// fold from the per-node reports either way; latency histograms ride
+    /// along under `write_latency_us` / `read_latency_us`).
+    pub metrics: Registry,
+    /// Stage attribution per (path, fault-phase, stage). Empty unless
+    /// [`ObsConfig::spans`] was on.
+    pub stages: StageTable,
+    /// Per-bin completion counts and latency percentiles (`None` unless a
+    /// series bin width was configured).
+    pub series: Option<Series>,
+    /// The merged flight-recorder dump, produced when the audit failed or
+    /// the run failed to drain (and recorders were on).
+    pub flight_dump: Option<String>,
 }
 
 /// Runs the full live pipeline: compile plans, spawn router + one thread
@@ -208,7 +202,7 @@ pub fn run_server(opts: &LiveOptions) -> LiveReport {
         let router_tx = router_tx.clone();
         let completions_tx = completions_tx.clone();
         let (protocol, t, batch, flush_cost) = (opts.protocol, opts.t, opts.batch, opts.flush_cost);
-        let (lease, anti_entropy) = (opts.lease, opts.anti_entropy);
+        let (lease, anti_entropy, obs) = (opts.lease, opts.anti_entropy, opts.obs);
         node_handles.push(std::thread::spawn(move || {
             // Participant builders are Rc-based: construct inside the thread.
             let factory = ParticipantFactory::pooled(protocol.participant_builder());
@@ -221,6 +215,8 @@ pub fn run_server(opts: &LiveOptions) -> LiveReport {
                 flush_cost,
                 lease,
                 anti_entropy,
+                obs,
+                start,
                 router_tx,
                 completions_tx,
             );
@@ -239,7 +235,7 @@ pub fn run_server(opts: &LiveOptions) -> LiveReport {
     // passes (open loop: the driver never waits, so backlog drains here).
     let expected = schedule.ops.len();
     let deadline = start + opts.duration + opts.drain_timeout;
-    let mut completions: HashMap<u32, (Decision, Option<Value>, Instant)> = HashMap::new();
+    let mut completions: HashMap<u32, CompletionEntry> = HashMap::new();
     let mut duplicate_acks = 0usize;
     while completions.len() < expected {
         let now = Instant::now();
@@ -248,7 +244,7 @@ pub fn run_server(opts: &LiveOptions) -> LiveReport {
         }
         match completions_rx.recv_timeout(deadline - now) {
             Ok(c) => {
-                if completions.insert(c.txn.0, (c.decision, c.value, c.at)).is_some() {
+                if completions.insert(c.txn.0, (c.decision, c.value, c.at, c.span)).is_some() {
                     duplicate_acks += 1;
                 }
             }
@@ -274,7 +270,7 @@ pub fn run_server(opts: &LiveOptions) -> LiveReport {
         }
         match completions_rx.recv_timeout(grace_deadline - now) {
             Ok(c) => {
-                if completions.insert(c.txn.0, (c.decision, c.value, c.at)).is_some() {
+                if completions.insert(c.txn.0, (c.decision, c.value, c.at, c.span)).is_some() {
                     duplicate_acks += 1;
                 }
             }
@@ -302,8 +298,10 @@ pub fn run_server(opts: &LiveOptions) -> LiveReport {
     let mut completed_writes = 0usize;
     let mut completed_reads = 0usize;
     let mut last_write_done: Option<Instant> = None;
+    let mut stages = StageTable::new();
+    let mut series = opts.obs.series_bin.map(Series::new);
     for op in &schedule.ops {
-        let Some((decision, _, at)) = completions.get(&op.txn.0) else { continue };
+        let Some((decision, _, at, span)) = completions.get(&op.txn.0) else { continue };
         let latency = at.saturating_duration_since(start + op.at).as_micros() as u64;
         match op.kind {
             OpKind::Write => {
@@ -323,6 +321,12 @@ pub fn run_server(opts: &LiveOptions) -> LiveReport {
                 completed_reads += 1;
             }
         }
+        if let Some(s) = &mut series {
+            s.record(at.saturating_duration_since(start), latency);
+        }
+        if let Some(span) = span {
+            attribute_span(&mut stages, opts, op, span, start, *at);
+        }
     }
     let achieved_rate = match last_write_done {
         Some(done) if committed > 0 => {
@@ -338,6 +342,55 @@ pub fn run_server(opts: &LiveOptions) -> LiveReport {
     // full replica-convergence checks on.
     let strict = opts.partition.is_none() && opts.crashes.is_empty() && opts.env_faults.is_empty();
     let audit = audit(&schedule, &plans, &pools, &completions, duplicate_acks, &reports, strict);
+
+    // The cluster-wide metrics snapshot: per-node counters folded together,
+    // the two latency populations riding along as histograms.
+    let mut metrics = Registry::new();
+    for r in &reports {
+        metrics.add("flushes", r.flushes);
+        metrics.add("channel_sends", r.channel_sends);
+        metrics.add("protocol_messages", r.protocol_messages);
+        metrics.add("reads_lease", r.reads_lease);
+        metrics.add("reads_local", r.reads_local);
+        metrics.add("sync_installs", r.sync_installs);
+    }
+    metrics.add("committed", committed as u64);
+    metrics.add("aborted", aborted as u64);
+    metrics.add("completed_reads", completed_reads as u64);
+    metrics.set_gauge("sites", n as i64);
+    metrics.merge_hist("write_latency_us", &write_hist);
+    metrics.merge_hist("read_latency_us", &read_hist);
+
+    // The flight recorder earns its keep exactly here: an audit failure or
+    // a stuck drain dumps the merged event tail of every site.
+    let flight_dump = if (!audit.ok
+        || completions.len() != expected
+        || reports.iter().any(|r| r.in_flight_at_shutdown > 0))
+        && opts.obs.flight_capacity > 0
+    {
+        let mut events: Vec<FlightEvent> = Vec::new();
+        let mut dropped = 0u64;
+        for r in &reports {
+            if let Some(f) = &r.flight {
+                dropped += f.dropped();
+                events.extend(f.tail());
+            }
+        }
+        events.sort_by_key(|e| (e.at_us, e.site));
+        let reason = if !audit.ok {
+            format!(
+                "invariant audit failed: {}",
+                audit.violations.first().map_or("(no detail)", |v| v.as_str())
+            )
+        } else {
+            format!("run failed to drain: {} of {expected} operations completed", completions.len())
+        };
+        let dump = FlightRecorder::render_dump(&reason, dropped, &events);
+        eprintln!("--- flight-recorder dump ---\n{dump}");
+        Some(dump)
+    } else {
+        None
+    };
 
     LiveReport {
         offered_rate: opts.offered_rate,
@@ -360,6 +413,73 @@ pub fn run_server(opts: &LiveOptions) -> LiveReport {
         lease_reads: reports.iter().map(|r| r.reads_lease).sum(),
         lock_reads: reports.iter().map(|r| r.reads_local).sum(),
         sync_installs: reports.iter().map(|r| r.sync_installs).sum(),
+        metrics,
+        stages,
+        series,
+        flight_dump,
+    }
+}
+
+/// Classifies a completion instant against the run's fault schedule:
+/// `"none"` for fault-free runs, else `"before"` / `"fault"` / `"after"`
+/// relative to the configured partition episodes and crash windows (the
+/// harness knows the schedule; the nodes never do).
+fn fault_phase(opts: &LiveOptions, at: Duration) -> &'static str {
+    let mut windows: Vec<(Duration, Option<Duration>)> = Vec::new();
+    if let Some(p) = &opts.partition {
+        for ep in p.episodes() {
+            windows.push((ep.from, ep.until));
+        }
+    }
+    for c in &opts.crashes {
+        windows.push((c.after, c.recover_after));
+    }
+    if windows.is_empty() {
+        return "none";
+    }
+    if windows.iter().any(|(from, until)| at >= *from && until.is_none_or(|u| at < u)) {
+        return "fault";
+    }
+    let first = windows.iter().map(|(from, _)| *from).min().expect("nonempty");
+    if at < first {
+        "before"
+    } else {
+        "after"
+    }
+}
+
+/// Turns one completed operation's span into stage-table rows. The stages
+/// are consecutive deltas over a single timeline — scheduled arrival →
+/// mailbox receive → locks held → protocol decision → ack — so summing the
+/// table reconstructs (almost all of) the measured end-to-end latency.
+fn attribute_span(
+    stages: &mut StageTable,
+    opts: &LiveOptions,
+    op: &driver::ScheduledOp,
+    span: &TxnSpan,
+    start: Instant,
+    acked: Instant,
+) {
+    let us = |later: Instant, earlier: Instant| {
+        later.saturating_duration_since(earlier).as_micros() as u64
+    };
+    let phase = fault_phase(opts, acked.saturating_duration_since(start));
+    stages.add(span.path, phase, STAGE_QUEUE, us(span.recv, start + op.at));
+    match op.kind {
+        OpKind::Write => {
+            let Some(locked) = span.locked else { return };
+            stages.add(span.path, phase, STAGE_LOCK_WAIT, us(locked, span.recv));
+            let Some(decided) = span.decided else { return };
+            stages.add(span.path, phase, STAGE_PROTOCOL, us(decided, locked));
+            stages.add(span.path, phase, STAGE_COMMIT_WAIT, us(acked, decided));
+            stages.add(span.path, phase, STAGE_ROUNDS, span.rounds as u64);
+        }
+        OpKind::Read(_) => {
+            if let Some(locked) = span.locked {
+                stages.add(span.path, phase, STAGE_LOCK_WAIT, us(locked, span.recv));
+            }
+            stages.add(span.path, phase, STAGE_SERVE, us(acked, span.locked.unwrap_or(span.recv)));
+        }
     }
 }
 
@@ -370,7 +490,7 @@ fn audit(
     schedule: &Schedule,
     plans: &PlanTable,
     pools: &[Vec<Key>],
-    completions: &HashMap<u32, (Decision, Option<Value>, Instant)>,
+    completions: &HashMap<u32, CompletionEntry>,
     duplicate_acks: usize,
     reports: &[NodeReport],
     strict: bool,
@@ -414,7 +534,7 @@ fn audit(
         checked_writes += 1;
         let txn = spec.id;
         let plan = plans.get(txn).expect("audited transactions are planned");
-        let ack = completions.get(&txn.0).map(|(d, _, _)| *d);
+        let ack = completions.get(&txn.0).map(|(d, ..)| *d);
 
         // Atomicity: every decision recorded anywhere (including the ack)
         // agrees.
@@ -531,7 +651,7 @@ fn audit(
     }
     for op in &schedule.ops {
         let OpKind::Read(key) = &op.kind else { continue };
-        let Some((_, value, _)) = completions.get(&op.txn.0) else { continue };
+        let Some((_, value, ..)) = completions.get(&op.txn.0) else { continue };
         checked_reads += 1;
         if let Some(v) = value {
             let ok = v
@@ -645,6 +765,91 @@ mod tests {
             report.lease_reads,
             report.lock_reads
         );
+    }
+
+    #[test]
+    fn recording_run_attributes_latency_to_stages() {
+        let mut opts = LiveOptions::small(250.0, Duration::from_millis(400));
+        opts.read_fraction = 0.3;
+        opts.flush_cost = Duration::from_micros(50);
+        opts.obs = ObsConfig::recording();
+        opts.obs.series_bin = Some(Duration::from_millis(100));
+        let report = run_server(&opts);
+        assert!(report.audit.ok, "audit: {:?}", report.audit.violations);
+        assert!(report.clean_drain, "unclean drain: {report:?}");
+
+        // The stage table accounts for (nearly) all measured latency: the
+        // stages are consecutive deltas of one timeline, so only saturating
+        // truncation can shave microseconds off.
+        assert!(!report.stages.is_empty());
+        let measured = report.metrics.hist("write_latency_us").unwrap().sum()
+            + report.metrics.hist("read_latency_us").unwrap().sum();
+        let attributed = report.stages.attributed_us();
+        assert!(
+            attributed as f64 >= measured as f64 * 0.95,
+            "stage table covers {attributed} of {measured} us"
+        );
+        // Fault-free runs classify every row as phase "none".
+        for ((_, phase, _), _) in report.stages.rows() {
+            assert_eq!(*phase, "none");
+        }
+        // Committed writes crossed the protocol stage on a write path.
+        assert!(report.stages.cell("write-single", "none", STAGE_PROTOCOL).is_some());
+
+        // The series saw every completion.
+        let series = report.series.expect("series was configured");
+        let binned: u64 = series.bins().iter().map(|b| b.count).sum();
+        assert_eq!(binned as usize, report.completed_writes + report.completed_reads);
+
+        // The registry mirrors the report's flat counters.
+        assert_eq!(report.metrics.counter("flushes"), report.flushes);
+        assert_eq!(report.metrics.counter("committed"), report.committed as u64);
+
+        // A clean run dumps nothing.
+        assert!(report.flight_dump.is_none());
+    }
+
+    #[test]
+    fn null_sink_records_no_stages_or_series() {
+        let mut opts = LiveOptions::small(150.0, Duration::from_millis(300));
+        opts.flush_cost = Duration::ZERO;
+        let report = run_server(&opts);
+        assert!(report.audit.ok, "audit: {:?}", report.audit.violations);
+        assert!(report.stages.is_empty());
+        assert!(report.series.is_none());
+        assert!(report.flight_dump.is_none());
+        // The metrics registry still folds the per-node counters.
+        assert_eq!(report.metrics.counter("protocol_messages"), report.protocol_messages);
+    }
+
+    #[test]
+    fn failed_drain_dumps_the_flight_recorder() {
+        // Permanently crash shard 0's master at t = 0: every operation
+        // routed to it is lost, the drain deadline passes unfinished, and
+        // the merged flight-recorder tail explains what was in flight.
+        let topo = ptp_shard::ShardTopology::uniform(6, 3, 2);
+        let master = topo.master(0);
+        let mut opts = LiveOptions::small(200.0, Duration::from_millis(250));
+        opts.flush_cost = Duration::ZERO;
+        opts.drain_timeout = Duration::from_millis(600);
+        opts.crashes = vec![ptp_livenet::LiveCrash::crash(master, Duration::ZERO)];
+        opts.obs = ObsConfig::recording();
+        let report = run_server(&opts);
+        assert!(!report.clean_drain, "the crashed master must strand its operations");
+        let dump = report.flight_dump.expect("an undrained run must dump the recorder");
+        assert!(dump.contains("\"reason\": \"run failed to drain"), "{dump}");
+        assert!(dump.contains("\"events\": ["), "{dump}");
+        // Sites other than the dead master were still serving: the merged
+        // tail has real traffic in it.
+        assert!(
+            dump.contains("\"kind\": \"recv\"") || dump.contains("\"kind\": \"send\""),
+            "{dump}"
+        );
+        // Completions that did arrive land in fault phase (a permanent
+        // crash window spans the whole run).
+        for ((_, phase, _), _) in report.stages.rows() {
+            assert_eq!(*phase, "fault");
+        }
     }
 
     #[test]

@@ -27,6 +27,7 @@ use ptp_ddb::wal::{Record, Wal};
 use ptp_ddb::Storage;
 use ptp_livenet::{Inbound, Outbound};
 use ptp_model::Decision;
+use ptp_obs::{FlightRecorder, ObsConfig, TxnSpan};
 use ptp_protocols::api::{Action, CommitMsg, Participant, TimerTag, Vote};
 use ptp_shard::plan::PlanTable;
 use ptp_shard::{LEASE_ACK, LEASE_RENEW, SHARD_ABORT, SHARD_APPLY, SYNC_REQ, SYNC_RESP};
@@ -98,6 +99,9 @@ pub struct Completion {
     pub value: Option<Value>,
     /// When the acknowledging site completed it.
     pub at: Instant,
+    /// Stage boundaries the serving node stamped (`None` unless
+    /// [`ObsConfig::spans`] is on).
+    pub span: Option<TxnSpan>,
 }
 
 /// What a site thread hands back at shutdown.
@@ -125,6 +129,9 @@ pub struct NodeReport {
     pub reads_local: u64,
     /// Anti-entropy deltas this site installed as a replica.
     pub sync_installs: u64,
+    /// The site's flight recorder (`None` unless a capacity was
+    /// configured), carrying the event tail for failure dumps.
+    pub flight: Option<FlightRecorder>,
 }
 
 /// Per-transaction protocol state: which pool slot runs it.
@@ -224,6 +231,14 @@ pub struct LiveNode {
     reads_lease: u64,
     reads_local: u64,
     sync_installs: u64,
+    /// Observability policy: which of the instruments below are live.
+    obs: ObsConfig,
+    /// Run start, the zero point for flight-recorder timestamps.
+    start: Instant,
+    /// In-flight stage spans (populated only with [`ObsConfig::spans`]).
+    spans: HashMap<TxnId, TxnSpan>,
+    /// The per-site event ring (`None` = the Null path).
+    flight: Option<FlightRecorder>,
 }
 
 impl LiveNode {
@@ -240,6 +255,8 @@ impl LiveNode {
         flush_cost: Duration,
         lease: Option<LeaseConfig>,
         anti_entropy: Option<Duration>,
+        obs: ObsConfig,
+        start: Instant,
         router: Sender<Outbound<Packet>>,
         completions: Sender<Completion>,
     ) -> LiveNode {
@@ -283,6 +300,40 @@ impl LiveNode {
             reads_lease: 0,
             reads_local: 0,
             sync_installs: 0,
+            flight: (obs.flight_capacity > 0).then(|| FlightRecorder::new(obs.flight_capacity)),
+            obs,
+            start,
+            spans: HashMap::new(),
+        }
+    }
+
+    // ---- observability ----
+
+    /// Records a flight event when the recorder is on (the Null path is a
+    /// single branch).
+    fn flight_log(&mut self, kind: &'static str, tag: &'static str, a: u64, b: u64) {
+        if let Some(f) = &mut self.flight {
+            let at_us = Instant::now().saturating_duration_since(self.start).as_micros() as u64;
+            f.log(at_us, self.me.0 as u64, kind, tag, a, b);
+        }
+    }
+
+    /// Marks the lock-grant boundary on an in-flight span (idempotent: the
+    /// first grant instant wins, so an unpark does not overwrite it).
+    fn span_mark_locked(&mut self, txn: TxnId, now: Instant) {
+        if let Some(s) = self.spans.get_mut(&txn) {
+            if s.locked.is_none() {
+                s.locked = Some(now);
+            }
+        }
+    }
+
+    /// Marks the protocol-decision boundary on an in-flight span.
+    fn span_mark_decided(&mut self, txn: TxnId) {
+        if let Some(s) = self.spans.get_mut(&txn) {
+            if s.decided.is_none() {
+                s.decided = Some(Instant::now());
+            }
         }
     }
 
@@ -320,6 +371,10 @@ impl LiveNode {
             }
         }
         self.protocol_messages += 1;
+        if self.flight.is_some() {
+            let tag = ptp_simnet::Payload::kind(&msg.inner);
+            self.flight_log("send", tag, msg.txn.0 as u64, dst.0 as u64);
+        }
         if self.batch.enabled {
             self.outbuf[dst.index()].push(msg);
         } else {
@@ -422,12 +477,14 @@ impl LiveNode {
         // (Sends are concurrent messages either way; timers of a finished
         // transaction fire as no-ops.)
         actions.sort_by_key(|a| !matches!(a, Action::Decide(_)));
+        let mut dispatched = 0u32;
         for action in actions {
             match action {
                 Action::Send { to, msg } => {
                     let dst = plan.group[to.index()];
                     let writes = self.xact_writes_for(plan, &msg, dst, my_v);
                     self.send_wire(dst, WireMsg { txn, inner: msg, writes, versions: None });
+                    dispatched += 1;
                 }
                 Action::Broadcast { msg } => {
                     for (v, &dst) in plan.group.iter().enumerate() {
@@ -437,6 +494,7 @@ impl LiveNode {
                                 dst,
                                 WireMsg { txn, inner: msg, writes, versions: None },
                             );
+                            dispatched += 1;
                         }
                     }
                 }
@@ -450,6 +508,13 @@ impl LiveNode {
                 }
                 Action::Decide(decision) => self.finish(txn, decision),
                 Action::Note(..) => {}
+            }
+        }
+        // Protocol messages this participant dispatched for the
+        // transaction: the round count its span reports.
+        if dispatched > 0 && self.obs.spans {
+            if let Some(s) = self.spans.get_mut(&txn) {
+                s.rounds += dispatched;
             }
         }
     }
@@ -472,6 +537,9 @@ impl LiveNode {
     }
 
     fn ack_if_master(&mut self, txn: TxnId, decision: Decision) {
+        // Every site drops its span here (group slaves stamp spans they
+        // never ack; only the master's rides the completion).
+        let span = self.spans.remove(&txn);
         let plans = self.plans.clone();
         if plans.get(txn).is_some_and(|p| p.master() == self.me) {
             let _ = self.completions.send(Completion {
@@ -479,6 +547,7 @@ impl LiveNode {
                 decision,
                 value: None,
                 at: Instant::now(),
+                span,
             });
         }
     }
@@ -520,6 +589,10 @@ impl LiveNode {
     /// voter completed): durable now when batching is off, at the next
     /// window flush when it is on.
     fn commit_locally(&mut self, txn: TxnId) {
+        if self.obs.spans {
+            self.span_mark_decided(txn);
+        }
+        self.flight_log("decide", "commit", txn.0 as u64, 0);
         self.assign_versions(txn);
         if self.batch.enabled {
             self.wal.append(Record::Commit { txn });
@@ -535,6 +608,10 @@ impl LiveNode {
     }
 
     fn abort_locally(&mut self, txn: TxnId) {
+        if self.obs.spans {
+            self.span_mark_decided(txn);
+        }
+        self.flight_log("decide", "abort", txn.0 as u64, 0);
         self.in_stamps.remove(&txn);
         // Presumed abort: the record needs no force write before the ack.
         if self.batch.enabled {
@@ -578,6 +655,10 @@ impl LiveNode {
             Parked::Apply { writes, versions } => self.do_apply(txn, writes, versions),
             Parked::Read { key } => {
                 self.reads_local += 1;
+                if self.obs.spans {
+                    self.span_mark_locked(txn, Instant::now());
+                }
+                self.flight_log("lock", "grant", txn.0 as u64, 1);
                 self.serve_read(txn, &key);
                 self.finished.insert(txn, Decision::Commit);
                 self.release_and_unpark(txn);
@@ -588,6 +669,10 @@ impl LiveNode {
     /// Locks held: log + stage the writes and start the commit protocol
     /// (or commit on the spot for a sole-member group).
     fn begin_local(&mut self, txn: TxnId, from: SiteId, writes: Vec<WriteOp>) {
+        if self.obs.spans {
+            self.span_mark_locked(txn, Instant::now());
+        }
+        self.flight_log("lock", "grant", txn.0 as u64, writes.len() as u64);
         self.wal.append(Record::Begin { txn, writes: writes.clone() });
         if !self.batch.enabled {
             self.spin_flush();
@@ -631,6 +716,10 @@ impl LiveNode {
         if self.guard_duplicate(txn) || self.plans.get(txn).is_none() {
             return;
         }
+        if self.obs.spans {
+            let path = self.plans.get(txn).expect("checked above").path_tag();
+            self.spans.insert(txn, TxnSpan::begin(path, Instant::now()));
+        }
         let mut all = true;
         for w in &writes {
             if self.locks.acquire(txn, w.key.clone(), LockMode::Exclusive) == LockGrant::Waiting {
@@ -640,6 +729,7 @@ impl LiveNode {
         if all {
             self.begin_local(txn, from, writes);
         } else {
+            self.flight_log("lock", "park", txn.0 as u64, writes.len() as u64);
             self.parked.insert(txn, Parked::Xact { from, writes });
         }
     }
@@ -715,12 +805,14 @@ impl LiveNode {
 
     /// Answers a client read from committed storage.
     fn serve_read(&mut self, txn: TxnId, key: &Key) {
+        let span = self.spans.remove(&txn);
         let value = self.storage.get(key).cloned();
         let _ = self.completions.send(Completion {
             txn,
             decision: Decision::Commit,
             value,
             at: Instant::now(),
+            span,
         });
     }
 
@@ -744,22 +836,37 @@ impl LiveNode {
         if self.guard_duplicate(txn) {
             return;
         }
+        let now = Instant::now();
         let shard = self.plans.topology.shard_of(&key);
-        if self.lease.is_some()
-            && self.lease_valid(shard, Instant::now())
-            && !self.locks.is_locked(&key)
-        {
+        if self.lease.is_some() && self.lease_valid(shard, now) && !self.locks.is_locked(&key) {
             self.reads_lease += 1;
+            if self.obs.spans {
+                self.spans.insert(txn, TxnSpan::begin("read-lease", now));
+            }
             self.serve_read(txn, &key);
             self.finished.insert(txn, Decision::Commit);
             return;
         }
+        if self.lease.is_some() && self.plans.topology.master(shard) == self.me {
+            // The fast path was configured but unavailable: lapsed grant
+            // (partition/crash/delay) or an in-flight commit on the key.
+            self.flight_log("lease", "lapse", shard as u64, txn.0 as u64);
+        }
         if self.locks.acquire(txn, key.clone(), LockMode::Shared) == LockGrant::Granted {
             self.reads_local += 1;
+            if self.obs.spans {
+                let mut span = TxnSpan::begin("read-local", now);
+                span.locked = Some(now);
+                self.spans.insert(txn, span);
+            }
             self.serve_read(txn, &key);
             self.finished.insert(txn, Decision::Commit);
             self.release_and_unpark(txn);
         } else {
+            if self.obs.spans {
+                self.spans.insert(txn, TxnSpan::begin("read-parked", now));
+            }
+            self.flight_log("lock", "park", txn.0 as u64, 1);
             self.parked.insert(txn, Parked::Read { key });
         }
     }
@@ -807,6 +914,7 @@ impl LiveNode {
             let expiry = sent + cfg.duration;
             let slot = self.lease_grants.entry((shard, src.0)).or_insert(expiry);
             *slot = (*slot).max(expiry);
+            self.flight_log("lease", "grant", shard as u64, src.0 as u64);
         }
     }
 
@@ -891,6 +999,7 @@ impl LiveNode {
         let txn = TxnId(SYNC_APPLY_BASE + self.sync_seq);
         self.sync_seq += 1;
         self.sync_installs += 1;
+        self.flight_log("sync", "install", txn.0 as u64, writes.len() as u64);
         self.admit_apply(txn, writes, versions);
     }
 
@@ -898,6 +1007,10 @@ impl LiveNode {
 
     fn handle(&mut self, src: SiteId, wire: WireMsg) {
         let WireMsg { txn, inner, writes, versions } = wire;
+        if self.flight.is_some() {
+            let tag = ptp_simnet::Payload::kind(&inner);
+            self.flight_log("recv", tag, txn.0 as u64, src.0 as u64);
+        }
         match inner {
             CommitMsg::Kind(CLIENT_XACT) => {
                 let local = self
@@ -981,6 +1094,7 @@ impl LiveNode {
                 && matches!(self.parked.get(&txn), Some(Parked::Xact { .. }))
             {
                 self.parked.remove(&txn);
+                self.spans.remove(&txn);
                 self.finished.insert(txn, Decision::Abort);
                 self.release_and_unpark(txn);
             }
@@ -1035,10 +1149,14 @@ impl LiveNode {
     /// Crash: go silent. Volatile state is wiped on recovery (mirroring the
     /// simulator, where `on_recover` performs the Sec. 2 discipline).
     fn crash(&mut self) {
+        self.flight_log("fault", "crash", 0, 0);
         self.crashed = true;
     }
 
     fn recover(&mut self) {
+        self.flight_log("fault", "recover", 0, 0);
+        // In-flight spans died with the volatile state.
+        self.spans.clear();
         for (_, slot) in std::mem::take(&mut self.slots) {
             self.pools.get_mut(&slot.pool).expect("slot pool exists").release(slot.participant);
         }
@@ -1154,6 +1272,7 @@ impl LiveNode {
             reads_lease: self.reads_lease,
             reads_local: self.reads_local,
             sync_installs: self.sync_installs,
+            flight: self.flight,
         }
     }
 }

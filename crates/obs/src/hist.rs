@@ -7,6 +7,10 @@
 //! quantile error is bounded by 1/16 ≈ 6.25% while the whole table stays a
 //! few hundred `u64`s regardless of range. The true maximum is tracked
 //! exactly.
+//!
+//! Moved here from `ptp-live` (which re-exports it) so every consumer of a
+//! latency population — the live serving stack, the bench emitters, the
+//! stage-attribution tables — shares one implementation.
 
 /// Sub-buckets per octave: 2^5 = 32 exact low values, 16 per octave above.
 const SUB_BITS: u32 = 4;
@@ -14,7 +18,7 @@ const SUB: u64 = 1 << SUB_BITS; // 16
 const EXACT: u64 = SUB * 2; // values < 32 get their own bucket
 
 /// A log-linear histogram of `u64` samples.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct LogHistogram {
     buckets: Vec<u64>,
     count: u64,
@@ -42,7 +46,11 @@ fn bucket_upper(idx: usize) -> u64 {
     let rel = idx as u64 - EXACT;
     let o = rel / SUB + SUB_BITS as u64 + 1;
     let sub = rel % SUB;
-    (1u64 << o) + (sub + 1) * (1u64 << (o - SUB_BITS as u64)) - 1
+    let base = 1u64 << o;
+    // (base - 1) + (sub + 1) * step never overflows: the second term is at
+    // most `base`, so the sum is at most 2 * base - 1 = u64::MAX when the
+    // octave is the topmost one.
+    (base - 1).saturating_add((sub + 1).saturating_mul(1u64 << (o - SUB_BITS as u64)))
 }
 
 impl LogHistogram {
@@ -71,6 +79,11 @@ impl LogHistogram {
     /// The exact maximum sample (0 if empty).
     pub fn max(&self) -> u64 {
         self.max
+    }
+
+    /// Sum of all samples (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
     }
 
     /// Mean of all samples (0.0 if empty).
@@ -114,6 +127,38 @@ impl LogHistogram {
         self.count += other.count;
         self.sum = self.sum.saturating_add(other.sum);
         self.max = self.max.max(other.max);
+    }
+}
+
+/// Percentiles of one latency population, in microseconds — the summary
+/// shape every latency consumer (live report, bench records) shares.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LatencySummary {
+    /// Samples recorded.
+    pub count: u64,
+    /// Median.
+    pub p50_us: u64,
+    /// 90th percentile.
+    pub p90_us: u64,
+    /// 99th percentile.
+    pub p99_us: u64,
+    /// Exact maximum.
+    pub max_us: u64,
+    /// Mean.
+    pub mean_us: f64,
+}
+
+impl LatencySummary {
+    /// Summarizes a histogram of microsecond samples.
+    pub fn from_hist(h: &LogHistogram) -> LatencySummary {
+        LatencySummary {
+            count: h.count(),
+            p50_us: h.quantile(0.50),
+            p90_us: h.quantile(0.90),
+            p99_us: h.quantile(0.99),
+            max_us: h.max(),
+            mean_us: h.mean(),
+        }
     }
 }
 
@@ -190,7 +235,73 @@ mod tests {
     fn empty_histogram_is_quiet() {
         let h = LogHistogram::new();
         assert_eq!(h.quantile(0.5), 0);
+        assert_eq!(h.quantile(0.0), 0);
+        assert_eq!(h.quantile(1.0), 0);
         assert_eq!(h.max(), 0);
         assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.count(), 0);
+        let s = LatencySummary::from_hist(&h);
+        assert_eq!((s.count, s.p50_us, s.max_us), (0, 0, 0));
+    }
+
+    #[test]
+    fn single_sample_reports_itself_at_every_quantile() {
+        for v in [0u64, 1, 31, 32, 1_000_003, u64::MAX] {
+            let mut h = LogHistogram::new();
+            h.record(v);
+            for q in [0.0, 0.01, 0.5, 0.99, 1.0] {
+                assert_eq!(h.quantile(q), v, "v={v} q={q}");
+            }
+            assert_eq!(h.max(), v);
+            assert_eq!(h.count(), 1);
+        }
+    }
+
+    #[test]
+    fn top_bucket_overflow_is_saturating_not_wrapping() {
+        // u64::MAX lands in the highest octave, whose raw upper edge would
+        // overflow; bucket_upper saturates and quantile() clamps to the true
+        // max, so nothing wraps to a tiny value.
+        let mut h = LogHistogram::new();
+        h.record(u64::MAX);
+        h.record(u64::MAX - 1);
+        h.record(u64::MAX / 2);
+        assert_eq!(h.max(), u64::MAX);
+        assert_eq!(h.quantile(1.0), u64::MAX);
+        assert!(h.quantile(0.99) >= u64::MAX / 2, "quantile wrapped: {}", h.quantile(0.99));
+        // The sum saturates rather than wrapping.
+        assert_eq!(h.sum(), u64::MAX);
+        assert!(h.mean() > 0.0);
+    }
+
+    #[test]
+    fn quantiles_are_monotone_in_q() {
+        let mut h = LogHistogram::new();
+        let mut x = 1u64;
+        for i in 0..5_000u64 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            h.record((x >> 32) % (1 + i * 977));
+        }
+        let mut prev = 0u64;
+        for i in 0..=100 {
+            let q = i as f64 / 100.0;
+            let v = h.quantile(q);
+            assert!(v >= prev, "quantile not monotone at q={q}: {v} < {prev}");
+            prev = v;
+        }
+        assert_eq!(prev, h.max());
+    }
+
+    #[test]
+    fn summary_matches_hist_quantiles() {
+        let mut h = LogHistogram::new();
+        for v in 1..=1000u64 {
+            h.record(v * 3);
+        }
+        let s = LatencySummary::from_hist(&h);
+        assert_eq!(s.count, 1000);
+        assert_eq!(s.p50_us, h.quantile(0.5));
+        assert_eq!(s.p99_us, h.quantile(0.99));
+        assert_eq!(s.max_us, 3000);
     }
 }

@@ -1,0 +1,75 @@
+//! Hand-rolled JSON helpers and host fingerprinting, shared by every
+//! emitter that writes a `BENCH_*.json` record or a flight-recorder dump.
+//!
+//! This workspace builds offline (no serde), so reports are assembled by
+//! string formatting; these helpers keep the escaping and the host header
+//! in one place. Moved here from `ptp-bench` (which re-exports them) so
+//! the observability layer can stamp dumps without depending on the bench
+//! crate.
+
+/// Minimal JSON string escaping for the hand-rolled reports and dumps
+/// (no serde in this offline workspace).
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Logical CPUs visible to this process — recorded in every committed
+/// `BENCH_*.json` so cross-PR comparisons can tell a faster protocol from
+/// a bigger container.
+pub fn nproc() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Coarse host/container class for bench records: the first CPU `model
+/// name` from `/proc/cpuinfo`, or `"unknown"` off Linux.
+pub fn host_class() -> String {
+    std::fs::read_to_string("/proc/cpuinfo")
+        .ok()
+        .and_then(|s| {
+            s.lines()
+                .find(|l| l.starts_with("model name"))
+                .and_then(|l| l.split(':').nth(1))
+                .map(|m| m.trim().to_string())
+        })
+        .filter(|m| !m.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// The `"nproc": …, "host": …` fragment every bench emitter embeds (no
+/// trailing comma or newline).
+pub fn host_fields() -> String {
+    format!("\"nproc\": {}, \"host\": \"{}\"", nproc(), json_escape(&host_class()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escape_covers_specials() {
+        assert_eq!(json_escape("a\"b\\c\nd\te\r"), "a\\\"b\\\\c\\nd\\te\\r");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+        assert_eq!(json_escape("plain"), "plain");
+    }
+
+    #[test]
+    fn host_fields_is_valid_fragment() {
+        let f = host_fields();
+        assert!(f.starts_with("\"nproc\": "));
+        assert!(f.contains("\"host\": \""));
+        assert!(!f.ends_with(','));
+        assert!(nproc() >= 1);
+    }
+}

@@ -1,0 +1,101 @@
+//! `ptp-obs` — observability for the live serving stack.
+//!
+//! PR 6 gave the *simulator* a profiling layer (`ProfSink`); this crate is
+//! the live-stack counterpart, built from three pieces that share one
+//! policy — a Null/Recording split so the disabled path costs (almost)
+//! nothing:
+//!
+//! - [`registry`] — named counters/gauges/log-histograms with `merge` for
+//!   per-node → cluster aggregation, plus a fixed-bin [`Series`] sampler
+//!   so runs report per-second goodput/latency curves;
+//! - [`span`] — per-transaction stage boundaries (queue → lock wait →
+//!   protocol rounds → commit wait) aggregated into a
+//!   (path, fault-phase, stage) attribution table, the instrument that
+//!   says *where* a partition's tail latency went;
+//! - [`flight`] — a fixed-size ring of recent structured events per node,
+//!   dumped as JSON only when an audit fails, a run fails to drain, or a
+//!   campaign shrink lands on a counterexample.
+//!
+//! [`hist`] holds the shared [`LogHistogram`]/[`LatencySummary`] moved out
+//! of `ptp-live`, and [`json`] the hand-rolled JSON / host-fingerprint
+//! helpers moved out of `ptp-bench`; both old homes re-export them, so
+//! existing paths keep compiling.
+//!
+//! The crate is std-only (this workspace builds offline) and knows nothing
+//! about protocols or sites — the live harness decides what to record and
+//! how to classify it.
+
+pub mod flight;
+pub mod hist;
+pub mod json;
+pub mod registry;
+pub mod span;
+
+pub use flight::{FlightEvent, FlightRecorder};
+pub use hist::{LatencySummary, LogHistogram};
+pub use json::{host_class, host_fields, json_escape, nproc};
+pub use registry::{Registry, Series, SeriesBin};
+pub use span::{
+    StageCell, StageTable, TxnSpan, STAGE_COMMIT_WAIT, STAGE_LOCK_WAIT, STAGE_PROTOCOL,
+    STAGE_QUEUE, STAGE_ROUNDS, STAGE_SERVE,
+};
+
+use std::time::Duration;
+
+/// What the live stack should record. The default ([`ObsConfig::off`]) is
+/// the Null path: no spans, no flight recorder, no series — the same
+/// policy as `TraceSink::Null`/`ProfSink::Null` in the simulator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ObsConfig {
+    /// Stamp per-transaction stage spans and build the stage table.
+    pub spans: bool,
+    /// Per-node flight-recorder capacity in events (0 disables it).
+    pub flight_capacity: usize,
+    /// Bin width for the completion time series (`None` disables it).
+    pub series_bin: Option<Duration>,
+}
+
+impl ObsConfig {
+    /// Everything off — the near-zero-overhead default.
+    pub fn off() -> ObsConfig {
+        ObsConfig { spans: false, flight_capacity: 0, series_bin: None }
+    }
+
+    /// Everything on at sensible sizes: spans, a 512-event ring per node,
+    /// and one-second series bins.
+    pub fn recording() -> ObsConfig {
+        ObsConfig { spans: true, flight_capacity: 512, series_bin: Some(Duration::from_secs(1)) }
+    }
+
+    /// True when any instrument is enabled.
+    pub fn enabled(&self) -> bool {
+        self.spans || self.flight_capacity > 0 || self.series_bin.is_some()
+    }
+}
+
+impl Default for ObsConfig {
+    fn default() -> ObsConfig {
+        ObsConfig::off()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn off_is_the_null_path() {
+        let c = ObsConfig::off();
+        assert!(!c.enabled());
+        assert_eq!(c, ObsConfig::default());
+    }
+
+    #[test]
+    fn recording_turns_everything_on() {
+        let c = ObsConfig::recording();
+        assert!(c.enabled());
+        assert!(c.spans);
+        assert!(c.flight_capacity > 0);
+        assert!(c.series_bin.is_some());
+    }
+}

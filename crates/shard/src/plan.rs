@@ -139,6 +139,17 @@ impl TxnPlan {
         self.shards.len() > 1
     }
 
+    /// The stage-attribution path tag for this plan's write route
+    /// (`"write-single"` / `"write-cross"`) — a `&'static str` so span
+    /// tables can key on it without allocating.
+    pub fn path_tag(&self) -> &'static str {
+        if self.is_cross_shard() {
+            "write-cross"
+        } else {
+            "write-single"
+        }
+    }
+
     /// The protocol group's master (the top-level coordinator for
     /// cross-shard transactions).
     pub fn master(&self) -> SiteId {
@@ -219,6 +230,16 @@ impl ReadPlan {
     /// True if the read spans more than one shard master.
     pub fn is_cross_shard(&self) -> bool {
         self.group.len() > 1
+    }
+
+    /// The stage-attribution path tag for this plan's read route
+    /// (`"read-single"` / `"read-cross"`).
+    pub fn path_tag(&self) -> &'static str {
+        if self.is_cross_shard() {
+            "read-cross"
+        } else {
+            "read-single"
+        }
     }
 
     /// The serving master (the top-level coordinator for cross-shard
@@ -319,6 +340,24 @@ mod tests {
         assert!(plan.ships.is_empty());
         assert_eq!(plan.virtual_of(SiteId(3)), Some(1));
         assert_eq!(plan.virtual_of(SiteId(0)), None);
+        assert_eq!(plan.path_tag(), "write-single");
+    }
+
+    #[test]
+    fn path_tags_follow_the_route_shape() {
+        let topo = ShardTopology::uniform(6, 3, 2);
+        let cross = TxnPlan::compile(
+            &topo,
+            &ShardTxnSpec { id: TxnId(9), writes: vec![key_in(&topo, 0), key_in(&topo, 2)] },
+        );
+        assert_eq!(cross.path_tag(), "write-cross");
+        let k0 = key_in(&topo, 0).key;
+        let k2 = key_in(&topo, 2).key;
+        let single =
+            ReadPlan::compile(&topo, &ShardReadSpec { id: TxnId(10), keys: vec![k0.clone()] });
+        assert_eq!(single.path_tag(), "read-single");
+        let multi = ReadPlan::compile(&topo, &ShardReadSpec { id: TxnId(11), keys: vec![k0, k2] });
+        assert_eq!(multi.path_tag(), "read-cross");
     }
 
     #[test]
